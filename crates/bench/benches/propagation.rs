@@ -1,0 +1,69 @@
+//! Benchmarks: the graph-convolution core `tanh(Â E)` — sparse-dense
+//! product forward, and forward+backward through the autograd tape — at the
+//! shapes PUP training uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use pup_data::synthetic::{generate, GeneratorConfig};
+use pup_graph::normalize::row_normalized;
+use pup_graph::{build_pup_graph, GraphSpec};
+use pup_tensor::{init, ops, CsrMatrix, Var};
+
+fn pup_a_hat(scale: usize) -> Rc<CsrMatrix> {
+    let d = generate(&GeneratorConfig {
+        n_users: 200 * scale,
+        n_items: 150 * scale,
+        n_categories: 20,
+        n_price_levels: 10,
+        n_interactions: 6_000 * scale,
+        kcore: 0,
+        seed: 1,
+        ..Default::default()
+    })
+    .dataset;
+    let pairs = d.unique_pairs();
+    let g = build_pup_graph(
+        d.n_users,
+        d.n_items,
+        d.n_price_levels,
+        d.n_categories,
+        &d.item_price_level,
+        &d.item_category,
+        &pairs,
+        GraphSpec::FULL,
+    );
+    Rc::new(row_normalized(g.adjacency(), true))
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    for scale in [1usize, 4] {
+        let a = pup_a_hat(scale);
+        for dim in [16usize, 64] {
+            let e = init::normal(a.rows(), dim, 0.1, &mut rng);
+            group.bench_function(BenchmarkId::new(format!("spmm_fwd_d{dim}"), scale), |b| {
+                b.iter(|| a.spmm(black_box(&e)))
+            });
+            group.bench_function(
+                BenchmarkId::new(format!("encoder_fwd_bwd_d{dim}"), scale),
+                |b| {
+                    b.iter(|| {
+                        let emb = Var::param(e.clone());
+                        let h = ops::tanh(&ops::spmm(&a, &emb));
+                        let loss = ops::mean(&ops::square(&h));
+                        loss.backward();
+                        black_box(emb.grad())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

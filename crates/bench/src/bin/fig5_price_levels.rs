@@ -1,0 +1,36 @@
+//! Figure 5: Recall@100 on the amazon-like dataset as a function of the
+//! number of price levels {2, 3, 5, 10, 20, 50, 100}.
+//!
+//! Expected shape: an inverted U — too few levels lose price information,
+//! too many fragment it (items of near-identical price land on different
+//! nodes), with the best accuracy at a moderate level count.
+
+use pup_bench::harness::{banner, fit_verbose, tuned_pup, ExperimentEnv};
+use pup_data::synthetic::amazon_like_with;
+use pup_recsys::prelude::*;
+use pup_recsys::ModelKind;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    banner("Fig. 5 — performance vs number of price levels (amazon-like)", &env);
+
+    let levels = [2usize, 3, 5, 10, 20, 50, 100];
+    let mut results = Vec::new();
+    for &l in &levels {
+        let synth = amazon_like_with(env.scale, env.seed, l, Quantization::Uniform);
+        let pipeline = Pipeline::new(synth.dataset);
+        let cfg = env.fit_config();
+        let model = fit_verbose(&pipeline, ModelKind::Pup(tuned_pup()), &cfg);
+        let report = pipeline.evaluate(model.as_ref(), &[100]);
+        results.push((l, report.at(100).recall));
+    }
+
+    println!("{:>12} {:>12}", "#levels", "Recall@100");
+    let max = results.iter().map(|&(_, r)| r).fold(0.0f64, f64::max).max(1e-9);
+    for (l, r) in &results {
+        let bar = "#".repeat((r / max * 40.0).round() as usize);
+        println!("{l:>12} {r:>12.4}  {bar}");
+    }
+    println!();
+    println!("paper shape: performance peaks at a moderate number of levels (inverted U).");
+}

@@ -1,0 +1,27 @@
+//! Table I: statistics of the datasets.
+//!
+//! Prints the synthetic yelp-like and beibei-like datasets (10-core, as in
+//! the paper) plus the amazon-like dataset used by §V-C. At `PUP_SCALE=1`
+//! the node counts approximate the paper's; the default scale shrinks them
+//! proportionally.
+
+use pup_bench::harness::{banner, ExperimentEnv};
+use pup_data::stats::{dataset_stats, STATS_HEADER};
+use pup_data::synthetic::{amazon_like, beibei_like, yelp_like};
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    banner("Table I — dataset statistics", &env);
+
+    println!("{STATS_HEADER}");
+    for (name, synth) in [
+        ("Yelp", yelp_like(env.scale, env.seed)),
+        ("Beibei", beibei_like(env.scale, env.seed)),
+        ("Amazon", amazon_like(env.scale, env.seed)),
+    ] {
+        println!("{}", dataset_stats(name, &synth.dataset));
+    }
+    println!();
+    println!("paper (scale 1.0): Yelp 20637/18907/89/4/505785, Beibei 52767/39303/110/10/677065,");
+    println!("                   Amazon 48424/33483/5/-/438355 (5-core, §V-C)");
+}

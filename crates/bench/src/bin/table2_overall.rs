@@ -1,0 +1,84 @@
+//! Table II: top-K recommendation performance of all eight methods on the
+//! yelp-like and beibei-like datasets (Recall/NDCG @ 50 and 100).
+//!
+//! Expected shape (paper §V-B): attribute-aware methods (FM, DeepFM, NGCF)
+//! beat their price-agnostic counterparts (BPR-MF, GC-MC); PaDQ trails
+//! BPR-MF; PUP wins on every metric.
+
+use pup_bench::harness::{banner, fit_verbose, tuned_pup, ExperimentEnv};
+use pup_data::synthetic::{beibei_like, yelp_like};
+use pup_eval::ranking::evaluate_per_user;
+use pup_eval::report::improvement_pct;
+use pup_eval::significance::paired_t_test;
+use pup_recsys::prelude::*;
+use pup_recsys::ModelKind;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    banner("Table II — overall top-K comparison", &env);
+    let ks = [50usize, 100];
+
+    for (name, synth) in [
+        ("Yelp-like", yelp_like(env.scale, env.seed)),
+        ("Beibei-like", beibei_like(env.scale, env.seed)),
+    ] {
+        println!("--- {name} dataset ---");
+        let pipeline = Pipeline::new(synth.dataset);
+        let cfg = env.fit_config();
+
+        let mut table = Table::for_metrics(&ks);
+        let mut best_baseline = [0.0f64; 4];
+        // Per-user recalls of the strongest (by Recall@50) baseline for the
+        // paper's paired t-test.
+        let mut best_per_user: Option<(f64, Vec<f64>)> = None;
+        for kind in ModelKind::table2_baselines() {
+            let model = fit_verbose(&pipeline, kind, &cfg);
+            let per_user = evaluate_per_user(model.as_ref(), pipeline.split(), &ks);
+            let report = per_user.summarize();
+            for (slot, &(_, m)) in report.at_k.iter().enumerate() {
+                best_baseline[2 * slot] = best_baseline[2 * slot].max(m.recall);
+                best_baseline[2 * slot + 1] = best_baseline[2 * slot + 1].max(m.ndcg);
+            }
+            let r50 = report.at(50).recall;
+            if best_per_user.as_ref().map(|(r, _)| r50 > *r).unwrap_or(true) {
+                best_per_user =
+                    Some((r50, per_user.at(50).iter().map(|m| m.recall).collect()));
+            }
+            table.push_report(&report);
+        }
+        let pup = fit_verbose(&pipeline, ModelKind::Pup(tuned_pup()), &cfg);
+        let pup_per_user = evaluate_per_user(pup.as_ref(), pipeline.split(), &ks);
+        let pup_report = pup_per_user.summarize();
+        table.push_report(&pup_report);
+        println!("{}", table.render());
+
+        // The paper's "impr.%" row: PUP over the strongest baseline.
+        let pup_vals: Vec<f64> = pup_report
+            .at_k
+            .iter()
+            .flat_map(|&(_, m)| [m.recall, m.ndcg])
+            .collect();
+        let impr: Vec<String> = pup_vals
+            .iter()
+            .zip(best_baseline)
+            .map(|(&p, b)| format!("{:+.2}%", improvement_pct(b, p)))
+            .collect();
+        println!("impr.% over best baseline: {}", impr.join("  "));
+
+        // Paired t-test (paper: significant at p < 0.005).
+        if let Some((_, baseline_recalls)) = best_per_user {
+            let pup_recalls: Vec<f64> =
+                pup_per_user.at(50).iter().map(|m| m.recall).collect();
+            if pup_recalls.len() == baseline_recalls.len() && pup_recalls.len() > 2 {
+                let t = paired_t_test(&pup_recalls, &baseline_recalls);
+                println!(
+                    "paired t-test on Recall@50 vs best baseline: t = {:.3}, p = {:.4}{}",
+                    t.t,
+                    t.p_two_sided,
+                    if t.significant_improvement(0.005) { "  (significant, p < 0.005)" } else { "" }
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,37 @@
+//! Table IV: uniform vs rank-based price quantization on the amazon-like
+//! dataset (heavy-tailed log-normal prices).
+//!
+//! The generator's raw prices follow a long-tailed distribution, so uniform
+//! within-category quantization collapses most items into the lowest levels
+//! while rank quantization spreads them evenly. Expected shape: rank-based
+//! quantization beats uniform.
+
+use pup_bench::harness::{banner, fit_verbose, tuned_pup, ExperimentEnv};
+use pup_data::synthetic::amazon_like_with;
+use pup_recsys::prelude::*;
+use pup_recsys::ModelKind;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    banner("Table IV — price quantization schemes (amazon-like)", &env);
+    let ks = [50usize, 100];
+
+    let mut table = Table::for_metrics(&ks);
+    for (label, scheme) in [("Uniform", Quantization::Uniform), ("Rank", Quantization::Rank)] {
+        let synth = amazon_like_with(env.scale, env.seed, 10, scheme);
+        // Occupancy diagnostic: how evenly items spread over the levels.
+        let mut counts = vec![0usize; synth.dataset.n_price_levels];
+        for &l in &synth.dataset.item_price_level {
+            counts[l] += 1;
+        }
+        eprintln!("  {label}: price-level occupancy {counts:?}");
+        let pipeline = Pipeline::new(synth.dataset);
+        let cfg = env.fit_config();
+        let model = fit_verbose(&pipeline, ModelKind::Pup(tuned_pup()), &cfg);
+        let mut report = pipeline.evaluate(model.as_ref(), &ks);
+        report.model = label.to_string();
+        table.push_report(&report);
+    }
+    println!("{}", table.render());
+    println!("paper shape: rank-based quantization outperforms uniform under skewed prices.");
+}

@@ -1,0 +1,7 @@
+//! # pup-bench
+//!
+//! Experiment binaries (one per table/figure of the paper; see `src/bin/`)
+//! and Criterion performance benchmarks (`benches/`). The library part holds
+//! shared experiment plumbing.
+
+pub mod harness;

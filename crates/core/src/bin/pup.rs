@@ -1,0 +1,267 @@
+//! `pup` — command-line interface to the PUP reproduction.
+//!
+//! ```text
+//! pup generate  --preset yelp|beibei|amazon --scale 0.02 --seed 7 --out DIR
+//! pup evaluate  --items items.csv --interactions interactions.csv
+//!               [--model pup|itempop|bprmf|padq|fm|deepfm|gcmc|ngcf]
+//!               [--epochs 30] [--levels 10] [--rank-quantize] [--k 50,100]
+//! pup recommend --items items.csv --interactions interactions.csv
+//!               --user USER_ID [--top 10] [--epochs 30] [--levels 10]
+//! ```
+//!
+//! `generate` writes a synthetic dataset as the two-CSV format of
+//! `pup_data::io`; `evaluate` trains a model on a temporal 60/20/20 split
+//! and prints Recall/NDCG; `recommend` prints top items with their prices.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pup_data::io::{load_dataset, save_dataset, IdMaps};
+use pup_data::synthetic::{amazon_like, beibei_like, yelp_like};
+use pup_data::Quantization;
+use pup_recsys::prelude::*;
+use pup_recsys::{FitConfig, ModelKind, Pipeline};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "recommend" => cmd_recommend(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pup — price-aware recommendation (PUP, ICDE 2020)
+
+USAGE:
+  pup generate  --preset yelp|beibei|amazon [--scale F] [--seed N] --out DIR
+  pup evaluate  --items FILE --interactions FILE [--model NAME] [--epochs N]
+                [--levels N] [--rank-quantize] [--k LIST]
+  pup recommend --items FILE --interactions FILE --user ID [--top N]
+                [--epochs N] [--levels N]
+
+MODELS: pup (default), itempop, bprmf, padq, fm, deepfm, gcmc, ngcf";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {a:?}"));
+        };
+        if key == "rank-quantize" {
+            flags.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let preset = flags.get("preset").ok_or("--preset is required")?;
+    let scale: f64 = get_parsed(flags, "scale", 0.02)?;
+    let seed: u64 = get_parsed(flags, "seed", 2020)?;
+    let out = PathBuf::from(flags.get("out").ok_or("--out is required")?);
+    let synth = match preset.as_str() {
+        "yelp" => yelp_like(scale, seed),
+        "beibei" => beibei_like(scale, seed),
+        "amazon" => amazon_like(scale, seed),
+        other => return Err(format!("unknown preset {other:?} (yelp|beibei|amazon)")),
+    };
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+    let items = out.join("items.csv");
+    let inter = out.join("interactions.csv");
+    save_dataset(&synth.dataset, None, &items, &inter).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} items and {} interactions to {}",
+        synth.dataset.n_items,
+        synth.dataset.n_interactions(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load(flags: &HashMap<String, String>) -> Result<(Pipeline, IdMaps), String> {
+    let items = flags.get("items").ok_or("--items is required")?;
+    let inter = flags.get("interactions").ok_or("--interactions is required")?;
+    let levels: usize = get_parsed(flags, "levels", 10)?;
+    let scheme = if flags.contains_key("rank-quantize") {
+        Quantization::Rank
+    } else {
+        Quantization::Uniform
+    };
+    let (dataset, maps) = load_dataset(Path::new(items), Path::new(inter), levels, scheme)
+        .map_err(|e| e.to_string())?;
+    Ok((Pipeline::new(dataset), maps))
+}
+
+fn fit_config(flags: &HashMap<String, String>) -> Result<FitConfig, String> {
+    let epochs: usize = get_parsed(flags, "epochs", 30)?;
+    let seed: u64 = get_parsed(flags, "seed", 7)?;
+    Ok(FitConfig {
+        train: TrainConfig { epochs, seed, ..Default::default() },
+        seed,
+        ..Default::default()
+    })
+}
+
+fn model_kind(flags: &HashMap<String, String>) -> Result<ModelKind, String> {
+    Ok(match flags.get("model").map(String::as_str).unwrap_or("pup") {
+        "pup" => ModelKind::Pup(PupConfig::default()),
+        "itempop" => ModelKind::ItemPop,
+        "bprmf" => ModelKind::BprMf,
+        "padq" => ModelKind::Padq,
+        "fm" => ModelKind::Fm,
+        "deepfm" => ModelKind::DeepFm,
+        "gcmc" => ModelKind::GcMc,
+        "ngcf" => ModelKind::Ngcf,
+        other => return Err(format!("unknown model {other:?}")),
+    })
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (pipeline, _maps) = load(flags)?;
+    let cfg = fit_config(flags)?;
+    let kind = model_kind(flags)?;
+    let ks: Vec<usize> = flags
+        .get("k")
+        .map(String::as_str)
+        .unwrap_or("50,100")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("--k: bad cutoff {s:?}")))
+        .collect::<Result<_, _>>()?;
+    eprintln!(
+        "training {} on {} users / {} items ({} train pairs, {} epochs) ...",
+        kind.name(),
+        pipeline.dataset().n_users,
+        pipeline.dataset().n_items,
+        pipeline.split().train.len(),
+        cfg.train.epochs
+    );
+    let model = pipeline.fit(kind, &cfg);
+    let report = pipeline.evaluate(model.as_ref(), &ks);
+    let mut table = Table::for_metrics(&ks);
+    table.push_report(&report);
+    println!("{}", table.render());
+    println!("({} users evaluated)", report.n_users);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Result<HashMap<String, String>, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_key_value_flags() {
+        let f = flags(&["--preset", "yelp", "--scale", "0.1"]).unwrap();
+        assert_eq!(f["preset"], "yelp");
+        assert_eq!(f["scale"], "0.1");
+    }
+
+    #[test]
+    fn parses_boolean_flag() {
+        let f = flags(&["--rank-quantize", "--levels", "5"]).unwrap();
+        assert_eq!(f["rank-quantize"], "true");
+        assert_eq!(f["levels"], "5");
+    }
+
+    #[test]
+    fn rejects_positional_arguments_and_missing_values() {
+        assert!(flags(&["oops"]).unwrap_err().contains("--flag"));
+        assert!(flags(&["--scale"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn get_parsed_defaults_and_errors() {
+        let f = flags(&["--epochs", "12"]).unwrap();
+        assert_eq!(get_parsed(&f, "epochs", 1usize).unwrap(), 12);
+        assert_eq!(get_parsed(&f, "top", 10usize).unwrap(), 10);
+        let bad = flags(&["--epochs", "many"]).unwrap();
+        assert!(get_parsed(&bad, "epochs", 1usize).is_err());
+    }
+
+    #[test]
+    fn model_kind_covers_all_names() {
+        for name in ["pup", "itempop", "bprmf", "padq", "fm", "deepfm", "gcmc", "ngcf"] {
+            let f = flags(&["--model", name]).unwrap();
+            assert!(model_kind(&f).is_ok(), "{name} should parse");
+        }
+        let f = flags(&["--model", "svd++"]).unwrap();
+        assert!(model_kind(&f).is_err());
+    }
+}
+
+fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (pipeline, maps) = load(flags)?;
+    let user_name = flags.get("user").ok_or("--user is required")?;
+    let user = maps
+        .users
+        .iter()
+        .position(|u| u == user_name)
+        .ok_or_else(|| format!("user {user_name:?} not found"))?;
+    let top: usize = get_parsed(flags, "top", 10)?;
+    let cfg = fit_config(flags)?;
+    eprintln!("training PUP ({} epochs) ...", cfg.train.epochs);
+    let model = pipeline.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+    let dataset = pipeline.dataset();
+    let seen = &pipeline.split().train_items_by_user()[user];
+    let scores = model.score_items(user);
+    let candidates: Vec<u32> =
+        (0..dataset.n_items as u32).filter(|i| seen.binary_search(i).is_err()).collect();
+    let ranked = pup_eval::ranking::rank_candidates(&scores, &candidates, top);
+    println!("top {top} items for user {user_name:?}:");
+    for (rank, &i) in ranked.iter().enumerate() {
+        let i = i as usize;
+        println!(
+            "  {:>2}. {:<16} price {:>10.2} (level {}/{})  category {}",
+            rank + 1,
+            maps.items[i],
+            dataset.item_price[i],
+            dataset.item_price_level[i],
+            dataset.n_price_levels,
+            maps.categories[dataset.item_category[i]],
+        );
+    }
+    Ok(())
+}

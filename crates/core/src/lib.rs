@@ -1,0 +1,449 @@
+//! # pup-recsys
+//!
+//! Public facade of the PUP reproduction (*Price-aware Recommendation with
+//! Graph Convolutional Networks*, ICDE 2020): one entry point that wires
+//! datasets → temporal split → model training → ranking evaluation.
+//!
+//! ```
+//! use pup_recsys::prelude::*;
+//!
+//! // A small synthetic price-aware dataset and the paper's 60/20/20 split.
+//! let synth = pup_data::synthetic::generate(&GeneratorConfig {
+//!     n_users: 60, n_items: 80, n_categories: 6, n_price_levels: 4,
+//!     n_interactions: 2_500, kcore: 2, seed: 7, ..Default::default()
+//! });
+//! let pipeline = Pipeline::new(synth.dataset);
+//!
+//! // Train PUP and a baseline, then compare Recall/NDCG.
+//! let cfg = FitConfig { train: TrainConfig { epochs: 4, ..Default::default() }, ..Default::default() };
+//! let pup = pipeline.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+//! let pop = pipeline.fit(ModelKind::ItemPop, &cfg);
+//! let report = pipeline.evaluate(pup.as_ref(), &[20]);
+//! let baseline = pipeline.evaluate(pop.as_ref(), &[20]);
+//! assert_eq!(report.at_k.len(), 1);
+//! assert_eq!(baseline.model, "ItemPop");
+//! ```
+
+use pup_data::split::{temporal_split, SplitRatios};
+use pup_data::{Dataset, Split};
+use pup_eval::{evaluate, evaluate_users, MetricReport};
+use pup_models::{
+    train_bpr, BprMf, DeepFm, Fm, GcMc, ItemPop, Ngcf, Padq, PadqConfig, Pup, PupConfig,
+    Recommender, TrainConfig, TrainData,
+};
+
+/// Commonly used types, re-exported for one-line imports.
+pub mod prelude {
+    pub use crate::{EarlyStopping, FitConfig, ModelKind, Pipeline, ValidationHistory};
+    pub use pup_data::synthetic::{amazon_like, beibei_like, yelp_like, GeneratorConfig};
+    pub use pup_data::{Dataset, Quantization, Split, SplitRatios};
+    pub use pup_eval::{ColdStartProtocol, MetricPair, MetricReport, Table};
+    pub use pup_models::{PupConfig, PupVariant, Recommender, TrainConfig};
+}
+
+/// Which model to fit (paper Table II rows plus the PUP ablations).
+#[derive(Clone, Debug)]
+pub enum ModelKind {
+    /// Popularity baseline.
+    ItemPop,
+    /// BPR matrix factorization.
+    BprMf,
+    /// Collective MF with price matrices.
+    Padq,
+    /// Factorization Machine with price/category features.
+    Fm,
+    /// DeepFM.
+    DeepFm,
+    /// GC-MC on the bipartite graph.
+    GcMc,
+    /// NGCF with price-augmented item inputs.
+    Ngcf,
+    /// PUP (any [`PupConfig`], including ablation variants).
+    Pup(PupConfig),
+}
+
+impl ModelKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::ItemPop => "ItemPop",
+            ModelKind::BprMf => "BPR-MF",
+            ModelKind::Padq => "PaDQ",
+            ModelKind::Fm => "FM",
+            ModelKind::DeepFm => "DeepFM",
+            ModelKind::GcMc => "GC-MC",
+            ModelKind::Ngcf => "NGCF",
+            ModelKind::Pup(_) => "PUP",
+        }
+    }
+
+    /// All baseline kinds of Table II in paper order (PUP excluded).
+    pub fn table2_baselines() -> Vec<ModelKind> {
+        vec![
+            ModelKind::ItemPop,
+            ModelKind::BprMf,
+            ModelKind::Padq,
+            ModelKind::Fm,
+            ModelKind::DeepFm,
+            ModelKind::GcMc,
+            ModelKind::Ngcf,
+        ]
+    }
+}
+
+/// Shared fitting hyperparameters (paper §V-A3: embedding size 64 for every
+/// model; the GNN baselines add dropout and layer counts).
+#[derive(Clone, Debug)]
+pub struct FitConfig {
+    /// Total embedding dimension for every model (paper: 64).
+    pub dim: usize,
+    /// BPR training hyperparameters.
+    pub train: TrainConfig,
+    /// Feature dropout for the GNN models.
+    pub dropout: f64,
+    /// Propagation layers for NGCF.
+    pub ngcf_layers: usize,
+    /// MLP width for DeepFM.
+    pub deepfm_hidden: usize,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            train: TrainConfig::default(),
+            dropout: 0.1,
+            ngcf_layers: 2,
+            deepfm_hidden: 64,
+            seed: 7,
+        }
+    }
+}
+
+/// Early-stopping policy for [`Pipeline::fit_with_early_stopping`].
+#[derive(Clone, Debug)]
+pub struct EarlyStopping {
+    /// Validation metric cutoff (Recall@k).
+    pub k: usize,
+    /// Check the validation metric every this many epochs.
+    pub check_every: usize,
+    /// Stop after this many consecutive non-improving checks.
+    pub patience: usize,
+}
+
+impl Default for EarlyStopping {
+    fn default() -> Self {
+        Self { k: 50, check_every: 5, patience: 3 }
+    }
+}
+
+/// Telemetry from a validated training run.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationHistory {
+    /// Mean BPR loss per completed epoch.
+    pub epoch_losses: Vec<f64>,
+    /// `(epoch, validation recall)` at each check.
+    pub validation_recalls: Vec<(usize, f64)>,
+    /// Best validation recall (the restored parameters').
+    pub best_recall: f64,
+    /// Whether patience ran out before the epoch budget.
+    pub stopped_early: bool,
+}
+
+/// A dataset with its temporal split: the unit every experiment runs on.
+pub struct Pipeline {
+    dataset: Dataset,
+    split: Split,
+}
+
+impl Pipeline {
+    /// Splits the dataset 60/20/20 by time (paper §V-A1).
+    pub fn new(dataset: Dataset) -> Self {
+        Self::with_ratios(dataset, SplitRatios::PAPER)
+    }
+
+    /// Splits with explicit ratios.
+    pub fn with_ratios(dataset: Dataset, ratios: SplitRatios) -> Self {
+        dataset.validate();
+        let split = temporal_split(&dataset, ratios);
+        Self { dataset, split }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The temporal split.
+    pub fn split(&self) -> &Split {
+        &self.split
+    }
+
+    /// The training view handed to models.
+    pub fn train_data(&self) -> TrainData<'_> {
+        TrainData::new(&self.dataset, &self.split)
+    }
+
+    /// Fits a model of the given kind.
+    pub fn fit(&self, kind: ModelKind, cfg: &FitConfig) -> Box<dyn Recommender> {
+        let data = self.train_data();
+        let n_users = data.n_users;
+        let n_items = data.n_items;
+        let train = data.train;
+        match kind {
+            ModelKind::ItemPop => Box::new(ItemPop::fit(&data)),
+            ModelKind::BprMf => {
+                let mut m = BprMf::new(&data, cfg.dim, cfg.seed);
+                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                Box::new(m)
+            }
+            ModelKind::Padq => {
+                let pcfg = PadqConfig {
+                    dim: cfg.dim,
+                    epochs: cfg.train.epochs,
+                    batch_size: cfg.train.batch_size,
+                    lr: cfg.train.lr,
+                    l2: cfg.train.l2,
+                    seed: cfg.train.seed,
+                    ..Default::default()
+                };
+                Box::new(Padq::fit(&data, &pcfg))
+            }
+            ModelKind::Fm => {
+                let mut m = Fm::new(&data, cfg.dim, cfg.seed);
+                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                Box::new(m)
+            }
+            ModelKind::DeepFm => {
+                let mut m = DeepFm::new(&data, cfg.dim, cfg.deepfm_hidden, cfg.seed);
+                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                Box::new(m)
+            }
+            ModelKind::GcMc => {
+                let mut m = GcMc::new(&data, cfg.dim, cfg.dropout, cfg.seed);
+                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                Box::new(m)
+            }
+            ModelKind::Ngcf => {
+                // NGCF's design uses the full embedding size per layer and
+                // concatenates the (layers + 1) blocks into the final
+                // representation, exactly as in Wang et al. [18].
+                let mut m = Ngcf::new(&data, cfg.dim, cfg.ngcf_layers, cfg.dropout, cfg.seed);
+                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                Box::new(m)
+            }
+            ModelKind::Pup(mut pup_cfg) => {
+                pup_cfg.dropout = cfg.dropout;
+                pup_cfg.seed = cfg.seed;
+                let mut m = Pup::new(&data, pup_cfg);
+                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                Box::new(m)
+            }
+        }
+    }
+
+    /// Fits PUP and returns the concrete type (for price-affinity
+    /// introspection in the examples).
+    pub fn fit_pup(&self, pup_cfg: PupConfig, cfg: &FitConfig) -> Pup {
+        let data = self.train_data();
+        let mut m = Pup::new(&data, pup_cfg);
+        train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg.train);
+        m
+    }
+
+    /// Trains any [`pup_models::BprModel`] with early stopping on validation
+    /// Recall@K (paper §V-A1 holds out the middle 20% as a validation set).
+    ///
+    /// Every `check_every` epochs the model is finalized and evaluated on
+    /// the validation pairs; training stops when `patience` consecutive
+    /// checks fail to improve, and the best-scoring parameters are restored.
+    pub fn fit_with_early_stopping<M>(
+        &self,
+        model: &mut M,
+        cfg: &FitConfig,
+        stopping: &EarlyStopping,
+    ) -> ValidationHistory
+    where
+        M: pup_models::BprModel + Recommender,
+    {
+        assert!(stopping.check_every > 0 && stopping.patience > 0, "degenerate early stopping");
+        assert!(
+            !self.split.valid.is_empty(),
+            "early stopping needs a non-empty validation split"
+        );
+        let data = self.train_data();
+        let mut trainer =
+            pup_models::BprTrainer::new(model, data.n_users, data.n_items, data.train, &cfg.train);
+        // Validation protocol: rank all non-train items, truth = valid pairs.
+        let valid_truth = self.split.valid_items_by_user();
+        let train_items = self.split.train_items_by_user();
+        let mut users = Vec::new();
+        let mut pools = Vec::new();
+        let mut truths = Vec::new();
+        for u in 0..self.split.n_users {
+            if valid_truth[u].is_empty() {
+                continue;
+            }
+            let pool: Vec<u32> = (0..self.split.n_items as u32)
+                .filter(|i| train_items[u].binary_search(i).is_err())
+                .collect();
+            users.push(u);
+            pools.push(pool);
+            truths.push(valid_truth[u].clone());
+        }
+
+        let mut history = ValidationHistory::default();
+        let mut best: Option<(f64, Vec<pup_tensor::Matrix>)> = None;
+        let mut bad_checks = 0usize;
+        for _ in 0..cfg.train.epochs {
+            let loss = trainer.run_epoch(model);
+            history.epoch_losses.push(loss);
+            if trainer.completed_epochs() % stopping.check_every != 0 {
+                continue;
+            }
+            model.finalize();
+            let report =
+                pup_eval::evaluate_pools(&*model, &users, &pools, &truths, &[stopping.k]);
+            let score = report.at(stopping.k).recall;
+            history.validation_recalls.push((trainer.completed_epochs(), score));
+            let improved = best.as_ref().map(|(b, _)| score > *b).unwrap_or(true);
+            if improved {
+                best = Some((score, model.params().iter().map(|p| p.value_clone()).collect()));
+                bad_checks = 0;
+            } else {
+                bad_checks += 1;
+                if bad_checks >= stopping.patience {
+                    history.stopped_early = true;
+                    break;
+                }
+            }
+        }
+        if let Some((score, params)) = best {
+            for (p, v) in model.params().iter().zip(params) {
+                p.set_value(v);
+            }
+            history.best_recall = score;
+        }
+        model.finalize();
+        history
+    }
+
+    /// Standard full-ranking evaluation at the given cutoffs.
+    pub fn evaluate(&self, model: &dyn Recommender, ks: &[usize]) -> MetricReport {
+        evaluate(model, &self.split, ks)
+    }
+
+    /// Evaluation restricted to a user subset.
+    pub fn evaluate_users(
+        &self,
+        model: &dyn Recommender,
+        users: &[usize],
+        ks: &[usize],
+    ) -> MetricReport {
+        evaluate_users(model, &self.split, users, ks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pup_data::synthetic::{generate, GeneratorConfig};
+
+    fn small_pipeline() -> Pipeline {
+        let synth = generate(&GeneratorConfig {
+            n_users: 50,
+            n_items: 60,
+            n_categories: 5,
+            n_price_levels: 4,
+            n_interactions: 2_000,
+            kcore: 2,
+            seed: 3,
+            ..Default::default()
+        });
+        Pipeline::new(synth.dataset)
+    }
+
+    fn quick_cfg() -> FitConfig {
+        FitConfig {
+            dim: 16,
+            train: TrainConfig { epochs: 3, batch_size: 256, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_model_kind_fits_and_evaluates() {
+        let p = small_pipeline();
+        let cfg = quick_cfg();
+        let mut kinds = ModelKind::table2_baselines();
+        kinds.push(ModelKind::Pup(PupConfig {
+            global_dim: 12,
+            category_dim: 4,
+            ..Default::default()
+        }));
+        for kind in kinds {
+            let name = kind.name();
+            let model = p.fit(kind, &cfg);
+            let report = p.evaluate(model.as_ref(), &[10]);
+            assert!(report.n_users > 0, "{name}: no users evaluated");
+            let m = report.at(10);
+            assert!((0.0..=1.0).contains(&m.recall), "{name}: recall out of range");
+            assert!((0.0..=1.0).contains(&m.ndcg), "{name}: ndcg out of range");
+        }
+    }
+
+    #[test]
+    fn pipeline_split_is_consistent_with_dataset() {
+        let p = small_pipeline();
+        assert_eq!(p.split().n_users, p.dataset().n_users);
+        let total = p.split().train.len() + p.split().valid.len() + p.split().test.len();
+        assert!(total <= p.dataset().n_interactions());
+        assert!(!p.split().train.is_empty());
+    }
+
+    #[test]
+    fn early_stopping_tracks_and_restores_best() {
+        let p = small_pipeline();
+        let data = p.train_data();
+        let mut m = pup_models::Pup::new(
+            &data,
+            PupConfig { global_dim: 12, category_dim: 4, ..Default::default() },
+        );
+        let cfg = FitConfig {
+            train: TrainConfig { epochs: 8, batch_size: 256, ..Default::default() },
+            ..Default::default()
+        };
+        let history = p.fit_with_early_stopping(
+            &mut m,
+            &cfg,
+            &EarlyStopping { k: 20, check_every: 2, patience: 2 },
+        );
+        assert!(!history.validation_recalls.is_empty(), "checks must have run");
+        assert!(history.epoch_losses.len() <= 8);
+        // The restored parameters reproduce the best validation recall.
+        let best_seen = history
+            .validation_recalls
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::MIN, f64::max);
+        assert!((history.best_recall - best_seen).abs() < 1e-12);
+        // Model is usable for inference after restoration.
+        let report = p.evaluate(&m, &[10]);
+        assert!(report.n_users > 0);
+    }
+
+    #[test]
+    fn fit_pup_exposes_price_affinity() {
+        let p = small_pipeline();
+        let cfg = quick_cfg();
+        let pup = p.fit_pup(
+            PupConfig { global_dim: 12, category_dim: 4, ..Default::default() },
+            &cfg,
+        );
+        let aff = pup.user_price_affinity(0);
+        assert_eq!(aff.len(), p.dataset().n_price_levels);
+        assert!(aff.iter().all(|a| a.is_finite()));
+    }
+}

@@ -1,0 +1,271 @@
+//! Category willingness-to-pay (CWTP) analysis (paper §II-A).
+//!
+//! CWTP is "the highest price a given user is willing to pay for items of a
+//! given category", estimated from the interaction log as the highest price
+//! *level* the user purchased in that category. The entropy of a user's CWTP
+//! values across categories measures how (in)consistent her price
+//! sensitivity is: the paper's Fig. 1 histogram, Table VI user groups and
+//! Fig. 2 heatmaps all derive from this quantity.
+
+use std::collections::HashMap;
+
+use crate::types::Dataset;
+
+/// Per-user CWTP: for each user, a map `category -> highest purchased price
+/// level`.
+pub fn cwtp_by_user(dataset: &Dataset) -> Vec<HashMap<usize, usize>> {
+    let mut out: Vec<HashMap<usize, usize>> = vec![HashMap::new(); dataset.n_users];
+    for it in &dataset.interactions {
+        let i = it.item as usize;
+        let c = dataset.item_category[i];
+        let p = dataset.item_price_level[i];
+        let entry = out[it.user as usize].entry(c).or_insert(p);
+        if p > *entry {
+            *entry = p;
+        }
+    }
+    out
+}
+
+/// Shannon entropy (natural log) of a user's CWTP value multiset.
+///
+/// For a user whose CWTPs across her `C_u` categories are `{v_c}`, the
+/// entropy of the empirical distribution of those values lies in
+/// `[0, ln C_u]` (paper footnote 1). Returns `None` for users with no
+/// interactions.
+pub fn cwtp_entropy(cwtp: &HashMap<usize, usize>) -> Option<f64> {
+    if cwtp.is_empty() {
+        return None;
+    }
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &level in cwtp.values() {
+        *counts.entry(level).or_insert(0) += 1;
+    }
+    let n = cwtp.len() as f64;
+    let mut h = 0.0;
+    for &count in counts.values() {
+        let p = count as f64 / n;
+        h -= p * p.ln();
+    }
+    Some(h)
+}
+
+/// CWTP entropy for every user (None for users without interactions).
+pub fn entropy_by_user(dataset: &Dataset) -> Vec<Option<f64>> {
+    cwtp_by_user(dataset).iter().map(cwtp_entropy).collect()
+}
+
+/// Splits user ids into (consistent, inconsistent) groups by comparing the
+/// CWTP entropy against `threshold`; users without entropy are skipped.
+pub fn group_users_by_entropy(
+    entropies: &[Option<f64>],
+    threshold: f64,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut consistent = Vec::new();
+    let mut inconsistent = Vec::new();
+    for (u, e) in entropies.iter().enumerate() {
+        match e {
+            Some(h) if *h <= threshold => consistent.push(u),
+            Some(_) => inconsistent.push(u),
+            None => {}
+        }
+    }
+    (consistent, inconsistent)
+}
+
+/// Median of the defined entropy values (the default group threshold).
+pub fn median_entropy(entropies: &[Option<f64>]) -> Option<f64> {
+    let mut vals: Vec<f64> = entropies.iter().flatten().copied().collect();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(vals[vals.len() / 2])
+}
+
+/// A normalized histogram of entropy values with `bins` equal-width bins
+/// over `[0, max]` — the data behind the paper's Fig. 1.
+pub fn entropy_histogram(entropies: &[Option<f64>], bins: usize) -> Vec<(f64, f64)> {
+    assert!(bins > 0, "need at least one bin");
+    let vals: Vec<f64> = entropies.iter().flatten().copied().collect();
+    if vals.is_empty() {
+        return vec![(0.0, 0.0); bins];
+    }
+    let max = vals.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    let width = max / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &v in &vals {
+        let b = ((v / width) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    // Probability density: count / (n * width), matching Fig. 1's y axis.
+    let n = vals.len() as f64;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(b, &c)| ((b as f64 + 0.5) * width, c as f64 / (n * width)))
+        .collect()
+}
+
+/// The user x (category, price level) purchase-count heatmap of Fig. 2,
+/// row-normalized to `[0, 1]` per user.
+pub fn price_category_heatmap(dataset: &Dataset, user: usize) -> Vec<Vec<f64>> {
+    assert!(user < dataset.n_users, "user out of range");
+    let mut grid = vec![vec![0.0; dataset.n_price_levels]; dataset.n_categories];
+    for it in &dataset.interactions {
+        if it.user as usize != user {
+            continue;
+        }
+        let i = it.item as usize;
+        grid[dataset.item_category[i]][dataset.item_price_level[i]] += 1.0;
+    }
+    let max = grid.iter().flatten().cloned().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for row in &mut grid {
+            for v in row {
+                *v /= max;
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Interaction;
+
+    fn dataset() -> Dataset {
+        // Items: (category, price level)
+        // 0: (0, 0)  1: (0, 2)  2: (1, 2)  3: (2, 0)
+        Dataset {
+            n_users: 3,
+            n_items: 4,
+            n_categories: 3,
+            n_price_levels: 3,
+            item_price: vec![1.0, 3.0, 3.0, 1.0],
+            item_category: vec![0, 0, 1, 2],
+            item_price_level: vec![0, 2, 2, 0],
+            interactions: vec![
+                Interaction { user: 0, item: 0, timestamp: 0 },
+                Interaction { user: 0, item: 1, timestamp: 1 }, // cat 0 max level -> 2
+                Interaction { user: 0, item: 2, timestamp: 2 }, // cat 1 -> 2
+                Interaction { user: 1, item: 0, timestamp: 3 }, // cat 0 -> 0
+                Interaction { user: 1, item: 3, timestamp: 4 }, // cat 2 -> 0
+            ],
+        }
+    }
+
+    #[test]
+    fn cwtp_takes_max_level_per_category() {
+        let c = cwtp_by_user(&dataset());
+        assert_eq!(c[0][&0], 2);
+        assert_eq!(c[0][&1], 2);
+        assert_eq!(c[1][&0], 0);
+        assert_eq!(c[1][&2], 0);
+        assert!(c[2].is_empty());
+    }
+
+    #[test]
+    fn entropy_zero_for_consistent_users() {
+        let c = cwtp_by_user(&dataset());
+        // User 0: CWTPs {2, 2} -> one distinct value -> entropy 0.
+        assert_eq!(cwtp_entropy(&c[0]), Some(0.0));
+        // User 1: {0, 0} -> 0 as well.
+        assert_eq!(cwtp_entropy(&c[1]), Some(0.0));
+        assert_eq!(cwtp_entropy(&c[2]), None);
+    }
+
+    #[test]
+    fn entropy_max_for_fully_inconsistent_user() {
+        let mut m = HashMap::new();
+        m.insert(0, 0);
+        m.insert(1, 1);
+        m.insert(2, 2);
+        let h = cwtp_entropy(&m).unwrap();
+        assert!((h - 3.0f64.ln()).abs() < 1e-12, "uniform CWTPs should hit ln(C_u)");
+    }
+
+    #[test]
+    fn entropy_bounded_by_ln_category_count() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let k = rng.gen_range(1..10usize);
+            let mut m = HashMap::new();
+            for c in 0..k {
+                m.insert(c, rng.gen_range(0..5usize));
+            }
+            let h = cwtp_entropy(&m).unwrap();
+            assert!(h >= -1e-12 && h <= (k as f64).ln() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn grouping_splits_on_threshold() {
+        let es = vec![Some(0.1), Some(0.9), None, Some(0.5)];
+        let (cons, incons) = group_users_by_entropy(&es, 0.5);
+        assert_eq!(cons, vec![0, 3]);
+        assert_eq!(incons, vec![1]);
+    }
+
+    #[test]
+    fn histogram_is_a_density() {
+        let es: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64 / 100.0)).collect();
+        let h = entropy_histogram(&es, 10);
+        assert_eq!(h.len(), 10);
+        let width = h[1].0 - h[0].0;
+        let mass: f64 = h.iter().map(|&(_, d)| d * width).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "density must integrate to 1, got {mass}");
+    }
+
+    #[test]
+    fn heatmap_is_normalized_and_sparse() {
+        let g = price_category_heatmap(&dataset(), 0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0].len(), 3);
+        assert_eq!(g[0][0], 1.0); // item 0 purchased once; max count is 1
+        assert_eq!(g[0][2], 1.0);
+        assert_eq!(g[2][0], 0.0);
+        let empty = price_category_heatmap(&dataset(), 2);
+        assert!(empty.iter().flatten().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn synthetic_consistent_users_have_lower_entropy() {
+        // The generator's planted consistency must be visible in CWTP
+        // entropy — this is the premise of Fig. 1 and Table VI.
+        let s = crate::synthetic::generate(&crate::synthetic::GeneratorConfig {
+            n_users: 200,
+            n_items: 300,
+            n_categories: 10,
+            n_price_levels: 10,
+            n_interactions: 20_000,
+            consistent_user_frac: 0.5,
+            kcore: 0,
+            seed: 99,
+            ..Default::default()
+        });
+        let es = entropy_by_user(&s.dataset);
+        let mut cons_sum = 0.0;
+        let mut cons_n = 0.0;
+        let mut incons_sum = 0.0;
+        let mut incons_n = 0.0;
+        for (u, e) in es.iter().enumerate() {
+            let Some(h) = e else { continue };
+            if s.truth.user_consistent[u] {
+                cons_sum += h;
+                cons_n += 1.0;
+            } else {
+                incons_sum += h;
+                incons_n += 1.0;
+            }
+        }
+        let cons_mean = cons_sum / cons_n;
+        let incons_mean = incons_sum / incons_n;
+        assert!(
+            cons_mean < incons_mean,
+            "planted consistent users must show lower CWTP entropy ({cons_mean:.3} vs {incons_mean:.3})"
+        );
+    }
+}

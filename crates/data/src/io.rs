@@ -1,0 +1,372 @@
+//! Loading and saving datasets as plain CSV, so the library runs on real
+//! interaction logs (e.g. an export of Yelp2018 or Amazon reviews), not only
+//! on the synthetic generators.
+//!
+//! Two files describe a dataset:
+//!
+//! - **items CSV** — header `item_id,price,category`, one row per item.
+//!   `item_id` and `category` are arbitrary strings; prices are positive
+//!   floats.
+//! - **interactions CSV** — header `user_id,item_id,timestamp`, one row per
+//!   event; `timestamp` is any non-negative integer (events are sorted on
+//!   load).
+//!
+//! [`load_dataset`] maps string ids to dense indices, quantizes prices with
+//! the chosen scheme and returns the [`Dataset`] plus the id maps.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self};
+use std::path::Path;
+
+use crate::quantize::{quantize, Quantization};
+use crate::types::{Dataset, Interaction};
+
+/// Mapping between the source string ids and the dense dataset indices.
+#[derive(Clone, Debug, Default)]
+pub struct IdMaps {
+    /// Original user id per dense user index.
+    pub users: Vec<String>,
+    /// Original item id per dense item index.
+    pub items: Vec<String>,
+    /// Original category name per dense category index.
+    pub categories: Vec<String>,
+}
+
+/// Errors raised while parsing dataset CSVs.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A malformed row, with file label, 1-based line number and reason.
+    Parse {
+        /// Which file the error came from ("items" / "interactions").
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An interaction references an item absent from the items CSV.
+    UnknownItem {
+        /// 1-based line number in the interactions file.
+        line: usize,
+        /// The offending item id.
+        item_id: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse { file, line, reason } => {
+                write!(f, "{file} csv, line {line}: {reason}")
+            }
+            LoadError::UnknownItem { line, item_id } => {
+                write!(f, "interactions csv, line {line}: unknown item id {item_id:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Loads a dataset from `items.csv` + `interactions.csv` content strings.
+///
+/// This is the pure-parsing core of [`load_dataset`], usable without a
+/// filesystem (tests, embedding in services).
+pub fn parse_dataset(
+    items_csv: &str,
+    interactions_csv: &str,
+    n_price_levels: usize,
+    scheme: Quantization,
+) -> Result<(Dataset, IdMaps), LoadError> {
+    // --- items -----------------------------------------------------------
+    let mut item_index: HashMap<String, usize> = HashMap::new();
+    let mut cat_index: HashMap<String, usize> = HashMap::new();
+    let mut maps = IdMaps::default();
+    let mut prices: Vec<f64> = Vec::new();
+    let mut categories: Vec<usize> = Vec::new();
+    for (lineno, line) in items_csv.lines().enumerate() {
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        let mut fields = line.splitn(3, ',');
+        let (id, price, cat) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(a), Some(b), Some(c)) => (a.trim(), b.trim(), c.trim()),
+            _ => {
+                return Err(LoadError::Parse {
+                    file: "items",
+                    line: lineno + 1,
+                    reason: "expected item_id,price,category".into(),
+                })
+            }
+        };
+        if item_index.contains_key(id) {
+            return Err(LoadError::Parse {
+                file: "items",
+                line: lineno + 1,
+                reason: format!("duplicate item id {id:?}"),
+            });
+        }
+        let price: f64 = price.parse().map_err(|_| LoadError::Parse {
+            file: "items",
+            line: lineno + 1,
+            reason: format!("bad price {price:?}"),
+        })?;
+        if !(price.is_finite() && price > 0.0) {
+            return Err(LoadError::Parse {
+                file: "items",
+                line: lineno + 1,
+                reason: format!("price must be positive, got {price}"),
+            });
+        }
+        let cat_id = *cat_index.entry(cat.to_string()).or_insert_with(|| {
+            maps.categories.push(cat.to_string());
+            maps.categories.len() - 1
+        });
+        item_index.insert(id.to_string(), maps.items.len());
+        maps.items.push(id.to_string());
+        prices.push(price);
+        categories.push(cat_id);
+    }
+    if maps.items.is_empty() {
+        return Err(LoadError::Parse {
+            file: "items",
+            line: 1,
+            reason: "no items found".into(),
+        });
+    }
+
+    // --- interactions ------------------------------------------------------
+    let mut user_index: HashMap<String, usize> = HashMap::new();
+    let mut interactions: Vec<Interaction> = Vec::new();
+    for (lineno, line) in interactions_csv.lines().enumerate() {
+        if lineno == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.splitn(3, ',');
+        let (user, item, ts) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(a), Some(b), Some(c)) => (a.trim(), b.trim(), c.trim()),
+            _ => {
+                return Err(LoadError::Parse {
+                    file: "interactions",
+                    line: lineno + 1,
+                    reason: "expected user_id,item_id,timestamp".into(),
+                })
+            }
+        };
+        let &item_id = item_index.get(item).ok_or_else(|| LoadError::UnknownItem {
+            line: lineno + 1,
+            item_id: item.to_string(),
+        })?;
+        let ts: u64 = ts.parse().map_err(|_| LoadError::Parse {
+            file: "interactions",
+            line: lineno + 1,
+            reason: format!("bad timestamp {ts:?}"),
+        })?;
+        let user_id = *user_index.entry(user.to_string()).or_insert_with(|| {
+            maps.users.push(user.to_string());
+            maps.users.len() - 1
+        });
+        interactions.push(Interaction { user: user_id as u32, item: item_id as u32, timestamp: ts });
+    }
+    interactions.sort_by_key(|it| it.timestamp);
+
+    let n_categories = maps.categories.len();
+    let item_price_level = quantize(&prices, &categories, n_categories, n_price_levels, scheme);
+    let dataset = Dataset {
+        n_users: maps.users.len(),
+        n_items: maps.items.len(),
+        n_categories,
+        n_price_levels,
+        item_price: prices,
+        item_category: categories,
+        item_price_level,
+        interactions,
+    };
+    dataset.validate();
+    Ok((dataset, maps))
+}
+
+/// Loads a dataset from two CSV files on disk.
+pub fn load_dataset(
+    items_path: &Path,
+    interactions_path: &Path,
+    n_price_levels: usize,
+    scheme: Quantization,
+) -> Result<(Dataset, IdMaps), LoadError> {
+    let items = fs::read_to_string(items_path)?;
+    let inter = fs::read_to_string(interactions_path)?;
+    parse_dataset(&items, &inter, n_price_levels, scheme)
+}
+
+/// Serializes a dataset back to `(items_csv, interactions_csv)` strings.
+/// Ids are the dense indices (or the original ids when `maps` is given).
+pub fn dataset_to_csv(dataset: &Dataset, maps: Option<&IdMaps>) -> (String, String) {
+    let item_name = |i: usize| -> String {
+        maps.map(|m| m.items[i].clone()).unwrap_or_else(|| i.to_string())
+    };
+    let user_name = |u: usize| -> String {
+        maps.map(|m| m.users[u].clone()).unwrap_or_else(|| u.to_string())
+    };
+    let cat_name = |c: usize| -> String {
+        maps.map(|m| m.categories[c].clone()).unwrap_or_else(|| c.to_string())
+    };
+    let mut items = String::from("item_id,price,category\n");
+    for i in 0..dataset.n_items {
+        let _ = writeln!(
+            items,
+            "{},{},{}",
+            item_name(i),
+            dataset.item_price[i],
+            cat_name(dataset.item_category[i])
+        );
+    }
+    let mut inter = String::from("user_id,item_id,timestamp\n");
+    for it in &dataset.interactions {
+        let _ = writeln!(
+            inter,
+            "{},{},{}",
+            user_name(it.user as usize),
+            item_name(it.item as usize),
+            it.timestamp
+        );
+    }
+    (items, inter)
+}
+
+/// Writes a dataset to two CSV files.
+pub fn save_dataset(
+    dataset: &Dataset,
+    maps: Option<&IdMaps>,
+    items_path: &Path,
+    interactions_path: &Path,
+) -> io::Result<()> {
+    let (items, inter) = dataset_to_csv(dataset, maps);
+    fs::write(items_path, items)?;
+    fs::write(interactions_path, inter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITEMS: &str = "item_id,price,category\n\
+        espresso,2.5,coffee\n\
+        latte,4.0,coffee\n\
+        burger,12.0,food\n";
+    const INTER: &str = "user_id,item_id,timestamp\n\
+        alice,espresso,3\n\
+        bob,burger,1\n\
+        alice,latte,2\n";
+
+    #[test]
+    fn parses_and_indexes() {
+        let (d, maps) = parse_dataset(ITEMS, INTER, 2, Quantization::Uniform).unwrap();
+        assert_eq!(d.n_items, 3);
+        assert_eq!(d.n_users, 2);
+        assert_eq!(d.n_categories, 2);
+        assert_eq!(maps.items, vec!["espresso", "latte", "burger"]);
+        assert_eq!(maps.categories, vec!["coffee", "food"]);
+        // Events sorted by timestamp: bob@1, alice@2, alice@3.
+        assert_eq!(d.interactions[0].timestamp, 1);
+        assert_eq!(d.interactions[2].timestamp, 3);
+        // Quantization within category: espresso(2.5) level 0, latte(4.0)
+        // level 1 (coffee range 2.5..4.0); burger alone -> level 0.
+        assert_eq!(d.item_price_level, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_unknown_item() {
+        let bad = "user_id,item_id,timestamp\nalice,tea,1\n";
+        let err = parse_dataset(ITEMS, bad, 2, Quantization::Uniform).unwrap_err();
+        assert!(matches!(err, LoadError::UnknownItem { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_price_and_duplicate_item() {
+        let bad_price = "item_id,price,category\nx,-1.0,a\n";
+        let err = parse_dataset(bad_price, "h\n", 2, Quantization::Uniform).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+
+        let dup = "item_id,price,category\nx,1.0,a\nx,2.0,a\n";
+        let err = parse_dataset(dup, "h\n", 2, Quantization::Uniform).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_ragged_rows_with_line_numbers() {
+        let ragged = "item_id,price,category\nonlyone\n";
+        let err = parse_dataset(ragged, "h\n", 2, Quantization::Uniform).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    /// Interactions as (user name, item name, timestamp) triples — the
+    /// identity that survives a CSV roundtrip (dense indices are assigned by
+    /// first appearance, which changes once events are written sorted).
+    fn named_events(d: &Dataset, maps: &IdMaps) -> Vec<(String, String, u64)> {
+        d.interactions
+            .iter()
+            .map(|it| {
+                (
+                    maps.users[it.user as usize].clone(),
+                    maps.items[it.item as usize].clone(),
+                    it.timestamp,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let (d, maps) = parse_dataset(ITEMS, INTER, 2, Quantization::Uniform).unwrap();
+        let (items_csv, inter_csv) = dataset_to_csv(&d, Some(&maps));
+        let (d2, maps2) = parse_dataset(&items_csv, &inter_csv, 2, Quantization::Uniform).unwrap();
+        assert_eq!(named_events(&d, &maps), named_events(&d2, &maps2));
+        assert_eq!(d.item_price, d2.item_price);
+        assert_eq!(d.item_price_level, d2.item_price_level);
+        assert_eq!(maps.items, maps2.items);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pup_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let items_path = dir.join("items.csv");
+        let inter_path = dir.join("interactions.csv");
+        let (d, maps) = parse_dataset(ITEMS, INTER, 2, Quantization::Uniform).unwrap();
+        save_dataset(&d, Some(&maps), &items_path, &inter_path).unwrap();
+        let (d2, maps2) = load_dataset(&items_path, &inter_path, 2, Quantization::Uniform).unwrap();
+        assert_eq!(named_events(&d, &maps), named_events(&d2, &maps2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synthetic_dataset_roundtrips_through_csv() {
+        let s = crate::synthetic::generate(&crate::synthetic::GeneratorConfig {
+            n_users: 30,
+            n_items: 40,
+            n_categories: 4,
+            n_price_levels: 5,
+            n_interactions: 500,
+            kcore: 0,
+            seed: 12,
+            ..Default::default()
+        });
+        let (items_csv, inter_csv) = dataset_to_csv(&s.dataset, None);
+        let (d2, _) =
+            parse_dataset(&items_csv, &inter_csv, 5, Quantization::Uniform).unwrap();
+        assert_eq!(s.dataset.n_items, d2.n_items);
+        assert_eq!(s.dataset.interactions.len(), d2.interactions.len());
+        assert_eq!(s.dataset.item_price_level, d2.item_price_level);
+    }
+}

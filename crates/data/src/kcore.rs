@@ -1,0 +1,191 @@
+//! Iterative k-core filtering (paper §V-A1: "10-core settings which means
+//! only retaining users and items with at least 10 interactions").
+//!
+//! Filtering is iterative: removing a sparse user can push an item below the
+//! threshold and vice versa, so we repeat until a fixed point. Surviving
+//! users and items are re-indexed densely.
+
+use std::collections::HashSet;
+
+use crate::types::{Dataset, Interaction};
+
+/// Result of a k-core filter: the filtered dataset plus the index mappings
+/// back into the original dataset.
+#[derive(Clone, Debug)]
+pub struct KcoreResult {
+    /// The filtered, re-indexed dataset.
+    pub dataset: Dataset,
+    /// `old user index` per new user index.
+    pub user_map: Vec<usize>,
+    /// `old item index` per new item index.
+    pub item_map: Vec<usize>,
+}
+
+/// Applies iterative k-core filtering on *unique* user–item pairs.
+///
+/// Degree counts deduplicate repeat purchases (matching the binary `R`), but
+/// the full interaction log of surviving pairs — including repeats — is kept
+/// so temporal splitting still sees every event.
+pub fn kcore_filter(dataset: &Dataset, k: usize) -> KcoreResult {
+    dataset.validate();
+    let pairs: HashSet<(u32, u32)> =
+        dataset.interactions.iter().map(|it| (it.user, it.item)).collect();
+
+    let mut user_alive = vec![true; dataset.n_users];
+    let mut item_alive = vec![true; dataset.n_items];
+    loop {
+        let mut user_deg = vec![0usize; dataset.n_users];
+        let mut item_deg = vec![0usize; dataset.n_items];
+        for &(u, i) in &pairs {
+            if user_alive[u as usize] && item_alive[i as usize] {
+                user_deg[u as usize] += 1;
+                item_deg[i as usize] += 1;
+            }
+        }
+        let mut changed = false;
+        for u in 0..dataset.n_users {
+            if user_alive[u] && user_deg[u] < k {
+                user_alive[u] = false;
+                changed = true;
+            }
+        }
+        for i in 0..dataset.n_items {
+            if item_alive[i] && item_deg[i] < k {
+                item_alive[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Dense re-indexing of survivors.
+    let user_map: Vec<usize> = (0..dataset.n_users).filter(|&u| user_alive[u]).collect();
+    let item_map: Vec<usize> = (0..dataset.n_items).filter(|&i| item_alive[i]).collect();
+    let mut user_new = vec![usize::MAX; dataset.n_users];
+    for (new, &old) in user_map.iter().enumerate() {
+        user_new[old] = new;
+    }
+    let mut item_new = vec![usize::MAX; dataset.n_items];
+    for (new, &old) in item_map.iter().enumerate() {
+        item_new[old] = new;
+    }
+
+    let interactions: Vec<Interaction> = dataset
+        .interactions
+        .iter()
+        .filter(|it| user_alive[it.user as usize] && item_alive[it.item as usize])
+        .map(|it| Interaction {
+            user: user_new[it.user as usize] as u32,
+            item: item_new[it.item as usize] as u32,
+            timestamp: it.timestamp,
+        })
+        .collect();
+
+    let dataset_out = Dataset {
+        n_users: user_map.len(),
+        n_items: item_map.len(),
+        n_categories: dataset.n_categories,
+        n_price_levels: dataset.n_price_levels,
+        item_price: item_map.iter().map(|&i| dataset.item_price[i]).collect(),
+        item_category: item_map.iter().map(|&i| dataset.item_category[i]).collect(),
+        item_price_level: item_map.iter().map(|&i| dataset.item_price_level[i]).collect(),
+        interactions,
+    };
+    dataset_out.validate();
+    KcoreResult { dataset: dataset_out, user_map, item_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_from_pairs(n_users: usize, n_items: usize, pairs: &[(u32, u32)]) -> Dataset {
+        Dataset {
+            n_users,
+            n_items,
+            n_categories: 1,
+            n_price_levels: 1,
+            item_price: vec![1.0; n_items],
+            item_category: vec![0; n_items],
+            item_price_level: vec![0; n_items],
+            interactions: pairs
+                .iter()
+                .enumerate()
+                .map(|(t, &(u, i))| Interaction { user: u, item: i, timestamp: t as u64 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn one_core_keeps_all_connected() {
+        let d = dataset_from_pairs(2, 2, &[(0, 0), (1, 1)]);
+        let r = kcore_filter(&d, 1);
+        assert_eq!(r.dataset.n_users, 2);
+        assert_eq!(r.dataset.n_items, 2);
+    }
+
+    #[test]
+    fn isolated_nodes_are_dropped_even_at_k1() {
+        let d = dataset_from_pairs(3, 3, &[(0, 0), (1, 1)]);
+        let r = kcore_filter(&d, 1);
+        assert_eq!(r.dataset.n_users, 2);
+        assert_eq!(r.dataset.n_items, 2);
+        assert_eq!(r.user_map, vec![0, 1]);
+    }
+
+    #[test]
+    fn cascade_removal_reaches_fixed_point() {
+        // User 2 only buys item 2; item 2 is only bought by user 2 and user 0.
+        // With k=2: user 2 dies (degree 1) -> item 2 drops to degree 1 and
+        // dies -> user 0 drops from 3 to 2 and survives.
+        let d = dataset_from_pairs(
+            3,
+            3,
+            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2)],
+        );
+        let r = kcore_filter(&d, 2);
+        assert_eq!(r.user_map, vec![0, 1]);
+        assert_eq!(r.item_map, vec![0, 1]);
+        // Every surviving user/item must have >= 2 unique partners.
+        let lists = r.dataset.user_item_lists();
+        assert!(lists.iter().all(|l| l.len() >= 2));
+        let ilists = r.dataset.item_user_lists();
+        assert!(ilists.iter().all(|l| l.len() >= 2));
+    }
+
+    #[test]
+    fn repeat_purchases_do_not_inflate_degree() {
+        // User 0 buys item 0 five times: unique degree is still 1.
+        let d = dataset_from_pairs(1, 1, &[(0, 0); 5]);
+        let r = kcore_filter(&d, 2);
+        assert_eq!(r.dataset.n_users, 0);
+        assert_eq!(r.dataset.n_items, 0);
+    }
+
+    #[test]
+    fn surviving_log_keeps_repeats_and_order() {
+        let d = dataset_from_pairs(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1), (0, 0)]);
+        let r = kcore_filter(&d, 2);
+        assert_eq!(r.dataset.n_interactions(), 5);
+        let ts: Vec<u64> = r.dataset.interactions.iter().map(|it| it.timestamp).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn kcore_invariant_holds_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pairs: Vec<(u32, u32)> =
+            (0..400).map(|_| (rng.gen_range(0..40), rng.gen_range(0..40))).collect();
+        let d = dataset_from_pairs(40, 40, &pairs);
+        let r = kcore_filter(&d, 5);
+        for l in r.dataset.user_item_lists() {
+            assert!(l.len() >= 5, "user below 5-core survived");
+        }
+        for l in r.dataset.item_user_lists() {
+            assert!(l.len() >= 5, "item below 5-core survived");
+        }
+    }
+}

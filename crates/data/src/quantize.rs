@@ -1,0 +1,209 @@
+//! Price discretization (paper §II-B and §V-C2).
+//!
+//! Prices are continuous; the heterogeneous graph needs discrete price-level
+//! nodes. Two schemes from the paper:
+//!
+//! - **Uniform quantization** (§II-B): normalize within the item's category
+//!   price range and floor — `level = ⌊(price − min_c) / (max_c − min_c) · L⌋`.
+//! - **Rank-based quantization** (§V-C2): rank items by price *within their
+//!   category*, convert the rank to a percentile, multiply by `L` and take
+//!   the integer part. Robust to skewed price distributions (Table IV).
+
+/// Quantization scheme selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantization {
+    /// Uniform within-category range quantization.
+    Uniform,
+    /// Rank/percentile within-category quantization.
+    Rank,
+}
+
+/// Discretizes `prices` into `levels` price levels with the chosen scheme.
+///
+/// Both schemes operate per category, mirroring the paper's mobile-phone
+/// example. Returns one level in `0..levels` per item.
+///
+/// # Panics
+/// Panics when `levels == 0`, when a category id is out of range, or when
+/// input lengths disagree.
+pub fn quantize(
+    prices: &[f64],
+    categories: &[usize],
+    n_categories: usize,
+    levels: usize,
+    scheme: Quantization,
+) -> Vec<usize> {
+    match scheme {
+        Quantization::Uniform => uniform_quantize(prices, categories, n_categories, levels),
+        Quantization::Rank => rank_quantize(prices, categories, n_categories, levels),
+    }
+}
+
+/// Uniform within-category quantization (paper §II-B).
+pub fn uniform_quantize(
+    prices: &[f64],
+    categories: &[usize],
+    n_categories: usize,
+    levels: usize,
+) -> Vec<usize> {
+    check_inputs(prices, categories, n_categories, levels);
+    // Per-category min/max.
+    let mut min = vec![f64::INFINITY; n_categories];
+    let mut max = vec![f64::NEG_INFINITY; n_categories];
+    for (&p, &c) in prices.iter().zip(categories) {
+        min[c] = min[c].min(p);
+        max[c] = max[c].max(p);
+    }
+    prices
+        .iter()
+        .zip(categories)
+        .map(|(&p, &c)| {
+            let range = max[c] - min[c];
+            if range <= 0.0 {
+                // Single-price category: everything lands on level 0.
+                return 0;
+            }
+            let level = ((p - min[c]) / range * levels as f64).floor() as usize;
+            // The max-priced item would otherwise land on `levels`.
+            level.min(levels - 1)
+        })
+        .collect()
+}
+
+/// Rank-based within-category quantization (paper §V-C2).
+///
+/// Ties in price share the average rank of the tied block so that identical
+/// prices always receive identical levels.
+pub fn rank_quantize(
+    prices: &[f64],
+    categories: &[usize],
+    n_categories: usize,
+    levels: usize,
+) -> Vec<usize> {
+    check_inputs(prices, categories, n_categories, levels);
+    let mut out = vec![0usize; prices.len()];
+    // Bucket item indices by category.
+    let mut by_cat: Vec<Vec<usize>> = vec![Vec::new(); n_categories];
+    for (i, &c) in categories.iter().enumerate() {
+        by_cat[c].push(i);
+    }
+    for items in by_cat {
+        if items.is_empty() {
+            continue;
+        }
+        let n = items.len() as f64;
+        let mut sorted = items.clone();
+        sorted.sort_by(|&a, &b| prices[a].partial_cmp(&prices[b]).expect("prices must not be NaN"));
+        let mut i = 0;
+        while i < sorted.len() {
+            // Find the tied block [i, j).
+            let mut j = i + 1;
+            while j < sorted.len() && prices[sorted[j]] == prices[sorted[i]] {
+                j += 1;
+            }
+            // Average 0-based rank of the block, converted to a percentile.
+            let avg_rank = (i + j - 1) as f64 / 2.0;
+            let percentile = avg_rank / n;
+            let level = ((percentile * levels as f64) as usize).min(levels - 1);
+            for &item in &sorted[i..j] {
+                out[item] = level;
+            }
+            i = j;
+        }
+    }
+    out
+}
+
+fn check_inputs(prices: &[f64], categories: &[usize], n_categories: usize, levels: usize) {
+    assert!(levels > 0, "at least one price level required");
+    assert_eq!(prices.len(), categories.len(), "one category per price required");
+    for &c in categories {
+        assert!(c < n_categories, "category {c} out of {n_categories}");
+    }
+    for &p in prices {
+        assert!(p.is_finite(), "prices must be finite");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mobile_phone_example() {
+        // "price range [200, 3000], 10 levels; a phone at 1000 has level
+        // floor((1000-200)/(3000-200) * 10) = 2".
+        let prices = vec![200.0, 1000.0, 3000.0];
+        let cats = vec![0, 0, 0];
+        let levels = uniform_quantize(&prices, &cats, 1, 10);
+        assert_eq!(levels[1], 2);
+        assert_eq!(levels[0], 0);
+        assert_eq!(levels[2], 9, "max price clamps to the top level");
+    }
+
+    #[test]
+    fn uniform_is_per_category() {
+        // Same raw price can land on different levels in different categories.
+        let prices = vec![10.0, 20.0, 10.0, 110.0];
+        let cats = vec![0, 0, 1, 1];
+        let levels = uniform_quantize(&prices, &cats, 2, 2);
+        assert_eq!(levels, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn uniform_single_price_category_is_level_zero() {
+        let levels = uniform_quantize(&[5.0, 5.0], &[0, 0], 1, 10);
+        assert_eq!(levels, vec![0, 0]);
+    }
+
+    #[test]
+    fn rank_handles_skewed_distribution_evenly() {
+        // Heavily skewed prices: uniform quantization crams most items into
+        // level 0 while rank quantization spreads them evenly (Table IV's
+        // motivation).
+        let prices: Vec<f64> = (0..100).map(|i| if i < 99 { i as f64 } else { 1e6 }).collect();
+        let cats = vec![0usize; 100];
+        let uni = uniform_quantize(&prices, &cats, 1, 10);
+        let rank = rank_quantize(&prices, &cats, 1, 10);
+        let uni_zero = uni.iter().filter(|&&l| l == 0).count();
+        assert!(uni_zero >= 99, "uniform should collapse under skew, got {uni_zero}");
+        for l in 0..10 {
+            let count = rank.iter().filter(|&&x| x == l).count();
+            assert_eq!(count, 10, "rank quantization should be balanced at level {l}");
+        }
+    }
+
+    #[test]
+    fn rank_is_monotone_within_category() {
+        let prices = vec![3.0, 1.0, 7.0, 5.0];
+        let cats = vec![0usize; 4];
+        let levels = rank_quantize(&prices, &cats, 1, 4);
+        assert_eq!(levels, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn rank_ties_share_levels() {
+        let prices = vec![2.0, 2.0, 2.0, 9.0];
+        let cats = vec![0usize; 4];
+        let levels = rank_quantize(&prices, &cats, 1, 4);
+        assert_eq!(levels[0], levels[1]);
+        assert_eq!(levels[1], levels[2]);
+        assert!(levels[3] > levels[0]);
+    }
+
+    #[test]
+    fn all_levels_in_range_for_both_schemes() {
+        let prices: Vec<f64> = (0..57).map(|i| (i as f64 * 13.7) % 29.0).collect();
+        let cats: Vec<usize> = (0..57).map(|i| i % 3).collect();
+        for scheme in [Quantization::Uniform, Quantization::Rank] {
+            let levels = quantize(&prices, &cats, 3, 5, scheme);
+            assert!(levels.iter().all(|&l| l < 5), "{scheme:?} produced out-of-range level");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one price level")]
+    fn zero_levels_panics() {
+        let _ = uniform_quantize(&[1.0], &[0], 1, 0);
+    }
+}

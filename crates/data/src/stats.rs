@@ -1,0 +1,125 @@
+//! Dataset statistics (the paper's Table I).
+
+use std::fmt;
+
+use crate::types::Dataset;
+
+/// Summary statistics of a dataset, one row of Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Display name of the dataset.
+    pub name: String,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of categories that actually contain items.
+    pub n_categories: usize,
+    /// Number of price levels actually used by items.
+    pub n_price_levels: usize,
+    /// Number of unique user–item interactions (binary `R` entries).
+    pub n_interactions: usize,
+    /// `n_interactions / (n_users * n_items)`.
+    pub density: f64,
+    /// Mean unique interactions per user.
+    pub interactions_per_user: f64,
+}
+
+/// Computes Table I statistics for a dataset.
+pub fn dataset_stats(name: &str, dataset: &Dataset) -> DatasetStats {
+    let unique = dataset.unique_pairs().len();
+    let used_categories = {
+        let mut seen = vec![false; dataset.n_categories];
+        for &c in &dataset.item_category {
+            seen[c] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    };
+    let used_levels = {
+        let mut seen = vec![false; dataset.n_price_levels];
+        for &p in &dataset.item_price_level {
+            seen[p] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    };
+    let cells = (dataset.n_users * dataset.n_items).max(1);
+    DatasetStats {
+        name: name.to_string(),
+        n_users: dataset.n_users,
+        n_items: dataset.n_items,
+        n_categories: used_categories,
+        n_price_levels: used_levels,
+        n_interactions: unique,
+        density: unique as f64 / cells as f64,
+        interactions_per_user: unique as f64 / dataset.n_users.max(1) as f64,
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>8} {:>8} {:>6} {:>7} {:>13} {:>9.5} {:>8.1}",
+            self.name,
+            self.n_users,
+            self.n_items,
+            self.n_categories,
+            self.n_price_levels,
+            self.n_interactions,
+            self.density,
+            self.interactions_per_user,
+        )
+    }
+}
+
+/// Header matching [`DatasetStats`]'s `Display` columns.
+pub const STATS_HEADER: &str =
+    "dataset        #users   #items  #cate  #price #interactions   density  int/usr";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Interaction;
+
+    #[test]
+    fn stats_count_unique_interactions() {
+        let d = Dataset {
+            n_users: 2,
+            n_items: 2,
+            n_categories: 3,
+            n_price_levels: 4,
+            item_price: vec![1.0, 2.0],
+            item_category: vec![0, 2],
+            item_price_level: vec![0, 3],
+            interactions: vec![
+                Interaction { user: 0, item: 0, timestamp: 0 },
+                Interaction { user: 0, item: 0, timestamp: 1 }, // repeat
+                Interaction { user: 1, item: 1, timestamp: 2 },
+            ],
+        };
+        let s = dataset_stats("toy", &d);
+        assert_eq!(s.n_interactions, 2);
+        assert_eq!(s.n_categories, 2, "only categories with items count");
+        assert_eq!(s.n_price_levels, 2, "only used price levels count");
+        assert!((s.density - 0.5).abs() < 1e-12);
+        assert!((s.interactions_per_user - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_one_line() {
+        let d = Dataset {
+            n_users: 1,
+            n_items: 1,
+            n_categories: 1,
+            n_price_levels: 1,
+            item_price: vec![1.0],
+            item_category: vec![0],
+            item_price_level: vec![0],
+            interactions: vec![Interaction { user: 0, item: 0, timestamp: 0 }],
+        };
+        let s = dataset_stats("tiny", &d);
+        let line = s.to_string();
+        assert!(line.contains("tiny"));
+        assert!(!line.contains('\n'));
+    }
+}

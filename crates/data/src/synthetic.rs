@@ -1,0 +1,808 @@
+//! Synthetic price-aware interaction generators.
+//!
+//! The paper evaluates on proprietary snapshots of Yelp2018, Beibei and
+//! Amazon. Those exact logs are unavailable, so this module generates
+//! datasets from a *ground-truth utility model that plants exactly the causal
+//! structure the paper measures*:
+//!
+//! 1. a user purchases an item only when it matches her **interest** *and*
+//!    its price is **affordable** for her (§I: "only when both the item is of
+//!    interest and its price is acceptable, will the user purchase it");
+//! 2. affordability is **category-dependent**: each user has a per-category
+//!    willingness-to-pay (CWTP, §II-A), and a configurable fraction of users
+//!    is *consistent* (one budget percentile across categories) vs
+//!    *inconsistent* (independent percentile per category) — reproducing the
+//!    entropy histogram of Fig. 1 and the user groups of Table VI.
+//!
+//! Because the generator's ground truth is returned alongside the dataset,
+//! tests can verify that models recover the planted structure, and the
+//! cold-start experiments (Fig. 6) can rely on WTP being defined even for
+//! categories a user never explored.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kcore::kcore_filter;
+use crate::quantize::{quantize, Quantization};
+use crate::types::{Dataset, Interaction};
+
+/// How a user's willingness-to-pay shapes the purchase probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PriceResponse {
+    /// Monotone gate: anything at or below the WTP is acceptable
+    /// (logistic in `(wtp - price)`, sharpened by `price_weight`).
+    Gate,
+    /// Peaked response: purchases concentrate *around* the user's WTP for
+    /// the category (Gaussian in `price/wtp`, width relative to the WTP).
+    /// This matches the paper's Fig. 2 observation that "the consumption of
+    /// a user on a category mostly concentrates on one price level" — a
+    /// three-way (user, category, price) effect that pairwise feature
+    /// models cannot represent but graph propagation can.
+    Peak {
+        /// Width of the peak relative to the WTP (e.g. 0.3).
+        relative_width: f64,
+    },
+}
+
+/// Shape of the raw price distribution within a category.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PriceDistribution {
+    /// Uniform over the category's price range (benign for uniform
+    /// quantization).
+    Uniform,
+    /// Log-normal with the given sigma: a long right tail, the situation
+    /// where rank-based quantization wins (Table IV).
+    LogNormal {
+        /// Standard deviation of the underlying normal; ~1.0 is heavy-tailed.
+        sigma: f64,
+    },
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Number of users before k-core filtering.
+    pub n_users: usize,
+    /// Number of items before k-core filtering.
+    pub n_items: usize,
+    /// Number of item categories.
+    pub n_categories: usize,
+    /// Number of discretized price levels.
+    pub n_price_levels: usize,
+    /// Number of interaction events to sample.
+    pub n_interactions: usize,
+    /// Fraction of users whose price sensitivity is consistent across
+    /// categories (low CWTP entropy).
+    pub consistent_user_frac: f64,
+    /// Raw price distribution within categories.
+    pub price_distribution: PriceDistribution,
+    /// Dimension of the latent interest space.
+    pub interest_dim: usize,
+    /// Sharpness of the affordability gate: larger means price matters more.
+    pub price_weight: f64,
+    /// Shape of the price response (monotone gate vs peaked, see
+    /// [`PriceResponse`]).
+    pub price_response: PriceResponse,
+    /// Popularity skew exponent; 0 disables popularity effects.
+    pub popularity_skew: f64,
+    /// How much of an item's latent appeal is shared with its category
+    /// (0 = fully idiosyncratic items, 1 = category-determined). Real items
+    /// within a category are substitutes sharing appeal factors; fully iid
+    /// latents reward per-item memorization and penalize neighborhood
+    /// smoothing, which no real catalog does.
+    pub category_coherence: f64,
+    /// How many categories a user is interested in: uniform in this range.
+    pub categories_per_user: (usize, usize),
+    /// Probability that an event imitates a 3-hop collaborative walk
+    /// (user → own past item → co-purchaser → their item) instead of
+    /// sampling from the utility model. Real logs carry this multi-hop CF
+    /// structure (paper §V-F's user-item-user-item paths); a purely
+    /// featural utility would be exactly representable by an FM. Imitated
+    /// purchases are still gated by the imitator's own affordability.
+    pub imitation_prob: f64,
+    /// Fraction of the timeline over which new items keep arriving
+    /// (0 = the whole catalog exists from the start). Growing catalogs are
+    /// what makes temporal evaluation hard: late-arriving items are sparse
+    /// in training, so models must generalize through price and category —
+    /// the regime the paper's GCN design targets. One item per category is
+    /// always available from t = 0.
+    pub arrival_span: f64,
+    /// Price quantization scheme for `item_price_level`.
+    pub quantization: Quantization,
+    /// k-core threshold applied after sampling (paper: 10). 0 disables.
+    pub kcore: usize,
+    /// RNG seed: the same seed always yields the identical dataset.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            n_users: 500,
+            n_items: 400,
+            n_categories: 20,
+            n_price_levels: 10,
+            n_interactions: 12_000,
+            consistent_user_frac: 0.6,
+            price_distribution: PriceDistribution::Uniform,
+            interest_dim: 8,
+            price_weight: 3.0,
+            price_response: PriceResponse::Gate,
+            popularity_skew: 0.8,
+            category_coherence: 0.0,
+            categories_per_user: (3, 8),
+            imitation_prob: 0.0,
+            arrival_span: 0.0,
+            quantization: Quantization::Uniform,
+            kcore: 5,
+            seed: 2020,
+        }
+    }
+}
+
+/// The planted ground truth behind a synthetic dataset. Indices are aligned
+/// with the (k-core filtered) [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// Per user, per category: the raw price this user is willing to pay.
+    pub user_wtp: Vec<Vec<f64>>,
+    /// Whether the user's budget percentile is shared across categories.
+    pub user_consistent: Vec<bool>,
+    /// Per user: category affinity weights (sum to 1; zero outside the
+    /// user's interest set).
+    pub user_affinity: Vec<Vec<f64>>,
+    /// Latent interest vector per user.
+    pub user_interest: Vec<Vec<f64>>,
+    /// Latent vector per item.
+    pub item_latent: Vec<Vec<f64>>,
+    /// Popularity weight per item.
+    pub item_popularity: Vec<f64>,
+}
+
+/// A generated dataset together with its ground truth.
+#[derive(Clone, Debug)]
+pub struct SyntheticDataset {
+    /// The interaction log, quantized prices, categories.
+    pub dataset: Dataset,
+    /// The generator's planted parameters, re-indexed to match `dataset`.
+    pub truth: GroundTruth,
+}
+
+/// Generates a synthetic dataset from the config (deterministic per seed).
+pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
+    assert!(config.n_users > 0 && config.n_items > 0, "need users and items");
+    assert!(config.n_categories > 0, "need at least one category");
+    assert!(config.n_price_levels > 0, "need at least one price level");
+    assert!(
+        (0.0..=1.0).contains(&config.consistent_user_frac),
+        "consistent_user_frac must be a fraction"
+    );
+    assert!(
+        config.categories_per_user.0 >= 1
+            && config.categories_per_user.0 <= config.categories_per_user.1,
+        "categories_per_user must be a non-empty range"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- Items -----------------------------------------------------------
+    // Category sizes follow a mild Zipf so some categories are much larger,
+    // as in real catalogs. Base price scale differs per category (a phone
+    // costs more than a snack), which is what makes CWTP category-dependent.
+    let cat_weights: Vec<f64> =
+        (0..config.n_categories).map(|c| 1.0 / (c as f64 + 1.0).powf(0.6)).collect();
+    let cat_base_price: Vec<f64> =
+        (0..config.n_categories).map(|_| 10.0 * (rng.gen_range(0.0..2.5f64)).exp()).collect();
+    assert!(
+        (0.0..=1.0).contains(&config.category_coherence),
+        "category_coherence must be a fraction"
+    );
+    let cat_latent: Vec<Vec<f64>> =
+        (0..config.n_categories).map(|_| unit_vector(config.interest_dim, &mut rng)).collect();
+
+    let mut item_category = Vec::with_capacity(config.n_items);
+    let mut item_price = Vec::with_capacity(config.n_items);
+    let mut item_popularity = Vec::with_capacity(config.n_items);
+    let mut item_latent = Vec::with_capacity(config.n_items);
+    for i in 0..config.n_items {
+        // Guarantee every category is non-empty, then sample the rest.
+        let c = if i < config.n_categories { i } else { weighted_index(&cat_weights, &mut rng) };
+        item_category.push(c);
+        let price = match config.price_distribution {
+            PriceDistribution::Uniform => cat_base_price[c] * rng.gen_range(0.5..5.0),
+            PriceDistribution::LogNormal { sigma } => {
+                cat_base_price[c] * (standard_normal(&mut rng) * sigma).exp()
+            }
+        };
+        item_price.push(price);
+        item_popularity.push((standard_normal(&mut rng) * config.popularity_skew).exp());
+        let own = unit_vector(config.interest_dim, &mut rng);
+        let g = config.category_coherence;
+        let mixed: Vec<f64> = cat_latent[c]
+            .iter()
+            .zip(&own)
+            .map(|(cv, ov)| g * cv + (1.0 - g) * ov)
+            .collect();
+        let norm = mixed.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+        item_latent.push(mixed.into_iter().map(|x| x / norm).collect::<Vec<f64>>());
+    }
+
+    // Per-category sorted price lists for WTP quantiles.
+    let mut cat_prices: Vec<Vec<f64>> = vec![Vec::new(); config.n_categories];
+    for (i, &c) in item_category.iter().enumerate() {
+        cat_prices[c].push(item_price[i]);
+    }
+    for p in &mut cat_prices {
+        p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+    let mut cat_items: Vec<Vec<usize>> = vec![Vec::new(); config.n_categories];
+    for (i, &c) in item_category.iter().enumerate() {
+        cat_items[c].push(i);
+    }
+
+    // --- Users -----------------------------------------------------------
+    let n_consistent = (config.n_users as f64 * config.consistent_user_frac).round() as usize;
+    let mut user_wtp = Vec::with_capacity(config.n_users);
+    let mut user_consistent = Vec::with_capacity(config.n_users);
+    let mut user_affinity = Vec::with_capacity(config.n_users);
+    let mut user_interest = Vec::with_capacity(config.n_users);
+    let mut user_activity = Vec::with_capacity(config.n_users);
+    for u in 0..config.n_users {
+        let consistent = u < n_consistent;
+        user_consistent.push(consistent);
+        let global_percentile = rng.gen_range(0.15..0.95);
+        let wtp: Vec<f64> = (0..config.n_categories)
+            .map(|c| {
+                let pct = if consistent {
+                    global_percentile
+                } else {
+                    rng.gen_range(0.15..0.95)
+                };
+                quantile(&cat_prices[c], pct)
+            })
+            .collect();
+        user_wtp.push(wtp);
+
+        let k = rng.gen_range(config.categories_per_user.0..=config.categories_per_user.1)
+            .min(config.n_categories);
+        let mut affinity = vec![0.0; config.n_categories];
+        // Sorted Vec, not HashSet: iteration order must be deterministic so
+        // the same seed always produces the same dataset.
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let c = weighted_index(&cat_weights, &mut rng);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        chosen.sort_unstable();
+        let mut total = 0.0;
+        for &c in &chosen {
+            let w = rng.gen_range(0.2..1.0f64);
+            affinity[c] = w;
+            total += w;
+        }
+        for a in &mut affinity {
+            *a /= total;
+        }
+        user_affinity.push(affinity);
+        user_interest.push(unit_vector(config.interest_dim, &mut rng));
+        user_activity.push((standard_normal(&mut rng) * 0.8).exp());
+    }
+
+    // --- Interactions ------------------------------------------------------
+    // Purchase weight of item i for user u in category c:
+    //   popularity_i × interest(u,i) × affordability(u,c,i)
+    // with affordability a logistic gate on (wtp - price) sharpened by
+    // `price_weight`. This is the "interest AND acceptable price" rule.
+    assert!(
+        (0.0..=1.0).contains(&config.imitation_prob),
+        "imitation_prob must be a probability"
+    );
+    assert!((0.0..=1.0).contains(&config.arrival_span), "arrival_span must be a fraction");
+    // Item arrival times: the first item of each category is live from the
+    // start (the `i < n_categories` items by construction); the rest arrive
+    // uniformly over the configured span of the timeline.
+    let item_arrival: Vec<u64> = (0..config.n_items)
+        .map(|i| {
+            if i < config.n_categories || config.arrival_span == 0.0 {
+                0
+            } else {
+                let horizon = config.n_interactions as f64 * config.arrival_span;
+                rng.gen_range(0.0..horizon) as u64
+            }
+        })
+        .collect();
+    let mut interactions = Vec::with_capacity(config.n_interactions);
+    let mut weights_buf: Vec<f64> = Vec::new();
+    // Histories powering the collaborative-imitation walks.
+    let mut user_history: Vec<Vec<usize>> = vec![Vec::new(); config.n_users];
+    let mut item_buyers: Vec<Vec<usize>> = vec![Vec::new(); config.n_items];
+    let price_affinity = |wtp: f64, price: f64| -> f64 {
+        match config.price_response {
+            PriceResponse::Gate => {
+                let rel = (wtp - price) / wtp.max(1e-9);
+                sigmoid(rel * config.price_weight * 4.0)
+            }
+            PriceResponse::Peak { relative_width } => {
+                let z = (price - wtp) / (wtp.max(1e-9) * relative_width.max(1e-6));
+                (-z * z).exp()
+            }
+        }
+    };
+    let afford = |u: usize, i: usize, item_category: &[usize], user_wtp: &[Vec<f64>]| {
+        let c = item_category[i];
+        price_affinity(user_wtp[u][c], item_price[i])
+    };
+    for t in 0..config.n_interactions {
+        let u = weighted_index(&user_activity, &mut rng);
+
+        // Collaborative imitation: follow a user -> item -> co-purchaser ->
+        // item walk, still gated by the imitator's own affordability.
+        let mut chosen: Option<usize> = None;
+        if config.imitation_prob > 0.0
+            && !user_history[u].is_empty()
+            && rng.gen::<f64>() < config.imitation_prob
+        {
+            let j0 = user_history[u][rng.gen_range(0..user_history[u].len())];
+            let buyers = &item_buyers[j0];
+            if !buyers.is_empty() {
+                let v = buyers[rng.gen_range(0..buyers.len())];
+                if v != u {
+                    let j = user_history[v][rng.gen_range(0..user_history[v].len())];
+                    if rng.gen::<f64>() < afford(u, j, &item_category, &user_wtp) {
+                        chosen = Some(j);
+                    }
+                }
+            }
+        }
+
+        // Utility-model sampling (the default path and the fallback).
+        let item = chosen.unwrap_or_else(|| {
+            let c = weighted_index(&user_affinity[u], &mut rng);
+            let items = &cat_items[c];
+            debug_assert!(!items.is_empty(), "every category has at least one item");
+            weights_buf.clear();
+            let wtp = user_wtp[u][c];
+            for &i in items {
+                if item_arrival[i] > t as u64 {
+                    // Not on the market yet.
+                    weights_buf.push(0.0);
+                    continue;
+                }
+                let interest = dot(&user_interest[u], &item_latent[i]).clamp(-1.0, 1.0);
+                // Map interest from [-1,1] to a positive preference weight.
+                let interest_w = (interest * 2.0).exp();
+                let afford = price_affinity(wtp, item_price[i]);
+                weights_buf.push(item_popularity[i] * interest_w * afford + 1e-12);
+            }
+            items[weighted_index(&weights_buf, &mut rng)]
+        });
+
+        user_history[u].push(item);
+        item_buyers[item].push(u);
+        interactions.push(Interaction { user: u as u32, item: item as u32, timestamp: t as u64 });
+    }
+
+    let item_price_level = quantize(
+        &item_price,
+        &item_category,
+        config.n_categories,
+        config.n_price_levels,
+        config.quantization,
+    );
+
+    let dataset = Dataset {
+        n_users: config.n_users,
+        n_items: config.n_items,
+        n_categories: config.n_categories,
+        n_price_levels: config.n_price_levels,
+        item_price,
+        item_category,
+        item_price_level,
+        interactions,
+    };
+    dataset.validate();
+
+    let truth = GroundTruth {
+        user_wtp,
+        user_consistent,
+        user_affinity,
+        user_interest,
+        item_latent,
+        item_popularity,
+    };
+
+    if config.kcore > 0 {
+        let r = kcore_filter(&dataset, config.kcore);
+        let truth = GroundTruth {
+            user_wtp: r.user_map.iter().map(|&u| truth.user_wtp[u].clone()).collect(),
+            user_consistent: r.user_map.iter().map(|&u| truth.user_consistent[u]).collect(),
+            user_affinity: r.user_map.iter().map(|&u| truth.user_affinity[u].clone()).collect(),
+            user_interest: r.user_map.iter().map(|&u| truth.user_interest[u].clone()).collect(),
+            item_latent: r.item_map.iter().map(|&i| truth.item_latent[i].clone()).collect(),
+            item_popularity: r.item_map.iter().map(|&i| truth.item_popularity[i]).collect(),
+        };
+        SyntheticDataset { dataset: r.dataset, truth }
+    } else {
+        SyntheticDataset { dataset, truth }
+    }
+}
+
+/// A Yelp2018-like dataset (89 restaurant categories, 4 price levels shown
+/// as dollar signs, ~24 interactions/user). `scale` shrinks the node counts;
+/// `1.0` approximates the paper's Table I sizes.
+pub fn yelp_like(scale: f64, seed: u64) -> SyntheticDataset {
+    let n_items = scaled(18_907, scale, 150);
+    let cfg = GeneratorConfig {
+        n_users: scaled(20_637, scale, 120),
+        n_items,
+        // Keep >= ~12 items per category so k-core filtering has support.
+        n_categories: 89.min((n_items / 12).max(8)),
+        n_price_levels: 4,
+        // 2x the paper's post-filter count: the paper filtered a denser raw
+        // log down to these sizes, so we oversample before k-core filtering.
+        n_interactions: scaled(2 * 505_785, scale, 6_000),
+        consistent_user_frac: 0.6,
+        price_distribution: PriceDistribution::Uniform,
+        // Purchases concentrate around a per-category price point (the
+        // paper's Fig. 2 observation), the log carries multi-hop CF
+        // structure, and the catalog grows over time.
+        price_response: PriceResponse::Peak { relative_width: 0.3 },
+        imitation_prob: 0.2,
+        arrival_span: 0.6,
+        categories_per_user: (1, 8),
+        category_coherence: 0.5,
+        kcore: 10,
+        quantization: Quantization::Uniform,
+        seed,
+        ..GeneratorConfig::default()
+    };
+    generate(&cfg)
+}
+
+/// A Beibei-like dataset (110 e-commerce categories, 10 price levels,
+/// continuous prices, ~13 interactions/user).
+pub fn beibei_like(scale: f64, seed: u64) -> SyntheticDataset {
+    let n_items = scaled(39_303, scale, 200);
+    let cfg = GeneratorConfig {
+        n_users: scaled(52_767, scale, 150),
+        n_items,
+        n_categories: 110.min((n_items / 12).max(8)),
+        n_price_levels: 10,
+        n_interactions: scaled(2 * 677_065, scale, 8_000),
+        consistent_user_frac: 0.55,
+        price_distribution: PriceDistribution::LogNormal { sigma: 0.6 },
+        price_response: PriceResponse::Peak { relative_width: 0.3 },
+        imitation_prob: 0.2,
+        arrival_span: 0.6,
+        categories_per_user: (1, 8),
+        category_coherence: 0.5,
+        kcore: 10,
+        quantization: Quantization::Uniform,
+        seed,
+        ..GeneratorConfig::default()
+    };
+    generate(&cfg)
+}
+
+/// An Amazon-like dataset (5 top-level categories, heavy-tailed prices,
+/// 5-core — paper §V-C). Used by the ablation/quantization experiments.
+pub fn amazon_like(scale: f64, seed: u64) -> SyntheticDataset {
+    amazon_like_with(scale, seed, 10, Quantization::Uniform)
+}
+
+/// Amazon-like dataset with explicit price-level count and quantization
+/// scheme (the Fig. 5 sweep and Table IV comparison).
+pub fn amazon_like_with(
+    scale: f64,
+    seed: u64,
+    n_price_levels: usize,
+    quantization: Quantization,
+) -> SyntheticDataset {
+    let cfg = GeneratorConfig {
+        n_users: scaled(48_424, scale, 150),
+        n_items: scaled(33_483, scale, 180),
+        n_categories: 5,
+        n_price_levels,
+        n_interactions: scaled(2 * 438_355, scale, 5_000),
+        consistent_user_frac: 0.5,
+        // Heavy but not degenerate tail: sigma 1.0 collapses uniform
+        // quantization to ~3 effective levels, starving the price nodes.
+        price_distribution: PriceDistribution::LogNormal { sigma: 0.75 },
+        // Narrower than the yelp/beibei presets: with only 5 broad
+        // categories the price point is the dominant per-category signal.
+        price_response: PriceResponse::Peak { relative_width: 0.2 },
+        imitation_prob: 0.2,
+        arrival_span: 0.6,
+        categories_per_user: (1, 5),
+        category_coherence: 0.5,
+        kcore: 5,
+        quantization,
+        seed,
+        ..GeneratorConfig::default()
+    };
+    generate(&cfg)
+}
+
+fn scaled(paper_size: usize, scale: f64, floor: usize) -> usize {
+    ((paper_size as f64 * scale) as usize).max(floor)
+}
+
+fn weighted_index(weights: &[f64], rng: &mut impl Rng) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must have positive mass");
+    let mut target = rng.gen_range(0.0..total);
+    let mut last_positive = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return i;
+        }
+        target -= w;
+        last_positive = i;
+    }
+    // Floating-point slack: fall back to the last index with mass.
+    last_positive
+}
+
+fn quantile(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = pct.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn unit_vector(dim: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    for x in &mut v {
+        *x /= norm;
+    }
+    v
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            n_users: 80,
+            n_items: 100,
+            n_categories: 8,
+            n_price_levels: 5,
+            n_interactions: 3_000,
+            kcore: 2,
+            seed: 7,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&small_config());
+        let b = generate(&small_config());
+        assert_eq!(a.dataset.interactions, b.dataset.interactions);
+        assert_eq!(a.dataset.item_price, b.dataset.item_price);
+        let mut other = small_config();
+        other.seed = 8;
+        let c = generate(&other);
+        assert_ne!(a.dataset.interactions, c.dataset.interactions);
+    }
+
+    #[test]
+    fn generated_dataset_is_valid_and_truth_is_aligned() {
+        let s = generate(&small_config());
+        s.dataset.validate();
+        assert_eq!(s.truth.user_wtp.len(), s.dataset.n_users);
+        assert_eq!(s.truth.user_consistent.len(), s.dataset.n_users);
+        assert_eq!(s.truth.item_latent.len(), s.dataset.n_items);
+        assert_eq!(s.truth.item_popularity.len(), s.dataset.n_items);
+        for wtp in &s.truth.user_wtp {
+            assert_eq!(wtp.len(), s.dataset.n_categories);
+            assert!(wtp.iter().all(|w| w.is_finite() && *w > 0.0));
+        }
+    }
+
+    #[test]
+    fn kcore_is_enforced_on_output() {
+        let s = generate(&small_config());
+        for l in s.dataset.user_item_lists() {
+            assert!(l.len() >= 2);
+        }
+        for l in s.dataset.item_user_lists() {
+            assert!(l.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn purchases_respect_affordability_on_average() {
+        // With a strong price gate, purchased items should mostly cost less
+        // than the buyer's category WTP.
+        let mut cfg = small_config();
+        cfg.price_weight = 6.0;
+        cfg.kcore = 0;
+        let s = generate(&cfg);
+        let mut affordable = 0usize;
+        let mut total = 0usize;
+        for it in &s.dataset.interactions {
+            let u = it.user as usize;
+            let i = it.item as usize;
+            let c = s.dataset.item_category[i];
+            total += 1;
+            if s.dataset.item_price[i] <= s.truth.user_wtp[u][c] * 1.3 {
+                affordable += 1;
+            }
+        }
+        let frac = affordable as f64 / total as f64;
+        assert!(frac > 0.8, "only {frac:.2} of purchases were affordable");
+    }
+
+    #[test]
+    fn users_buy_mostly_within_their_interest_categories() {
+        let mut cfg = small_config();
+        cfg.kcore = 0;
+        let s = generate(&cfg);
+        for it in s.dataset.interactions.iter().take(500) {
+            let u = it.user as usize;
+            let c = s.dataset.item_category[it.item as usize];
+            assert!(s.truth.user_affinity[u][c] > 0.0, "user bought outside interest set");
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        let y = yelp_like(0.0, 42); // floors kick in
+        assert_eq!(y.dataset.n_price_levels, 4);
+        assert!(y.dataset.n_users > 0, "10-core must leave survivors");
+        let b = beibei_like(0.0, 42);
+        assert_eq!(b.dataset.n_price_levels, 10);
+        let a = amazon_like(0.0, 42);
+        assert_eq!(a.dataset.n_categories, 5);
+    }
+
+    #[test]
+    fn consistent_fraction_is_respected_pre_kcore() {
+        let mut cfg = small_config();
+        cfg.kcore = 0;
+        cfg.consistent_user_frac = 0.25;
+        let s = generate(&cfg);
+        let n = s.truth.user_consistent.iter().filter(|&&c| c).count();
+        assert_eq!(n, (0.25f64 * 80.0).round() as usize);
+    }
+
+    #[test]
+    fn imitation_increases_co_purchase_clustering() {
+        // With collaborative imitation, users should share whole baskets far
+        // more often than under the pure utility model.
+        let co_pairs = |imitation: f64| {
+            let mut cfg = small_config();
+            cfg.kcore = 0;
+            cfg.imitation_prob = imitation;
+            let s = generate(&cfg);
+            let lists = s.dataset.user_item_lists();
+            let mut strong_pairs = 0usize;
+            for a in 0..lists.len() {
+                for b in (a + 1)..lists.len() {
+                    let common = lists[a].iter().filter(|i| lists[b].binary_search(i).is_ok()).count();
+                    if common >= 3 {
+                        strong_pairs += 1;
+                    }
+                }
+            }
+            strong_pairs
+        };
+        let without = co_pairs(0.0);
+        let with = co_pairs(0.5);
+        assert!(
+            with > without,
+            "imitation should create co-purchase clusters: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn imitated_purchases_respect_affordability() {
+        let mut cfg = small_config();
+        cfg.kcore = 0;
+        cfg.imitation_prob = 0.6;
+        cfg.price_weight = 6.0;
+        let s = generate(&cfg);
+        let mut affordable = 0usize;
+        for it in &s.dataset.interactions {
+            let u = it.user as usize;
+            let c = s.dataset.item_category[it.item as usize];
+            if s.dataset.item_price[it.item as usize] <= s.truth.user_wtp[u][c] * 1.3 {
+                affordable += 1;
+            }
+        }
+        let frac = affordable as f64 / s.dataset.n_interactions() as f64;
+        assert!(frac > 0.75, "imitation must not bypass the price gate: {frac:.2}");
+    }
+
+    #[test]
+    fn items_are_never_bought_before_arrival() {
+        let mut cfg = small_config();
+        cfg.kcore = 0;
+        cfg.arrival_span = 0.8;
+        cfg.imitation_prob = 0.3;
+        let s = generate(&cfg);
+        // First purchase time per item must be non-decreasing in arrival:
+        // verify indirectly — late-arriving items (high index) must not be
+        // purchased at t = 0..n_categories (only always-available items are).
+        // Directly: recompute arrivals is internal, so check the weaker but
+        // meaningful invariant that a growing catalog exists: the set of
+        // distinct items in the first 10% of events is much smaller than in
+        // the last 10%.
+        let n = s.dataset.n_interactions();
+        let distinct = |range: std::ops::Range<usize>| {
+            s.dataset.interactions[range]
+                .iter()
+                .map(|it| it.item)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        let early = distinct(0..n / 10);
+        let late = distinct(9 * n / 10..n);
+        assert!(
+            late > early,
+            "catalog should grow over time: early {early} vs late {late} distinct items"
+        );
+    }
+
+    #[test]
+    fn arrival_span_zero_means_full_catalog_from_start() {
+        let mut cfg = small_config();
+        cfg.kcore = 0;
+        cfg.arrival_span = 0.0;
+        let a = generate(&cfg);
+        cfg.arrival_span = 0.9;
+        let b = generate(&cfg);
+        // With arrivals, training-period (early) coverage of the catalog is
+        // strictly smaller.
+        let early_cover = |s: &SyntheticDataset| {
+            let n = s.dataset.n_interactions();
+            s.dataset.interactions[..n * 6 / 10]
+                .iter()
+                .map(|it| it.item)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(early_cover(&b) < early_cover(&a));
+    }
+
+    #[test]
+    fn every_category_has_items() {
+        let s = generate(&small_config());
+        let mut seen = vec![false; s.dataset.n_categories];
+        for &c in &s.dataset.item_category {
+            seen[c] = true;
+        }
+        // After k-core some categories may empty out, but most must survive.
+        let alive = seen.iter().filter(|&&x| x).count();
+        assert!(alive >= s.dataset.n_categories / 2);
+    }
+}

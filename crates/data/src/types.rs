@@ -1,0 +1,190 @@
+//! Core dataset types for price-aware recommendation.
+//!
+//! A [`Dataset`] is the paper's problem input (§II-B): the binary interaction
+//! matrix `R` (as a timestamped interaction log), the item prices `p` and the
+//! item categories `c`.
+
+/// One observed purchase `(u, i)` at a (logical) timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Interaction {
+    /// User index in `0..n_users`.
+    pub user: u32,
+    /// Item index in `0..n_items`.
+    pub item: u32,
+    /// Logical timestamp; the temporal split orders by this field.
+    pub timestamp: u64,
+}
+
+/// A complete price-aware recommendation dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Number of users `M`.
+    pub n_users: usize,
+    /// Number of items `N`.
+    pub n_items: usize,
+    /// Number of item categories.
+    pub n_categories: usize,
+    /// Number of discretized price levels.
+    pub n_price_levels: usize,
+    /// Raw (continuous) price of each item.
+    pub item_price: Vec<f64>,
+    /// Category of each item.
+    pub item_category: Vec<usize>,
+    /// Discretized price level of each item (see [`crate::quantize`]).
+    pub item_price_level: Vec<usize>,
+    /// Interaction log, sorted by timestamp.
+    pub interactions: Vec<Interaction>,
+}
+
+impl Dataset {
+    /// Validates internal consistency; called by constructors and tests.
+    ///
+    /// # Panics
+    /// Panics when any invariant is violated.
+    pub fn validate(&self) {
+        assert_eq!(self.item_price.len(), self.n_items, "one raw price per item");
+        assert_eq!(self.item_category.len(), self.n_items, "one category per item");
+        assert_eq!(self.item_price_level.len(), self.n_items, "one price level per item");
+        for (i, &c) in self.item_category.iter().enumerate() {
+            assert!(c < self.n_categories, "item {i} has category {c} >= {}", self.n_categories);
+        }
+        for (i, &p) in self.item_price_level.iter().enumerate() {
+            assert!(p < self.n_price_levels, "item {i} has price level {p} >= {}", self.n_price_levels);
+        }
+        let mut last_ts = 0;
+        for (k, it) in self.interactions.iter().enumerate() {
+            assert!((it.user as usize) < self.n_users, "interaction {k}: bad user");
+            assert!((it.item as usize) < self.n_items, "interaction {k}: bad item");
+            assert!(it.timestamp >= last_ts, "interactions must be sorted by timestamp");
+            last_ts = it.timestamp;
+        }
+    }
+
+    /// Number of logged interactions (including repeat purchases).
+    pub fn n_interactions(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Items interacted with by each user, deduplicated, as index lists.
+    pub fn user_item_lists(&self) -> Vec<Vec<u32>> {
+        let mut lists = vec![Vec::new(); self.n_users];
+        for it in &self.interactions {
+            lists[it.user as usize].push(it.item);
+        }
+        for l in &mut lists {
+            l.sort_unstable();
+            l.dedup();
+        }
+        lists
+    }
+
+    /// Users who interacted with each item, deduplicated.
+    pub fn item_user_lists(&self) -> Vec<Vec<u32>> {
+        let mut lists = vec![Vec::new(); self.n_items];
+        for it in &self.interactions {
+            lists[it.item as usize].push(it.user);
+        }
+        for l in &mut lists {
+            l.sort_unstable();
+            l.dedup();
+        }
+        lists
+    }
+
+    /// Items of each category.
+    pub fn category_item_lists(&self) -> Vec<Vec<u32>> {
+        let mut lists = vec![Vec::new(); self.n_categories];
+        for (i, &c) in self.item_category.iter().enumerate() {
+            lists[c].push(i as u32);
+        }
+        lists
+    }
+
+    /// Unique `(user, item)` pairs in log order (repeat purchases removed,
+    /// first occurrence kept). This is the binary interaction matrix `R`.
+    pub fn unique_pairs(&self) -> Vec<(usize, usize)> {
+        let mut seen = std::collections::HashSet::with_capacity(self.interactions.len());
+        let mut pairs = Vec::with_capacity(self.interactions.len());
+        for it in &self.interactions {
+            if seen.insert((it.user, it.item)) {
+                pairs.push((it.user as usize, it.item as usize));
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn toy_dataset() -> Dataset {
+        Dataset {
+            n_users: 2,
+            n_items: 3,
+            n_categories: 2,
+            n_price_levels: 2,
+            item_price: vec![1.0, 5.0, 9.0],
+            item_category: vec![0, 0, 1],
+            item_price_level: vec![0, 1, 1],
+            interactions: vec![
+                Interaction { user: 0, item: 0, timestamp: 0 },
+                Interaction { user: 0, item: 1, timestamp: 1 },
+                Interaction { user: 1, item: 1, timestamp: 2 },
+                Interaction { user: 0, item: 0, timestamp: 3 }, // repeat purchase
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_data() {
+        toy_dataset().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn validate_rejects_unsorted_timestamps() {
+        let mut d = toy_dataset();
+        d.interactions.swap(0, 3);
+        d.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "price level")]
+    fn validate_rejects_bad_price_level() {
+        let mut d = toy_dataset();
+        d.item_price_level[0] = 99;
+        d.validate();
+    }
+
+    #[test]
+    fn user_item_lists_dedupe() {
+        let d = toy_dataset();
+        let lists = d.user_item_lists();
+        assert_eq!(lists[0], vec![0, 1]);
+        assert_eq!(lists[1], vec![1]);
+    }
+
+    #[test]
+    fn item_user_lists_are_inverse() {
+        let d = toy_dataset();
+        let lists = d.item_user_lists();
+        assert_eq!(lists[0], vec![0]);
+        assert_eq!(lists[1], vec![0, 1]);
+        assert!(lists[2].is_empty());
+    }
+
+    #[test]
+    fn unique_pairs_keep_first_occurrence() {
+        let d = toy_dataset();
+        assert_eq!(d.unique_pairs(), vec![(0, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn category_item_lists_partition_items() {
+        let d = toy_dataset();
+        let lists = d.category_item_lists();
+        assert_eq!(lists[0], vec![0, 1]);
+        assert_eq!(lists[1], vec![2]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Ranking metrics: Recall@K and NDCG@K (paper §V-A1, following He et
+//! al. [6]).
+
+/// Recall@K: fraction of the ground-truth items that appear in the top-K.
+///
+/// `ranked` is the recommendation list (best first), `ground_truth` a sorted
+/// slice of relevant item ids. Returns 0 when the ground truth is empty.
+pub fn recall_at_k(ranked: &[u32], ground_truth: &[u32], k: usize) -> f64 {
+    debug_assert!(is_sorted(ground_truth), "ground truth must be sorted");
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|i| ground_truth.binary_search(i).is_ok())
+        .count();
+    hits as f64 / ground_truth.len() as f64
+}
+
+/// NDCG@K with binary relevance: DCG of the produced ranking over the ideal
+/// DCG. Returns 0 when the ground truth is empty.
+pub fn ndcg_at_k(ranked: &[u32], ground_truth: &[u32], k: usize) -> f64 {
+    debug_assert!(is_sorted(ground_truth), "ground truth must be sorted");
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let mut dcg = 0.0;
+    for (pos, item) in ranked.iter().take(k).enumerate() {
+        if ground_truth.binary_search(item).is_ok() {
+            dcg += 1.0 / ((pos + 2) as f64).log2();
+        }
+    }
+    let ideal_hits = ground_truth.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    dcg / idcg
+}
+
+fn is_sorted(v: &[u32]) -> bool {
+    v.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranked = vec![3, 1, 4];
+        let gt = vec![1, 3, 4];
+        assert_eq!(recall_at_k(&ranked, &gt, 3), 1.0);
+        assert!((ndcg_at_k(&ranked, &gt, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ground_truth_scores_zero() {
+        assert_eq!(recall_at_k(&[1, 2], &[], 2), 0.0);
+        assert_eq!(ndcg_at_k(&[1, 2], &[], 2), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_topk_hits_only() {
+        let ranked = vec![9, 8, 1, 2];
+        let gt = vec![1, 2];
+        assert_eq!(recall_at_k(&ranked, &gt, 2), 0.0);
+        assert_eq!(recall_at_k(&ranked, &gt, 3), 0.5);
+        assert_eq!(recall_at_k(&ranked, &gt, 4), 1.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_earlier_hits() {
+        let gt = vec![5];
+        let early = ndcg_at_k(&[5, 1, 2], &gt, 3);
+        let late = ndcg_at_k(&[1, 2, 5], &gt, 3);
+        assert!((early - 1.0).abs() < 1e-12, "hit at rank 0 is ideal");
+        assert!(late < early && late > 0.0);
+        // Exact value: (1/log2(4)) / (1/log2(2)) = 0.5.
+        assert!((late - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_caps_ideal_at_k() {
+        // 3 relevant items but k=1: a single hit at rank 0 is already ideal.
+        let gt = vec![1, 2, 3];
+        assert!((ndcg_at_k(&[1], &gt, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let ranked: Vec<u32> = (0..20).map(|_| rng.gen_range(0..50)).collect();
+            let mut gt: Vec<u32> = (0..5).map(|_| rng.gen_range(0..50)).collect();
+            gt.sort_unstable();
+            gt.dedup();
+            let k = rng.gen_range(1..25);
+            let r = recall_at_k(&ranked, &gt, k);
+            let n = ndcg_at_k(&ranked, &gt, k);
+            assert!((0.0..=1.0).contains(&r));
+            assert!((0.0..=1.0 + 1e-12).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain-text table rendering for experiment reports (the bench binaries
+//! print these to stdout and EXPERIMENTS.md records them).
+
+use crate::ranking::MetricReport;
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a row built from a [`MetricReport`], with recall/NDCG columns
+    /// per cutoff in report order.
+    pub fn push_report(&mut self, report: &MetricReport) {
+        let mut cells = vec![report.model.clone()];
+        for &(_, m) in &report.at_k {
+            cells.push(format!("{:.4}", m.recall));
+            cells.push(format!("{:.4}", m.ndcg));
+        }
+        self.push_row(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align the first column (names), right-align numbers.
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Standard header for a `Recall/NDCG @ K` table.
+    pub fn metric_headers(ks: &[usize]) -> Vec<String> {
+        let mut h = vec!["method".to_string()];
+        for &k in ks {
+            h.push(format!("Recall@{k}"));
+            h.push(format!("NDCG@{k}"));
+        }
+        h
+    }
+
+    /// Creates a metric table for the given cutoffs.
+    pub fn for_metrics(ks: &[usize]) -> Self {
+        let headers = Self::metric_headers(ks);
+        Self { headers, rows: Vec::new() }
+    }
+}
+
+/// Relative improvement in percent, `(new - base) / base * 100`.
+pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        return 0.0;
+    }
+    (new - base) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::MetricPair;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(&["method", "Recall@50"]);
+        t.push_row(vec!["ItemPop".into(), "0.0401".into()]);
+        t.push_row(vec!["PUP".into(), "0.1765".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("method"));
+        assert!(lines[2].starts_with("ItemPop"));
+        assert!(lines[3].starts_with("PUP"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn push_report_formats_metrics() {
+        let mut t = Table::for_metrics(&[50, 100]);
+        t.push_report(&MetricReport {
+            model: "PUP".into(),
+            at_k: vec![
+                (50, MetricPair { recall: 0.1765, ndcg: 0.0816 }),
+                (100, MetricPair { recall: 0.2715, ndcg: 0.1058 }),
+            ],
+            n_users: 10,
+        });
+        let s = t.render();
+        assert!(s.contains("0.1765"));
+        assert!(s.contains("0.1058"));
+        assert!(s.contains("NDCG@100"));
+    }
+
+    #[test]
+    fn improvement_percentage() {
+        assert!((improvement_pct(0.1679, 0.1765) - 5.122).abs() < 0.01);
+        assert_eq!(improvement_pct(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Statistical significance testing (paper §V-B4: "results of t-tests
+//! indicate that the improvements are statistically significant for
+//! p < 0.005").
+//!
+//! Implements the paired t-test over per-user metric values, with the
+//! Student-t CDF evaluated through the regularized incomplete beta function
+//! (continued-fraction expansion) — no external stats dependency.
+
+/// Result of a paired t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTestResult {
+    /// The t statistic (positive when `a` beats `b` on average).
+    pub t: f64,
+    /// Degrees of freedom (`n - 1`).
+    pub dof: usize,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Mean of the paired differences `a - b`.
+    pub mean_diff: f64,
+}
+
+impl TTestResult {
+    /// Whether `a > b` at the given two-sided significance level.
+    pub fn significant_improvement(&self, alpha: f64) -> bool {
+        self.mean_diff > 0.0 && self.p_two_sided < alpha
+    }
+}
+
+/// Paired t-test between two per-user metric vectors.
+///
+/// # Panics
+/// Panics when the vectors differ in length or have fewer than 2 pairs.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired t-test needs equal-length samples");
+    assert!(a.len() >= 2, "paired t-test needs at least 2 pairs");
+    let n = a.len() as f64;
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    let dof = a.len() - 1;
+    if se == 0.0 {
+        // All differences identical: degenerate — p is 0 unless the mean is 0.
+        let p = if mean == 0.0 { 1.0 } else { 0.0 };
+        return TTestResult { t: if mean == 0.0 { 0.0 } else { f64::INFINITY * mean.signum() }, dof, p_two_sided: p, mean_diff: mean };
+    }
+    let t = mean / se;
+    let p = 2.0 * student_t_sf(t.abs(), dof as f64);
+    TTestResult { t, dof, p_two_sided: p.clamp(0.0, 1.0), mean_diff: mean }
+}
+
+/// Survival function `P(T > t)` of Student's t with `v` degrees of freedom,
+/// via `I_x(v/2, 1/2)` with `x = v / (v + t²)`.
+pub fn student_t_sf(t: f64, v: f64) -> f64 {
+    assert!(t >= 0.0, "survival function expects t >= 0");
+    assert!(v > 0.0, "degrees of freedom must be positive");
+    let x = v / (v + t * t);
+    0.5 * incomplete_beta(0.5 * v, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via Lentz's continued
+/// fraction (Numerical Recipes §6.4).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // The continued fraction converges fastest for x < (a+1)/(a+b+2); apply
+    // the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) directly (not recursively —
+    // a == b at x = 0.5 would otherwise never terminate).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9 coefficients).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is x > 0");
+    const COEFFS: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform CDF).
+        for x in [0.1, 0.35, 0.8] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        let v = incomplete_beta(2.5, 4.0, 0.3);
+        let w = 1.0 - incomplete_beta(4.0, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-10);
+    }
+
+    #[test]
+    fn student_t_sf_matches_reference_values() {
+        // Reference: P(T > 2.0) with 10 dof ≈ 0.036694; with 1 dof (Cauchy)
+        // P(T > 1) = 0.25 exactly.
+        assert!((student_t_sf(1.0, 1.0) - 0.25).abs() < 1e-9);
+        assert!((student_t_sf(2.0, 10.0) - 0.036694).abs() < 1e-5);
+        // Large dof approaches the normal tail: P(Z > 1.96) ≈ 0.025.
+        assert!((student_t_sf(1.96, 100_000.0) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paired_t_test_detects_a_clear_improvement() {
+        let a: Vec<f64> = (0..40).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 0.05).collect();
+        let r = paired_t_test(&a, &b);
+        assert!(r.mean_diff > 0.049);
+        assert!(r.p_two_sided < 1e-6);
+        assert!(r.significant_improvement(0.005));
+    }
+
+    #[test]
+    fn paired_t_test_on_noise_is_insignificant() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a: Vec<f64> = (0..100).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + rng.gen_range(-0.01..0.01)).collect();
+        let r = paired_t_test(&a, &b);
+        assert!(r.p_two_sided > 0.005, "pure noise should not be significant: p={}", r.p_two_sided);
+    }
+
+    #[test]
+    fn degenerate_identical_samples() {
+        let a = vec![0.5; 10];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.p_two_sided, 1.0);
+        assert!(!r.significant_improvement(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn rejects_mismatched_lengths() {
+        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+}

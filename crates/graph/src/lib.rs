@@ -1,0 +1,35 @@
+//! # pup-graph
+//!
+//! Construction and normalization of the unified heterogeneous graph from
+//! *Price-aware Recommendation with Graph Convolutional Networks* (ICDE
+//! 2020, §III-A / §IV-A).
+//!
+//! - [`layout`]: typed node references and flat index layout for the four
+//!   node families (users, items, price levels, categories) plus optional
+//!   extra attribute families.
+//! - [`hetero`]: [`GraphBuilder`] / [`build_pup_graph`] assembling the
+//!   symmetric binary adjacency; [`GraphSpec`] selects the ablation variant.
+//! - [`normalize`]: the paper's rectified adjacency `Â = f(A + I)`
+//!   (row-normalization with self-loops, eq. 5) and the symmetric
+//!   normalization used by the GCN baselines.
+//!
+//! ```
+//! use pup_graph::{build_pup_graph, GraphSpec, normalize::row_normalized};
+//!
+//! let g = build_pup_graph(
+//!     2, 2, 2, 1,
+//!     &[0, 1],          // price level per item
+//!     &[0, 0],          // category per item
+//!     &[(0, 0), (1, 1)],
+//!     GraphSpec::FULL,
+//! );
+//! let a_hat = row_normalized(g.adjacency(), true);
+//! assert_eq!(a_hat.rows(), g.layout().total());
+//! ```
+
+pub mod hetero;
+pub mod layout;
+pub mod normalize;
+
+pub use hetero::{build_pup_graph, GraphBuilder, GraphSpec, HeteroGraph};
+pub use layout::{Layout, NodeRef};

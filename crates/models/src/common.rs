@@ -1,0 +1,156 @@
+//! Shared model infrastructure: the [`Recommender`] trait, the
+//! [`TrainData`] view consumed by every model, and the linear-time FM
+//! decoder (paper eq. 7).
+
+use pup_data::{Dataset, Split};
+use pup_tensor::{ops, Var};
+
+/// A trained model that can rank all items for a user.
+///
+/// Evaluation (Recall@K / NDCG@K, cold-start protocols) only needs this
+/// interface; every model in this crate implements it.
+pub trait Recommender {
+    /// Human-readable model name as used in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Predicted preference scores for every item, higher = better.
+    fn score_items(&self, user: usize) -> Vec<f64>;
+}
+
+/// Everything a model needs to train: sizes, item attributes and the
+/// training pairs. Borrowed from a [`Dataset`] + [`Split`].
+#[derive(Clone, Copy, Debug)]
+pub struct TrainData<'a> {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of categories.
+    pub n_categories: usize,
+    /// Number of price levels.
+    pub n_price_levels: usize,
+    /// Price level per item.
+    pub item_price_level: &'a [usize],
+    /// Category per item.
+    pub item_category: &'a [usize],
+    /// Unique training `(user, item)` pairs.
+    pub train: &'a [(usize, usize)],
+}
+
+impl<'a> TrainData<'a> {
+    /// Assembles the training view from a dataset and its temporal split.
+    pub fn new(dataset: &'a Dataset, split: &'a Split) -> Self {
+        assert_eq!(dataset.n_users, split.n_users, "dataset/split user count mismatch");
+        assert_eq!(dataset.n_items, split.n_items, "dataset/split item count mismatch");
+        Self {
+            n_users: dataset.n_users,
+            n_items: dataset.n_items,
+            n_categories: dataset.n_categories,
+            n_price_levels: dataset.n_price_levels,
+            item_price_level: &dataset.item_price_level,
+            item_category: &dataset.item_category,
+            train: &split.train,
+        }
+    }
+
+    /// Price levels of a batch of items.
+    pub fn price_of(&self, items: &[usize]) -> Vec<usize> {
+        items.iter().map(|&i| self.item_price_level[i]).collect()
+    }
+
+    /// Categories of a batch of items.
+    pub fn category_of(&self, items: &[usize]) -> Vec<usize> {
+        items.iter().map(|&i| self.item_category[i]).collect()
+    }
+}
+
+/// Sum of all pairwise inner products among the feature embeddings, computed
+/// in linear time via the paper's eq. 7:
+///
+/// `Σ_{f<g} e_f·e_g = ½ [ (Σ_f e_f)² − Σ_f e_f² ]` (row-wise).
+///
+/// Each input is a `(batch, d)` embedding; the result is `(batch, 1)`.
+pub fn pairwise_interactions(features: &[Var]) -> Var {
+    assert!(features.len() >= 2, "need at least two features to interact");
+    let mut total = features[0].clone();
+    for f in &features[1..] {
+        total = ops::add(&total, f);
+    }
+    let sum_sq = ops::rowwise_dot(&total, &total);
+    let mut sq_sum = ops::rowwise_dot(&features[0], &features[0]);
+    for f in &features[1..] {
+        sq_sum = ops::add(&sq_sum, &ops::rowwise_dot(f, f));
+    }
+    ops::scale(&ops::sub(&sum_sq, &sq_sum), 0.5)
+}
+
+/// Naive quadratic-time pairwise interactions; reference implementation for
+/// tests and the decoder benchmark (ablation of eq. 7).
+pub fn pairwise_interactions_naive(features: &[Var]) -> Var {
+    assert!(features.len() >= 2, "need at least two features to interact");
+    let mut acc: Option<Var> = None;
+    for (a, fa) in features.iter().enumerate() {
+        for fb in &features[a + 1..] {
+            let d = ops::rowwise_dot(fa, fb);
+            acc = Some(match acc {
+                Some(prev) => ops::add(&prev, &d),
+                None => d,
+            });
+        }
+    }
+    acc.expect("at least one pair")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pup_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_var(rows: usize, cols: usize, seed: u64) -> Var {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Var::param(Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0)))
+    }
+
+    #[test]
+    fn eq7_trick_matches_naive_for_three_features() {
+        let feats: Vec<Var> = (0..3).map(|s| rand_var(5, 8, s)).collect();
+        let fast = pairwise_interactions(&feats);
+        let naive = pairwise_interactions_naive(&feats);
+        let diff = fast.value().sub(&naive.value()).max_abs();
+        assert!(diff < 1e-10, "eq.7 deviates from naive by {diff}");
+    }
+
+    #[test]
+    fn eq7_trick_matches_naive_for_many_features() {
+        let feats: Vec<Var> = (0..6).map(|s| rand_var(4, 16, 100 + s)).collect();
+        let fast = pairwise_interactions(&feats);
+        let naive = pairwise_interactions_naive(&feats);
+        let diff = fast.value().sub(&naive.value()).max_abs();
+        assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn eq7_gradients_match_naive_gradients() {
+        let make = |seed: u64| -> Vec<Var> { (0..3u64).map(|s| rand_var(4, 6, seed + s)).collect() };
+        let f1 = make(7);
+        let f2 = make(7);
+        pup_tensor::ops::sum(&pairwise_interactions(&f1)).backward();
+        pup_tensor::ops::sum(&pairwise_interactions_naive(&f2)).backward();
+        for (a, b) in f1.iter().zip(&f2) {
+            let ga = a.grad().unwrap();
+            let gb = b.grad().unwrap();
+            assert!(ga.sub(&gb).max_abs() < 1e-10, "gradient mismatch between eq.7 and naive");
+        }
+    }
+
+    #[test]
+    fn two_features_reduce_to_plain_dot() {
+        let a = rand_var(3, 4, 1);
+        let b = rand_var(3, 4, 2);
+        let fast = pairwise_interactions(&[a.clone(), b.clone()]);
+        let dot = ops::rowwise_dot(&a, &b);
+        assert!(fast.value().sub(&dot.value()).max_abs() < 1e-10);
+    }
+}

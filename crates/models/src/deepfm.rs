@@ -1,0 +1,167 @@
+//! DeepFM baseline (paper §V-A2, Guo et al. [13]): an FM component and a
+//! deep MLP component sharing the same field embeddings, summed into the
+//! final score. Price and category are item fields exactly as in [`crate::fm`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pup_tensor::{init, ops, Matrix, Var};
+
+use crate::common::{pairwise_interactions, Recommender, TrainData};
+use crate::fm::Fm;
+use crate::trainer::BprModel;
+
+/// DeepFM: `s = s_FM + MLP(concat of field embeddings)`.
+pub struct DeepFm {
+    fm: Fm,
+    w1: Var,
+    b1: Var,
+    w2: Var,
+    b2: Var,
+    w_out: Var,
+}
+
+impl DeepFm {
+    /// Initializes DeepFM with field embedding dimension `dim` and a
+    /// two-layer MLP of width `hidden`.
+    pub fn new(data: &TrainData<'_>, dim: usize, hidden: usize, seed: u64) -> Self {
+        assert!(hidden > 0, "hidden width must be positive");
+        let fm = Fm::new(data, dim, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9));
+        Self {
+            fm,
+            w1: Var::param(init::xavier(4 * dim, hidden, &mut rng)),
+            b1: Var::param(Matrix::zeros(1, hidden)),
+            w2: Var::param(init::xavier(hidden, hidden, &mut rng)),
+            b2: Var::param(Matrix::zeros(1, hidden)),
+            w_out: Var::param(init::xavier(hidden, 1, &mut rng)),
+        }
+    }
+
+    fn deep_component(&self, fields: &[Var; 4]) -> Var {
+        let mut x = fields[0].clone();
+        for f in &fields[1..] {
+            x = ops::concat_cols(&x, f);
+        }
+        let h1 = ops::relu(&ops::add_row_broadcast(&ops::matmul(&x, &self.w1), &self.b1));
+        let h2 = ops::relu(&ops::add_row_broadcast(&ops::matmul(&h1, &self.w2), &self.b2));
+        ops::matmul(&h2, &self.w_out)
+    }
+
+    fn full_score(&mut self, users: &[usize], items: &[usize]) -> Var {
+        let fields = self.fm.field_embeddings(users, items);
+        let fm_score = ops::add(
+            &pairwise_interactions(&fields),
+            &self.fm.linear_terms(users, items),
+        );
+        let deep = self.deep_component(&fields);
+        ops::add(&fm_score, &deep)
+    }
+}
+
+impl BprModel for DeepFm {
+    fn begin_step(&mut self, _rng: &mut StdRng) {}
+
+    fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
+        self.full_score(users, items)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.fm.all_params();
+        p.extend([
+            self.w1.clone(),
+            self.b1.clone(),
+            self.w2.clone(),
+            self.b2.clone(),
+            self.w_out.clone(),
+        ]);
+        p
+    }
+
+    fn finalize(&mut self) {}
+}
+
+impl Recommender for DeepFm {
+    fn name(&self) -> &str {
+        "DeepFM"
+    }
+
+    fn score_items(&self, user: usize) -> Vec<f64> {
+        // Inference over all items in one batch through the same graph
+        // (values only; no gradients are recorded for constants).
+        let n_items = self.fm.dense_scores(user).len();
+        let users = vec![user; n_items];
+        let items: Vec<usize> = (0..n_items).collect();
+        let fields = self.fm.field_embeddings(&users, &items);
+        let fm_part = self.fm.dense_scores(user);
+        let deep = self.deep_component(&fields);
+        let deep_v = deep.value();
+        (0..n_items).map(|k| fm_part[k] + deep_v.get(k, 0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_bpr, TrainConfig};
+
+    fn toy_data<'a>(
+        train: &'a [(usize, usize)],
+        price: &'a [usize],
+        cat: &'a [usize],
+        n_users: usize,
+    ) -> TrainData<'a> {
+        TrainData {
+            n_users,
+            n_items: price.len(),
+            n_categories: cat.iter().max().unwrap() + 1,
+            n_price_levels: price.iter().max().unwrap() + 1,
+            item_price_level: price,
+            item_category: cat,
+            train,
+        }
+    }
+
+    #[test]
+    fn score_items_matches_score_batch() {
+        let price = vec![0, 1, 1, 0];
+        let cat = vec![0, 1, 0, 1];
+        let train = vec![(0, 0)];
+        let data = toy_data(&train, &price, &cat, 3);
+        let mut m = DeepFm::new(&data, 4, 8, 11);
+        let batch = m.score_batch(&[1, 1, 1, 1], &[0, 1, 2, 3]);
+        let all = m.score_items(1);
+        for k in 0..4 {
+            assert!((batch.value().get(k, 0) - all[k]).abs() < 1e-10, "mismatch at {k}");
+        }
+    }
+
+    #[test]
+    fn deep_params_receive_gradients() {
+        let price = vec![0, 1];
+        let cat = vec![0, 0];
+        let train = vec![(0, 0)];
+        let data = toy_data(&train, &price, &cat, 1);
+        let mut m = DeepFm::new(&data, 4, 8, 3);
+        let s = m.score_batch(&[0, 0], &[0, 1]);
+        pup_tensor::ops::sum(&s).backward();
+        for (k, p) in [&m.w1, &m.w2, &m.w_out].iter().enumerate() {
+            assert!(
+                p.grad().map(|g| g.max_abs() > 0.0).unwrap_or(false),
+                "MLP layer {k} received no gradient"
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let price = vec![0, 1, 0, 1, 0, 1];
+        let cat = vec![0; 6];
+        let train = vec![(0, 0), (0, 2), (1, 1), (1, 3), (0, 4), (1, 5)];
+        let data = toy_data(&train, &price, &cat, 2);
+        let mut m = DeepFm::new(&data, 6, 8, 4);
+        let cfg = TrainConfig { epochs: 30, batch_size: 4, lr: 0.02, l2: 0.0, ..Default::default() };
+        let stats = train_bpr(&mut m, 2, 6, &train, &cfg);
+        assert!(stats.final_loss() < stats.epoch_losses[0]);
+    }
+}

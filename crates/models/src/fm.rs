@@ -1,0 +1,251 @@
+//! Factorization Machines baseline (paper §V-A2, Rendle [12]).
+//!
+//! Four fields per interaction — user id, item id, item category, item price
+//! level ("we integrate price and category into FM by regarding them as item
+//! features"). The 2-way FM score is the sum of linear terms and all
+//! pairwise embedding inner products, computed in linear time via eq. 7.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pup_tensor::{init, ops, Matrix, Var};
+
+use crate::common::{pairwise_interactions, Recommender, TrainData};
+use crate::trainer::BprModel;
+
+/// 2-way FM over (user, item, category, price) fields.
+pub struct Fm {
+    /// Include first-order (linear) weights. Rendle's FM has them; the
+    /// paper describes its FM baseline as "a sum of pairwise inner
+    /// product", i.e. interactions only. Both are supported.
+    linear_terms: bool,
+    user_emb: Var,
+    item_emb: Var,
+    cat_emb: Var,
+    price_emb: Var,
+    user_w: Var,
+    item_w: Var,
+    cat_w: Var,
+    price_w: Var,
+    item_price_level: Vec<usize>,
+    item_category: Vec<usize>,
+}
+
+impl Fm {
+    /// Initializes the FM with embedding dimension `dim` (with linear
+    /// terms, Rendle's formulation).
+    pub fn new(data: &TrainData<'_>, dim: usize, seed: u64) -> Self {
+        Self::with_options(data, dim, seed, true)
+    }
+
+    /// Initializes the FM, choosing whether first-order terms are included.
+    pub fn with_options(data: &TrainData<'_>, dim: usize, seed: u64, linear_terms: bool) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            linear_terms,
+            user_emb: Var::param(init::normal(data.n_users, dim, 0.1, &mut rng)),
+            item_emb: Var::param(init::normal(data.n_items, dim, 0.1, &mut rng)),
+            cat_emb: Var::param(init::normal(data.n_categories.max(1), dim, 0.1, &mut rng)),
+            price_emb: Var::param(init::normal(data.n_price_levels.max(1), dim, 0.1, &mut rng)),
+            user_w: Var::param(Matrix::zeros(data.n_users, 1)),
+            item_w: Var::param(Matrix::zeros(data.n_items, 1)),
+            cat_w: Var::param(Matrix::zeros(data.n_categories.max(1), 1)),
+            price_w: Var::param(Matrix::zeros(data.n_price_levels.max(1), 1)),
+            item_price_level: data.item_price_level.to_vec(),
+            item_category: data.item_category.to_vec(),
+        }
+    }
+
+    /// The four field embeddings for a batch, in (user, item, cat, price)
+    /// order. Shared with DeepFM.
+    pub(crate) fn field_embeddings(&self, users: &[usize], items: &[usize]) -> [Var; 4] {
+        let cats: Vec<usize> = items.iter().map(|&i| self.item_category[i]).collect();
+        let prices: Vec<usize> = items.iter().map(|&i| self.item_price_level[i]).collect();
+        [
+            ops::gather_rows(&self.user_emb, users),
+            ops::gather_rows(&self.item_emb, items),
+            ops::gather_rows(&self.cat_emb, &cats),
+            ops::gather_rows(&self.price_emb, &prices),
+        ]
+    }
+
+    /// Linear-term sum for a batch.
+    pub(crate) fn linear_terms(&self, users: &[usize], items: &[usize]) -> Var {
+        let cats: Vec<usize> = items.iter().map(|&i| self.item_category[i]).collect();
+        let prices: Vec<usize> = items.iter().map(|&i| self.item_price_level[i]).collect();
+        let mut s = ops::gather_rows(&self.user_w, users);
+        s = ops::add(&s, &ops::gather_rows(&self.item_w, items));
+        s = ops::add(&s, &ops::gather_rows(&self.cat_w, &cats));
+        ops::add(&s, &ops::gather_rows(&self.price_w, &prices))
+    }
+
+    pub(crate) fn all_params(&self) -> Vec<Var> {
+        vec![
+            self.user_emb.clone(),
+            self.item_emb.clone(),
+            self.cat_emb.clone(),
+            self.price_emb.clone(),
+            self.user_w.clone(),
+            self.item_w.clone(),
+            self.cat_w.clone(),
+            self.price_w.clone(),
+        ]
+    }
+
+    /// Inference-time scores over all items for a user, computed from the
+    /// current parameter values.
+    pub(crate) fn dense_scores(&self, user: usize) -> Vec<f64> {
+        let ue = self.user_emb.value().gather_rows(&[user]);
+        let items = self.item_emb.value();
+        let cats = self.cat_emb.value();
+        let prices = self.price_emb.value();
+        let n_items = items.rows();
+        let mut out = Vec::with_capacity(n_items);
+        let u_row = ue.row(0);
+        let uw = self.user_w.value().get(user, 0);
+        for i in 0..n_items {
+            let c = self.item_category[i];
+            let p = self.item_price_level[i];
+            let i_row = items.row(i);
+            let c_row = cats.row(c);
+            let p_row = prices.row(p);
+            let mut pair = 0.0;
+            for k in 0..u_row.len() {
+                let (eu, ei, ec, ep) = (u_row[k], i_row[k], c_row[k], p_row[k]);
+                let s = eu + ei + ec + ep;
+                pair += s * s - (eu * eu + ei * ei + ec * ec + ep * ep);
+            }
+            pair *= 0.5;
+            let linear = if self.linear_terms {
+                uw + self.item_w.value().get(i, 0)
+                    + self.cat_w.value().get(c, 0)
+                    + self.price_w.value().get(p, 0)
+            } else {
+                0.0
+            };
+            out.push(pair + linear);
+        }
+        out
+    }
+}
+
+impl BprModel for Fm {
+    fn begin_step(&mut self, _rng: &mut StdRng) {}
+
+    fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
+        let fields = self.field_embeddings(users, items);
+        let pair = pairwise_interactions(&fields);
+        if self.linear_terms {
+            ops::add(&pair, &self.linear_terms(users, items))
+        } else {
+            pair
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        self.all_params()
+    }
+
+    fn finalize(&mut self) {}
+}
+
+impl Recommender for Fm {
+    fn name(&self) -> &str {
+        "FM"
+    }
+
+    fn score_items(&self, user: usize) -> Vec<f64> {
+        self.dense_scores(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data<'a>(train: &'a [(usize, usize)], price: &'a [usize], cat: &'a [usize]) -> TrainData<'a> {
+        TrainData {
+            n_users: 4,
+            n_items: price.len(),
+            n_categories: 2,
+            n_price_levels: 3,
+            item_price_level: price,
+            item_category: cat,
+            train,
+        }
+    }
+
+    #[test]
+    fn dense_scores_match_batch_scores() {
+        let price = vec![0, 1, 2, 0, 1];
+        let cat = vec![0, 0, 1, 1, 0];
+        let train = vec![(0, 0)];
+        let data = toy_data(&train, &price, &cat);
+        let mut m = Fm::new(&data, 6, 5);
+        let users = vec![2usize; 5];
+        let items: Vec<usize> = (0..5).collect();
+        let batch = m.score_batch(&users, &items);
+        let dense = m.score_items(2);
+        for k in 0..5 {
+            assert!(
+                (batch.value().get(k, 0) - dense[k]).abs() < 1e-10,
+                "mismatch at item {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn price_feature_shifts_scores() {
+        // Two items differing only in price level must get different scores
+        // (they share id embeddings only if ids were equal — they are not,
+        // so instead verify the price embedding contributes via gradient).
+        let price = vec![0, 1];
+        let cat = vec![0, 0];
+        let train = vec![(0, 0)];
+        let data = toy_data(&train, &price, &cat);
+        let mut m = Fm::new(&data, 4, 1);
+        let s = m.score_batch(&[0, 0], &[0, 1]);
+        pup_tensor::ops::sum(&s).backward();
+        let g = m.price_emb.grad().expect("price embedding must receive gradient");
+        assert!(g.max_abs() > 0.0, "price field is dead");
+    }
+
+    #[test]
+    fn fm_learns_price_preference() {
+        // User 0 only buys price level 0; user 1 only price level 1. Items
+        // are otherwise symmetric. FM should learn the (user, price)
+        // interaction and rank same-price items higher.
+        let price = vec![0, 1, 0, 1, 0, 1];
+        let cat = vec![0; 6];
+        let mut train = Vec::new();
+        for rep in 0..2 {
+            let _ = rep;
+            train.push((0, 0));
+            train.push((0, 2));
+            train.push((1, 1));
+            train.push((1, 3));
+        }
+        let data = TrainData {
+            n_users: 2,
+            n_items: 6,
+            n_categories: 1,
+            n_price_levels: 2,
+            item_price_level: &price,
+            item_category: &cat,
+            train: &train,
+        };
+        let mut m = Fm::new(&data, 8, 2);
+        let cfg = crate::trainer::TrainConfig {
+            epochs: 80,
+            batch_size: 8,
+            lr: 0.05,
+            l2: 0.0,
+            ..Default::default()
+        };
+        crate::trainer::train_bpr(&mut m, 2, 6, &train, &cfg);
+        let s0 = m.score_items(0);
+        // Held-out items 4 (price 0) vs 5 (price 1) for the cheap user.
+        assert!(s0[4] > s0[5], "FM failed to learn price preference: {} vs {}", s0[4], s0[5]);
+    }
+}

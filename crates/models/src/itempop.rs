@@ -1,0 +1,67 @@
+//! ItemPop baseline: non-personalized popularity ranking (paper §V-A2).
+
+use crate::common::{Recommender, TrainData};
+
+/// Ranks every item by its training-set popularity, identically for all
+/// users.
+#[derive(Clone, Debug)]
+pub struct ItemPop {
+    scores: Vec<f64>,
+}
+
+impl ItemPop {
+    /// Counts training interactions per item.
+    pub fn fit(data: &TrainData<'_>) -> Self {
+        let mut scores = vec![0.0; data.n_items];
+        for &(_, i) in data.train {
+            scores[i] += 1.0;
+        }
+        Self { scores }
+    }
+
+    /// The raw popularity counts.
+    pub fn popularity(&self) -> &[f64] {
+        &self.scores
+    }
+}
+
+impl Recommender for ItemPop {
+    fn name(&self) -> &str {
+        "ItemPop"
+    }
+
+    fn score_items(&self, _user: usize) -> Vec<f64> {
+        self.scores.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(train: &[(usize, usize)]) -> TrainData<'_> {
+        TrainData {
+            n_users: 3,
+            n_items: 4,
+            n_categories: 1,
+            n_price_levels: 1,
+            item_price_level: &[0, 0, 0, 0],
+            item_category: &[0, 0, 0, 0],
+            train,
+        }
+    }
+
+    #[test]
+    fn counts_training_popularity() {
+        let train = vec![(0, 1), (1, 1), (2, 1), (0, 2)];
+        let m = ItemPop::fit(&data(&train));
+        assert_eq!(m.popularity(), &[0.0, 3.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn scores_are_user_independent() {
+        let train = vec![(0, 0), (1, 3)];
+        let m = ItemPop::fit(&data(&train));
+        assert_eq!(m.score_items(0), m.score_items(2));
+    }
+}

@@ -1,0 +1,41 @@
+//! # pup-models
+//!
+//! PUP and every baseline from the paper's §V-A2, trained with a shared BPR
+//! loop ([`trainer`]):
+//!
+//! | Model | Module | Paper role |
+//! |---|---|---|
+//! | [`Pup`] | [`pup`] | the contribution (two-branch GCN + FM decoder) |
+//! | [`ItemPop`] | [`itempop`] | non-personalized popularity |
+//! | [`BprMf`] | [`bprmf`] | matrix factorization with BPR |
+//! | [`Padq`] | [`padq`] | collective MF over user-item/user-price/item-price |
+//! | [`Fm`] | [`fm`] | 2-way FM with price & category item features |
+//! | [`DeepFm`] | [`deepfm`] | FM + MLP ensemble |
+//! | [`GcMc`] | [`gcmc`] | GCN on the bipartite graph, one-hot IDs |
+//! | [`Ngcf`] | [`ngcf`] | embedding propagation with price-augmented items |
+//!
+//! All models expose [`Recommender`] for evaluation and (except ItemPop and
+//! PaDQ, which own their fitting procedure) [`trainer::BprModel`] for
+//! training.
+
+pub mod bprmf;
+pub mod common;
+pub mod deepfm;
+pub mod fm;
+pub mod gcmc;
+pub mod itempop;
+pub mod ngcf;
+pub mod padq;
+pub mod pup;
+pub mod trainer;
+
+pub use bprmf::BprMf;
+pub use common::{Recommender, TrainData};
+pub use deepfm::DeepFm;
+pub use fm::Fm;
+pub use gcmc::GcMc;
+pub use itempop::ItemPop;
+pub use ngcf::Ngcf;
+pub use padq::{Padq, PadqConfig};
+pub use pup::{AttributeTarget, ExtraAttribute, Pup, PupConfig, PupVariant};
+pub use trainer::{train_bpr, BprModel, BprTrainer, TrainConfig, TrainStats};

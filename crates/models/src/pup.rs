@@ -1,0 +1,839 @@
+//! PUP — Price-aware User Preference-modeling (the paper's contribution,
+//! §III).
+//!
+//! Two branches, each owning an independent heterogeneous graph encoder
+//! (`F_out = tanh(Â F_in W)` with one-hot inputs, i.e. one mean-aggregation
+//! propagation over the unified graph) and an FM-style pairwise decoder
+//! (eq. 3, computed in linear time via eq. 7):
+//!
+//! - **global branch** (`dim = global_dim`): `s_g = e_u·e_i + e_u·e_p +
+//!   e_i·e_p`; category nodes participate in propagation only, acting as a
+//!   regularizer.
+//! - **category branch** (`dim = category_dim`): `s_c = e_u·e_c + e_u·e_p +
+//!   e_c·e_p`; item nodes only bridge information.
+//!
+//! Final score `s = s_g + α·s_c`. The ablation variants of Table III and
+//! Fig. 6 are expressed through [`PupVariant`].
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pup_graph::normalize::row_normalized;
+use pup_graph::{build_pup_graph, GraphSpec, Layout, NodeRef};
+use pup_tensor::{init, ops, CsrMatrix, Matrix, Var};
+
+use crate::common::{pairwise_interactions, Recommender, TrainData};
+use crate::trainer::BprModel;
+
+/// Which PUP variant to build (paper Table III / Fig. 6 ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PupVariant {
+    /// The full two-branch model.
+    Full,
+    /// `PUP w/ p` = `PUP-`: price nodes only, single branch.
+    PriceOnly,
+    /// `PUP w/ c`: category nodes only, single branch.
+    CategoryOnly,
+    /// `PUP w/o c,p`: bipartite graph, dot-product decoder.
+    Bipartite,
+}
+
+/// PUP hyperparameters.
+#[derive(Clone, Debug)]
+pub struct PupConfig {
+    /// Embedding size of the global branch (paper's best: 56 of 64).
+    pub global_dim: usize,
+    /// Embedding size of the category branch (paper's best: 8 of 64).
+    pub category_dim: usize,
+    /// Branch balance α in `s = s_global + α·s_category`.
+    pub alpha: f64,
+    /// Number of graph-convolution layers per branch. The paper uses one
+    /// (§III-B notes embeddings reach further "if more than one
+    /// convolutional layer are applied"); each extra layer repeats
+    /// `tanh(Â ·)` and widens the receptive field by one hop.
+    pub n_layers: usize,
+    /// Model variant (ablations).
+    pub variant: PupVariant,
+    /// Whether `Â` includes self-loops (paper eq. 5; ablatable).
+    pub self_loops: bool,
+    /// Feature-level dropout probability (paper §IV-C).
+    pub dropout: f64,
+    /// Parameter init seed.
+    pub seed: u64,
+}
+
+impl Default for PupConfig {
+    fn default() -> Self {
+        Self {
+            global_dim: 56,
+            category_dim: 8,
+            alpha: 1.0,
+            n_layers: 1,
+            variant: PupVariant::Full,
+            self_loops: true,
+            dropout: 0.1,
+            seed: 1,
+        }
+    }
+}
+
+/// Whether an extra attribute family describes items or users (paper §VII:
+/// "user profiles can be added as separate nodes linked to user nodes, while
+/// item features other than price and category can be integrated similarly").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttributeTarget {
+    /// One attribute value per item.
+    Items,
+    /// One attribute value per user.
+    Users,
+}
+
+/// An extra attribute node family added to PUP's heterogeneous graph.
+#[derive(Clone, Debug)]
+pub struct ExtraAttribute {
+    /// Display name (e.g. "brand", "city").
+    pub name: String,
+    /// Number of distinct attribute values (node count of the family).
+    pub n_values: usize,
+    /// `values[k]` = attribute value of item/user `k`; length must match
+    /// the target family's size.
+    pub values: Vec<usize>,
+    /// Which entity the attribute describes.
+    pub target: AttributeTarget,
+}
+
+/// One branch: an embedding table over all graph nodes plus its rectified
+/// adjacency.
+struct Branch {
+    emb: Var,
+    a_hat: Rc<CsrMatrix>,
+    layout: Layout,
+}
+
+impl Branch {
+    fn with_extras(
+        data: &TrainData<'_>,
+        spec: GraphSpec,
+        dim: usize,
+        self_loops: bool,
+        extras: &[ExtraAttribute],
+        rng: &mut StdRng,
+    ) -> Self {
+        let graph = if extras.is_empty() {
+            build_pup_graph(
+                data.n_users,
+                data.n_items,
+                data.n_price_levels,
+                data.n_categories,
+                data.item_price_level,
+                data.item_category,
+                data.train,
+                spec,
+            )
+        } else {
+            let mut b = pup_graph::GraphBuilder::new(
+                data.n_users,
+                data.n_items,
+                data.n_price_levels,
+                data.n_categories,
+                spec,
+            );
+            for item in 0..data.n_items {
+                b.add_item_attributes(item, data.item_price_level[item], data.item_category[item]);
+            }
+            for &(u, i) in data.train {
+                b.add_interaction(u, i);
+            }
+            for extra in extras {
+                let expected = match extra.target {
+                    AttributeTarget::Items => data.n_items,
+                    AttributeTarget::Users => data.n_users,
+                };
+                assert_eq!(
+                    extra.values.len(),
+                    expected,
+                    "extra attribute {:?}: one value per target entity required",
+                    extra.name
+                );
+                let family = b.add_extra_family(extra.name.clone(), extra.n_values);
+                for (k, &v) in extra.values.iter().enumerate() {
+                    assert!(v < extra.n_values, "extra attribute {:?}: value out of range", extra.name);
+                    let node = match extra.target {
+                        AttributeTarget::Items => NodeRef::Item(k),
+                        AttributeTarget::Users => NodeRef::User(k),
+                    };
+                    b.add_extra_edge(node, family, v);
+                }
+            }
+            b.build()
+        };
+        let a_hat = Rc::new(row_normalized(graph.adjacency(), self_loops));
+        let layout = graph.layout().clone();
+        let emb = Var::param(init::normal(layout.total(), dim, 0.1, rng));
+        Self { emb, a_hat, layout }
+    }
+
+    /// `n_layers` graph-convolution passes: `tanh(Â ·)` per layer, with
+    /// optional feature dropout on the final representations.
+    fn propagate(&self, n_layers: usize, dropout: f64, rng: Option<&mut StdRng>) -> Var {
+        debug_assert!(n_layers >= 1);
+        let mut h = self.emb.clone();
+        for _ in 0..n_layers {
+            h = ops::tanh(&ops::spmm(&self.a_hat, &h));
+        }
+        match rng {
+            Some(r) if dropout > 0.0 => ops::dropout(&h, dropout, r),
+            _ => h,
+        }
+    }
+}
+
+/// The PUP recommender.
+pub struct Pup {
+    config: PupConfig,
+    global: Branch,
+    /// Present only for [`PupVariant::Full`].
+    category: Option<Branch>,
+    item_price_level: Vec<usize>,
+    item_category: Vec<usize>,
+    n_items: usize,
+    step_global: Option<Var>,
+    step_category: Option<Var>,
+    final_global: Option<Matrix>,
+    final_category: Option<Matrix>,
+}
+
+impl Pup {
+    /// Builds PUP from training data.
+    pub fn new(data: &TrainData<'_>, config: PupConfig) -> Self {
+        Self::with_extras(data, config, &[])
+    }
+
+    /// Builds PUP with extra attribute node families on both branches'
+    /// graphs (the paper's §VII generality claim). The attribute nodes join
+    /// the propagation — preference flows `user → item → brand → item` the
+    /// same way it flows through price nodes — while the decoder stays
+    /// unchanged.
+    pub fn with_extras(data: &TrainData<'_>, config: PupConfig, extras: &[ExtraAttribute]) -> Self {
+        assert!(config.global_dim > 0, "global branch needs dimensions");
+        assert!((0.0..1.0).contains(&config.dropout), "dropout must be in [0,1)");
+        assert!(config.n_layers >= 1, "at least one propagation layer required");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let (global_spec, has_category_branch) = match config.variant {
+            PupVariant::Full => (GraphSpec::FULL, true),
+            PupVariant::PriceOnly => (GraphSpec::PRICE_ONLY, false),
+            PupVariant::CategoryOnly => (GraphSpec::CATEGORY_ONLY, false),
+            PupVariant::Bipartite => (GraphSpec::BIPARTITE, false),
+        };
+        // Single-branch variants get the full dimension budget so ablation
+        // comparisons hold capacity constant.
+        let global_dim = if has_category_branch {
+            config.global_dim
+        } else {
+            config.global_dim + config.category_dim
+        };
+        let global =
+            Branch::with_extras(data, global_spec, global_dim, config.self_loops, extras, &mut rng);
+        let category = if has_category_branch {
+            assert!(config.category_dim > 0, "category branch needs dimensions");
+            Some(Branch::with_extras(
+                data,
+                GraphSpec::FULL,
+                config.category_dim,
+                config.self_loops,
+                extras,
+                &mut rng,
+            ))
+        } else {
+            None
+        };
+        Self {
+            config,
+            global,
+            category,
+            item_price_level: data.item_price_level.to_vec(),
+            item_category: data.item_category.to_vec(),
+            n_items: data.n_items,
+            step_global: None,
+            step_category: None,
+            final_global: None,
+            final_category: None,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &PupConfig {
+        &self.config
+    }
+
+    /// Differentiable branch scores from propagated representations.
+    fn branch_scores(&self, repr_g: &Var, repr_c: Option<&Var>, users: &[usize], items: &[usize]) -> Var {
+        let lay = &self.global.layout;
+        let u_idx: Vec<usize> = users.iter().map(|&u| lay.index(NodeRef::User(u))).collect();
+        let i_idx: Vec<usize> = items.iter().map(|&i| lay.index(NodeRef::Item(i))).collect();
+        let eu = ops::gather_rows(repr_g, &u_idx);
+        let ei = ops::gather_rows(repr_g, &i_idx);
+
+        let s_global = match self.config.variant {
+            PupVariant::Bipartite => ops::rowwise_dot(&eu, &ei),
+            PupVariant::CategoryOnly => {
+                let c_idx: Vec<usize> = items
+                    .iter()
+                    .map(|&i| lay.index(NodeRef::Category(self.item_category[i])))
+                    .collect();
+                let ec = ops::gather_rows(repr_g, &c_idx);
+                pairwise_interactions(&[eu.clone(), ei, ec])
+            }
+            PupVariant::Full | PupVariant::PriceOnly => {
+                let p_idx: Vec<usize> = items
+                    .iter()
+                    .map(|&i| lay.index(NodeRef::Price(self.item_price_level[i])))
+                    .collect();
+                let ep = ops::gather_rows(repr_g, &p_idx);
+                pairwise_interactions(&[eu.clone(), ei, ep])
+            }
+        };
+
+        let Some(repr_c) = repr_c else {
+            return s_global;
+        };
+        let branch = self.category.as_ref().expect("category branch present");
+        let clay = &branch.layout;
+        let cu_idx: Vec<usize> = users.iter().map(|&u| clay.index(NodeRef::User(u))).collect();
+        let cp_idx: Vec<usize> = items
+            .iter()
+            .map(|&i| clay.index(NodeRef::Price(self.item_price_level[i])))
+            .collect();
+        let cc_idx: Vec<usize> = items
+            .iter()
+            .map(|&i| clay.index(NodeRef::Category(self.item_category[i])))
+            .collect();
+        let eu_c = ops::gather_rows(repr_c, &cu_idx);
+        let ep_c = ops::gather_rows(repr_c, &cp_idx);
+        let ec_c = ops::gather_rows(repr_c, &cc_idx);
+        // Item embeddings are deliberately omitted: items only bridge.
+        let s_cat = pairwise_interactions(&[eu_c, ec_c, ep_c]);
+        ops::add(&s_global, &ops::scale(&s_cat, self.config.alpha))
+    }
+
+    /// Inference scores over all items from the finalized representations.
+    fn dense_scores(&self, user: usize) -> Vec<f64> {
+        let repr_g = self.final_global.as_ref().expect("finalize must run before inference");
+        let lay = &self.global.layout;
+        let u = repr_g.gather_rows(&[lay.index(NodeRef::User(user))]);
+        let u_row = u.row(0);
+        let mut out = Vec::with_capacity(self.n_items);
+        for i in 0..self.n_items {
+            let ei = repr_g.row(lay.index(NodeRef::Item(i)));
+            let mut s = match self.config.variant {
+                PupVariant::Bipartite => dot(u_row, ei),
+                PupVariant::CategoryOnly => {
+                    let ec = repr_g.row(lay.index(NodeRef::Category(self.item_category[i])));
+                    dot(u_row, ei) + dot(u_row, ec) + dot(ei, ec)
+                }
+                PupVariant::Full | PupVariant::PriceOnly => {
+                    let ep = repr_g.row(lay.index(NodeRef::Price(self.item_price_level[i])));
+                    dot(u_row, ei) + dot(u_row, ep) + dot(ei, ep)
+                }
+            };
+            if let (Some(repr_c), Some(branch)) = (&self.final_category, &self.category) {
+                let clay = &branch.layout;
+                let cu = repr_c.row(clay.index(NodeRef::User(user)));
+                let cp = repr_c.row(clay.index(NodeRef::Price(self.item_price_level[i])));
+                let cc = repr_c.row(clay.index(NodeRef::Category(self.item_category[i])));
+                s += self.config.alpha * (dot(cu, cc) + dot(cu, cp) + dot(cc, cp));
+            }
+            out.push(s);
+        }
+        out
+    }
+
+    /// Global-branch affinity between a user and each price level
+    /// (`e_u · e_p` after propagation) — the interpretability handle the
+    /// paper's decoder design advertises. Requires a finalized model.
+    pub fn user_price_affinity(&self, user: usize) -> Vec<f64> {
+        assert_ne!(self.config.variant, PupVariant::Bipartite, "bipartite PUP has no price nodes");
+        assert_ne!(self.config.variant, PupVariant::CategoryOnly, "category-only PUP has no price nodes");
+        let repr = self.final_global.as_ref().expect("finalize must run before inference");
+        let lay = &self.global.layout;
+        let u = repr.row(lay.index(NodeRef::User(user))).to_vec();
+        (0..lay.n_prices())
+            .map(|p| dot(&u, repr.row(lay.index(NodeRef::Price(p)))))
+            .collect()
+    }
+
+    /// Serializes the trained parameters (embedding tables of both
+    /// branches) in a stable text format. Re-create the model with the same
+    /// data and config, then [`Pup::import_params`] to restore it.
+    pub fn export_params(&self) -> String {
+        let mut out = String::from("PUP-PARAMS v1\n[global]\n");
+        out.push_str(&self.global.emb.value().to_tsv());
+        if let Some(b) = &self.category {
+            out.push_str("[category]\n");
+            out.push_str(&b.emb.value().to_tsv());
+        }
+        out
+    }
+
+    /// Restores parameters exported by [`Pup::export_params`]. The model
+    /// must have been built from the same data and configuration (shapes
+    /// are validated). Refreshes the inference-time representations.
+    pub fn import_params(&mut self, serialized: &str) -> Result<(), String> {
+        let mut lines = serialized.lines();
+        if lines.next() != Some("PUP-PARAMS v1") {
+            return Err("not a PUP-PARAMS v1 file".into());
+        }
+        let rest: Vec<&str> = lines.collect();
+        let mut sections: Vec<(&str, String)> = Vec::new();
+        for line in rest {
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                sections.push((name, String::new()));
+            } else if let Some((_, body)) = sections.last_mut() {
+                body.push_str(line);
+                body.push('\n');
+            } else if !line.trim().is_empty() {
+                return Err(format!("content before first section: {line:?}"));
+            }
+        }
+        let find = |name: &str| -> Option<&String> {
+            sections.iter().find(|(n, _)| *n == name).map(|(_, b)| b)
+        };
+        let global_tsv = find("global").ok_or("missing [global] section")?;
+        let global = Matrix::from_tsv(global_tsv)?;
+        if global.shape() != self.global.emb.shape() {
+            return Err(format!(
+                "[global] shape {:?} does not match model {:?}",
+                global.shape(),
+                self.global.emb.shape()
+            ));
+        }
+        match (&self.category, find("category")) {
+            (Some(branch), Some(tsv)) => {
+                let cat = Matrix::from_tsv(tsv)?;
+                if cat.shape() != branch.emb.shape() {
+                    return Err(format!(
+                        "[category] shape {:?} does not match model {:?}",
+                        cat.shape(),
+                        branch.emb.shape()
+                    ));
+                }
+                branch.emb.set_value(cat);
+            }
+            (Some(_), None) => return Err("missing [category] section".into()),
+            (None, Some(_)) => return Err("unexpected [category] section".into()),
+            (None, None) => {}
+        }
+        self.global.emb.set_value(global);
+        self.finalize();
+        Ok(())
+    }
+
+    /// Category-branch affinity between a user and each (category, price)
+    /// pair: `e_u·e_c + e_u·e_p + e_c·e_p`. Only for [`PupVariant::Full`].
+    pub fn user_category_price_affinity(&self, user: usize, category: usize, price: usize) -> f64 {
+        let branch = self.category.as_ref().expect("full variant required");
+        let repr = self.final_category.as_ref().expect("finalize must run before inference");
+        let lay = &branch.layout;
+        let u = repr.row(lay.index(NodeRef::User(user)));
+        let c = repr.row(lay.index(NodeRef::Category(category)));
+        let p = repr.row(lay.index(NodeRef::Price(price)));
+        dot(u, c) + dot(u, p) + dot(c, p)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl BprModel for Pup {
+    fn begin_step(&mut self, rng: &mut StdRng) {
+        self.step_global =
+            Some(self.global.propagate(self.config.n_layers, self.config.dropout, Some(rng)));
+        self.step_category =
+            self.category.as_ref().map(|b| {
+                b.propagate(self.config.n_layers, self.config.dropout, Some(rng))
+            });
+    }
+
+    fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
+        let repr_g = self.step_global.clone().expect("begin_step must run first");
+        let repr_c = self.step_category.clone();
+        self.branch_scores(&repr_g, repr_c.as_ref(), users, items)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.global.emb.clone()];
+        if let Some(b) = &self.category {
+            p.push(b.emb.clone());
+        }
+        p
+    }
+
+    fn finalize(&mut self) {
+        self.final_global =
+            Some(self.global.propagate(self.config.n_layers, 0.0, None).value_clone());
+        self.final_category =
+            self.category.as_ref().map(|b| {
+                b.propagate(self.config.n_layers, 0.0, None).value_clone()
+            });
+        self.step_global = None;
+        self.step_category = None;
+    }
+}
+
+impl Recommender for Pup {
+    fn name(&self) -> &str {
+        match self.config.variant {
+            PupVariant::Full => "PUP",
+            PupVariant::PriceOnly => "PUP-",
+            PupVariant::CategoryOnly => "PUP w/ c",
+            PupVariant::Bipartite => "PUP w/o c,p",
+        }
+    }
+
+    fn score_items(&self, user: usize) -> Vec<f64> {
+        self.dense_scores(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_bpr, TrainConfig};
+
+    fn price_data<'a>(
+        train: &'a [(usize, usize)],
+        price: &'a [usize],
+        cat: &'a [usize],
+        n_users: usize,
+    ) -> TrainData<'a> {
+        TrainData {
+            n_users,
+            n_items: price.len(),
+            n_categories: cat.iter().max().unwrap() + 1,
+            n_price_levels: price.iter().max().unwrap() + 1,
+            item_price_level: price,
+            item_category: cat,
+            train,
+        }
+    }
+
+    fn small_config(variant: PupVariant) -> PupConfig {
+        PupConfig {
+            global_dim: 12,
+            category_dim: 4,
+            alpha: 0.5,
+            variant,
+            dropout: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dense_scores_match_batch_scores_for_all_variants() {
+        let price = vec![0, 1, 2, 0, 1];
+        let cat = vec![0, 1, 0, 1, 0];
+        let train = vec![(0, 0), (1, 1), (2, 2)];
+        let data = price_data(&train, &price, &cat, 3);
+        for variant in [
+            PupVariant::Full,
+            PupVariant::PriceOnly,
+            PupVariant::CategoryOnly,
+            PupVariant::Bipartite,
+        ] {
+            let mut m = Pup::new(&data, small_config(variant));
+            m.begin_step(&mut StdRng::seed_from_u64(0));
+            let users = vec![1usize; 5];
+            let items: Vec<usize> = (0..5).collect();
+            let batch = m.score_batch(&users, &items);
+            m.finalize();
+            let dense = m.score_items(1);
+            for k in 0..5 {
+                assert!(
+                    (batch.value().get(k, 0) - dense[k]).abs() < 1e-10,
+                    "{variant:?}: mismatch at item {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_variant_has_two_parameter_tables() {
+        let price = vec![0, 1];
+        let cat = vec![0, 0];
+        let train = vec![(0, 0)];
+        let data = price_data(&train, &price, &cat, 2);
+        assert_eq!(Pup::new(&data, small_config(PupVariant::Full)).params().len(), 2);
+        assert_eq!(Pup::new(&data, small_config(PupVariant::PriceOnly)).params().len(), 1);
+    }
+
+    #[test]
+    fn single_branch_variants_use_full_dimension_budget() {
+        let price = vec![0, 1];
+        let cat = vec![0, 0];
+        let train = vec![(0, 0)];
+        let data = price_data(&train, &price, &cat, 2);
+        let m = Pup::new(&data, small_config(PupVariant::Bipartite));
+        assert_eq!(m.global.emb.shape().1, 16); // 12 + 4
+        let f = Pup::new(&data, small_config(PupVariant::Full));
+        assert_eq!(f.global.emb.shape().1, 12);
+        assert_eq!(f.category.as_ref().unwrap().emb.shape().1, 4);
+    }
+
+    #[test]
+    fn pup_learns_price_preference() {
+        // Two user groups with disjoint price preferences across two
+        // categories; held-out items test price generalization.
+        let price = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let cat = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let mut train = Vec::new();
+        // Cheap users 0,1 buy price-0 items (0, 2); expensive users 2,3 buy
+        // price-1 items (1, 3).
+        for &u in &[0usize, 1] {
+            train.push((u, 0));
+            train.push((u, 2));
+        }
+        for &u in &[2usize, 3] {
+            train.push((u, 1));
+            train.push((u, 3));
+        }
+        let data = price_data(&train, &price, &cat, 4);
+        let mut m = Pup::new(&data, small_config(PupVariant::Full));
+        let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
+        train_bpr(&mut m, 4, 8, &train, &cfg);
+        let s = m.score_items(0);
+        // Held-out items 4 (price 0) vs 5 (price 1): cheap user prefers 4.
+        assert!(s[4] > s[5], "PUP failed price transfer: {} vs {}", s[4], s[5]);
+        // And the learned price affinity should rank level 0 over level 1.
+        let aff = m.user_price_affinity(0);
+        assert!(aff[0] > aff[1], "price affinity not learned: {aff:?}");
+    }
+
+    #[test]
+    fn price_awareness_propagates_through_items() {
+        // Even with no training, propagation makes a user's representation
+        // absorb the price nodes of her purchased items: the user connected
+        // to price-0 items should sit closer to price node 0 than a user
+        // connected to price-1 items.
+        let price = vec![0, 0, 1, 1];
+        let cat = vec![0, 0, 0, 0];
+        let train = vec![(0, 0), (0, 1), (1, 2), (1, 3)];
+        let data = price_data(&train, &price, &cat, 2);
+        let mut m = Pup::new(&data, small_config(PupVariant::PriceOnly));
+        m.finalize();
+        let repr = m.final_global.as_ref().unwrap();
+        let lay = &m.global.layout;
+        let cos = |a: usize, b: usize| {
+            let ra = repr.row(a);
+            let rb = repr.row(b);
+            dot(ra, rb) / (dot(ra, ra).sqrt() * dot(rb, rb).sqrt())
+        };
+        let u0 = lay.index(NodeRef::User(0));
+        let p0 = lay.index(NodeRef::Price(0));
+        let p1 = lay.index(NodeRef::Price(1));
+        // User 0's 2-hop neighborhood includes price 0 but not price 1.
+        // One propagation layer reaches only 1-hop, so compare via shared
+        // item structure: items of price 0 absorbed p0's embedding.
+        let i0 = lay.index(NodeRef::Item(0));
+        let i2 = lay.index(NodeRef::Item(2));
+        assert!(cos(i0, p0) > cos(i0, p1), "item 0 should absorb price 0");
+        assert!(cos(i2, p1) > cos(i2, p0), "item 2 should absorb price 1");
+        let _ = u0;
+    }
+
+    #[test]
+    fn extra_attribute_families_join_the_graph() {
+        let price = vec![0, 1, 0, 1];
+        let cat = vec![0, 0, 1, 1];
+        let train = vec![(0, 0), (1, 1), (2, 2), (3, 3)];
+        let data = price_data(&train, &price, &cat, 4);
+        let extras = [
+            ExtraAttribute {
+                name: "brand".into(),
+                n_values: 2,
+                values: vec![0, 0, 1, 1],
+                target: AttributeTarget::Items,
+            },
+            ExtraAttribute {
+                name: "city".into(),
+                n_values: 3,
+                values: vec![0, 1, 2, 0],
+                target: AttributeTarget::Users,
+            },
+        ];
+        let mut m = Pup::with_extras(&data, small_config(PupVariant::Full), &extras);
+        // Layout grew by 2 brand + 3 city nodes on both branches.
+        assert_eq!(m.global.layout.total(), 4 + 4 + 2 + 2 + 2 + 3);
+        // Training still runs and scoring paths agree.
+        m.begin_step(&mut StdRng::seed_from_u64(0));
+        let batch = m.score_batch(&[0, 0, 0, 0], &[0, 1, 2, 3]);
+        m.finalize();
+        let dense = m.score_items(0);
+        for k in 0..4 {
+            assert!((batch.value().get(k, 0) - dense[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn extra_attribute_nodes_propagate_signal() {
+        // Two items share a brand but no users or price/category; their
+        // propagated embeddings should be closer than unrelated items.
+        let price = vec![0, 1, 2, 3];
+        let cat = vec![0, 1, 2, 3];
+        let train = vec![(0, 0), (1, 1), (2, 2), (3, 3)];
+        let data = price_data(&train, &price, &cat, 4);
+        let extras = [ExtraAttribute {
+            name: "brand".into(),
+            n_values: 3,
+            values: vec![0, 0, 1, 2], // items 0 and 1 share brand 0
+            target: AttributeTarget::Items,
+        }];
+        let mut m = Pup::with_extras(&data, small_config(PupVariant::Bipartite), &extras);
+        m.finalize();
+        let repr = m.final_global.as_ref().unwrap();
+        let lay = &m.global.layout;
+        let cos = |a: usize, b: usize| {
+            let ra = repr.row(a);
+            let rb = repr.row(b);
+            dot(ra, rb) / (dot(ra, ra).sqrt() * dot(rb, rb).sqrt())
+        };
+        let i0 = lay.index(NodeRef::Item(0));
+        let i1 = lay.index(NodeRef::Item(1));
+        let i2 = lay.index(NodeRef::Item(2));
+        assert!(
+            cos(i0, i1) > cos(i0, i2),
+            "same-brand items should be closer: {} vs {}",
+            cos(i0, i1),
+            cos(i0, i2)
+        );
+    }
+
+    #[test]
+    fn two_layer_propagation_reaches_price_nodes_from_users() {
+        // user 0 - items 0,1 (price 0); user 1 - items 2,3 (price 1).
+        // With one layer a user's representation only contains items; with
+        // two layers it absorbs the 2-hop price nodes, so u0 aligns with
+        // price 0 more than with price 1.
+        let price = vec![0, 0, 1, 1];
+        let cat = vec![0, 0, 0, 0];
+        let train = vec![(0, 0), (0, 1), (1, 2), (1, 3)];
+        let data = price_data(&train, &price, &cat, 2);
+        let mut cfg = small_config(PupVariant::PriceOnly);
+        cfg.n_layers = 2;
+        let mut m = Pup::new(&data, cfg);
+        m.finalize();
+        let repr = m.final_global.as_ref().unwrap();
+        let lay = &m.global.layout;
+        let cos = |a: usize, b: usize| {
+            let ra = repr.row(a);
+            let rb = repr.row(b);
+            dot(ra, rb) / (dot(ra, ra).sqrt() * dot(rb, rb).sqrt())
+        };
+        let u0 = lay.index(NodeRef::User(0));
+        let p0 = lay.index(NodeRef::Price(0));
+        let p1 = lay.index(NodeRef::Price(1));
+        assert!(
+            cos(u0, p0) > cos(u0, p1),
+            "2-layer user repr should absorb its 2-hop price node: {} vs {}",
+            cos(u0, p0),
+            cos(u0, p1)
+        );
+    }
+
+    #[test]
+    fn multi_layer_scores_stay_consistent_between_paths() {
+        let price = vec![0, 1, 2, 0];
+        let cat = vec![0, 1, 0, 1];
+        let train = vec![(0, 0), (1, 1), (2, 2)];
+        let data = price_data(&train, &price, &cat, 3);
+        let mut cfg = small_config(PupVariant::Full);
+        cfg.n_layers = 3;
+        let mut m = Pup::new(&data, cfg);
+        m.begin_step(&mut StdRng::seed_from_u64(1));
+        let batch = m.score_batch(&[2, 2, 2, 2], &[0, 1, 2, 3]);
+        m.finalize();
+        let dense = m.score_items(2);
+        for k in 0..4 {
+            assert!((batch.value().get(k, 0) - dense[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn params_roundtrip_preserves_scores() {
+        let price = vec![0, 1, 2, 0];
+        let cat = vec![0, 1, 0, 1];
+        let train = vec![(0, 0), (1, 1), (2, 2)];
+        let data = price_data(&train, &price, &cat, 3);
+        let mut m = Pup::new(&data, small_config(PupVariant::Full));
+        crate::trainer::train_bpr(
+            &mut m,
+            3,
+            4,
+            &train,
+            &crate::trainer::TrainConfig { epochs: 3, batch_size: 4, ..Default::default() },
+        );
+        let exported = m.export_params();
+        let before = m.score_items(1);
+
+        // A freshly initialized model scores differently; import restores.
+        let mut fresh = Pup::new(
+            &data,
+            PupConfig { seed: 999, ..small_config(PupVariant::Full) },
+        );
+        fresh.finalize();
+        assert_ne!(fresh.score_items(1), before);
+        fresh.import_params(&exported).unwrap();
+        let after = fresh.score_items(1);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-12, "import must restore scores exactly");
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_shapes_and_garbage() {
+        let price = vec![0, 1];
+        let cat = vec![0, 0];
+        let train = vec![(0, 0)];
+        let data = price_data(&train, &price, &cat, 2);
+        let mut m = Pup::new(&data, small_config(PupVariant::Full));
+        assert!(m.import_params("nonsense").is_err());
+        // Export from a different-dimension model must be rejected.
+        let mut big = Pup::new(
+            &data,
+            PupConfig { global_dim: 20, category_dim: 4, ..small_config(PupVariant::Full) },
+        );
+        big.finalize();
+        let err = m.import_params(&big.export_params()).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per target entity")]
+    fn extras_with_wrong_length_are_rejected() {
+        let price = vec![0, 1];
+        let cat = vec![0, 0];
+        let train = vec![(0, 0)];
+        let data = price_data(&train, &price, &cat, 2);
+        let extras = [ExtraAttribute {
+            name: "brand".into(),
+            n_values: 2,
+            values: vec![0], // should be 2 (one per item)
+            target: AttributeTarget::Items,
+        }];
+        let _ = Pup::with_extras(&data, small_config(PupVariant::Full), &extras);
+    }
+
+    #[test]
+    #[should_panic(expected = "no price nodes")]
+    fn bipartite_variant_rejects_price_affinity() {
+        let price = vec![0, 1];
+        let cat = vec![0, 0];
+        let train = vec![(0, 0)];
+        let data = price_data(&train, &price, &cat, 2);
+        let mut m = Pup::new(&data, small_config(PupVariant::Bipartite));
+        m.finalize();
+        let _ = m.user_price_affinity(0);
+    }
+}

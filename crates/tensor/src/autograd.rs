@@ -1,0 +1,278 @@
+//! Minimal reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! The PUP models are shallow computation graphs (embedding lookups, one or
+//! two sparse propagations, dot-product decoders, a pairwise loss), rebuilt
+//! on every training step. A dynamic tape fits this naturally: every [`Var`]
+//! records its parents and a backward closure; [`Var::backward`] walks the
+//! reachable graph in reverse creation order and accumulates gradients into
+//! the leaves (parameters).
+//!
+//! Gradients are exact (verified against central finite differences in the
+//! test suite), which substitutes for the deep-learning frameworks the paper
+//! relied on.
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::matrix::Matrix;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Backward closure: receives the gradient flowing into this node and the
+/// node's parents, and accumulates the parents' gradients.
+type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
+
+struct VarInner {
+    id: u64,
+    value: Matrix,
+    grad: Option<Matrix>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autograd graph holding a [`Matrix`] value.
+///
+/// `Var` is a cheap reference-counted handle; cloning it aliases the same
+/// node. Build graphs with the methods in [`crate::ops`] and call
+/// [`Var::backward`] on a scalar (1x1) result.
+#[derive(Clone)]
+pub struct Var {
+    inner: Rc<RefCell<VarInner>>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "Var(id={}, {}x{}, requires_grad={})",
+            inner.id,
+            inner.value.rows(),
+            inner.value.cols(),
+            inner.requires_grad
+        )
+    }
+}
+
+impl Var {
+    fn new(value: Matrix, requires_grad: bool, parents: Vec<Var>, backward: Option<BackwardFn>) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(VarInner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value,
+                grad: None,
+                requires_grad,
+                parents,
+                backward,
+            })),
+        }
+    }
+
+    /// A trainable leaf (gradient is accumulated here).
+    pub fn param(value: Matrix) -> Self {
+        Self::new(value, true, Vec::new(), None)
+    }
+
+    /// A constant leaf (no gradient).
+    pub fn constant(value: Matrix) -> Self {
+        Self::new(value, false, Vec::new(), None)
+    }
+
+    /// Internal constructor for op results. `requires_grad` is inherited from
+    /// the parents; nodes with no differentiable parent skip the tape.
+    pub(crate) fn from_op(value: Matrix, parents: Vec<Var>, backward: BackwardFn) -> Self {
+        let requires = parents.iter().any(Var::requires_grad);
+        if requires {
+            Self::new(value, true, parents, Some(backward))
+        } else {
+            Self::new(value, false, Vec::new(), None)
+        }
+    }
+
+    /// Unique creation id (monotonically increasing).
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.borrow().id
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.inner.borrow().requires_grad
+    }
+
+    /// Borrows the current value.
+    pub fn value(&self) -> Ref<'_, Matrix> {
+        Ref::map(self.inner.borrow(), |i| &i.value)
+    }
+
+    /// Clones the current value out of the node.
+    pub fn value_clone(&self) -> Matrix {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Shape of the held value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.inner.borrow().value.shape()
+    }
+
+    /// The scalar value of a 1x1 node.
+    ///
+    /// # Panics
+    /// Panics when the node is not 1x1.
+    pub fn scalar(&self) -> f64 {
+        let inner = self.inner.borrow();
+        assert_eq!(inner.value.shape(), (1, 1), "scalar() called on non-scalar Var");
+        inner.value.get(0, 0)
+    }
+
+    /// Clones the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad = None;
+    }
+
+    /// Mutates the held value in place (used by optimizers). The tape is not
+    /// informed: only call this on leaves between steps.
+    pub fn update_value(&self, f: impl FnOnce(&mut Matrix)) {
+        f(&mut self.inner.borrow_mut().value)
+    }
+
+    /// Replaces the held value. Only call on leaves between steps.
+    pub fn set_value(&self, value: Matrix) {
+        self.inner.borrow_mut().value = value;
+    }
+
+    /// Accumulates `g` into this node's gradient buffer.
+    pub(crate) fn accumulate_grad(&self, g: &Matrix) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.requires_grad {
+            return;
+        }
+        debug_assert_eq!(inner.value.shape(), g.shape(), "gradient shape mismatch");
+        match &mut inner.grad {
+            Some(acc) => acc.add_assign(g),
+            None => inner.grad = Some(g.clone()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this scalar node, accumulating
+    /// gradients into every reachable leaf that requires gradient.
+    ///
+    /// # Panics
+    /// Panics when called on a non-scalar node.
+    pub fn backward(&self) {
+        assert_eq!(self.shape(), (1, 1), "backward() must start from a scalar loss");
+        self.accumulate_grad(&Matrix::ones(1, 1));
+        // Reverse creation order is a valid reverse topological order because
+        // an op's parents are always created before the op itself.
+        let mut stack = vec![self.clone()];
+        let mut seen = std::collections::HashSet::new();
+        let mut nodes = Vec::new();
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v.id()) {
+                continue;
+            }
+            let parents: Vec<Var> = v.inner.borrow().parents.clone();
+            for p in parents {
+                if p.requires_grad() {
+                    stack.push(p);
+                }
+            }
+            nodes.push(v);
+        }
+        nodes.sort_unstable_by_key(|v| std::cmp::Reverse(v.id()));
+        for node in nodes {
+            // Take the gradient out so interior nodes free their buffers.
+            let grad = {
+                let mut inner = node.inner.borrow_mut();
+                if inner.backward.is_none() {
+                    continue; // leaf: keep the accumulated gradient
+                }
+                inner.grad.take()
+            };
+            let Some(grad) = grad else { continue };
+            let inner = node.inner.borrow();
+            if let Some(backward) = &inner.backward {
+                backward(&grad, &inner.parents);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn leaf_flags() {
+        let p = Var::param(Matrix::zeros(2, 2));
+        let c = Var::constant(Matrix::zeros(2, 2));
+        assert!(p.requires_grad());
+        assert!(!c.requires_grad());
+    }
+
+    #[test]
+    fn backward_on_simple_chain() {
+        // loss = sum(2 * x) => dloss/dx = 2 everywhere.
+        let x = Var::param(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let loss = ops::sum(&ops::scale(&x, 2.0));
+        assert_eq!(loss.scalar(), 20.0);
+        loss.backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_uses() {
+        // loss = sum(x + x) => dloss/dx = 2.
+        let x = Var::param(Matrix::ones(1, 3));
+        let loss = ops::sum(&ops::add(&x, &x));
+        loss.backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let x = Var::param(Matrix::ones(1, 2));
+        for expected in [1.0, 2.0] {
+            let loss = ops::sum(&x);
+            loss.backward();
+            assert_eq!(x.grad().unwrap().as_slice(), &[expected, expected]);
+        }
+        x.zero_grad();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let x = Var::param(Matrix::ones(1, 2));
+        let c = Var::constant(Matrix::ones(1, 2));
+        let loss = ops::sum(&ops::mul(&x, &c));
+        loss.backward();
+        assert!(c.grad().is_none());
+        assert!(x.grad().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let x = Var::param(Matrix::ones(2, 2));
+        x.backward();
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_once_per_path() {
+        // y = x*x; z = y + y; loss = sum(z) => dloss/dx = 4x.
+        let x = Var::param(Matrix::from_vec(1, 2, vec![3.0, -2.0]));
+        let y = ops::mul(&x, &x);
+        let z = ops::add(&y, &y);
+        let loss = ops::sum(&z);
+        loss.backward();
+        assert_eq!(x.grad().unwrap().as_slice(), &[12.0, -8.0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Parameter initializers.
+//!
+//! Embedding tables use a scaled normal ("Xavier"-style) initialization as is
+//! standard for the GCN/FM models reproduced here. All initializers take an
+//! explicit RNG so experiments are reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Normal(0, std^2) initialization via Box–Muller (avoids needing
+/// `rand_distr`; `rand` is the only sampling dependency of the workspace).
+pub fn normal(rows: usize, cols: usize, std: f64, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| sample_standard_normal(rng) * std)
+}
+
+/// Xavier/Glorot normal initialization: std = sqrt(2 / (fan_in + fan_out)).
+pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / (rows + cols) as f64).sqrt();
+    normal(rows, cols, std, rng)
+}
+
+/// Uniform(lo, hi) initialization.
+pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Matrix {
+    assert!(lo < hi, "uniform: empty range");
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// One standard-normal draw (Box–Muller, non-polar form).
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = normal(100, 100, 0.1, &mut rng);
+        let mean = m.mean();
+        let var = m.sq_norm() / m.len() as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean} too large");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {} too far from 0.1", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_std_tracks_fan() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = xavier(64, 64, &mut rng);
+        let std = (m.sq_norm() / m.len() as f64).sqrt();
+        let expected = (2.0 / 128.0f64).sqrt();
+        assert!((std - expected).abs() < 0.02, "std {std} vs expected {expected}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = uniform(50, 50, -0.5, 0.25, &mut rng);
+        for &v in m.as_slice() {
+            assert!((-0.5..0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let a = normal(4, 4, 1.0, &mut StdRng::seed_from_u64(11));
+        let b = normal(4, 4, 1.0, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,597 @@
+//! Dense row-major `f64` matrices.
+//!
+//! This is the numeric workhorse of the reproduction: embeddings, propagated
+//! node representations and gradients are all [`Matrix`] values. The type is
+//! deliberately small — just the operations the PUP models need — and every
+//! operation validates shapes eagerly so shape bugs surface at the call site
+//! rather than as silent numeric corruption.
+
+use std::fmt;
+
+/// A dense, row-major matrix of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics when inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{} shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul: {}x{} ^T * {}x{} shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = rhs.row(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhs^T` without materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t: {}x{} * {}x{} ^T shape mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum. Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference. Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product. Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// In-place element-wise accumulation `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulation `self += alpha * rhs`.
+    pub fn add_scaled_assign(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    fn zip_with(&self, rhs: &Matrix, op: &str, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "{op}: {}x{} vs {}x{} shape mismatch",
+            self.rows,
+            self.cols,
+            rhs.rows,
+            rhs.cols
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all entries (0 for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Squared Frobenius norm (sum of squared entries).
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Per-row sum, returned as an `rows x 1` matrix.
+    pub fn row_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Row-wise dot product of two matrices with identical shapes, returned
+    /// as an `rows x 1` matrix. This is the decoder primitive: the dot product
+    /// of the `r`-th embedding in `self` with the `r`-th embedding in `rhs`.
+    pub fn rowwise_dot(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "rowwise_dot: shape mismatch");
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self
+                .row(r)
+                .iter()
+                .zip(rhs.row(r))
+                .map(|(&a, &b)| a * b)
+                .sum();
+        }
+        out
+    }
+
+    /// Gathers the given rows into a new matrix (embedding lookup).
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "gather_rows: index {src} out of {} rows", self.rows);
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Scatter-adds rows of `src` into `self` at the given indices
+    /// (the adjoint of [`Matrix::gather_rows`]).
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Matrix) {
+        assert_eq!(indices.len(), src.rows(), "scatter_add_rows: index/row count mismatch");
+        assert_eq!(self.cols, src.cols(), "scatter_add_rows: column mismatch");
+        for (row, &dst) in indices.iter().enumerate() {
+            assert!(dst < self.rows, "scatter_add_rows: index {dst} out of {} rows", self.rows);
+            let s = src.row(row);
+            let d = &mut self.data[dst * self.cols..(dst + 1) * self.cols];
+            for (dv, &sv) in d.iter_mut().zip(s) {
+                *dv += sv;
+            }
+        }
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    pub fn concat_cols(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "concat_cols: row mismatch");
+        let cols = self.cols + rhs.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Extracts columns `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols: bad range {start}..{end}");
+        let cols = end - start;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Maximum absolute entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &v| m.max(v.abs()))
+    }
+
+    /// True when every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Serializes to tab-separated values (one row per line, full `f64`
+    /// round-trip precision). Used to persist trained embedding tables.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::with_capacity(self.data.len() * 8);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r).iter().enumerate() {
+                if c > 0 {
+                    out.push('\t');
+                }
+                // `{:?}` prints the shortest representation that round-trips.
+                out.push_str(&format!("{v:?}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a matrix from the TSV format of [`Matrix::to_tsv`].
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line (ragged rows, bad
+    /// floats, empty input).
+    pub fn from_tsv(tsv: &str) -> Result<Matrix, String> {
+        let mut data = Vec::new();
+        let mut cols = None;
+        let mut rows = 0;
+        for (lineno, line) in tsv.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut count = 0;
+            for field in line.split('\t') {
+                let v: f64 = field
+                    .parse()
+                    .map_err(|_| format!("line {}: bad float {field:?}", lineno + 1))?;
+                data.push(v);
+                count += 1;
+            }
+            match cols {
+                None => cols = Some(count),
+                Some(c) if c != count => {
+                    return Err(format!("line {}: expected {c} columns, got {count}", lineno + 1))
+                }
+                _ => {}
+            }
+            rows += 1;
+        }
+        let cols = cols.ok_or_else(|| "empty matrix".to_string())?;
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        assert_eq!(a.matmul(&Matrix::eye(4)), a);
+        assert_eq!(Matrix::eye(4).matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f64 + 0.5);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f64 - 1.0);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f64 + 0.5);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * c) as f64 - 1.0);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.sq_norm(), 30.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.row_sums().as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn rowwise_dot_matches_manual() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.rowwise_dot(&b).as_slice(), &[17.0, 53.0]);
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let base = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f64);
+        let idx = [4, 0, 2];
+        let g = base.gather_rows(&idx);
+        assert_eq!(g.row(0), base.row(4));
+        assert_eq!(g.row(1), base.row(0));
+
+        let mut acc = Matrix::zeros(5, 3);
+        acc.scatter_add_rows(&idx, &g);
+        assert_eq!(acc.row(4), base.row(4));
+        assert_eq!(acc.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_accumulates_duplicates() {
+        let mut acc = Matrix::zeros(2, 2);
+        let src = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        acc.scatter_add_rows(&[0, 0, 1], &src);
+        assert_eq!(acc.as_slice(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverse() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f64 + 9.0);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.shape(), (3, 6));
+        assert_eq!(cat.slice_cols(0, 2), a);
+        assert_eq!(cat.slice_cols(2, 6), b);
+    }
+
+    #[test]
+    fn tsv_roundtrip_is_exact() {
+        let m = Matrix::from_fn(5, 3, |r, c| ((r * 31 + c * 7) as f64).sin() * 1e-7 + r as f64);
+        let parsed = Matrix::from_tsv(&m.to_tsv()).unwrap();
+        assert_eq!(parsed, m, "TSV roundtrip must be bit-exact");
+    }
+
+    #[test]
+    fn tsv_rejects_ragged_and_garbage() {
+        assert!(Matrix::from_tsv("1.0\t2.0\n3.0\n").unwrap_err().contains("columns"));
+        assert!(Matrix::from_tsv("1.0\tpotato\n").unwrap_err().contains("bad float"));
+        assert!(Matrix::from_tsv("").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn tsv_handles_special_values() {
+        let m = Matrix::from_vec(1, 3, vec![f64::MAX, f64::MIN_POSITIVE, -0.0]);
+        let parsed = Matrix::from_tsv(&m.to_tsv()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f64 * 0.25);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,585 @@
+//! Differentiable operations on [`Var`] nodes.
+//!
+//! Each op computes its forward value eagerly and registers a backward
+//! closure on the tape. The op set is exactly what the PUP reproduction
+//! needs: embedding lookups ([`gather_rows`]), graph propagation ([`spmm`]),
+//! dense layers ([`matmul`]), activations, dot-product decoders
+//! ([`rowwise_dot`]) and loss reductions.
+
+use std::rc::Rc;
+
+use crate::autograd::Var;
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+
+/// Element-wise sum `a + b`.
+pub fn add(a: &Var, b: &Var) -> Var {
+    let value = a.value().add(&b.value());
+    Var::from_op(
+        value,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            parents[0].accumulate_grad(g);
+            parents[1].accumulate_grad(g);
+        }),
+    )
+}
+
+/// Element-wise difference `a - b`.
+pub fn sub(a: &Var, b: &Var) -> Var {
+    let value = a.value().sub(&b.value());
+    Var::from_op(
+        value,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            parents[0].accumulate_grad(g);
+            parents[1].accumulate_grad(&g.scale(-1.0));
+        }),
+    )
+}
+
+/// Element-wise (Hadamard) product `a ⊙ b`.
+pub fn mul(a: &Var, b: &Var) -> Var {
+    let value = a.value().hadamard(&b.value());
+    Var::from_op(
+        value,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            // Materialize both gradients before accumulating: the parents may
+            // alias (e.g. `mul(x, x)`), and `accumulate_grad` needs a
+            // mutable borrow of the node the value `Ref` would still hold.
+            let ga = g.hadamard(&parents[1].value());
+            let gb = g.hadamard(&parents[0].value());
+            parents[0].accumulate_grad(&ga);
+            parents[1].accumulate_grad(&gb);
+        }),
+    )
+}
+
+/// Scalar multiple `alpha * a`.
+pub fn scale(a: &Var, alpha: f64) -> Var {
+    let value = a.value().scale(alpha);
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| parents[0].accumulate_grad(&g.scale(alpha))),
+    )
+}
+
+/// Dense matrix product `a * b`.
+pub fn matmul(a: &Var, b: &Var) -> Var {
+    let value = a.value().matmul(&b.value());
+    Var::from_op(
+        value,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            // dA = g * B^T ; dB = A^T * g. Materialized first: parents may
+            // alias (`matmul(x, x)`), see `mul`.
+            let ga = g.matmul_t(&parents[1].value());
+            let gb = parents[0].value().t_matmul(g);
+            parents[0].accumulate_grad(&ga);
+            parents[1].accumulate_grad(&gb);
+        }),
+    )
+}
+
+/// Sparse-dense product `A * x` with a constant sparse `A` (graph
+/// propagation `Â · E`). The gradient flows only into `x`: `dx = A^T g`.
+pub fn spmm(a: &Rc<CsrMatrix>, x: &Var) -> Var {
+    let value = a.spmm(&x.value());
+    let a = Rc::clone(a);
+    Var::from_op(
+        value,
+        vec![x.clone()],
+        Box::new(move |g, parents| parents[0].accumulate_grad(&a.t_spmm(g))),
+    )
+}
+
+/// Hyperbolic tangent activation.
+pub fn tanh(a: &Var) -> Var {
+    let value = a.value().map(f64::tanh);
+    let saved = value.clone();
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            // d tanh(x) = 1 - tanh(x)^2
+            let local = saved.map(|t| 1.0 - t * t);
+            parents[0].accumulate_grad(&g.hadamard(&local));
+        }),
+    )
+}
+
+/// Logistic sigmoid activation.
+pub fn sigmoid(a: &Var) -> Var {
+    let value = a.value().map(stable_sigmoid);
+    let saved = value.clone();
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            let local = saved.map(|s| s * (1.0 - s));
+            parents[0].accumulate_grad(&g.hadamard(&local));
+        }),
+    )
+}
+
+/// Rectified linear unit.
+pub fn relu(a: &Var) -> Var {
+    leaky_relu(a, 0.0)
+}
+
+/// Leaky ReLU with the given negative-side slope (NGCF uses 0.2).
+pub fn leaky_relu(a: &Var, slope: f64) -> Var {
+    let input = a.value_clone();
+    let value = input.map(|v| if v > 0.0 { v } else { slope * v });
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            let local = input.map(|v| if v > 0.0 { 1.0 } else { slope });
+            parents[0].accumulate_grad(&g.hadamard(&local));
+        }),
+    )
+}
+
+/// Element-wise square `a ⊙ a` (cheaper than `mul(a, a)`).
+pub fn square(a: &Var) -> Var {
+    let value = a.value().map(|v| v * v);
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(|g, parents| {
+            let local = parents[0].value().scale(2.0);
+            parents[0].accumulate_grad(&g.hadamard(&local));
+        }),
+    )
+}
+
+/// Numerically stable softplus `ln(1 + e^x)` applied element-wise.
+///
+/// `mean(softplus(-(s_pos - s_neg)))` is exactly the BPR objective of the
+/// paper's eq. (4) (with the σ-difference typo corrected; see DESIGN.md).
+pub fn softplus(a: &Var) -> Var {
+    let input = a.value_clone();
+    let value = input.map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            let local = input.map(stable_sigmoid);
+            parents[0].accumulate_grad(&g.hadamard(&local));
+        }),
+    )
+}
+
+/// Gathers rows of an embedding table (lookup). Backward scatter-adds.
+pub fn gather_rows(a: &Var, indices: &[usize]) -> Var {
+    let value = a.value().gather_rows(indices);
+    let indices: Rc<[usize]> = indices.into();
+    let (rows, cols) = a.shape();
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            let mut acc = Matrix::zeros(rows, cols);
+            acc.scatter_add_rows(&indices, g);
+            parents[0].accumulate_grad(&acc);
+        }),
+    )
+}
+
+/// Row-wise dot product of equally shaped matrices, producing `rows x 1`
+/// scores (the FM / dot-product decoder primitive).
+pub fn rowwise_dot(a: &Var, b: &Var) -> Var {
+    let value = a.value().rowwise_dot(&b.value());
+    Var::from_op(
+        value,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, parents| {
+            // g is rows x 1; broadcast over columns.
+            let ga = broadcast_col_scale(&parents[1].value(), g);
+            let gb = broadcast_col_scale(&parents[0].value(), g);
+            parents[0].accumulate_grad(&ga);
+            parents[1].accumulate_grad(&gb);
+        }),
+    )
+}
+
+fn broadcast_col_scale(m: &Matrix, col: &Matrix) -> Matrix {
+    debug_assert_eq!(col.cols(), 1);
+    debug_assert_eq!(col.rows(), m.rows());
+    let mut out = m.clone();
+    for r in 0..m.rows() {
+        let s = col.get(r, 0);
+        for v in out.row_mut(r) {
+            *v *= s;
+        }
+    }
+    out
+}
+
+/// Per-row sum, producing a `rows x 1` matrix.
+pub fn row_sums(a: &Var) -> Var {
+    let value = a.value().row_sums();
+    let cols = a.shape().1;
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            let (rows, _) = parents[0].shape();
+            let mut acc = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                let s = g.get(r, 0);
+                for v in acc.row_mut(r) {
+                    *v = s;
+                }
+            }
+            parents[0].accumulate_grad(&acc);
+        }),
+    )
+}
+
+/// Sum over all entries, producing a scalar (1x1).
+pub fn sum(a: &Var) -> Var {
+    let value = Matrix::from_vec(1, 1, vec![a.value().sum()]);
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(|g, parents| {
+            let (rows, cols) = parents[0].shape();
+            parents[0].accumulate_grad(&Matrix::full(rows, cols, g.get(0, 0)));
+        }),
+    )
+}
+
+/// Mean over all entries, producing a scalar (1x1).
+pub fn mean(a: &Var) -> Var {
+    let n = {
+        let v = a.value();
+        (v.rows() * v.cols()) as f64
+    };
+    scale(&sum(a), 1.0 / n.max(1.0))
+}
+
+/// Horizontal concatenation `[a | b]`.
+pub fn concat_cols(a: &Var, b: &Var) -> Var {
+    let value = a.value().concat_cols(&b.value());
+    let a_cols = a.shape().1;
+    let total = value.cols();
+    Var::from_op(
+        value,
+        vec![a.clone(), b.clone()],
+        Box::new(move |g, parents| {
+            parents[0].accumulate_grad(&g.slice_cols(0, a_cols));
+            parents[1].accumulate_grad(&g.slice_cols(a_cols, total));
+        }),
+    )
+}
+
+/// Vertical concatenation `[a ; b]` (stacks rows). Used to assemble the
+/// full node-embedding matrix from per-family tables.
+pub fn concat_rows(a: &Var, b: &Var) -> Var {
+    let value = {
+        let av = a.value();
+        let bv = b.value();
+        assert_eq!(av.cols(), bv.cols(), "concat_rows: column mismatch");
+        let mut data = Vec::with_capacity((av.rows() + bv.rows()) * av.cols());
+        data.extend_from_slice(av.as_slice());
+        data.extend_from_slice(bv.as_slice());
+        Matrix::from_vec(av.rows() + bv.rows(), av.cols(), data)
+    };
+    let a_rows = a.shape().0;
+    Var::from_op(
+        value,
+        vec![a.clone(), b.clone()],
+        Box::new(move |g, parents| {
+            let cols = g.cols();
+            let top = Matrix::from_vec(a_rows, cols, g.as_slice()[..a_rows * cols].to_vec());
+            let bottom = Matrix::from_vec(
+                g.rows() - a_rows,
+                cols,
+                g.as_slice()[a_rows * cols..].to_vec(),
+            );
+            parents[0].accumulate_grad(&top);
+            parents[1].accumulate_grad(&bottom);
+        }),
+    )
+}
+
+/// Extracts rows `[start, end)`.
+pub fn slice_rows(a: &Var, start: usize, end: usize) -> Var {
+    let (rows, cols) = a.shape();
+    assert!(start <= end && end <= rows, "slice_rows: bad range {start}..{end}");
+    let value = {
+        let av = a.value();
+        Matrix::from_vec(end - start, cols, av.as_slice()[start * cols..end * cols].to_vec())
+    };
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            let mut acc = Matrix::zeros(rows, cols);
+            acc.as_mut_slice()[start * cols..end * cols].copy_from_slice(g.as_slice());
+            parents[0].accumulate_grad(&acc);
+        }),
+    )
+}
+
+/// Extracts columns `[start, end)`.
+pub fn slice_cols(a: &Var, start: usize, end: usize) -> Var {
+    let value = a.value().slice_cols(start, end);
+    let cols = a.shape().1;
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| {
+            let rows = parents[0].shape().0;
+            let mut acc = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                acc.row_mut(r)[start..end].copy_from_slice(g.row(r));
+            }
+            parents[0].accumulate_grad(&acc);
+        }),
+    )
+}
+
+/// Adds a row vector `bias` (1 x cols) to every row of `a`.
+pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
+    {
+        let (_, ac) = a.shape();
+        let (br, bc) = bias.shape();
+        assert_eq!((br, bc), (1, ac), "add_row_broadcast: bias must be 1x{ac}");
+    }
+    let mut value = a.value_clone();
+    {
+        let b = bias.value();
+        for r in 0..value.rows() {
+            for (v, &bv) in value.row_mut(r).iter_mut().zip(b.row(0)) {
+                *v += bv;
+            }
+        }
+    }
+    Var::from_op(
+        value,
+        vec![a.clone(), bias.clone()],
+        Box::new(|g, parents| {
+            parents[0].accumulate_grad(g);
+            // Bias gradient: column sums of g.
+            let mut acc = Matrix::zeros(1, g.cols());
+            for r in 0..g.rows() {
+                for (a, &gv) in acc.row_mut(0).iter_mut().zip(g.row(r)) {
+                    *a += gv;
+                }
+            }
+            parents[1].accumulate_grad(&acc);
+        }),
+    )
+}
+
+/// Inverted dropout with keep-probability `1 - p`, using a caller-provided
+/// mask source so training is reproducible. When `p == 0` this is a no-op.
+///
+/// The paper (§IV-C) applies dropout at the feature level on the output node
+/// representations; models call this on propagated embeddings during
+/// training only.
+pub fn dropout(a: &Var, p: f64, rng: &mut impl rand::Rng) -> Var {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+    if p == 0.0 {
+        return a.clone();
+    }
+    let keep = 1.0 - p;
+    let (rows, cols) = a.shape();
+    let mask = Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen::<f64>() < keep {
+            1.0 / keep
+        } else {
+            0.0
+        }
+    });
+    let value = a.value().hadamard(&mask);
+    Var::from_op(
+        value,
+        vec![a.clone()],
+        Box::new(move |g, parents| parents[0].accumulate_grad(&g.hadamard(&mask))),
+    )
+}
+
+/// Squared L2 penalty `sum(a^2)` as a scalar, for explicit loss-side
+/// regularization (eq. 4's `λ‖Θ‖²` term).
+pub fn l2_penalty(a: &Var) -> Var {
+    sum(&square(a))
+}
+
+fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central finite-difference check of `d loss / d param`.
+    fn gradcheck(param: &Var, build_loss: impl Fn(&Var) -> Var, tol: f64) {
+        let loss = build_loss(param);
+        loss.backward();
+        let analytic = param.grad().expect("param should receive grad");
+        let h = 1e-5;
+        let (rows, cols) = param.shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = param.value().get(r, c);
+                param.update_value(|m| m.set(r, c, orig + h));
+                let up = build_loss(param).scalar();
+                param.update_value(|m| m.set(r, c, orig - h));
+                let down = build_loss(param).scalar();
+                param.update_value(|m| m.set(r, c, orig));
+                let numeric = (up - down) / (2.0 * h);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic={a}, numeric={numeric}"
+                );
+            }
+        }
+    }
+
+    fn rand_param(rows: usize, cols: usize, seed: u64) -> Var {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Var::param(Matrix::from_fn(rows, cols, |_, _| rand::Rng::gen_range(&mut rng, -1.0..1.0)))
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let b = Var::constant(Matrix::from_fn(3, 2, |r, c| (r as f64 - c as f64) * 0.3));
+        gradcheck(&rand_param(2, 3, 1), |p| sum(&matmul(p, &b)), 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_matmul_rhs() {
+        let a = Var::constant(Matrix::from_fn(2, 3, |r, c| (r + c) as f64 * 0.5 - 0.4));
+        gradcheck(&rand_param(3, 2, 2), |p| sum(&square(&matmul(&a, p))), 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_tanh_sigmoid_softplus() {
+        gradcheck(&rand_param(2, 3, 3), |p| sum(&tanh(p)), 1e-6);
+        gradcheck(&rand_param(2, 3, 4), |p| sum(&sigmoid(p)), 1e-6);
+        gradcheck(&rand_param(2, 3, 5), |p| sum(&softplus(p)), 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_leaky_relu() {
+        // Keep values away from the kink.
+        let p = Var::param(Matrix::from_vec(1, 4, vec![0.5, -0.5, 1.5, -2.0]));
+        gradcheck(&p, |p| sum(&leaky_relu(p, 0.2)), 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_spmm() {
+        let a = Rc::new(CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 0, 0.5), (0, 2, 0.5), (1, 1, 1.0), (2, 3, 0.25), (2, 0, 0.75)],
+        ));
+        gradcheck(&rand_param(4, 2, 6), |p| sum(&square(&spmm(&a, p))), 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_gather_rows() {
+        gradcheck(&rand_param(5, 2, 7), |p| sum(&square(&gather_rows(p, &[0, 3, 3, 4]))), 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_rowwise_dot() {
+        let b = Var::constant(Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f64).sin()));
+        gradcheck(&rand_param(3, 4, 8), |p| sum(&rowwise_dot(p, &b)), 1e-6);
+        // Both sides the same var (used by the eq.7 decoder trick).
+        gradcheck(&rand_param(3, 4, 9), |p| sum(&rowwise_dot(p, p)), 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_row_sums_and_mean() {
+        gradcheck(&rand_param(3, 4, 10), |p| sum(&square(&row_sums(p))), 1e-5);
+        gradcheck(&rand_param(3, 4, 11), |p| mean(&square(p)), 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_concat_slice_broadcast() {
+        let b = Var::constant(Matrix::from_fn(3, 2, |r, c| (r + c) as f64));
+        gradcheck(&rand_param(3, 3, 12), |p| sum(&square(&concat_cols(p, &b))), 1e-5);
+        gradcheck(&rand_param(3, 4, 13), |p| sum(&square(&slice_cols(p, 1, 3))), 1e-5);
+        let bias = Var::constant(Matrix::from_fn(1, 3, |_, c| c as f64 * 0.1));
+        gradcheck(&rand_param(4, 3, 14), |p| sum(&square(&add_row_broadcast(p, &bias))), 1e-5);
+        gradcheck(&rand_param(1, 3, 15), |p| {
+            let a = Var::constant(Matrix::from_fn(4, 3, |r, c| (r * c) as f64 * 0.2 - 0.5));
+            sum(&square(&add_row_broadcast(&a, p)))
+        }, 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_concat_rows_and_slice_rows() {
+        let b = Var::constant(Matrix::from_fn(2, 3, |r, c| (r * c) as f64 - 0.5));
+        gradcheck(&rand_param(3, 3, 20), |p| sum(&square(&concat_rows(p, &b))), 1e-5);
+        gradcheck(&rand_param(2, 3, 21), |p| sum(&square(&concat_rows(&b, p))), 1e-5);
+        gradcheck(&rand_param(5, 3, 22), |p| sum(&square(&slice_rows(p, 1, 4))), 1e-5);
+    }
+
+    #[test]
+    fn concat_rows_stacks_values() {
+        let a = Var::constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = Var::constant(Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let c = concat_rows(&a, &b);
+        assert_eq!(c.value_clone().as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = slice_rows(&c, 1, 3);
+        assert_eq!(s.value_clone(), b.value_clone());
+    }
+
+    #[test]
+    fn gradcheck_l2_penalty() {
+        gradcheck(&rand_param(2, 2, 16), |p| l2_penalty(p), 1e-6);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let x = Var::param(Matrix::ones(2, 2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = dropout(&x, 0.0, &mut rng);
+        assert_eq!(y.value_clone(), x.value_clone());
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_and_backprops_mask() {
+        let x = Var::param(Matrix::ones(200, 10));
+        let mut rng = StdRng::seed_from_u64(42);
+        let y = dropout(&x, 0.3, &mut rng);
+        // Inverted dropout: E[y] == x, so the mean should be close to 1.
+        let m = y.value().mean();
+        assert!((m - 1.0).abs() < 0.05, "dropout mean {m} too far from 1");
+        let loss = sum(&y);
+        loss.backward();
+        let g = x.grad().unwrap();
+        // Gradient entries are either 0 or 1/keep.
+        for &v in g.as_slice() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bpr_composition_matches_closed_form() {
+        // loss = mean softplus(-(pos - neg)) for known scores.
+        let pos = Var::param(Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+        let neg = Var::constant(Matrix::from_vec(2, 1, vec![0.0, 1.0]));
+        let diff = sub(&pos, &neg);
+        let loss = mean(&softplus(&scale(&diff, -1.0)));
+        let expected = ((1.0f64 + (-1.0f64).exp()).ln() + (1.0f64 + 1.0f64.exp()).ln()) / 2.0;
+        assert!((loss.scalar() - expected).abs() < 1e-12);
+    }
+}

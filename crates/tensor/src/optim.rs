@@ -1,0 +1,283 @@
+//! Gradient-descent optimizers over collections of parameter [`Var`]s.
+//!
+//! The paper trains every model with Adam (lr 1e-2, mini-batch 1024, L2
+//! regularization, learning rate divided by 10 twice over 200 epochs); both
+//! [`Adam`] and a plain [`Sgd`] are provided, plus the [`LrSchedule`]
+//! implementing the paper's two-step decay.
+
+use crate::autograd::Var;
+use crate::matrix::Matrix;
+
+/// A step-wise optimizer over a fixed parameter list.
+pub trait Optimizer {
+    /// Applies one update from the gradients accumulated on the parameters,
+    /// then clears those gradients. Parameters without a gradient are skipped.
+    fn step(&mut self);
+
+    /// Clears accumulated gradients without updating.
+    fn zero_grad(&mut self);
+
+    /// Overrides the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f64);
+
+    /// Current learning rate.
+    fn lr(&self) -> f64;
+}
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f64,
+    weight_decay: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    pub fn new(params: Vec<Var>, lr: f64, weight_decay: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Self { params, lr, weight_decay }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            let lr = self.lr;
+            let wd = self.weight_decay;
+            p.update_value(|v| {
+                if wd > 0.0 {
+                    // L2 term folded into the gradient: g + wd * v.
+                    let decayed = v.scale(wd);
+                    v.add_scaled_assign(-lr, &decayed);
+                }
+                v.add_scaled_assign(-lr, &g);
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with optional L2 weight decay, matching the paper's
+/// optimizer choice (§V-A3).
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    /// Per-parameter first/second moment estimates.
+    moments: Vec<(Matrix, Matrix)>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    pub fn new(params: Vec<Var>, lr: f64, weight_decay: f64) -> Self {
+        Self::with_betas(params, lr, weight_decay, 0.9, 0.999, 1e-8)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_betas(
+        params: Vec<Var>,
+        lr: f64,
+        weight_decay: f64,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+    ) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        let moments = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                (Matrix::zeros(r, c), Matrix::zeros(r, c))
+            })
+            .collect();
+        Self { params, lr, beta1, beta2, eps, weight_decay, moments, t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (p, (m, v)) in self.params.iter().zip(&mut self.moments) {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                g.add_scaled_assign(self.weight_decay, &p.value());
+            }
+            // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2
+            for ((mi, vi), &gi) in m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(g.as_slice()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            p.update_value(|val| {
+                for ((pv, &mi), &vi) in
+                    val.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+                {
+                    let m_hat = mi / bc1;
+                    let v_hat = vi / bc2;
+                    *pv -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// The paper's learning-rate schedule: divide the learning rate by `factor`
+/// at each listed epoch ("reduce the learning rate by a factor of 10 twice").
+#[derive(Clone, Debug)]
+pub struct LrSchedule {
+    base_lr: f64,
+    decay_epochs: Vec<usize>,
+    factor: f64,
+}
+
+impl LrSchedule {
+    /// Constant learning rate.
+    pub fn constant(lr: f64) -> Self {
+        Self { base_lr: lr, decay_epochs: Vec::new(), factor: 1.0 }
+    }
+
+    /// Step decay by `factor` at each epoch in `decay_epochs`.
+    pub fn step_decay(base_lr: f64, decay_epochs: Vec<usize>, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0,1]");
+        Self { base_lr, decay_epochs, factor }
+    }
+
+    /// The paper's default: ×0.1 at 50% and 75% of the epoch budget.
+    pub fn paper_default(base_lr: f64, total_epochs: usize) -> Self {
+        Self::step_decay(base_lr, vec![total_epochs / 2, total_epochs * 3 / 4], 0.1)
+    }
+
+    /// Learning rate to use for the (0-based) `epoch`.
+    pub fn lr_at(&self, epoch: usize) -> f64 {
+        let hits = self.decay_epochs.iter().filter(|&&e| epoch >= e).count();
+        self.base_lr * self.factor.powi(hits as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn quadratic_loss(p: &Var) -> Var {
+        // loss = sum((p - 3)^2): minimized at 3.
+        let target = Var::constant(Matrix::full(1, 2, 3.0));
+        ops::sum(&ops::square(&ops::sub(p, &target)))
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Var::param(Matrix::zeros(1, 2));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0);
+        for _ in 0..100 {
+            let loss = quadratic_loss(&p);
+            loss.backward();
+            opt.step();
+        }
+        let v = p.value_clone();
+        assert!((v.get(0, 0) - 3.0).abs() < 1e-6, "sgd did not converge: {v:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Var::param(Matrix::zeros(1, 2));
+        let mut opt = Adam::new(vec![p.clone()], 0.1, 0.0);
+        for _ in 0..300 {
+            let loss = quadratic_loss(&p);
+            loss.backward();
+            opt.step();
+        }
+        let v = p.value_clone();
+        assert!((v.get(0, 0) - 3.0).abs() < 1e-3, "adam did not converge: {v:?}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_solution() {
+        let run = |wd: f64| {
+            let p = Var::param(Matrix::zeros(1, 1));
+            let mut opt = Adam::new(vec![p.clone()], 0.05, wd);
+            for _ in 0..500 {
+                quadratic_loss_scalar(&p).backward();
+                opt.step();
+            }
+            let v = p.value().get(0, 0);
+            v
+        };
+        fn quadratic_loss_scalar(p: &Var) -> Var {
+            let target = Var::constant(Matrix::full(1, 1, 3.0));
+            ops::sum(&ops::square(&ops::sub(p, &target)))
+        }
+        let free = run(0.0);
+        let decayed = run(1.0);
+        assert!(free > decayed, "weight decay should pull the optimum toward zero");
+        assert!((free - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn step_skips_params_without_grad() {
+        let p = Var::param(Matrix::ones(1, 1));
+        let q = Var::param(Matrix::ones(1, 1));
+        let mut opt = Sgd::new(vec![p.clone(), q.clone()], 0.5, 0.0);
+        let loss = ops::sum(&p);
+        loss.backward();
+        opt.step();
+        assert!((p.value().get(0, 0) - 0.5).abs() < 1e-12);
+        assert_eq!(q.value().get(0, 0), 1.0, "untouched param must not move");
+    }
+
+    #[test]
+    fn lr_schedule_paper_default() {
+        let s = LrSchedule::paper_default(1e-2, 200);
+        assert!((s.lr_at(0) - 1e-2).abs() < 1e-15);
+        assert!((s.lr_at(99) - 1e-2).abs() < 1e-15);
+        assert!((s.lr_at(100) - 1e-3).abs() < 1e-15);
+        assert!((s.lr_at(150) - 1e-4).abs() < 1e-15);
+        assert!((s.lr_at(199) - 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lr_schedule_constant() {
+        let s = LrSchedule::constant(0.5);
+        assert_eq!(s.lr_at(0), 0.5);
+        assert_eq!(s.lr_at(1000), 0.5);
+    }
+}

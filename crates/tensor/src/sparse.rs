@@ -1,0 +1,314 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Heterogeneous-graph adjacency matrices are large and extremely sparse
+//! (a few edges per node), so graph propagation `Â · E` is implemented as a
+//! CSR-times-dense product. Values are `f64` to match [`crate::Matrix`].
+
+use crate::matrix::Matrix;
+
+/// An immutable sparse matrix in CSR layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `indptr[r]..indptr[r+1]` is the index range of row `r` in
+    /// `indices`/`values`. Length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column index per stored entry, sorted within each row.
+    indices: Vec<usize>,
+    /// Value per stored entry.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed. Entries whose summed value is zero
+    /// are still stored (callers that care can filter beforehand); this keeps
+    /// construction deterministic and cheap.
+    ///
+    /// # Panics
+    /// Panics when a coordinate lies outside `rows x cols`.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) outside {rows}x{cols}");
+        }
+        // Count row occupancy, then bucket-sort triplets by row.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for r in 0..rows {
+            counts[r + 1] += counts[r];
+        }
+        let mut cursor = counts.clone();
+        let mut col_buf = vec![0usize; triplets.len()];
+        let mut val_buf = vec![0.0f64; triplets.len()];
+        for &(r, c, v) in triplets {
+            let at = cursor[r];
+            col_buf[at] = c;
+            val_buf[at] = v;
+            cursor[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        let mut row_entries: Vec<(usize, f64)> = Vec::new();
+        for r in 0..rows {
+            row_entries.clear();
+            row_entries
+                .extend(col_buf[counts[r]..counts[r + 1]].iter().copied().zip(val_buf[counts[r]..counts[r + 1]].iter().copied()));
+            row_entries.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row_entries.len() {
+                let (c, mut v) = row_entries[i];
+                let mut j = i + 1;
+                while j < row_entries.len() && row_entries[j].0 == c {
+                    v += row_entries[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(column, value)` entries of row `r`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Reads entry `(r, c)`, returning 0 when not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        match self.indices[lo..hi].binary_search(&c) {
+            Ok(at) => self.values[lo + at],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sum of the stored values in each row, as an `rows x 1` dense matrix.
+    pub fn row_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.set(r, 0, self.row_entries(r).map(|(_, v)| v).sum());
+        }
+        out
+    }
+
+    /// Scales each row `r` by `factors[r]` (used for D^-1 normalization).
+    pub fn scale_rows(&self, factors: &[f64]) -> CsrMatrix {
+        assert_eq!(factors.len(), self.rows, "scale_rows: factor count mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let f = factors[r];
+            for v in &mut out.values[self.indptr[r]..self.indptr[r + 1]] {
+                *v *= f;
+            }
+        }
+        out
+    }
+
+    /// Scales each column `c` by `factors[c]` (used for symmetric normalization).
+    pub fn scale_cols(&self, factors: &[f64]) -> CsrMatrix {
+        assert_eq!(factors.len(), self.cols, "scale_cols: factor count mismatch");
+        let mut out = self.clone();
+        for (idx, &c) in self.indices.iter().enumerate() {
+            out.values[idx] *= factors[c];
+        }
+        out
+    }
+
+    /// Sparse-dense product `self * dense`.
+    ///
+    /// # Panics
+    /// Panics when inner dimensions disagree.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm: {}x{} * {}x{} shape mismatch",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            // Split borrow: the output row and the input rows never alias.
+            for e in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[e];
+                let v = self.values[e];
+                let src = dense.row(c);
+                let dst = &mut out.as_mut_slice()[r * d..(r + 1) * d];
+                for (o, &s) in dst.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse-dense product `self^T * dense`, used for the
+    /// backward pass of [`CsrMatrix::spmm`] without materializing `self^T`.
+    pub fn t_spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "t_spmm: ({}x{})^T * {}x{} shape mismatch",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.cols, d);
+        for r in 0..self.rows {
+            let src = dense.row(r).to_vec();
+            for e in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[e];
+                let v = self.values[e];
+                let dst = &mut out.as_mut_slice()[c * d..(c + 1) * d];
+                for (o, &s) in dst.iter_mut().zip(&src) {
+                    *o += v * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materializes an explicit transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Converts to a dense matrix (test/debug helper; avoid on large graphs).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out.set(r, c, out.get(r, c) + v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (0, 3, -1.0), (1, 0, 5.0), (2, 2, 1.5), (2, 0, 0.5)],
+        )
+    }
+
+    #[test]
+    fn triplet_construction_and_lookup() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 0), 0.5);
+        let row0: Vec<_> = m.row_entries(0).collect();
+        assert_eq!(row0, vec![(1, 2.0), (3, -1.0)]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_bounds_triplet_panics() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let s = sample();
+        let d = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64 - 2.0);
+        assert_eq!(s.spmm(&d), s.to_dense().matmul(&d));
+    }
+
+    #[test]
+    fn t_spmm_matches_dense_transpose_matmul() {
+        let s = sample();
+        let d = Matrix::from_fn(3, 2, |r, c| (r + c) as f64 * 0.5 + 1.0);
+        assert_eq!(s.t_spmm(&d), s.to_dense().transpose().matmul(&d));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = sample();
+        assert_eq!(s.transpose().transpose(), s);
+        assert_eq!(s.transpose().to_dense(), s.to_dense().transpose());
+    }
+
+    #[test]
+    fn row_and_col_scaling() {
+        let s = sample();
+        let rs = s.scale_rows(&[2.0, 0.0, 1.0]);
+        assert_eq!(rs.get(0, 1), 4.0);
+        assert_eq!(rs.get(1, 0), 0.0);
+        let cs = s.scale_cols(&[10.0, 1.0, 1.0, 1.0]);
+        assert_eq!(cs.get(1, 0), 50.0);
+        assert_eq!(cs.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn row_sums_match_dense() {
+        let s = sample();
+        assert_eq!(s.row_sums().as_slice(), s.to_dense().row_sums().as_slice());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(1, 1, 1.0)]);
+        assert_eq!(m.row_entries(0).count(), 0);
+        assert_eq!(m.row_entries(2).count(), 0);
+        let d = Matrix::ones(3, 2);
+        let out = m.spmm(&d);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(1), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cold-start on unexplored categories: the paper's §V-F scenario as a
+//! runnable demo.
+//!
+//! Trains GC-MC (price-agnostic GCN) and PUP on the same data, then compares
+//! them under the CIR protocol where every test item comes from a category
+//! the user never touched during training. PUP's price nodes act as transfer
+//! bridges (user → item → price → item-of-new-category).
+//!
+//! ```sh
+//! cargo run --release --example cold_start_categories
+//! ```
+
+use pup_eval::{build_cold_start_task, evaluate_cold_start};
+use pup_recsys::prelude::*;
+use pup_recsys::ModelKind;
+
+fn main() {
+    let synth = yelp_like(0.02, 99);
+    let pipeline = Pipeline::new(synth.dataset);
+    println!(
+        "dataset: {} users, {} items, {} categories",
+        pipeline.dataset().n_users,
+        pipeline.dataset().n_items,
+        pipeline.dataset().n_categories
+    );
+
+    let cfg = FitConfig {
+        train: TrainConfig { epochs: 20, ..Default::default() },
+        ..Default::default()
+    };
+    println!("training GC-MC and PUP (20 epochs each) ...");
+    let gcmc = pipeline.fit(ModelKind::GcMc, &cfg);
+    let pup = pipeline.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+
+    for protocol in [ColdStartProtocol::Cir, ColdStartProtocol::Ucir] {
+        let task = build_cold_start_task(pipeline.dataset(), pipeline.split(), protocol);
+        println!(
+            "\n{protocol:?}: {} users buy from categories they never explored in training",
+            task.users.len()
+        );
+        if task.users.is_empty() {
+            println!("  (none at this scale — increase the dataset size)");
+            continue;
+        }
+        let mut table = Table::for_metrics(&[20, 50]);
+        for model in [gcmc.as_ref(), pup.as_ref()] {
+            table.push_report(&evaluate_cold_start(model, &task, &[20, 50]));
+        }
+        println!("{}", table.render());
+
+        // Show one concrete cold-start case.
+        let u = task.users[0];
+        let cats: std::collections::BTreeSet<usize> = task.truths[0]
+            .iter()
+            .map(|&i| pipeline.dataset().item_category[i as usize])
+            .collect();
+        println!(
+            "  e.g. user {u}: will buy in unexplored categories {cats:?} \
+             (candidate pool: {} items)",
+            task.pools[0].len()
+        );
+    }
+    println!(
+        "\nexpected: PUP outranks GC-MC — price nodes connect items across \
+         categories, so preference transfers to categories with no history."
+    );
+}

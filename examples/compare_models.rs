@@ -1,0 +1,56 @@
+//! Model bake-off: trains every method from the paper's Table II on one
+//! dataset and prints a ranked comparison — a miniature of the full
+//! `table2_overall` experiment for interactive use.
+//!
+//! ```sh
+//! cargo run --release --example compare_models
+//! ```
+
+use pup_recsys::prelude::*;
+use pup_recsys::ModelKind;
+
+fn main() {
+    let synth = beibei_like(0.015, 7);
+    let pipeline = Pipeline::new(synth.dataset);
+    println!(
+        "dataset: {} users, {} items, {} train pairs\n",
+        pipeline.dataset().n_users,
+        pipeline.dataset().n_items,
+        pipeline.split().train.len()
+    );
+
+    let cfg = FitConfig {
+        train: TrainConfig { epochs: 15, ..Default::default() },
+        ..Default::default()
+    };
+
+    let ks = [20usize, 50];
+    let mut results: Vec<(String, MetricPair, MetricPair)> = Vec::new();
+    let mut kinds = ModelKind::table2_baselines();
+    kinds.push(ModelKind::Pup(PupConfig::default()));
+    for kind in kinds {
+        let name = kind.name().to_string();
+        print!("training {name:<8} ... ");
+        let t = std::time::Instant::now();
+        let model = pipeline.fit(kind, &cfg);
+        let report = pipeline.evaluate(model.as_ref(), &ks);
+        println!("done in {:>5.1}s", t.elapsed().as_secs_f64());
+        results.push((name, report.at(20), report.at(50)));
+    }
+
+    // Rank by Recall@50.
+    results.sort_by(|a, b| b.2.recall.partial_cmp(&a.2.recall).unwrap());
+    let mut table = Table::new(&["rank", "method", "Recall@20", "NDCG@20", "Recall@50", "NDCG@50"]);
+    for (rank, (name, m20, m50)) in results.iter().enumerate() {
+        table.push_row(vec![
+            format!("{}", rank + 1),
+            name.clone(),
+            format!("{:.4}", m20.recall),
+            format!("{:.4}", m20.ndcg),
+            format!("{:.4}", m50.recall),
+            format!("{:.4}", m50.ndcg),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("paper shape: PUP first; graph/neural methods above shallow ones; PaDQ last-ish.");
+}

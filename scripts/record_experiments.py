@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Appends the verbatim outputs in results/ to EXPERIMENTS.md (replacing
+everything after the '# Recorded outputs' marker)."""
+import pathlib, sys
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = root / "EXPERIMENTS.md"
+marker = "# Recorded outputs"
+text = exp.read_text()
+head = text.split(marker)[0] + marker + "\n\n"
+order = [
+    "table1_stats", "fig1_cwtp_entropy", "fig2_heatmap", "table2_overall",
+    "table3_ablation", "table4_quantization", "fig5_price_levels",
+    "table5_allocation", "table6_consistency", "fig6_coldstart",
+]
+blocks = []
+for name in order:
+    f = root / "results" / f"{name}.txt"
+    if not f.exists():
+        print(f"missing {f}", file=sys.stderr)
+        continue
+    body = f.read_text().rstrip()
+    # Drop the per-model training progress lines.
+    body = "\n".join(l for l in body.splitlines() if not l.startswith("  train"))
+    blocks.append(f"## `{name}`\n\n```text\n{body}\n```\n")
+exp.write_text(head + "\n".join(blocks))
+print(f"recorded {len(blocks)} experiment outputs")

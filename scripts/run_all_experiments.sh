@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs every table/figure binary and saves outputs under results/.
+# Usage: PUP_SCALE=0.04 PUP_EPOCHS=60 scripts/run_all_experiments.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p pup-bench --bins
+for bin in table1_stats fig1_cwtp_entropy fig2_heatmap table3_ablation \
+           table4_quantization table5_allocation table6_consistency \
+           fig6_coldstart fig5_price_levels table2_overall; do
+  echo "== running $bin =="
+  ./target/release/$bin | tee "results/$bin.txt"
+done
+echo "all outputs in results/"

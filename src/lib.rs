@@ -1,0 +1,5 @@
+//! Workspace-root package: hosts the integration tests (`tests/`) and the
+//! runnable examples (`examples/`) of the PUP reproduction. The library
+//! surface simply re-exports the facade crate.
+
+pub use pup_recsys::*;

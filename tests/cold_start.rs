@@ -1,0 +1,102 @@
+//! Integration tests of the cold-start (unexplored category) protocols.
+
+use pup_data::synthetic::{generate, GeneratorConfig};
+use pup_eval::{build_cold_start_task, evaluate_cold_start, ColdStartProtocol};
+use pup_recsys::prelude::*;
+use pup_recsys::ModelKind;
+
+fn pipeline(seed: u64) -> Pipeline {
+    let synth = generate(&GeneratorConfig {
+        n_users: 150,
+        n_items: 200,
+        n_categories: 10,
+        n_price_levels: 5,
+        n_interactions: 8_000,
+        price_weight: 4.0,
+        kcore: 3,
+        seed,
+        ..Default::default()
+    });
+    Pipeline::new(synth.dataset)
+}
+
+#[test]
+fn tasks_respect_protocol_invariants() {
+    let p = pipeline(3);
+    let train_lists = p.split().train_items_by_user();
+    for protocol in [ColdStartProtocol::Cir, ColdStartProtocol::Ucir] {
+        let task = build_cold_start_task(p.dataset(), p.split(), protocol);
+        assert!(!task.users.is_empty(), "{protocol:?}: no cold-start users at this scale");
+        for ((&u, pool), truth) in task.users.iter().zip(&task.pools).zip(&task.truths) {
+            // Ground truth is inside the pool.
+            for t in truth {
+                assert!(pool.binary_search(t).is_ok(), "{protocol:?}: truth not in pool");
+            }
+            // No pool item belongs to a trained category.
+            let train_cats: std::collections::BTreeSet<usize> = train_lists[u]
+                .iter()
+                .map(|&i| p.dataset().item_category[i as usize])
+                .collect();
+            for &i in pool {
+                assert!(
+                    !train_cats.contains(&p.dataset().item_category[i as usize]),
+                    "{protocol:?}: pool leaks an explored category"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cir_pool_is_subset_of_ucir_pool() {
+    let p = pipeline(7);
+    let cir = build_cold_start_task(p.dataset(), p.split(), ColdStartProtocol::Cir);
+    let ucir = build_cold_start_task(p.dataset(), p.split(), ColdStartProtocol::Ucir);
+    assert_eq!(cir.users, ucir.users, "both protocols keep the same users");
+    for (c, u) in cir.pools.iter().zip(&ucir.pools) {
+        for item in c {
+            assert!(u.binary_search(item).is_ok(), "CIR pool must be within UCIR pool");
+        }
+        assert!(c.len() <= u.len());
+    }
+}
+
+#[test]
+fn models_evaluate_on_cold_start_tasks() {
+    let p = pipeline(11);
+    let cfg = FitConfig {
+        dim: 32,
+        train: TrainConfig { epochs: 8, batch_size: 512, ..Default::default() },
+        ..Default::default()
+    };
+    let gcmc = p.fit(ModelKind::GcMc, &cfg);
+    let pup = p.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+    let task = build_cold_start_task(p.dataset(), p.split(), ColdStartProtocol::Cir);
+    for model in [gcmc.as_ref(), pup.as_ref()] {
+        let r = evaluate_cold_start(model, &task, &[10, 50]);
+        assert_eq!(r.n_users, task.users.len());
+        assert!(r.at(10).recall <= r.at(50).recall + 1e-12);
+        assert!((0.0..=1.0).contains(&r.at(50).ndcg));
+    }
+}
+
+#[test]
+fn cir_scores_are_at_least_ucir_scores_for_same_model() {
+    // The CIR pool is a subset of the UCIR pool, so ranking the same truth
+    // within fewer candidates can only help.
+    let p = pipeline(13);
+    let cfg = FitConfig {
+        dim: 16,
+        train: TrainConfig { epochs: 5, batch_size: 512, ..Default::default() },
+        ..Default::default()
+    };
+    let pup = p.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+    let cir = build_cold_start_task(p.dataset(), p.split(), ColdStartProtocol::Cir);
+    let ucir = build_cold_start_task(p.dataset(), p.split(), ColdStartProtocol::Ucir);
+    let r_cir = evaluate_cold_start(pup.as_ref(), &cir, &[50]).at(50).recall;
+    let r_ucir = evaluate_cold_start(pup.as_ref(), &ucir, &[50]).at(50).recall;
+    assert!(
+        r_cir >= r_ucir,
+        "CIR ({r_cir:.4}) must be no harder than UCIR ({r_ucir:.4})"
+    );
+}

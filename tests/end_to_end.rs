@@ -1,0 +1,138 @@
+//! End-to-end integration tests: generator → split → training → evaluation
+//! across crates.
+
+use pup_recsys::prelude::*;
+use pup_recsys::ModelKind;
+
+use pup_data::synthetic::{generate, GeneratorConfig};
+
+fn price_driven_pipeline(seed: u64) -> Pipeline {
+    // Strong price gating over a catalog large enough that popularity alone
+    // cannot saturate the cutoffs; calibrated alongside the
+    // price_awareness tests.
+    let synth = generate(&GeneratorConfig {
+        n_users: 400,
+        n_items: 900,
+        n_categories: 12,
+        n_price_levels: 8,
+        n_interactions: 8_000,
+        price_weight: 6.0,
+        popularity_skew: 0.3,
+        categories_per_user: (2, 5),
+        kcore: 3,
+        seed,
+        ..Default::default()
+    });
+    Pipeline::new(synth.dataset)
+}
+
+fn quick_fit(epochs: usize) -> FitConfig {
+    FitConfig {
+        dim: 32,
+        train: TrainConfig { epochs, batch_size: 512, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pup_beats_itempop_on_price_driven_data() {
+    let p = price_driven_pipeline(11);
+    let cfg = quick_fit(20);
+    let pup = p.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+    let pop = p.fit(ModelKind::ItemPop, &cfg);
+    let ks = [20usize];
+    let pup_m = p.evaluate(pup.as_ref(), &ks).at(20);
+    let pop_m = p.evaluate(pop.as_ref(), &ks).at(20);
+    assert!(
+        pup_m.recall > pop_m.recall,
+        "personalized PUP ({:.4}) must beat popularity ({:.4})",
+        pup_m.recall,
+        pop_m.recall
+    );
+}
+
+#[test]
+fn pup_training_is_deterministic() {
+    let run = || {
+        let p = price_driven_pipeline(5);
+        let cfg = quick_fit(4);
+        let pup = p.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+        let r = p.evaluate(pup.as_ref(), &[20]);
+        (r.at(20).recall, r.at(20).ndcg)
+    };
+    assert_eq!(run(), run(), "same seeds must give identical results");
+}
+
+#[test]
+fn training_loss_decreases_for_pup() {
+    let p = price_driven_pipeline(13);
+    let data = p.train_data();
+    let mut pup = pup_models::Pup::new(
+        &data,
+        PupConfig { global_dim: 28, category_dim: 4, ..Default::default() },
+    );
+    let stats = pup_models::train_bpr(
+        &mut pup,
+        data.n_users,
+        data.n_items,
+        data.train,
+        &TrainConfig { epochs: 12, batch_size: 512, ..Default::default() },
+    );
+    let first = stats.epoch_losses[0];
+    let last = stats.final_loss();
+    assert!(
+        last < first * 0.8,
+        "BPR loss should drop at least 20%: {first:.4} -> {last:.4}"
+    );
+    assert!(stats.epoch_losses.iter().all(|l| l.is_finite()), "loss must stay finite");
+}
+
+#[test]
+fn evaluation_skips_users_without_test_items_and_stays_bounded() {
+    let p = price_driven_pipeline(17);
+    let cfg = quick_fit(2);
+    let model = p.fit(ModelKind::BprMf, &cfg);
+    let report = p.evaluate(model.as_ref(), &[10, 50]);
+    let with_test = p
+        .split()
+        .test_items_by_user()
+        .iter()
+        .filter(|l| !l.is_empty())
+        .count();
+    assert_eq!(report.n_users, with_test);
+    for &(_, m) in &report.at_k {
+        assert!((0.0..=1.0).contains(&m.recall));
+        assert!((0.0..=1.0).contains(&m.ndcg));
+    }
+}
+
+#[test]
+fn recall_increases_with_k() {
+    let p = price_driven_pipeline(23);
+    let cfg = quick_fit(4);
+    let model = p.fit(ModelKind::Fm, &cfg);
+    let report = p.evaluate(model.as_ref(), &[5, 20, 80]);
+    let r5 = report.at(5).recall;
+    let r20 = report.at(20).recall;
+    let r80 = report.at(80).recall;
+    assert!(r5 <= r20 && r20 <= r80, "recall must be monotone in k: {r5} {r20} {r80}");
+}
+
+#[test]
+fn all_pup_variants_train_end_to_end() {
+    let p = price_driven_pipeline(29);
+    let cfg = quick_fit(3);
+    for variant in [
+        PupVariant::Full,
+        PupVariant::PriceOnly,
+        PupVariant::CategoryOnly,
+        PupVariant::Bipartite,
+    ] {
+        let model = p.fit(
+            ModelKind::Pup(PupConfig { variant, ..Default::default() }),
+            &cfg,
+        );
+        let r = p.evaluate(model.as_ref(), &[20]);
+        assert!(r.n_users > 0, "{variant:?} evaluated no users");
+    }
+}

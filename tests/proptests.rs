@@ -1,0 +1,193 @@
+//! Property-based tests over the workspace's core invariants (DESIGN.md §6).
+
+use proptest::prelude::*;
+
+use pup_data::quantize::{rank_quantize, uniform_quantize};
+use pup_data::split::{temporal_split, SplitRatios};
+use pup_data::types::{Dataset, Interaction};
+use pup_eval::metrics::{ndcg_at_k, recall_at_k};
+use pup_graph::normalize::{row_normalized, sym_normalized};
+use pup_graph::{build_pup_graph, GraphSpec};
+use pup_tensor::CsrMatrix;
+
+/// Strategy: a random small interaction log.
+fn interaction_log(
+    max_users: usize,
+    max_items: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<(u32, u32)>)> {
+    (2..max_users, 2..max_items).prop_flat_map(|(nu, ni)| {
+        let pairs = prop::collection::vec((0..nu as u32, 0..ni as u32), 5..120);
+        (Just(nu), Just(ni), pairs)
+    })
+}
+
+fn dataset_from(nu: usize, ni: usize, pairs: &[(u32, u32)], n_levels: usize) -> Dataset {
+    Dataset {
+        n_users: nu,
+        n_items: ni,
+        n_categories: 3,
+        n_price_levels: n_levels,
+        item_price: (0..ni).map(|i| (i % 17) as f64 + 1.0).collect(),
+        item_category: (0..ni).map(|i| i % 3).collect(),
+        item_price_level: (0..ni).map(|i| i % n_levels).collect(),
+        interactions: pairs
+            .iter()
+            .enumerate()
+            .map(|(t, &(u, i))| Interaction { user: u, item: i, timestamp: t as u64 })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantization_levels_always_in_range(
+        prices in prop::collection::vec(0.01f64..1e6, 1..200),
+        levels in 1usize..50,
+    ) {
+        let cats = vec![0usize; prices.len()];
+        for levels_out in [
+            uniform_quantize(&prices, &cats, 1, levels),
+            rank_quantize(&prices, &cats, 1, levels),
+        ] {
+            prop_assert!(levels_out.iter().all(|&l| l < levels));
+        }
+    }
+
+    #[test]
+    fn uniform_quantization_is_monotone_within_category(
+        prices in prop::collection::vec(0.01f64..1e4, 2..100),
+    ) {
+        let cats = vec![0usize; prices.len()];
+        let levels = uniform_quantize(&prices, &cats, 1, 10);
+        for a in 0..prices.len() {
+            for b in 0..prices.len() {
+                if prices[a] < prices[b] {
+                    prop_assert!(levels[a] <= levels[b],
+                        "cheaper item got higher level: {} vs {}", prices[a], prices[b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_quantization_is_monotone_and_tie_consistent(
+        prices in prop::collection::vec(0.01f64..100.0, 2..80),
+    ) {
+        let cats = vec![0usize; prices.len()];
+        let levels = rank_quantize(&prices, &cats, 1, 7);
+        for a in 0..prices.len() {
+            for b in 0..prices.len() {
+                if prices[a] < prices[b] {
+                    prop_assert!(levels[a] <= levels[b]);
+                }
+                if prices[a] == prices[b] {
+                    prop_assert_eq!(levels[a], levels[b], "ties must share a level");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_split_partitions_unique_pairs((nu, ni, pairs) in interaction_log(20, 30)) {
+        let d = dataset_from(nu, ni, &pairs, 4);
+        let s = temporal_split(&d, SplitRatios::PAPER);
+        let total = s.train.len() + s.valid.len() + s.test.len();
+        prop_assert_eq!(total, d.unique_pairs().len(), "split must cover unique pairs exactly");
+        let mut seen = std::collections::HashSet::new();
+        for &(u, i) in s.train.iter().chain(&s.valid).chain(&s.test) {
+            prop_assert!(seen.insert((u, i)), "pair duplicated across parts");
+        }
+    }
+
+    #[test]
+    fn kcore_never_leaves_low_degree_nodes(
+        (nu, ni, pairs) in interaction_log(15, 15),
+        k in 1usize..5,
+    ) {
+        let d = dataset_from(nu, ni, &pairs, 4);
+        let r = pup_data::kcore::kcore_filter(&d, k);
+        for l in r.dataset.user_item_lists() {
+            prop_assert!(l.len() >= k);
+        }
+        for l in r.dataset.item_user_lists() {
+            prop_assert!(l.len() >= k);
+        }
+        // Filtering is idempotent.
+        let again = pup_data::kcore::kcore_filter(&r.dataset, k);
+        prop_assert_eq!(again.dataset.n_users, r.dataset.n_users);
+        prop_assert_eq!(again.dataset.n_items, r.dataset.n_items);
+    }
+
+    #[test]
+    fn rectified_adjacency_rows_sum_to_one((nu, ni, pairs) in interaction_log(12, 12)) {
+        let d = dataset_from(nu, ni, &pairs, 4);
+        let unique = d.unique_pairs();
+        let g = build_pup_graph(
+            d.n_users, d.n_items, d.n_price_levels, d.n_categories,
+            &d.item_price_level, &d.item_category, &unique, GraphSpec::FULL,
+        );
+        let a_hat = row_normalized(g.adjacency(), true);
+        for r in 0..a_hat.rows() {
+            let s: f64 = a_hat.row_entries(r).map(|(_, v)| v).sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "row {} sums to {}", r, s);
+        }
+    }
+
+    #[test]
+    fn sym_normalized_spectrum_is_bounded((nu, ni, pairs) in interaction_log(10, 10)) {
+        // All entries of D^-1/2 A D^-1/2 lie in [0, 1] and the matrix stays
+        // symmetric.
+        let d = dataset_from(nu, ni, &pairs, 4);
+        let unique = d.unique_pairs();
+        let g = build_pup_graph(
+            d.n_users, d.n_items, 0, 0,
+            &vec![0; d.n_items], &vec![0; d.n_items], &unique, GraphSpec::BIPARTITE,
+        );
+        let l = sym_normalized(g.adjacency(), false);
+        for r in 0..l.rows() {
+            for (c, v) in l.row_entries(r) {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+                prop_assert!((l.get(c, r) - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_bounded_and_perfect_ranker_is_optimal(
+        gt_size in 1usize..10,
+        pool in 10usize..60,
+        k in 1usize..30,
+    ) {
+        // Ground truth = first gt_size items; perfect ranker lists them first.
+        let gt: Vec<u32> = (0..gt_size as u32).collect();
+        let perfect: Vec<u32> = (0..pool as u32).collect();
+        let r = recall_at_k(&perfect, &gt, k);
+        let n = ndcg_at_k(&perfect, &gt, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((n - 1.0).abs() < 1e-9 || gt_size > k,
+            "perfect ranking must have NDCG 1 when k >= |gt|");
+        // Any other ranking scores no better.
+        let reversed: Vec<u32> = (0..pool as u32).rev().collect();
+        prop_assert!(recall_at_k(&reversed, &gt, k) <= r + 1e-12);
+        prop_assert!(ndcg_at_k(&reversed, &gt, k) <= n + 1e-12);
+    }
+
+    #[test]
+    fn spmm_distributes_over_addition(
+        triplets in prop::collection::vec((0usize..6, 0usize..6, -2.0f64..2.0), 1..20),
+        xs in prop::collection::vec(-2.0f64..2.0, 18),
+        ys in prop::collection::vec(-2.0f64..2.0, 18),
+    ) {
+        use pup_tensor::Matrix;
+        let a = CsrMatrix::from_triplets(6, 6, &triplets);
+        let x = Matrix::from_vec(6, 3, xs);
+        let y = Matrix::from_vec(6, 3, ys);
+        let lhs = a.spmm(&x.add(&y));
+        let rhs = a.spmm(&x).add(&a.spmm(&y));
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+}
