@@ -1,0 +1,19 @@
+//! # pup-analysis
+//!
+//! Correctness tooling for the PUP reproduction, complementing the runtime
+//! tape auditor in `pup_tensor::checks`:
+//!
+//! - [`lint`] — a workspace-aware static lint driver enforcing the repo's
+//!   reliability conventions (no `unwrap`/`expect` in non-test library code,
+//!   no `panic!` inside backward closures, documented public tensor ops, no
+//!   matrix clones inside hot loops). Run it with
+//!   `cargo run -p pup-analysis -- lint`; it exits non-zero when any
+//!   violation is found. Individual sites opt out with a
+//!   `// pup-lint: allow(<rule>)` comment on or directly above the line.
+//! - [`gradcheck`] — a reusable central-finite-difference gradient checker
+//!   for any scalar-valued function of [`pup_tensor::Var`] inputs. The
+//!   integration tests sweep it over every public op in `pup_tensor::ops`
+//!   and the BPR losses of all six models.
+
+pub mod gradcheck;
+pub mod lint;

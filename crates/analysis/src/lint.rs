@@ -1,0 +1,580 @@
+//! Static lint driver for the PUP workspace.
+//!
+//! The driver walks every `crates/*/src` tree and enforces four repo
+//! conventions that `rustc`/`clippy` either cannot express or cannot scope
+//! the way we need:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `unwrap-in-lib` | no `.unwrap()` / `.expect(` in non-test library code |
+//! | `panic-in-backward` | no `panic!` inside backward closures of `ops.rs` / `autograd.rs` |
+//! | `undocumented-pub-op` | every `pub fn` in the tensor op module has a doc comment |
+//! | `clone-in-loop` | no `.clone()` / `.value_clone()` inside loop bodies (perf smell) |
+//!
+//! A site opts out with `// pup-lint: allow(<rule>)` on the offending line
+//! or on the line directly above it. The scanner works on a *masked* copy of
+//! each file — comments, string literals and char literals are blanked out —
+//! so needles inside doc examples or messages never trigger, and `#[cfg(test)]`
+//! regions are excluded by brace matching.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules the driver enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` in non-test library code.
+    UnwrapInLib,
+    /// `panic!` inside a backward closure in `ops.rs` / `autograd.rs`.
+    PanicInBackward,
+    /// `pub fn` in the tensor op module without a doc comment.
+    UndocumentedPubOp,
+    /// `.clone()` / `.value_clone()` inside a loop body.
+    CloneInLoop,
+}
+
+impl Rule {
+    /// The rule's name as used in `// pup-lint: allow(<name>)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::PanicInBackward => "panic-in-backward",
+            Rule::UndocumentedPubOp => "undocumented-pub-op",
+            Rule::CloneInLoop => "clone-in-loop",
+        }
+    }
+}
+
+/// A single lint finding, pointing at `file:line`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule.name(), self.message)
+    }
+}
+
+/// Result of a full workspace walk.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+}
+
+/// Lints every `.rs` file under `<root>/crates/*/src`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        diagnostics.extend(lint_source(file, &source));
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(LintReport { diagnostics, files_checked: files.len() })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints a single file's source text. Exposed for tests; `path` only
+/// influences the path-scoped rules (`panic-in-backward`,
+/// `undocumented-pub-op`) and the reported location.
+pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
+    let masked = mask_non_code(source);
+    let m = masked.as_bytes();
+    let line_starts = line_starts(source);
+    let allows = parse_allows(source);
+    let test_spans = attribute_spans(m, b"#[cfg(test)]");
+    let mut test_fn_spans = attribute_spans(m, b"#[test]");
+    let mut all_test_spans = test_spans;
+    all_test_spans.append(&mut test_fn_spans);
+    let loop_spans = loop_body_spans(m);
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let is_tape_file = file_name == "ops.rs" || file_name == "autograd.rs";
+    let is_op_module = path.ends_with("tensor/src/ops.rs");
+
+    let mut diags = Vec::new();
+    let mut push = |offset: usize, rule: Rule, message: String| {
+        let line = line_of(&line_starts, offset);
+        if !is_allowed(&allows, line, rule) {
+            diags.push(Diagnostic { file: path.to_path_buf(), line, rule, message });
+        }
+    };
+
+    for needle in [".unwrap()", ".expect("] {
+        for at in find_all(m, needle.as_bytes()) {
+            if !in_any_span(&all_test_spans, at) {
+                push(
+                    at,
+                    Rule::UnwrapInLib,
+                    format!(
+                        "`{needle}` in non-test library code; return an error or \
+                         annotate with `// pup-lint: allow(unwrap-in-lib)`"
+                    ),
+                );
+            }
+        }
+    }
+
+    if is_tape_file {
+        let backward_spans = paren_spans(m, b"Box::new(");
+        for at in find_all(m, b"panic!") {
+            if in_any_span(&backward_spans, at) && !in_any_span(&all_test_spans, at) {
+                push(
+                    at,
+                    Rule::PanicInBackward,
+                    "`panic!` inside a backward closure: a broken gradient must \
+                     surface through the tape auditor, not ad-hoc panics"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    for needle in [".clone()", ".value_clone()"] {
+        for at in find_all(m, needle.as_bytes()) {
+            if in_any_span(&loop_spans, at) && !in_any_span(&all_test_spans, at) {
+                push(
+                    at,
+                    Rule::CloneInLoop,
+                    format!(
+                        "`{needle}` inside a loop body allocates per iteration; hoist \
+                         it or annotate with `// pup-lint: allow(clone-in-loop)`"
+                    ),
+                );
+            }
+        }
+    }
+
+    if is_op_module {
+        diags.extend(undocumented_pub_fns(path, source, &masked, &all_test_spans, &allows));
+    }
+
+    diags
+}
+
+/// Finds `pub fn` declarations without a preceding `///` doc comment.
+fn undocumented_pub_fns(
+    path: &Path,
+    source: &str,
+    masked: &str,
+    test_spans: &[(usize, usize)],
+    allows: &[(usize, Vec<String>)],
+) -> Vec<Diagnostic> {
+    let lines: Vec<&str> = source.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let mut offset = 0usize;
+    let mut line_offsets = Vec::with_capacity(masked_lines.len());
+    for l in &masked_lines {
+        line_offsets.push(offset);
+        offset += l.len() + 1;
+    }
+    let mut diags = Vec::new();
+    for (idx, mline) in masked_lines.iter().enumerate() {
+        let trimmed = mline.trim_start();
+        if !trimmed.starts_with("pub fn ") || in_any_span(test_spans, line_offsets[idx]) {
+            continue;
+        }
+        let fn_name: String = trimmed["pub fn ".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        // Walk upward over attributes and blank lines to the nearest
+        // meaningful line; it must be a doc comment.
+        let mut j = idx;
+        let documented = loop {
+            if j == 0 {
+                break false;
+            }
+            j -= 1;
+            let above = lines.get(j).map_or("", |l| l.trim_start());
+            if above.is_empty() || above.starts_with("#[") {
+                continue;
+            }
+            break above.starts_with("///");
+        };
+        if !documented && !is_allowed(allows, idx + 1, Rule::UndocumentedPubOp) {
+            diags.push(Diagnostic {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::UndocumentedPubOp,
+                message: format!("public tensor op `{fn_name}` has no doc comment"),
+            });
+        }
+    }
+    diags
+}
+
+/// Byte offsets where each line starts (for offset → line translation).
+fn line_starts(source: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in source.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line containing byte `offset`.
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    starts.partition_point(|&s| s <= offset)
+}
+
+/// Collects `// pup-lint: allow(a, b)` comments as `(line, rule-names)`.
+fn parse_allows(source: &str) -> Vec<(usize, Vec<String>)> {
+    let mut allows = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let Some(at) = line.find("pup-lint: allow(") else { continue };
+        let rest = &line[at + "pup-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let names = rest[..close].split(',').map(|s| s.trim().to_string()).collect();
+        allows.push((idx + 1, names));
+    }
+    allows
+}
+
+/// An allow on line `n` covers lines `n` and `n + 1`.
+fn is_allowed(allows: &[(usize, Vec<String>)], line: usize, rule: Rule) -> bool {
+    allows
+        .iter()
+        .any(|(l, names)| (*l == line || *l + 1 == line) && names.iter().any(|n| n == rule.name()))
+}
+
+fn find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+    let mut hits = Vec::new();
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return hits;
+    }
+    for i in 0..=haystack.len() - needle.len() {
+        if &haystack[i..i + needle.len()] == needle {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+fn in_any_span(spans: &[(usize, usize)], offset: usize) -> bool {
+    spans.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+/// Brace-delimited spans of the item following each occurrence of `attr`
+/// (e.g. the `mod tests { ... }` after `#[cfg(test)]`).
+fn attribute_spans(masked: &[u8], attr: &[u8]) -> Vec<(usize, usize)> {
+    find_all(masked, attr)
+        .into_iter()
+        .filter_map(|at| {
+            let open = masked[at..].iter().position(|&b| b == b'{')? + at;
+            Some((open, matching_delim(masked, open, b'{', b'}')))
+        })
+        .collect()
+}
+
+/// Paren-delimited spans following each occurrence of `prefix` (which must
+/// end in `(`), e.g. the whole `Box::new(...)` argument list.
+fn paren_spans(masked: &[u8], prefix: &[u8]) -> Vec<(usize, usize)> {
+    find_all(masked, prefix)
+        .into_iter()
+        .map(|at| {
+            let open = at + prefix.len() - 1;
+            (open, matching_delim(masked, open, b'(', b')'))
+        })
+        .collect()
+}
+
+/// Offset one past the delimiter matching the one at `open`.
+fn matching_delim(masked: &[u8], open: usize, oc: u8, cc: u8) -> usize {
+    let mut depth = 0i32;
+    for (j, &b) in masked.iter().enumerate().skip(open) {
+        if b == oc {
+            depth += 1;
+        } else if b == cc {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+    }
+    masked.len()
+}
+
+/// Body spans of `for` / `while` / `loop` statements. `for` inside an
+/// `impl Trait for Type` header is skipped by scanning back to the start of
+/// the current item.
+fn loop_body_spans(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (at, kw) in keyword_positions(masked) {
+        if kw == "for" && is_impl_for(masked, at) {
+            continue;
+        }
+        // The body is the first `{` after the keyword at bracket depth 0
+        // (skipping over any closure braces nested in parens).
+        let mut depth = 0i32;
+        let mut open = None;
+        for (j, &b) in masked.iter().enumerate().skip(at + kw.len()) {
+            match b {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if let Some(open) = open {
+            spans.push((open, matching_delim(masked, open, b'{', b'}')));
+        }
+    }
+    spans
+}
+
+/// Whether the `for` at `at` belongs to an `impl ... for ...` header: scan
+/// back to the previous `;`/`{`/`}` and look for an `impl` token.
+fn is_impl_for(masked: &[u8], at: usize) -> bool {
+    let start = masked[..at]
+        .iter()
+        .rposition(|&b| b == b';' || b == b'{' || b == b'}')
+        .map_or(0, |p| p + 1);
+    keyword_positions_in(&masked[start..at], &["impl"]).next().is_some()
+}
+
+fn keyword_positions(masked: &[u8]) -> Vec<(usize, &'static str)> {
+    keyword_positions_in(masked, &["for", "while", "loop"]).collect()
+}
+
+fn keyword_positions_in<'a>(
+    masked: &'a [u8],
+    keywords: &'a [&'static str],
+) -> impl Iterator<Item = (usize, &'static str)> + 'a {
+    let mut i = 0usize;
+    std::iter::from_fn(move || {
+        while i < masked.len() {
+            let b = masked[i];
+            if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < masked.len() && (masked[i].is_ascii_alphanumeric() || masked[i] == b'_') {
+                    i += 1;
+                }
+                let word = &masked[start..i];
+                if let Some(kw) = keywords.iter().find(|k| k.as_bytes() == word) {
+                    return Some((start, *kw));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        None
+    })
+}
+
+/// Blanks out comments, string literals and char literals, preserving byte
+/// offsets and newlines so positions map 1:1 back to the original source.
+fn mask_non_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = b.iter().map(|&c| if c == b'\n' { b'\n' } else { b' ' }).collect();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1u32;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == b'"' {
+            i += 1;
+            while i < b.len() && b[i] != b'"' {
+                i += if b[i] == b'\\' { 2 } else { 1 };
+            }
+            i += 1;
+        } else if c == b'r'
+            && matches!(b.get(i + 1), Some(&b'"') | Some(&b'#'))
+            && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_'))
+        {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                j += 1;
+                // Find `"` followed by `hashes` hash marks.
+                while j < b.len() {
+                    if b[j] == b'"'
+                        && b[j + 1..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes
+                    {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else {
+                out[i] = c;
+                i += 1;
+            }
+        } else if c == b'\'' {
+            // Char literal (incl. escapes) vs. lifetime.
+            if b.get(i + 1) == Some(&b'\\') {
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                i = j + 1;
+            } else if b.get(i + 2) == Some(&b'\'') {
+                i += 3;
+            } else {
+                out[i] = c;
+                i += 1;
+            }
+        } else {
+            out[i] = c;
+            i += 1;
+        }
+    }
+    // Only ASCII bytes were blanked, so the masked text is valid UTF-8.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(name: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(Path::new(name), src)
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib_code_only() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnwrapInLib);
+        assert_eq!(d[0].line, 2);
+
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n}\n";
+        assert!(lint_str("lib.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_on_same_or_previous_line() {
+        let same = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // pup-lint: allow(unwrap-in-lib)\n";
+        assert!(lint_str("lib.rs", same).is_empty());
+        let above =
+            "// pup-lint: allow(unwrap-in-lib)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_str("lib.rs", above).is_empty());
+        let wrong_rule =
+            "// pup-lint: allow(clone-in-loop)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint_str("lib.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn needles_inside_strings_and_comments_ignored() {
+        let src = "fn f() -> &'static str {\n    // .unwrap() in a comment\n    \".unwrap() in a string\"\n}\n";
+        assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_in_backward_scoped_to_tape_files() {
+        let src =
+            "fn op() {\n    let b = Box::new(|g: &u32| {\n        panic!(\"bad\");\n    });\n}\n";
+        let d = lint_str("ops.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::PanicInBackward);
+        assert_eq!(d[0].line, 3);
+        // Same text in a non-tape file: not this rule's business.
+        assert!(lint_str("metrics.rs", src).is_empty());
+        // panic! outside the closure is not this rule's business either.
+        let outside = "fn op() {\n    panic!(\"bad\");\n}\n";
+        assert!(lint_str("ops.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn clone_in_loop_flagged() {
+        let src = "fn f(v: &[Vec<u32>]) {\n    for x in v {\n        let y = x.clone();\n        drop(y);\n    }\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::CloneInLoop);
+        assert_eq!(d[0].line, 3);
+        let outside =
+            "fn f(v: &Vec<u32>) {\n    let y = v.clone();\n    for x in &y { drop(x); }\n}\n";
+        assert!(lint_str("lib.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "impl Clone for Foo {\n    fn clone(&self) -> Self { self.inner.clone() }\n}\n";
+        // The `.clone()` is inside an impl body, not a loop body.
+        assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_op_only_in_tensor_ops_module() {
+        let src = "/// Documented.\npub fn good() {}\n\npub fn bad() {}\n";
+        let d = lint_source(Path::new("crates/tensor/src/ops.rs"), src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UndocumentedPubOp);
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("`bad`"));
+        // Other files are covered by rustc's missing_docs instead.
+        assert!(lint_str("other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_may_be_separated_by_attributes() {
+        let src = "/// Documented.\n#[inline]\npub fn good() {}\n";
+        assert!(lint_source(Path::new("crates/tensor/src/ops.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_masked() {
+        let src = "fn f() {\n    let s = r#\"x.unwrap()\"#;\n    let c = '\\'';\n    let lt: &'static str = \"\";\n    drop((s, c, lt));\n}\n";
+        assert!(lint_str("lib.rs", src).is_empty());
+    }
+}

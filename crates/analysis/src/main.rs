@@ -1,0 +1,66 @@
+//! CLI for the PUP correctness tooling.
+//!
+//! ```text
+//! cargo run -p pup-analysis -- lint [ROOT]
+//! ```
+//!
+//! `lint` walks `ROOT/crates/*/src` (default: the current directory),
+//! prints one `file:line: [rule] message` diagnostic per violation, and
+//! exits 1 when anything is found, 0 on a clean tree, 2 on usage or I/O
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pup_analysis::lint;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = PathBuf::from(args.next().unwrap_or_else(|| ".".to_string()));
+            run_lint(&root)
+        }
+        _ => {
+            eprintln!("usage: pup-analysis lint [ROOT]");
+            eprintln!();
+            eprintln!("Walks ROOT/crates/*/src and enforces the workspace lint rules:");
+            for rule in [
+                lint::Rule::UnwrapInLib,
+                lint::Rule::PanicInBackward,
+                lint::Rule::UndocumentedPubOp,
+                lint::Rule::CloneInLoop,
+            ] {
+                eprintln!("  - {}", rule.name());
+            }
+            eprintln!();
+            eprintln!("Suppress a site with `// pup-lint: allow(<rule>)` on or above it.");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(root: &std::path::Path) -> ExitCode {
+    match lint::lint_workspace(root) {
+        Ok(report) => {
+            for diag in &report.diagnostics {
+                println!("{diag}");
+            }
+            if report.diagnostics.is_empty() {
+                println!("pup-lint: clean ({} files checked)", report.files_checked);
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "pup-lint: {} violation(s) in {} files checked",
+                    report.diagnostics.len(),
+                    report.files_checked
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("pup-analysis: cannot lint {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -59,8 +59,7 @@ fn bench_scoring_and_ranking(c: &mut Criterion) {
 fn bench_quantization(c: &mut Criterion) {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
     let n = 30_000;
-    let prices: Vec<f64> =
-        (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0.01f64..1e4)).collect();
+    let prices: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0.01f64..1e4)).collect();
     let cats: Vec<usize> = (0..n).map(|i| i % 100).collect();
 
     let mut group = c.benchmark_group("quantization");

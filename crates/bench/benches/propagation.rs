@@ -48,18 +48,15 @@ fn bench_spmm(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new(format!("spmm_fwd_d{dim}"), scale), |b| {
                 b.iter(|| a.spmm(black_box(&e)))
             });
-            group.bench_function(
-                BenchmarkId::new(format!("encoder_fwd_bwd_d{dim}"), scale),
-                |b| {
-                    b.iter(|| {
-                        let emb = Var::param(e.clone());
-                        let h = ops::tanh(&ops::spmm(&a, &emb));
-                        let loss = ops::mean(&ops::square(&h));
-                        loss.backward();
-                        black_box(emb.grad())
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(format!("encoder_fwd_bwd_d{dim}"), scale), |b| {
+                b.iter(|| {
+                    let emb = Var::param(e.clone());
+                    let h = ops::tanh(&ops::spmm(&a, &emb));
+                    let loss = ops::mean(&ops::square(&h));
+                    loss.backward();
+                    black_box(emb.grad())
+                })
+            });
         }
     }
     group.finish();

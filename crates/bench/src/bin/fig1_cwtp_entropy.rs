@@ -26,12 +26,8 @@ fn main() {
         println!("{center:>10.3} {density:>10.4}  {bar}");
     }
 
-    let zero_frac = entropies
-        .iter()
-        .flatten()
-        .filter(|&&h| h < 1e-9)
-        .count() as f64
-        / n_defined.max(1) as f64;
+    let zero_frac =
+        entropies.iter().flatten().filter(|&&h| h < 1e-9).count() as f64 / n_defined.max(1) as f64;
     println!();
     println!("fraction of perfectly consistent users (entropy = 0): {zero_frac:.3}");
     println!(

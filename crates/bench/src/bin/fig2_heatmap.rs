@@ -23,7 +23,10 @@ fn main() {
     let shades = [' ', '.', ':', '+', '#'];
     for &u in &users {
         let grid = price_category_heatmap(d, u);
-        println!("user {u} (rows = categories with purchases, cols = {} price levels)", d.n_price_levels);
+        println!(
+            "user {u} (rows = categories with purchases, cols = {} price levels)",
+            d.n_price_levels
+        );
         let mut rows_shown = 0;
         for (c, row) in grid.iter().enumerate() {
             if row.iter().all(|&v| v == 0.0) {
@@ -32,7 +35,8 @@ fn main() {
             let cells: String = row
                 .iter()
                 .map(|&v| {
-                    let idx = ((v * (shades.len() - 1) as f64).ceil() as usize).min(shades.len() - 1);
+                    let idx =
+                        ((v * (shades.len() - 1) as f64).ceil() as usize).min(shades.len() - 1);
                     shades[idx]
                 })
                 .collect();

@@ -24,10 +24,7 @@ fn main() {
         ("FM", ModelKind::Fm),
         ("DeepFM", ModelKind::DeepFm),
         ("GC-MC", ModelKind::GcMc),
-        (
-            "PUP-",
-            ModelKind::Pup(PupConfig { variant: PupVariant::PriceOnly, ..tuned_pup() }),
-        ),
+        ("PUP-", ModelKind::Pup(PupConfig { variant: PupVariant::PriceOnly, ..tuned_pup() })),
         ("PUP", ModelKind::Pup(tuned_pup())),
     ];
     let models: Vec<(&str, Box<dyn Recommender>)> = kinds
@@ -37,10 +34,7 @@ fn main() {
 
     for protocol in [ColdStartProtocol::Cir, ColdStartProtocol::Ucir] {
         let task = build_cold_start_task(pipeline.dataset(), pipeline.split(), protocol);
-        println!(
-            "--- {protocol:?} protocol ({} cold-start users) ---",
-            task.users.len()
-        );
+        println!("--- {protocol:?} protocol ({} cold-start users) ---", task.users.len());
         // K=10 alongside the paper's K=50: at small scale the CIR pools are
         // tiny and K=50 saturates recall.
         let mut table = Table::for_metrics(&[10, 50]);

@@ -41,8 +41,7 @@ fn main() {
             }
             let r50 = report.at(50).recall;
             if best_per_user.as_ref().map(|(r, _)| r50 > *r).unwrap_or(true) {
-                best_per_user =
-                    Some((r50, per_user.at(50).iter().map(|m| m.recall).collect()));
+                best_per_user = Some((r50, per_user.at(50).iter().map(|m| m.recall).collect()));
             }
             table.push_report(&report);
         }
@@ -53,11 +52,8 @@ fn main() {
         println!("{}", table.render());
 
         // The paper's "impr.%" row: PUP over the strongest baseline.
-        let pup_vals: Vec<f64> = pup_report
-            .at_k
-            .iter()
-            .flat_map(|&(_, m)| [m.recall, m.ndcg])
-            .collect();
+        let pup_vals: Vec<f64> =
+            pup_report.at_k.iter().flat_map(|&(_, m)| [m.recall, m.ndcg]).collect();
         let impr: Vec<String> = pup_vals
             .iter()
             .zip(best_baseline)
@@ -67,15 +63,18 @@ fn main() {
 
         // Paired t-test (paper: significant at p < 0.005).
         if let Some((_, baseline_recalls)) = best_per_user {
-            let pup_recalls: Vec<f64> =
-                pup_per_user.at(50).iter().map(|m| m.recall).collect();
+            let pup_recalls: Vec<f64> = pup_per_user.at(50).iter().map(|m| m.recall).collect();
             if pup_recalls.len() == baseline_recalls.len() && pup_recalls.len() > 2 {
                 let t = paired_t_test(&pup_recalls, &baseline_recalls);
                 println!(
                     "paired t-test on Recall@50 vs best baseline: t = {:.3}, p = {:.4}{}",
                     t.t,
                     t.p_two_sided,
-                    if t.significant_improvement(0.005) { "  (significant, p < 0.005)" } else { "" }
+                    if t.significant_improvement(0.005) {
+                        "  (significant, p < 0.005)"
+                    } else {
+                        ""
+                    }
                 );
             }
         }

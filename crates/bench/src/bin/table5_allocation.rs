@@ -24,12 +24,15 @@ fn main() {
     let allocations = [(4usize, 60usize), (8, 56), (16, 48), (32, 32), (48, 16), (56, 8), (60, 4)];
     println!("{:>12} {:>12} {:>12}", "allocation", "Recall@50", "NDCG@50");
     for (g, c) in allocations {
-        let pup_cfg = PupConfig { global_dim: g, category_dim: c, alpha: 2.0, ..Default::default() };
+        let pup_cfg =
+            PupConfig { global_dim: g, category_dim: c, alpha: 2.0, ..Default::default() };
         let model = fit_verbose(&pipeline, ModelKind::Pup(pup_cfg), &cfg);
         let report = pipeline.evaluate(model.as_ref(), &[50]);
         let m = report.at(50);
         println!("{:>12} {:>12.4} {:>12.4}", format!("{g}/{c}"), m.recall, m.ndcg);
     }
     println!();
-    println!("paper shape: an interior optimum — both branches need capacity (paper's best: 56/8).");
+    println!(
+        "paper shape: an interior optimum — both branches need capacity (paper's best: 56/8)."
+    );
 }

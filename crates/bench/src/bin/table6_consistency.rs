@@ -18,6 +18,7 @@ fn main() {
 
     let synth = beibei_like(env.scale, env.seed);
     let entropies = entropy_by_user(&synth.dataset);
+    // pup-lint: allow(unwrap-in-lib) — demo binary; synthetic data always has interactions.
     let threshold = median_entropy(&entropies).expect("users with interactions exist");
     let (consistent, inconsistent) = group_users_by_entropy(&entropies, threshold);
     println!(
@@ -36,10 +37,7 @@ fn main() {
     for (label, users) in [("consistent", &consistent), ("inconsistent", &inconsistent)] {
         let d = pipeline.evaluate_users(deepfm.as_ref(), users, &[50]).at(50).ndcg;
         let p = pipeline.evaluate_users(pup.as_ref(), users, &[50]).at(50).ndcg;
-        println!(
-            "{label:>14} {d:>10.4} {p:>10.4} {:>8.2}%",
-            improvement_pct(d, p)
-        );
+        println!("{label:>14} {d:>10.4} {p:>10.4} {:>8.2}%", improvement_pct(d, p));
     }
     println!();
     println!("(metric = NDCG@50)");

@@ -6,8 +6,8 @@
 //! - `PUP_SCALE`  — dataset scale factor (default 0.04; 1.0 ≈ paper size).
 //! - `PUP_EPOCHS` — training epochs (default 30; paper used 200).
 
-use pup_recsys::{FitConfig, ModelKind, Pipeline};
 use pup_models::TrainConfig;
+use pup_recsys::{FitConfig, ModelKind, Pipeline};
 
 /// Experiment-wide knobs resolved from the environment.
 #[derive(Clone, Debug)]
@@ -48,12 +48,7 @@ impl ExperimentEnv {
 /// a larger slice and weight. `PupConfig::default()` remains the paper's
 /// published setting.
 pub fn tuned_pup() -> pup_models::PupConfig {
-    pup_models::PupConfig {
-        alpha: 2.0,
-        global_dim: 32,
-        category_dim: 32,
-        ..Default::default()
-    }
+    pup_models::PupConfig { alpha: 2.0, global_dim: 32, category_dim: 32, ..Default::default() }
 }
 
 fn read_env(key: &str, default: f64) -> f64 {

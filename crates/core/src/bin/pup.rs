@@ -78,6 +78,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             continue;
         }
         let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        // pup-lint: allow(clone-in-loop) — owning a borrowed CLI arg, once per flag at startup.
         flags.insert(key.to_string(), value.clone());
     }
     Ok(flags)
@@ -184,6 +185,40 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (pipeline, maps) = load(flags)?;
+    let user_name = flags.get("user").ok_or("--user is required")?;
+    let user = maps
+        .users
+        .iter()
+        .position(|u| u == user_name)
+        .ok_or_else(|| format!("user {user_name:?} not found"))?;
+    let top: usize = get_parsed(flags, "top", 10)?;
+    let cfg = fit_config(flags)?;
+    eprintln!("training PUP ({} epochs) ...", cfg.train.epochs);
+    let model = pipeline.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+    let dataset = pipeline.dataset();
+    let seen = &pipeline.split().train_items_by_user()[user];
+    let scores = model.score_items(user);
+    let candidates: Vec<u32> =
+        (0..dataset.n_items as u32).filter(|i| seen.binary_search(i).is_err()).collect();
+    let ranked = pup_eval::ranking::rank_candidates(&scores, &candidates, top);
+    println!("top {top} items for user {user_name:?}:");
+    for (rank, &i) in ranked.iter().enumerate() {
+        let i = i as usize;
+        println!(
+            "  {:>2}. {:<16} price {:>10.2} (level {}/{})  category {}",
+            rank + 1,
+            maps.items[i],
+            dataset.item_price[i],
+            dataset.item_price_level[i],
+            dataset.n_price_levels,
+            maps.categories[dataset.item_category[i]],
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,38 +265,4 @@ mod tests {
         let f = flags(&["--model", "svd++"]).unwrap();
         assert!(model_kind(&f).is_err());
     }
-}
-
-fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (pipeline, maps) = load(flags)?;
-    let user_name = flags.get("user").ok_or("--user is required")?;
-    let user = maps
-        .users
-        .iter()
-        .position(|u| u == user_name)
-        .ok_or_else(|| format!("user {user_name:?} not found"))?;
-    let top: usize = get_parsed(flags, "top", 10)?;
-    let cfg = fit_config(flags)?;
-    eprintln!("training PUP ({} epochs) ...", cfg.train.epochs);
-    let model = pipeline.fit(ModelKind::Pup(PupConfig::default()), &cfg);
-    let dataset = pipeline.dataset();
-    let seen = &pipeline.split().train_items_by_user()[user];
-    let scores = model.score_items(user);
-    let candidates: Vec<u32> =
-        (0..dataset.n_items as u32).filter(|i| seen.binary_search(i).is_err()).collect();
-    let ranked = pup_eval::ranking::rank_candidates(&scores, &candidates, top);
-    println!("top {top} items for user {user_name:?}:");
-    for (rank, &i) in ranked.iter().enumerate() {
-        let i = i as usize;
-        println!(
-            "  {:>2}. {:<16} price {:>10.2} (level {}/{})  category {}",
-            rank + 1,
-            maps.items[i],
-            dataset.item_price[i],
-            dataset.item_price_level[i],
-            dataset.n_price_levels,
-            maps.categories[dataset.item_category[i]],
-        );
-    }
-    Ok(())
 }

@@ -269,10 +269,7 @@ impl Pipeline {
         M: pup_models::BprModel + Recommender,
     {
         assert!(stopping.check_every > 0 && stopping.patience > 0, "degenerate early stopping");
-        assert!(
-            !self.split.valid.is_empty(),
-            "early stopping needs a non-empty validation split"
-        );
+        assert!(!self.split.valid.is_empty(), "early stopping needs a non-empty validation split");
         let data = self.train_data();
         let mut trainer =
             pup_models::BprTrainer::new(model, data.n_users, data.n_items, data.train, &cfg.train);
@@ -291,6 +288,7 @@ impl Pipeline {
                 .collect();
             users.push(u);
             pools.push(pool);
+            // pup-lint: allow(clone-in-loop) — per-user ground-truth copy, built once before training.
             truths.push(valid_truth[u].clone());
         }
 
@@ -300,16 +298,16 @@ impl Pipeline {
         for _ in 0..cfg.train.epochs {
             let loss = trainer.run_epoch(model);
             history.epoch_losses.push(loss);
-            if trainer.completed_epochs() % stopping.check_every != 0 {
+            if !trainer.completed_epochs().is_multiple_of(stopping.check_every) {
                 continue;
             }
             model.finalize();
-            let report =
-                pup_eval::evaluate_pools(&*model, &users, &pools, &truths, &[stopping.k]);
+            let report = pup_eval::evaluate_pools(&*model, &users, &pools, &truths, &[stopping.k]);
             let score = report.at(stopping.k).recall;
             history.validation_recalls.push((trainer.completed_epochs(), score));
             let improved = best.as_ref().map(|(b, _)| score > *b).unwrap_or(true);
             if improved {
+                // pup-lint: allow(clone-in-loop) — best-model snapshot, only on validation improvement.
                 best = Some((score, model.params().iter().map(|p| p.value_clone()).collect()));
                 bad_checks = 0;
             } else {
@@ -423,11 +421,7 @@ mod tests {
         assert!(!history.validation_recalls.is_empty(), "checks must have run");
         assert!(history.epoch_losses.len() <= 8);
         // The restored parameters reproduce the best validation recall.
-        let best_seen = history
-            .validation_recalls
-            .iter()
-            .map(|&(_, r)| r)
-            .fold(f64::MIN, f64::max);
+        let best_seen = history.validation_recalls.iter().map(|&(_, r)| r).fold(f64::MIN, f64::max);
         assert!((history.best_recall - best_seen).abs() < 1e-12);
         // Model is usable for inference after restoration.
         let report = p.evaluate(&m, &[10]);
@@ -438,10 +432,8 @@ mod tests {
     fn fit_pup_exposes_price_affinity() {
         let p = small_pipeline();
         let cfg = quick_cfg();
-        let pup = p.fit_pup(
-            PupConfig { global_dim: 12, category_dim: 4, ..Default::default() },
-            &cfg,
-        );
+        let pup =
+            p.fit_pup(PupConfig { global_dim: 12, category_dim: 4, ..Default::default() }, &cfg);
         let aff = pup.user_price_affinity(0);
         assert_eq!(aff.len(), p.dataset().n_price_levels);
         assert!(aff.iter().all(|a| a.is_finite()));

@@ -1,1 +1,4 @@
+//! Placeholder example kept so `cargo build --examples` exercises the
+//! pup-data public API surface.
+
 fn main() {}

@@ -79,7 +79,7 @@ pub fn median_entropy(entropies: &[Option<f64>]) -> Option<f64> {
     if vals.is_empty() {
         return None;
     }
-    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals.sort_by(f64::total_cmp);
     Some(vals[vals.len() / 2])
 }
 

@@ -139,11 +139,7 @@ pub fn parse_dataset(
         categories.push(cat_id);
     }
     if maps.items.is_empty() {
-        return Err(LoadError::Parse {
-            file: "items",
-            line: 1,
-            reason: "no items found".into(),
-        });
+        return Err(LoadError::Parse { file: "items", line: 1, reason: "no items found".into() });
     }
 
     // --- interactions ------------------------------------------------------
@@ -177,7 +173,11 @@ pub fn parse_dataset(
             maps.users.push(user.to_string());
             maps.users.len() - 1
         });
-        interactions.push(Interaction { user: user_id as u32, item: item_id as u32, timestamp: ts });
+        interactions.push(Interaction {
+            user: user_id as u32,
+            item: item_id as u32,
+            timestamp: ts,
+        });
     }
     interactions.sort_by_key(|it| it.timestamp);
 
@@ -212,12 +212,10 @@ pub fn load_dataset(
 /// Serializes a dataset back to `(items_csv, interactions_csv)` strings.
 /// Ids are the dense indices (or the original ids when `maps` is given).
 pub fn dataset_to_csv(dataset: &Dataset, maps: Option<&IdMaps>) -> (String, String) {
-    let item_name = |i: usize| -> String {
-        maps.map(|m| m.items[i].clone()).unwrap_or_else(|| i.to_string())
-    };
-    let user_name = |u: usize| -> String {
-        maps.map(|m| m.users[u].clone()).unwrap_or_else(|| u.to_string())
-    };
+    let item_name =
+        |i: usize| -> String { maps.map(|m| m.items[i].clone()).unwrap_or_else(|| i.to_string()) };
+    let user_name =
+        |u: usize| -> String { maps.map(|m| m.users[u].clone()).unwrap_or_else(|| u.to_string()) };
     let cat_name = |c: usize| -> String {
         maps.map(|m| m.categories[c].clone()).unwrap_or_else(|| c.to_string())
     };
@@ -363,8 +361,7 @@ mod tests {
             ..Default::default()
         });
         let (items_csv, inter_csv) = dataset_to_csv(&s.dataset, None);
-        let (d2, _) =
-            parse_dataset(&items_csv, &inter_csv, 5, Quantization::Uniform).unwrap();
+        let (d2, _) = parse_dataset(&items_csv, &inter_csv, 5, Quantization::Uniform).unwrap();
         assert_eq!(s.dataset.n_items, d2.n_items);
         assert_eq!(s.dataset.interactions.len(), d2.interactions.len());
         assert_eq!(s.dataset.item_price_level, d2.item_price_level);

@@ -140,11 +140,7 @@ mod tests {
         // User 2 only buys item 2; item 2 is only bought by user 2 and user 0.
         // With k=2: user 2 dies (degree 1) -> item 2 drops to degree 1 and
         // dies -> user 0 drops from 3 to 2 and survives.
-        let d = dataset_from_pairs(
-            3,
-            3,
-            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2)],
-        );
+        let d = dataset_from_pairs(3, 3, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2)]);
         let r = kcore_filter(&d, 2);
         assert_eq!(r.user_map, vec![0, 1]);
         assert_eq!(r.item_map, vec![0, 1]);

@@ -87,13 +87,12 @@ pub fn rank_quantize(
     for (i, &c) in categories.iter().enumerate() {
         by_cat[c].push(i);
     }
-    for items in by_cat {
-        if items.is_empty() {
+    for mut sorted in by_cat {
+        if sorted.is_empty() {
             continue;
         }
-        let n = items.len() as f64;
-        let mut sorted = items.clone();
-        sorted.sort_by(|&a, &b| prices[a].partial_cmp(&prices[b]).expect("prices must not be NaN"));
+        let n = sorted.len() as f64;
+        sorted.sort_by(|&a, &b| prices[a].total_cmp(&prices[b]));
         let mut i = 0;
         while i < sorted.len() {
             // Find the tied block [i, j).

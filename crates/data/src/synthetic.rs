@@ -217,11 +217,8 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
         item_popularity.push((standard_normal(&mut rng) * config.popularity_skew).exp());
         let own = unit_vector(config.interest_dim, &mut rng);
         let g = config.category_coherence;
-        let mixed: Vec<f64> = cat_latent[c]
-            .iter()
-            .zip(&own)
-            .map(|(cv, ov)| g * cv + (1.0 - g) * ov)
-            .collect();
+        let mixed: Vec<f64> =
+            cat_latent[c].iter().zip(&own).map(|(cv, ov)| g * cv + (1.0 - g) * ov).collect();
         let norm = mixed.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
         item_latent.push(mixed.into_iter().map(|x| x / norm).collect::<Vec<f64>>());
     }
@@ -232,7 +229,7 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
         cat_prices[c].push(item_price[i]);
     }
     for p in &mut cat_prices {
-        p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        p.sort_by(f64::total_cmp);
     }
     let mut cat_items: Vec<Vec<usize>> = vec![Vec::new(); config.n_categories];
     for (i, &c) in item_category.iter().enumerate() {
@@ -252,17 +249,14 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
         let global_percentile = rng.gen_range(0.15..0.95);
         let wtp: Vec<f64> = (0..config.n_categories)
             .map(|c| {
-                let pct = if consistent {
-                    global_percentile
-                } else {
-                    rng.gen_range(0.15..0.95)
-                };
+                let pct = if consistent { global_percentile } else { rng.gen_range(0.15..0.95) };
                 quantile(&cat_prices[c], pct)
             })
             .collect();
         user_wtp.push(wtp);
 
-        let k = rng.gen_range(config.categories_per_user.0..=config.categories_per_user.1)
+        let k = rng
+            .gen_range(config.categories_per_user.0..=config.categories_per_user.1)
             .min(config.n_categories);
         let mut affinity = vec![0.0; config.n_categories];
         // Sorted Vec, not HashSet: iteration order must be deterministic so
@@ -294,10 +288,7 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
     //   popularity_i × interest(u,i) × affordability(u,c,i)
     // with affordability a logistic gate on (wtp - price) sharpened by
     // `price_weight`. This is the "interest AND acceptable price" rule.
-    assert!(
-        (0.0..=1.0).contains(&config.imitation_prob),
-        "imitation_prob must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&config.imitation_prob), "imitation_prob must be a probability");
     assert!((0.0..=1.0).contains(&config.arrival_span), "arrival_span must be a fraction");
     // Item arrival times: the first item of each category is live from the
     // start (the `i < n_categories` items by construction); the rest arrive
@@ -708,7 +699,8 @@ mod tests {
             let mut strong_pairs = 0usize;
             for a in 0..lists.len() {
                 for b in (a + 1)..lists.len() {
-                    let common = lists[a].iter().filter(|i| lists[b].binary_search(i).is_ok()).count();
+                    let common =
+                        lists[a].iter().filter(|i| lists[b].binary_search(i).is_ok()).count();
                     if common >= 3 {
                         strong_pairs += 1;
                     }

@@ -49,7 +49,11 @@ impl Dataset {
             assert!(c < self.n_categories, "item {i} has category {c} >= {}", self.n_categories);
         }
         for (i, &p) in self.item_price_level.iter().enumerate() {
-            assert!(p < self.n_price_levels, "item {i} has price level {p} >= {}", self.n_price_levels);
+            assert!(
+                p < self.n_price_levels,
+                "item {i} has price level {p} >= {}",
+                self.n_price_levels
+            );
         }
         let mut last_ts = 0;
         for (k, it) in self.interactions.iter().enumerate() {

@@ -54,10 +54,8 @@ pub fn build_cold_start_task(
     let mut truths = Vec::new();
     for u in 0..split.n_users {
         // Categories of the user's training items.
-        let train_cats: BTreeSet<usize> = train_lists[u]
-            .iter()
-            .map(|&i| dataset.item_category[i as usize])
-            .collect();
+        let train_cats: BTreeSet<usize> =
+            train_lists[u].iter().map(|&i| dataset.item_category[i as usize]).collect();
         // Test items in unexplored categories ("filter out those items in
         // the test set belonging to explored categories").
         let truth: Vec<u32> = test_lists[u]
@@ -72,10 +70,8 @@ pub fn build_cold_start_task(
             ColdStartProtocol::Cir => {
                 let positive_cats: BTreeSet<usize> =
                     truth.iter().map(|&i| dataset.item_category[i as usize]).collect();
-                let mut p: Vec<u32> = positive_cats
-                    .iter()
-                    .flat_map(|&c| by_category[c].iter().copied())
-                    .collect();
+                let mut p: Vec<u32> =
+                    positive_cats.iter().flat_map(|&c| by_category[c].iter().copied()).collect();
                 p.sort_unstable();
                 p
             }

@@ -23,6 +23,6 @@ pub use ranking::{
     evaluate, evaluate_per_user, evaluate_pools, evaluate_pools_per_user, evaluate_users,
     MetricPair, MetricReport, PerUserMetrics,
 };
+pub use report::Table;
 pub use revenue::{evaluate_revenue, RevenueReport};
 pub use significance::{paired_t_test, TTestResult};
-pub use report::Table;

@@ -10,11 +10,16 @@ pub fn recall_at_k(ranked: &[u32], ground_truth: &[u32], k: usize) -> f64 {
     if ground_truth.is_empty() {
         return 0.0;
     }
-    let hits = ranked
-        .iter()
-        .take(k)
-        .filter(|i| ground_truth.binary_search(i).is_ok())
-        .count();
+    // Count each ground-truth item at most once: recommendation lists are
+    // normally duplicate-free, but a duplicated hit must not push recall
+    // above 1.
+    let mut hit = vec![false; ground_truth.len()];
+    for i in ranked.iter().take(k) {
+        if let Ok(at) = ground_truth.binary_search(i) {
+            hit[at] = true;
+        }
+    }
+    let hits = hit.iter().filter(|&&h| h).count();
     hits as f64 / ground_truth.len() as f64
 }
 
@@ -25,10 +30,16 @@ pub fn ndcg_at_k(ranked: &[u32], ground_truth: &[u32], k: usize) -> f64 {
     if ground_truth.is_empty() {
         return 0.0;
     }
+    // As in recall: only an item's first occurrence in the list is a gain,
+    // so a duplicated hit cannot lift DCG above the ideal DCG.
+    let mut seen = vec![false; ground_truth.len()];
     let mut dcg = 0.0;
     for (pos, item) in ranked.iter().take(k).enumerate() {
-        if ground_truth.binary_search(item).is_ok() {
-            dcg += 1.0 / ((pos + 2) as f64).log2();
+        if let Ok(at) = ground_truth.binary_search(item) {
+            if !seen[at] {
+                seen[at] = true;
+                dcg += 1.0 / ((pos + 2) as f64).log2();
+            }
         }
     }
     let ideal_hits = ground_truth.len().min(k);

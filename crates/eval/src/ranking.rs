@@ -48,12 +48,7 @@ impl MetricReport {
 pub fn rank_candidates(scores: &[f64], candidates: &[u32], top: usize) -> Vec<u32> {
     let mut idx: Vec<u32> = candidates.to_vec();
     let top = top.min(idx.len());
-    idx.sort_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b)));
     idx.truncate(top);
     idx
 }
@@ -82,11 +77,11 @@ pub fn evaluate_users(
         if test[u].is_empty() {
             continue;
         }
-        let exclude = |i: &u32| {
-            train[u].binary_search(i).is_ok() || valid[u].binary_search(i).is_ok()
-        };
+        let exclude =
+            |i: &u32| train[u].binary_search(i).is_ok() || valid[u].binary_search(i).is_ok();
         let pool: Vec<u32> = (0..split.n_items as u32).filter(|i| !exclude(i)).collect();
         pools.push(pool);
+        // pup-lint: allow(clone-in-loop) — per-user ground-truth copy, once per evaluation.
         truths.push(test[u].clone());
         kept_users.push(u);
     }
@@ -163,7 +158,7 @@ pub fn evaluate_pools_per_user(
     assert_eq!(users.len(), pools.len(), "one pool per user");
     assert_eq!(users.len(), ground_truths.len(), "one ground truth per user");
     assert!(!ks.is_empty(), "need at least one cutoff");
-    let max_k = *ks.iter().max().expect("non-empty ks");
+    let max_k = ks.iter().copied().max().unwrap_or(0);
     let mut kept_users = Vec::new();
     let mut per_k: Vec<Vec<MetricPair>> = ks.iter().map(|_| Vec::new()).collect();
     for ((&u, pool), gt) in users.iter().zip(pools).zip(ground_truths) {
@@ -203,6 +198,7 @@ pub fn evaluate_per_user(model: &dyn Recommender, split: &Split, ks: &[usize]) -
         let exclude =
             |i: &u32| train[u].binary_search(i).is_ok() || valid[u].binary_search(i).is_ok();
         pools.push((0..split.n_items as u32).filter(|i| !exclude(i)).collect());
+        // pup-lint: allow(clone-in-loop) — per-user ground-truth copy, once per evaluation.
         truths.push(test[u].clone());
         users.push(u);
     }

@@ -56,7 +56,7 @@ pub fn evaluate_revenue(
     let train = split.train_items_by_user();
     let valid = split.valid_items_by_user();
     let test = split.test_items_by_user();
-    let max_k = *ks.iter().max().expect("non-empty ks");
+    let max_k = ks.iter().copied().max().unwrap_or(0);
 
     let mut recall_sums = vec![0.0; ks.len()];
     let mut hit_sums = vec![0.0; ks.len()];

@@ -42,7 +42,12 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
     if se == 0.0 {
         // All differences identical: degenerate — p is 0 unless the mean is 0.
         let p = if mean == 0.0 { 1.0 } else { 0.0 };
-        return TTestResult { t: if mean == 0.0 { 0.0 } else { f64::INFINITY * mean.signum() }, dof, p_two_sided: p, mean_diff: mean };
+        return TTestResult {
+            t: if mean == 0.0 { 0.0 } else { f64::INFINITY * mean.signum() },
+            dof,
+            p_two_sided: p,
+            mean_diff: mean,
+        };
     }
     let t = mean / se;
     let p = 2.0 * student_t_sf(t.abs(), dof as f64);
@@ -68,8 +73,7 @@ pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // The continued fraction converges fastest for x < (a+1)/(a+b+2); apply
     // the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) directly (not recursively —

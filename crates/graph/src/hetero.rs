@@ -166,6 +166,7 @@ fn binarize(m: &CsrMatrix) -> CsrMatrix {
 ///
 /// `price_levels[i]` and `categories[i]` are the attributes of item `i`;
 /// `interactions` are the observed `(user, item)` pairs of the training set.
+#[allow(clippy::too_many_arguments)]
 pub fn build_pup_graph(
     n_users: usize,
     n_items: usize,
@@ -194,16 +195,7 @@ mod tests {
 
     fn toy_graph(spec: GraphSpec) -> HeteroGraph {
         // 2 users, 3 items, 2 prices, 2 categories.
-        build_pup_graph(
-            2,
-            3,
-            2,
-            2,
-            &[0, 1, 1],
-            &[0, 0, 1],
-            &[(0, 0), (0, 1), (1, 2), (1, 1)],
-            spec,
-        )
+        build_pup_graph(2, 3, 2, 2, &[0, 1, 1], &[0, 0, 1], &[(0, 0), (0, 1), (1, 2), (1, 1)], spec)
     }
 
     #[test]
@@ -259,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    fn extra_family_nodes_connect(){
+    fn extra_family_nodes_connect() {
         let mut b = GraphBuilder::new(2, 2, 1, 1, GraphSpec::FULL);
         let brand = b.add_extra_family("brand", 3);
         b.add_extra_edge(NodeRef::Item(0), brand, 2);

@@ -21,7 +21,12 @@ pub enum NodeRef {
     /// A category node (index within categories).
     Category(usize),
     /// A node of the `family`-th extra attribute family.
-    Extra { family: usize, index: usize },
+    Extra {
+        /// Which extra attribute family the node belongs to.
+        family: usize,
+        /// Index within that family.
+        index: usize,
+    },
 }
 
 /// Flat index layout: `[users | items | prices | categories | extras...]`.

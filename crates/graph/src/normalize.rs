@@ -71,11 +71,7 @@ mod tests {
 
     fn path_graph() -> CsrMatrix {
         // 0 - 1 - 2 path.
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        )
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
     }
 
     #[test]

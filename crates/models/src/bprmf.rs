@@ -38,7 +38,9 @@ impl BprModel for BprMf {
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
         let u = ops::gather_rows(&self.user_emb, users);
         let i = ops::gather_rows(&self.item_emb, items);
-        ops::rowwise_dot(&u, &i)
+        let scores = ops::rowwise_dot(&u, &i);
+        pup_tensor::checks::guard_finite("BprMf::score_batch", &scores);
+        scores
     }
 
     fn params(&self) -> Vec<Var> {
@@ -111,7 +113,8 @@ mod tests {
             train: &train,
         };
         let mut m = BprMf::new(&data, 8, 1);
-        let cfg = TrainConfig { epochs: 60, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 60, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
         train_bpr(&mut m, 8, 8, &train, &cfg);
         // Held-out in-block pair should outrank every out-of-block item.
         let scores = m.score_items(0);

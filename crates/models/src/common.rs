@@ -98,6 +98,7 @@ pub fn pairwise_interactions_naive(features: &[Var]) -> Var {
             });
         }
     }
+    // pup-lint: allow(unwrap-in-lib) — documented precondition: callers pass a non-empty batch.
     acc.expect("at least one pair")
 }
 
@@ -133,7 +134,8 @@ mod tests {
 
     #[test]
     fn eq7_gradients_match_naive_gradients() {
-        let make = |seed: u64| -> Vec<Var> { (0..3u64).map(|s| rand_var(4, 6, seed + s)).collect() };
+        let make =
+            |seed: u64| -> Vec<Var> { (0..3u64).map(|s| rand_var(4, 6, seed + s)).collect() };
         let f1 = make(7);
         let f2 = make(7);
         pup_tensor::ops::sum(&pairwise_interactions(&f1)).backward();

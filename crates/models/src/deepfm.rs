@@ -50,10 +50,8 @@ impl DeepFm {
 
     fn full_score(&mut self, users: &[usize], items: &[usize]) -> Var {
         let fields = self.fm.field_embeddings(users, items);
-        let fm_score = ops::add(
-            &pairwise_interactions(&fields),
-            &self.fm.linear_terms(users, items),
-        );
+        let fm_score =
+            ops::add(&pairwise_interactions(&fields), &self.fm.linear_terms(users, items));
         let deep = self.deep_component(&fields);
         ops::add(&fm_score, &deep)
     }
@@ -63,7 +61,9 @@ impl BprModel for DeepFm {
     fn begin_step(&mut self, _rng: &mut StdRng) {}
 
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
-        self.full_score(users, items)
+        let scores = self.full_score(users, items);
+        pup_tensor::checks::guard_finite("DeepFm::score_batch", &scores);
+        scores
     }
 
     fn params(&self) -> Vec<Var> {
@@ -131,8 +131,8 @@ mod tests {
         let mut m = DeepFm::new(&data, 4, 8, 11);
         let batch = m.score_batch(&[1, 1, 1, 1], &[0, 1, 2, 3]);
         let all = m.score_items(1);
-        for k in 0..4 {
-            assert!((batch.value().get(k, 0) - all[k]).abs() < 1e-10, "mismatch at {k}");
+        for (k, &s) in all.iter().enumerate().take(4) {
+            assert!((batch.value().get(k, 0) - s).abs() < 1e-10, "mismatch at {k}");
         }
     }
 
@@ -160,7 +160,8 @@ mod tests {
         let train = vec![(0, 0), (0, 2), (1, 1), (1, 3), (0, 4), (1, 5)];
         let data = toy_data(&train, &price, &cat, 2);
         let mut m = DeepFm::new(&data, 6, 8, 4);
-        let cfg = TrainConfig { epochs: 30, batch_size: 4, lr: 0.02, l2: 0.0, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 30, batch_size: 4, lr: 0.02, l2: 0.0, ..Default::default() };
         let stats = train_bpr(&mut m, 2, 6, &train, &cfg);
         assert!(stats.final_loss() < stats.epoch_losses[0]);
     }

@@ -136,11 +136,13 @@ impl BprModel for Fm {
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
         let fields = self.field_embeddings(users, items);
         let pair = pairwise_interactions(&fields);
-        if self.linear_terms {
+        let scores = if self.linear_terms {
             ops::add(&pair, &self.linear_terms(users, items))
         } else {
             pair
-        }
+        };
+        pup_tensor::checks::guard_finite("Fm::score_batch", &scores);
+        scores
     }
 
     fn params(&self) -> Vec<Var> {
@@ -164,7 +166,11 @@ impl Recommender for Fm {
 mod tests {
     use super::*;
 
-    fn toy_data<'a>(train: &'a [(usize, usize)], price: &'a [usize], cat: &'a [usize]) -> TrainData<'a> {
+    fn toy_data<'a>(
+        train: &'a [(usize, usize)],
+        price: &'a [usize],
+        cat: &'a [usize],
+    ) -> TrainData<'a> {
         TrainData {
             n_users: 4,
             n_items: price.len(),
@@ -187,11 +193,8 @@ mod tests {
         let items: Vec<usize> = (0..5).collect();
         let batch = m.score_batch(&users, &items);
         let dense = m.score_items(2);
-        for k in 0..5 {
-            assert!(
-                (batch.value().get(k, 0) - dense[k]).abs() < 1e-10,
-                "mismatch at item {k}"
-            );
+        for (k, &d) in dense.iter().enumerate().take(5) {
+            assert!((batch.value().get(k, 0) - d).abs() < 1e-10, "mismatch at item {k}");
         }
     }
 

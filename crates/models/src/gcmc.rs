@@ -79,11 +79,14 @@ impl BprModel for GcMc {
     }
 
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
+        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.
         let repr = self.step_repr.as_ref().expect("begin_step must run first");
         let item_idx: Vec<usize> = items.iter().map(|&i| self.n_users + i).collect();
         let u = ops::gather_rows(repr, users);
         let i = ops::gather_rows(repr, &item_idx);
-        ops::rowwise_dot(&u, &i)
+        let scores = ops::rowwise_dot(&u, &i);
+        pup_tensor::checks::guard_finite("GcMc::score_batch", &scores);
+        scores
     }
 
     fn params(&self) -> Vec<Var> {
@@ -102,6 +105,7 @@ impl Recommender for GcMc {
     }
 
     fn score_items(&self, user: usize) -> Vec<f64> {
+        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug; covered by a should_panic test.
         let repr = self.final_repr.as_ref().expect("finalize must run before inference");
         let u = repr.gather_rows(&[user]);
         let items_idx: Vec<usize> = (0..self.n_items).map(|i| self.n_users + i).collect();
@@ -143,18 +147,23 @@ mod tests {
 
     #[test]
     fn propagation_shares_signal_between_neighbors() {
-        let train = vec![(0, 0), (1, 0)];
-        let data = block_data(&train);
-        let mut m = GcMc::new(&data, 8, 0.0, 0);
-        m.finalize();
         // Users 0 and 1 are 2-hop neighbors through item 0; their propagated
         // representations should be more similar than user 0 and user 7 (no
-        // shared items).
-        let r = m.final_repr.as_ref().unwrap();
-        let sim = |a: usize, b: usize| {
-            r.gather_rows(&[a]).rowwise_dot(&r.gather_rows(&[b])).get(0, 0)
-        };
-        assert!(sim(0, 1) > sim(0, 7), "GCN smoothing absent");
+        // shared items). At dim 8 a single random init is noisy, so average
+        // the margin over several seeds instead of betting on one.
+        let train = vec![(0, 0), (1, 0)];
+        let data = block_data(&train);
+        let mut margin = 0.0;
+        for seed in 0..10 {
+            let mut m = GcMc::new(&data, 8, 0.0, seed);
+            m.finalize();
+            let r = m.final_repr.as_ref().unwrap();
+            let sim = |a: usize, b: usize| {
+                r.gather_rows(&[a]).rowwise_dot(&r.gather_rows(&[b])).get(0, 0)
+            };
+            margin += sim(0, 1) - sim(0, 7);
+        }
+        assert!(margin > 0.0, "GCN smoothing absent: mean margin {}", margin / 10.0);
     }
 
     #[test]
@@ -162,7 +171,8 @@ mod tests {
         let train = block_train();
         let data = block_data(&train);
         let mut m = GcMc::new(&data, 8, 0.0, 1);
-        let cfg = TrainConfig { epochs: 60, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 60, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
         let stats = train_bpr(&mut m, 8, 8, &train, &cfg);
         assert!(stats.final_loss() < stats.epoch_losses[0] * 0.6);
         let s = m.score_items(0);

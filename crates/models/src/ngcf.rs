@@ -96,6 +96,7 @@ impl Ngcf {
                     next = ops::dropout(&next, self.dropout, r);
                 }
             }
+            // pup-lint: allow(clone-in-loop) — Var is an Rc handle; cloning aliases the node.
             layers.push(next.clone());
             e = next;
         }
@@ -113,11 +114,14 @@ impl BprModel for Ngcf {
     }
 
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
+        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.
         let repr = self.step_repr.as_ref().expect("begin_step must run first");
         let item_idx: Vec<usize> = items.iter().map(|&i| self.n_users + i).collect();
         let u = ops::gather_rows(repr, users);
         let i = ops::gather_rows(repr, &item_idx);
-        ops::rowwise_dot(&u, &i)
+        let scores = ops::rowwise_dot(&u, &i);
+        pup_tensor::checks::guard_finite("Ngcf::score_batch", &scores);
+        scores
     }
 
     fn params(&self) -> Vec<Var> {
@@ -139,6 +143,7 @@ impl Recommender for Ngcf {
     }
 
     fn score_items(&self, user: usize) -> Vec<f64> {
+        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug.
         let repr = self.final_repr.as_ref().expect("finalize must run before inference");
         let u = repr.gather_rows(&[user]);
         let items_idx: Vec<usize> = (0..self.n_items).map(|i| self.n_users + i).collect();
@@ -202,7 +207,8 @@ mod tests {
         }
         let d = TrainData { item_category: &[0; 8], ..data(&train, &price) };
         let mut m = Ngcf::new(&d, 8, 2, 0.0, 1);
-        let cfg = TrainConfig { epochs: 60, batch_size: 8, lr: 0.02, l2: 0.0, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 60, batch_size: 8, lr: 0.02, l2: 0.0, ..Default::default() };
         train_bpr(&mut m, 8, 8, &train, &cfg);
         let s = m.score_items(0);
         let in_block = s[3];

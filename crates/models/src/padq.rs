@@ -70,26 +70,18 @@ impl Padq {
         let item_emb = Var::param(init::normal(data.n_items, cfg.dim, 0.1, &mut rng));
         let price_emb =
             Var::param(init::normal(data.n_price_levels.max(1), cfg.dim, 0.1, &mut rng));
-        let mut model = Self {
-            user_emb,
-            item_emb,
-            price_emb,
-            n_price_levels: data.n_price_levels.max(1),
-        };
+        let mut model =
+            Self { user_emb, item_emb, price_emb, n_price_levels: data.n_price_levels.max(1) };
         model.train(data, cfg, &mut rng);
         model
     }
 
     fn train(&mut self, data: &TrainData<'_>, cfg: &PadqConfig, rng: &mut StdRng) {
-        let params =
-            vec![self.user_emb.clone(), self.item_emb.clone(), self.price_emb.clone()];
+        let params = vec![self.user_emb.clone(), self.item_emb.clone(), self.price_emb.clone()];
         let mut opt = Adam::new(params, cfg.lr, cfg.l2);
         // Observed (user, price) pairs derived from purchases.
-        let user_price: Vec<(usize, usize)> = data
-            .train
-            .iter()
-            .map(|&(u, i)| (u, data.item_price_level[i]))
-            .collect();
+        let user_price: Vec<(usize, usize)> =
+            data.train.iter().map(|&(u, i)| (u, data.item_price_level[i])).collect();
         let mut order: Vec<usize> = (0..data.train.len()).collect();
         for _ in 0..cfg.epochs {
             for i in (1..order.len()).rev() {
@@ -141,7 +133,8 @@ impl Padq {
         }
         // Targets alternate 1, 0. Sampled "zeros" may collide with true
         // positives; as in standard CMF practice they act as weak negatives.
-        let target = Var::constant(Matrix::from_fn(2 * b, 1, |r, _| if r % 2 == 0 { 1.0 } else { 0.0 }));
+        let target =
+            Var::constant(Matrix::from_fn(2 * b, 1, |r, _| if r % 2 == 0 { 1.0 } else { 0.0 }));
 
         let sq_err = |a: &Var, b_: &Var| -> Var {
             let pred = ops::rowwise_dot(a, b_);
@@ -190,16 +183,7 @@ mod tests {
         // (price level 1).
         let price = vec![0, 0, 1, 1];
         let cat = vec![0; 4];
-        let train = vec![
-            (0, 0),
-            (0, 1),
-            (1, 0),
-            (1, 1),
-            (2, 2),
-            (2, 3),
-            (3, 2),
-            (3, 3),
-        ];
+        let train = vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)];
         let data = TrainData {
             n_users: 4,
             n_items: 4,
@@ -209,7 +193,14 @@ mod tests {
             item_category: &cat,
             train: &train,
         };
-        let cfg = PadqConfig { dim: 8, epochs: 200, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
+        let cfg = PadqConfig {
+            dim: 8,
+            epochs: 200,
+            batch_size: 8,
+            lr: 0.05,
+            l2: 0.0,
+            ..Default::default()
+        };
         let m = Padq::fit(&data, &cfg);
         let s0 = m.score_items(0);
         let own = (s0[0] + s0[1]) / 2.0;

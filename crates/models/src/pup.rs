@@ -157,9 +157,14 @@ impl Branch {
                     "extra attribute {:?}: one value per target entity required",
                     extra.name
                 );
+                // pup-lint: allow(clone-in-loop) — one String per extra attribute family, at build time.
                 let family = b.add_extra_family(extra.name.clone(), extra.n_values);
                 for (k, &v) in extra.values.iter().enumerate() {
-                    assert!(v < extra.n_values, "extra attribute {:?}: value out of range", extra.name);
+                    assert!(
+                        v < extra.n_values,
+                        "extra attribute {:?}: value out of range",
+                        extra.name
+                    );
                     let node = match extra.target {
                         AttributeTarget::Items => NodeRef::Item(k),
                         AttributeTarget::Users => NodeRef::User(k),
@@ -269,7 +274,13 @@ impl Pup {
     }
 
     /// Differentiable branch scores from propagated representations.
-    fn branch_scores(&self, repr_g: &Var, repr_c: Option<&Var>, users: &[usize], items: &[usize]) -> Var {
+    fn branch_scores(
+        &self,
+        repr_g: &Var,
+        repr_c: Option<&Var>,
+        users: &[usize],
+        items: &[usize],
+    ) -> Var {
         let lay = &self.global.layout;
         let u_idx: Vec<usize> = users.iter().map(|&u| lay.index(NodeRef::User(u))).collect();
         let i_idx: Vec<usize> = items.iter().map(|&i| lay.index(NodeRef::Item(i))).collect();
@@ -284,7 +295,7 @@ impl Pup {
                     .map(|&i| lay.index(NodeRef::Category(self.item_category[i])))
                     .collect();
                 let ec = ops::gather_rows(repr_g, &c_idx);
-                pairwise_interactions(&[eu.clone(), ei, ec])
+                pairwise_interactions(&[eu, ei, ec])
             }
             PupVariant::Full | PupVariant::PriceOnly => {
                 let p_idx: Vec<usize> = items
@@ -292,24 +303,21 @@ impl Pup {
                     .map(|&i| lay.index(NodeRef::Price(self.item_price_level[i])))
                     .collect();
                 let ep = ops::gather_rows(repr_g, &p_idx);
-                pairwise_interactions(&[eu.clone(), ei, ep])
+                pairwise_interactions(&[eu, ei, ep])
             }
         };
 
         let Some(repr_c) = repr_c else {
             return s_global;
         };
+        // pup-lint: allow(unwrap-in-lib) — repr_c is only Some when the category branch exists.
         let branch = self.category.as_ref().expect("category branch present");
         let clay = &branch.layout;
         let cu_idx: Vec<usize> = users.iter().map(|&u| clay.index(NodeRef::User(u))).collect();
-        let cp_idx: Vec<usize> = items
-            .iter()
-            .map(|&i| clay.index(NodeRef::Price(self.item_price_level[i])))
-            .collect();
-        let cc_idx: Vec<usize> = items
-            .iter()
-            .map(|&i| clay.index(NodeRef::Category(self.item_category[i])))
-            .collect();
+        let cp_idx: Vec<usize> =
+            items.iter().map(|&i| clay.index(NodeRef::Price(self.item_price_level[i]))).collect();
+        let cc_idx: Vec<usize> =
+            items.iter().map(|&i| clay.index(NodeRef::Category(self.item_category[i]))).collect();
         let eu_c = ops::gather_rows(repr_c, &cu_idx);
         let ep_c = ops::gather_rows(repr_c, &cp_idx);
         let ec_c = ops::gather_rows(repr_c, &cc_idx);
@@ -320,6 +328,7 @@ impl Pup {
 
     /// Inference scores over all items from the finalized representations.
     fn dense_scores(&self, user: usize) -> Vec<f64> {
+        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug.
         let repr_g = self.final_global.as_ref().expect("finalize must run before inference");
         let lay = &self.global.layout;
         let u = repr_g.gather_rows(&[lay.index(NodeRef::User(user))]);
@@ -355,13 +364,16 @@ impl Pup {
     /// paper's decoder design advertises. Requires a finalized model.
     pub fn user_price_affinity(&self, user: usize) -> Vec<f64> {
         assert_ne!(self.config.variant, PupVariant::Bipartite, "bipartite PUP has no price nodes");
-        assert_ne!(self.config.variant, PupVariant::CategoryOnly, "category-only PUP has no price nodes");
+        assert_ne!(
+            self.config.variant,
+            PupVariant::CategoryOnly,
+            "category-only PUP has no price nodes"
+        );
+        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug.
         let repr = self.final_global.as_ref().expect("finalize must run before inference");
         let lay = &self.global.layout;
         let u = repr.row(lay.index(NodeRef::User(user))).to_vec();
-        (0..lay.n_prices())
-            .map(|p| dot(&u, repr.row(lay.index(NodeRef::Price(p)))))
-            .collect()
+        (0..lay.n_prices()).map(|p| dot(&u, repr.row(lay.index(NodeRef::Price(p))))).collect()
     }
 
     /// Serializes the trained parameters (embedding tables of both
@@ -433,7 +445,9 @@ impl Pup {
     /// Category-branch affinity between a user and each (category, price)
     /// pair: `e_u·e_c + e_u·e_p + e_c·e_p`. Only for [`PupVariant::Full`].
     pub fn user_category_price_affinity(&self, user: usize, category: usize, price: usize) -> f64 {
+        // pup-lint: allow(unwrap-in-lib) — documented precondition: full variant, finalized.
         let branch = self.category.as_ref().expect("full variant required");
+        // pup-lint: allow(unwrap-in-lib)
         let repr = self.final_category.as_ref().expect("finalize must run before inference");
         let lay = &branch.layout;
         let u = repr.row(lay.index(NodeRef::User(user)));
@@ -451,16 +465,19 @@ impl BprModel for Pup {
     fn begin_step(&mut self, rng: &mut StdRng) {
         self.step_global =
             Some(self.global.propagate(self.config.n_layers, self.config.dropout, Some(rng)));
-        self.step_category =
-            self.category.as_ref().map(|b| {
-                b.propagate(self.config.n_layers, self.config.dropout, Some(rng))
-            });
+        self.step_category = self
+            .category
+            .as_ref()
+            .map(|b| b.propagate(self.config.n_layers, self.config.dropout, Some(rng)));
     }
 
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
+        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.
         let repr_g = self.step_global.clone().expect("begin_step must run first");
         let repr_c = self.step_category.clone();
-        self.branch_scores(&repr_g, repr_c.as_ref(), users, items)
+        let scores = self.branch_scores(&repr_g, repr_c.as_ref(), users, items);
+        pup_tensor::checks::guard_finite("Pup::score_batch", &scores);
+        scores
     }
 
     fn params(&self) -> Vec<Var> {
@@ -474,10 +491,10 @@ impl BprModel for Pup {
     fn finalize(&mut self) {
         self.final_global =
             Some(self.global.propagate(self.config.n_layers, 0.0, None).value_clone());
-        self.final_category =
-            self.category.as_ref().map(|b| {
-                b.propagate(self.config.n_layers, 0.0, None).value_clone()
-            });
+        self.final_category = self
+            .category
+            .as_ref()
+            .map(|b| b.propagate(self.config.n_layers, 0.0, None).value_clone());
         self.step_global = None;
         self.step_category = None;
     }
@@ -550,9 +567,9 @@ mod tests {
             let batch = m.score_batch(&users, &items);
             m.finalize();
             let dense = m.score_items(1);
-            for k in 0..5 {
+            for (k, &d) in dense.iter().enumerate().take(5) {
                 assert!(
-                    (batch.value().get(k, 0) - dense[k]).abs() < 1e-10,
+                    (batch.value().get(k, 0) - d).abs() < 1e-10,
                     "{variant:?}: mismatch at item {k}"
                 );
             }
@@ -601,7 +618,8 @@ mod tests {
         }
         let data = price_data(&train, &price, &cat, 4);
         let mut m = Pup::new(&data, small_config(PupVariant::Full));
-        let cfg = TrainConfig { epochs: 120, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 120, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
         train_bpr(&mut m, 4, 8, &train, &cfg);
         let s = m.score_items(0);
         // Held-out items 4 (price 0) vs 5 (price 1): cheap user prefers 4.
@@ -671,8 +689,8 @@ mod tests {
         let batch = m.score_batch(&[0, 0, 0, 0], &[0, 1, 2, 3]);
         m.finalize();
         let dense = m.score_items(0);
-        for k in 0..4 {
-            assert!((batch.value().get(k, 0) - dense[k]).abs() < 1e-10);
+        for (k, &d) in dense.iter().enumerate().take(4) {
+            assert!((batch.value().get(k, 0) - d).abs() < 1e-10);
         }
     }
 
@@ -755,8 +773,8 @@ mod tests {
         let batch = m.score_batch(&[2, 2, 2, 2], &[0, 1, 2, 3]);
         m.finalize();
         let dense = m.score_items(2);
-        for k in 0..4 {
-            assert!((batch.value().get(k, 0) - dense[k]).abs() < 1e-10);
+        for (k, &d) in dense.iter().enumerate().take(4) {
+            assert!((batch.value().get(k, 0) - d).abs() < 1e-10);
         }
     }
 
@@ -778,10 +796,7 @@ mod tests {
         let before = m.score_items(1);
 
         // A freshly initialized model scores differently; import restores.
-        let mut fresh = Pup::new(
-            &data,
-            PupConfig { seed: 999, ..small_config(PupVariant::Full) },
-        );
+        let mut fresh = Pup::new(&data, PupConfig { seed: 999, ..small_config(PupVariant::Full) });
         fresh.finalize();
         assert_ne!(fresh.score_items(1), before);
         fresh.import_params(&exported).unwrap();

@@ -74,6 +74,7 @@ pub struct TrainStats {
 impl TrainStats {
     /// Loss of the final epoch.
     pub fn final_loss(&self) -> f64 {
+        // pup-lint: allow(unwrap-in-lib) — documented precondition: stats exist only after training.
         *self.epoch_losses.last().expect("at least one epoch")
     }
 }
@@ -192,6 +193,7 @@ impl BprTrainer {
             // BPR: -ln σ(s_pos - s_neg) == softplus(-(s_pos - s_neg)).
             let margin = ops::sub(&s_pos, &s_neg);
             let loss = ops::mean(&ops::softplus(&ops::scale(&margin, -1.0)));
+            pup_tensor::checks::guard_finite("bpr loss", &loss);
             loss_sum += loss.scalar();
             batches += 1.0;
             loss.backward();
@@ -279,7 +281,8 @@ mod tests {
     fn loss_decreases_on_learnable_data() {
         let train = block_train_pairs();
         let mut model = TinyMf::new(10, 10, 8, 3);
-        let cfg = TrainConfig { epochs: 30, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
+        let cfg =
+            TrainConfig { epochs: 30, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
         let stats = train_bpr(&mut model, 10, 10, &train, &cfg);
         let first = stats.epoch_losses[0];
         let last = stats.final_loss();
@@ -288,20 +291,39 @@ mod tests {
 
     #[test]
     fn trained_mf_ranks_in_block_items_higher() {
-        let train = block_train_pairs();
-        let mut model = TinyMf::new(10, 10, 8, 3);
-        let cfg = TrainConfig { epochs: 60, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
-        train_bpr(&mut model, 10, 10, &train, &cfg);
-        // Held-out pair (0,3) is in-block (not trained since 0+3 odd): should
-        // outrank out-of-block items for user 0.
-        let score = |u: usize, i: usize| {
-            let uu = model.users.value().gather_rows(&[u]);
-            let ii = model.items.value().gather_rows(&[i]);
-            uu.rowwise_dot(&ii).get(0, 0)
-        };
-        let in_block = score(0, 3);
-        let out_block: f64 = (5..10).map(|i| score(0, i)).fold(f64::MIN, f64::max);
-        assert!(in_block > out_block, "CF structure not learned: {in_block} vs {out_block}");
+        // Hold out (0,2), which has genuine collaborative support: users 2
+        // and 4 share items 0 and 4 with user 0 and both like item 2. (The
+        // parity structure of `block_train_pairs` means an *untrained*
+        // in-block pair like (0,3) has no collaborative path, so the
+        // original form of this test was a pure init lottery.) The held-out
+        // pair is still a legal negative sample, so require a majority of
+        // seeds rather than betting on one.
+        let train: Vec<(usize, usize)> =
+            block_train_pairs().into_iter().filter(|&p| p != (0, 2)).collect();
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut model = TinyMf::new(10, 10, 8, seed);
+            let cfg = TrainConfig {
+                epochs: 60,
+                batch_size: 8,
+                lr: 0.05,
+                l2: 0.0,
+                seed,
+                ..Default::default()
+            };
+            train_bpr(&mut model, 10, 10, &train, &cfg);
+            let score = |u: usize, i: usize| {
+                let uu = model.users.value().gather_rows(&[u]);
+                let ii = model.items.value().gather_rows(&[i]);
+                uu.rowwise_dot(&ii).get(0, 0)
+            };
+            let in_block = score(0, 2);
+            let out_block: f64 = (5..10).map(|i| score(0, i)).fold(f64::MIN, f64::max);
+            if in_block > out_block {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "CF structure not learned: {wins}/5 seeds recovered the held-out pair");
     }
 
     #[test]

@@ -15,16 +15,20 @@ use std::cell::{Ref, RefCell};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::checks;
 use crate::matrix::Matrix;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Backward closure: receives the gradient flowing into this node and the
 /// node's parents, and accumulates the parents' gradients.
-type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
+pub type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
 
 struct VarInner {
     id: u64,
+    /// Name of the op that produced this node (`"leaf"` / `"constant"` for
+    /// leaves); used by the tape auditor's diagnostics.
+    op: &'static str,
     value: Matrix,
     grad: Option<Matrix>,
     requires_grad: bool,
@@ -47,8 +51,9 @@ impl std::fmt::Debug for Var {
         let inner = self.inner.borrow();
         write!(
             f,
-            "Var(id={}, {}x{}, requires_grad={})",
+            "Var(id={}, op={}, {}x{}, requires_grad={})",
             inner.id,
+            inner.op,
             inner.value.rows(),
             inner.value.cols(),
             inner.requires_grad
@@ -57,10 +62,17 @@ impl std::fmt::Debug for Var {
 }
 
 impl Var {
-    fn new(value: Matrix, requires_grad: bool, parents: Vec<Var>, backward: Option<BackwardFn>) -> Self {
+    fn new(
+        op: &'static str,
+        value: Matrix,
+        requires_grad: bool,
+        parents: Vec<Var>,
+        backward: Option<BackwardFn>,
+    ) -> Self {
         Self {
             inner: Rc::new(RefCell::new(VarInner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                op,
                 value,
                 grad: None,
                 requires_grad,
@@ -72,23 +84,54 @@ impl Var {
 
     /// A trainable leaf (gradient is accumulated here).
     pub fn param(value: Matrix) -> Self {
-        Self::new(value, true, Vec::new(), None)
+        Self::new("leaf", value, true, Vec::new(), None)
     }
 
     /// A constant leaf (no gradient).
     pub fn constant(value: Matrix) -> Self {
-        Self::new(value, false, Vec::new(), None)
+        Self::new("constant", value, false, Vec::new(), None)
     }
 
     /// Internal constructor for op results. `requires_grad` is inherited from
-    /// the parents; nodes with no differentiable parent skip the tape.
-    pub(crate) fn from_op(value: Matrix, parents: Vec<Var>, backward: BackwardFn) -> Self {
+    /// the parents; nodes with no differentiable parent skip the tape. The
+    /// tape auditor scans `value` for NaN/Inf here, so every op is covered at
+    /// its single construction point.
+    pub(crate) fn from_op(
+        op: &'static str,
+        value: Matrix,
+        parents: Vec<Var>,
+        backward: BackwardFn,
+    ) -> Self {
+        checks::assert_finite(op, "op result", &value);
         let requires = parents.iter().any(Var::requires_grad);
         if requires {
-            Self::new(value, true, parents, Some(backward))
+            Self::new(op, value, true, parents, Some(backward))
         } else {
-            Self::new(value, false, Vec::new(), None)
+            Self::new(op, value, false, Vec::new(), None)
         }
+    }
+
+    /// Public extension point: builds an op node from a precomputed `value`,
+    /// its `parents`, and a `backward` closure that receives the incoming
+    /// gradient and the parents and must call [`Var::accumulate_grad`]
+    /// on each differentiable parent.
+    ///
+    /// This is how code outside `pup-tensor` (e.g. the gradcheck harness in
+    /// `pup-analysis`) defines custom differentiable ops; it is subject to
+    /// the same tape-auditor checks as the built-in ops.
+    pub fn custom_op(
+        op: &'static str,
+        value: Matrix,
+        parents: Vec<Var>,
+        backward: BackwardFn,
+    ) -> Self {
+        Self::from_op(op, value, parents, backward)
+    }
+
+    /// Name of the op that produced this node (`"leaf"`/`"constant"` for
+    /// leaves).
+    pub fn op_name(&self) -> &'static str {
+        self.inner.borrow().op
     }
 
     /// Unique creation id (monotonically increasing).
@@ -148,12 +191,28 @@ impl Var {
     }
 
     /// Accumulates `g` into this node's gradient buffer.
-    pub(crate) fn accumulate_grad(&self, g: &Matrix) {
+    ///
+    /// Under the tape auditor (see [`crate::checks`]) the gradient must be
+    /// finite and match the node's value shape, and interior (non-leaf) nodes
+    /// only accept gradients while a `backward()` walk is running — an
+    /// accumulation into an interior node outside backward would sit in a
+    /// buffer nothing ever consumes.
+    pub fn accumulate_grad(&self, g: &Matrix) {
         let mut inner = self.inner.borrow_mut();
         if !inner.requires_grad {
             return;
         }
-        debug_assert_eq!(inner.value.shape(), g.shape(), "gradient shape mismatch");
+        if checks::ENABLED {
+            checks::assert_same_shape(inner.op, inner.value.shape(), g.shape());
+            checks::assert_finite(inner.op, "accumulated gradient", g);
+            assert!(
+                inner.backward.is_none() || checks::in_backward(),
+                "tape auditor: gradient accumulated into non-leaf node \
+                 (op `{}`, id {}) outside a backward() walk",
+                inner.op,
+                inner.id
+            );
+        }
         match &mut inner.grad {
             Some(acc) => acc.add_assign(g),
             None => inner.grad = Some(g.clone()),
@@ -166,7 +225,14 @@ impl Var {
     /// # Panics
     /// Panics when called on a non-scalar node.
     pub fn backward(&self) {
-        assert_eq!(self.shape(), (1, 1), "backward() must start from a scalar loss");
+        assert!(
+            self.shape() == (1, 1),
+            "backward() must start from a scalar loss, got a {}x{} `{}` node",
+            self.shape().0,
+            self.shape().1,
+            self.op_name()
+        );
+        let _scope = checks::BackwardScope::enter();
         self.accumulate_grad(&Matrix::ones(1, 1));
         // Reverse creation order is a valid reverse topological order because
         // an op's parents are always created before the op itself.
@@ -177,6 +243,7 @@ impl Var {
             if !seen.insert(v.id()) {
                 continue;
             }
+            // pup-lint: allow(clone-in-loop) — Vec of Rc handles; releases the RefCell borrow.
             let parents: Vec<Var> = v.inner.borrow().parents.clone();
             for p in parents {
                 if p.requires_grad() {

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod autograd;
+pub mod checks;
 pub mod init;
 pub mod matrix;
 pub mod ops;

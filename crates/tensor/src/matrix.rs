@@ -272,11 +272,7 @@ impl Matrix {
 
     /// Applies `f` to every entry, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Applies `f` to every entry in place.
@@ -338,12 +334,7 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape(), "rowwise_dot: shape mismatch");
         let mut out = Matrix::zeros(self.rows, 1);
         for r in 0..self.rows {
-            out.data[r] = self
-                .row(r)
-                .iter()
-                .zip(rhs.row(r))
-                .map(|(&a, &b)| a * b)
-                .sum();
+            out.data[r] = self.row(r).iter().zip(rhs.row(r)).map(|(&a, &b)| a * b).sum();
         }
         out
     }

@@ -16,6 +16,7 @@ use crate::sparse::CsrMatrix;
 pub fn add(a: &Var, b: &Var) -> Var {
     let value = a.value().add(&b.value());
     Var::from_op(
+        "add",
         value,
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
@@ -29,6 +30,7 @@ pub fn add(a: &Var, b: &Var) -> Var {
 pub fn sub(a: &Var, b: &Var) -> Var {
     let value = a.value().sub(&b.value());
     Var::from_op(
+        "sub",
         value,
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
@@ -42,6 +44,7 @@ pub fn sub(a: &Var, b: &Var) -> Var {
 pub fn mul(a: &Var, b: &Var) -> Var {
     let value = a.value().hadamard(&b.value());
     Var::from_op(
+        "mul",
         value,
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
@@ -60,6 +63,7 @@ pub fn mul(a: &Var, b: &Var) -> Var {
 pub fn scale(a: &Var, alpha: f64) -> Var {
     let value = a.value().scale(alpha);
     Var::from_op(
+        "scale",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| parents[0].accumulate_grad(&g.scale(alpha))),
@@ -70,6 +74,7 @@ pub fn scale(a: &Var, alpha: f64) -> Var {
 pub fn matmul(a: &Var, b: &Var) -> Var {
     let value = a.value().matmul(&b.value());
     Var::from_op(
+        "matmul",
         value,
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
@@ -89,6 +94,7 @@ pub fn spmm(a: &Rc<CsrMatrix>, x: &Var) -> Var {
     let value = a.spmm(&x.value());
     let a = Rc::clone(a);
     Var::from_op(
+        "spmm",
         value,
         vec![x.clone()],
         Box::new(move |g, parents| parents[0].accumulate_grad(&a.t_spmm(g))),
@@ -100,6 +106,7 @@ pub fn tanh(a: &Var) -> Var {
     let value = a.value().map(f64::tanh);
     let saved = value.clone();
     Var::from_op(
+        "tanh",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -115,6 +122,7 @@ pub fn sigmoid(a: &Var) -> Var {
     let value = a.value().map(stable_sigmoid);
     let saved = value.clone();
     Var::from_op(
+        "sigmoid",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -134,6 +142,7 @@ pub fn leaky_relu(a: &Var, slope: f64) -> Var {
     let input = a.value_clone();
     let value = input.map(|v| if v > 0.0 { v } else { slope * v });
     Var::from_op(
+        "leaky_relu",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -147,6 +156,7 @@ pub fn leaky_relu(a: &Var, slope: f64) -> Var {
 pub fn square(a: &Var) -> Var {
     let value = a.value().map(|v| v * v);
     Var::from_op(
+        "square",
         value,
         vec![a.clone()],
         Box::new(|g, parents| {
@@ -164,6 +174,7 @@ pub fn softplus(a: &Var) -> Var {
     let input = a.value_clone();
     let value = input.map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
     Var::from_op(
+        "softplus",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -179,6 +190,7 @@ pub fn gather_rows(a: &Var, indices: &[usize]) -> Var {
     let indices: Rc<[usize]> = indices.into();
     let (rows, cols) = a.shape();
     Var::from_op(
+        "gather_rows",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -194,6 +206,7 @@ pub fn gather_rows(a: &Var, indices: &[usize]) -> Var {
 pub fn rowwise_dot(a: &Var, b: &Var) -> Var {
     let value = a.value().rowwise_dot(&b.value());
     Var::from_op(
+        "rowwise_dot",
         value,
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
@@ -224,6 +237,7 @@ pub fn row_sums(a: &Var) -> Var {
     let value = a.value().row_sums();
     let cols = a.shape().1;
     Var::from_op(
+        "row_sums",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -244,6 +258,7 @@ pub fn row_sums(a: &Var) -> Var {
 pub fn sum(a: &Var) -> Var {
     let value = Matrix::from_vec(1, 1, vec![a.value().sum()]);
     Var::from_op(
+        "sum",
         value,
         vec![a.clone()],
         Box::new(|g, parents| {
@@ -268,6 +283,7 @@ pub fn concat_cols(a: &Var, b: &Var) -> Var {
     let a_cols = a.shape().1;
     let total = value.cols();
     Var::from_op(
+        "concat_cols",
         value,
         vec![a.clone(), b.clone()],
         Box::new(move |g, parents| {
@@ -291,16 +307,14 @@ pub fn concat_rows(a: &Var, b: &Var) -> Var {
     };
     let a_rows = a.shape().0;
     Var::from_op(
+        "concat_rows",
         value,
         vec![a.clone(), b.clone()],
         Box::new(move |g, parents| {
             let cols = g.cols();
             let top = Matrix::from_vec(a_rows, cols, g.as_slice()[..a_rows * cols].to_vec());
-            let bottom = Matrix::from_vec(
-                g.rows() - a_rows,
-                cols,
-                g.as_slice()[a_rows * cols..].to_vec(),
-            );
+            let bottom =
+                Matrix::from_vec(g.rows() - a_rows, cols, g.as_slice()[a_rows * cols..].to_vec());
             parents[0].accumulate_grad(&top);
             parents[1].accumulate_grad(&bottom);
         }),
@@ -316,6 +330,7 @@ pub fn slice_rows(a: &Var, start: usize, end: usize) -> Var {
         Matrix::from_vec(end - start, cols, av.as_slice()[start * cols..end * cols].to_vec())
     };
     Var::from_op(
+        "slice_rows",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -331,6 +346,7 @@ pub fn slice_cols(a: &Var, start: usize, end: usize) -> Var {
     let value = a.value().slice_cols(start, end);
     let cols = a.shape().1;
     Var::from_op(
+        "slice_cols",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
@@ -361,6 +377,7 @@ pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
         }
     }
     Var::from_op(
+        "add_row_broadcast",
         value,
         vec![a.clone(), bias.clone()],
         Box::new(|g, parents| {
@@ -390,15 +407,11 @@ pub fn dropout(a: &Var, p: f64, rng: &mut impl rand::Rng) -> Var {
     }
     let keep = 1.0 - p;
     let (rows, cols) = a.shape();
-    let mask = Matrix::from_fn(rows, cols, |_, _| {
-        if rng.gen::<f64>() < keep {
-            1.0 / keep
-        } else {
-            0.0
-        }
-    });
+    let mask =
+        Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 });
     let value = a.value().hadamard(&mask);
     Var::from_op(
+        "dropout",
         value,
         vec![a.clone()],
         Box::new(move |g, parents| parents[0].accumulate_grad(&g.hadamard(&mask))),
@@ -518,10 +531,14 @@ mod tests {
         gradcheck(&rand_param(3, 4, 13), |p| sum(&square(&slice_cols(p, 1, 3))), 1e-5);
         let bias = Var::constant(Matrix::from_fn(1, 3, |_, c| c as f64 * 0.1));
         gradcheck(&rand_param(4, 3, 14), |p| sum(&square(&add_row_broadcast(p, &bias))), 1e-5);
-        gradcheck(&rand_param(1, 3, 15), |p| {
-            let a = Var::constant(Matrix::from_fn(4, 3, |r, c| (r * c) as f64 * 0.2 - 0.5));
-            sum(&square(&add_row_broadcast(&a, p)))
-        }, 1e-5);
+        gradcheck(
+            &rand_param(1, 3, 15),
+            |p| {
+                let a = Var::constant(Matrix::from_fn(4, 3, |r, c| (r * c) as f64 * 0.2 - 0.5));
+                sum(&square(&add_row_broadcast(&a, p)))
+            },
+            1e-5,
+        );
     }
 
     #[test]
@@ -544,7 +561,7 @@ mod tests {
 
     #[test]
     fn gradcheck_l2_penalty() {
-        gradcheck(&rand_param(2, 2, 16), |p| l2_penalty(p), 1e-6);
+        gradcheck(&rand_param(2, 2, 16), l2_penalty, 1e-6);
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl Adam {
         eps: f64,
     ) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         let moments = params
             .iter()
             .map(|p| {
@@ -126,7 +129,9 @@ impl Optimizer for Adam {
                 g.add_scaled_assign(self.weight_decay, &p.value());
             }
             // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2
-            for ((mi, vi), &gi) in m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(g.as_slice()) {
+            for ((mi, vi), &gi) in
+                m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(g.as_slice())
+            {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
             }

@@ -58,8 +58,12 @@ impl CsrMatrix {
         let mut row_entries: Vec<(usize, f64)> = Vec::new();
         for r in 0..rows {
             row_entries.clear();
-            row_entries
-                .extend(col_buf[counts[r]..counts[r + 1]].iter().copied().zip(val_buf[counts[r]..counts[r + 1]].iter().copied()));
+            row_entries.extend(
+                col_buf[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(val_buf[counts[r]..counts[r + 1]].iter().copied()),
+            );
             row_entries.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < row_entries.len() {
@@ -126,8 +130,7 @@ impl CsrMatrix {
     pub fn scale_rows(&self, factors: &[f64]) -> CsrMatrix {
         assert_eq!(factors.len(), self.rows, "scale_rows: factor count mismatch");
         let mut out = self.clone();
-        for r in 0..self.rows {
-            let f = factors[r];
+        for (r, &f) in factors.iter().enumerate() {
             for v in &mut out.values[self.indptr[r]..self.indptr[r + 1]] {
                 *v *= f;
             }

@@ -24,10 +24,8 @@ fn main() {
         pipeline.dataset().n_categories
     );
 
-    let cfg = FitConfig {
-        train: TrainConfig { epochs: 20, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg =
+        FitConfig { train: TrainConfig { epochs: 20, ..Default::default() }, ..Default::default() };
     println!("training GC-MC and PUP (20 epochs each) ...");
     let gcmc = pipeline.fit(ModelKind::GcMc, &cfg);
     let pup = pipeline.fit(ModelKind::Pup(PupConfig::default()), &cfg);
@@ -50,10 +48,8 @@ fn main() {
 
         // Show one concrete cold-start case.
         let u = task.users[0];
-        let cats: std::collections::BTreeSet<usize> = task.truths[0]
-            .iter()
-            .map(|&i| pipeline.dataset().item_category[i as usize])
-            .collect();
+        let cats: std::collections::BTreeSet<usize> =
+            task.truths[0].iter().map(|&i| pipeline.dataset().item_category[i as usize]).collect();
         println!(
             "  e.g. user {u}: will buy in unexplored categories {cats:?} \
              (candidate pool: {} items)",

@@ -19,10 +19,8 @@ fn main() {
         pipeline.split().train.len()
     );
 
-    let cfg = FitConfig {
-        train: TrainConfig { epochs: 15, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg =
+        FitConfig { train: TrainConfig { epochs: 15, ..Default::default() }, ..Default::default() };
 
     let ks = [20usize, 50];
     let mut results: Vec<(String, MetricPair, MetricPair)> = Vec::new();
@@ -39,7 +37,7 @@ fn main() {
     }
 
     // Rank by Recall@50.
-    results.sort_by(|a, b| b.2.recall.partial_cmp(&a.2.recall).unwrap());
+    results.sort_by(|a, b| b.2.recall.total_cmp(&a.2.recall));
     let mut table = Table::new(&["rank", "method", "Recall@20", "NDCG@20", "Recall@50", "NDCG@50"]);
     for (rank, (name, m20, m50)) in results.iter().enumerate() {
         table.push_row(vec![

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use pup_eval::revenue::evaluate_revenue;
-use pup_models::{train_bpr, AttributeTarget, ExtraAttribute, Pup, Recommender};
+use pup_models::{train_bpr, AttributeTarget, ExtraAttribute, Pup};
 use pup_recsys::prelude::*;
 
 fn main() {

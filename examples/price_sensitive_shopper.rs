@@ -40,10 +40,8 @@ fn main() {
     // the planted WTP against the category's item prices.
     let n_levels = dataset.n_price_levels;
     let pipeline = Pipeline::new(dataset);
-    let cfg = FitConfig {
-        train: TrainConfig { epochs: 25, ..Default::default() },
-        ..Default::default()
-    };
+    let cfg =
+        FitConfig { train: TrainConfig { epochs: 25, ..Default::default() }, ..Default::default() };
     println!("training PUP (25 epochs) ...");
     let pup = pipeline.fit_pup(PupConfig::default(), &cfg);
 
@@ -53,23 +51,21 @@ fn main() {
     let dataset = pipeline.dataset();
     let mut agree: Vec<(f64, usize)> = Vec::new();
     for u in 0..dataset.n_users {
-        let mean_wtp: f64 =
-            truth.user_wtp[u].iter().sum::<f64>() / truth.user_wtp[u].len() as f64;
+        let mean_wtp: f64 = truth.user_wtp[u].iter().sum::<f64>() / truth.user_wtp[u].len() as f64;
         let affinity = pup.user_price_affinity(u);
         let preferred = affinity
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(l, _)| l)
             .unwrap_or(0);
         agree.push((mean_wtp, preferred));
     }
     // Spearman-ish check: mean preferred level of the richest vs poorest
     // user quartile.
-    agree.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    agree.sort_by(|a, b| a.0.total_cmp(&b.0));
     let q = agree.len() / 4;
-    let poor_mean: f64 =
-        agree[..q].iter().map(|&(_, l)| l as f64).sum::<f64>() / q as f64;
+    let poor_mean: f64 = agree[..q].iter().map(|&(_, l)| l as f64).sum::<f64>() / q as f64;
     let rich_mean: f64 =
         agree[agree.len() - q..].iter().map(|&(_, l)| l as f64).sum::<f64>() / q as f64;
     println!("\nmean preferred price level (of {n_levels}):");
@@ -88,16 +84,10 @@ fn main() {
         .find(|&u| !truth.user_consistent[u])
         .expect("an inconsistent user exists");
     let wtp = &truth.user_wtp[user];
-    let (cheap_cat, _) = wtp
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
-    let (rich_cat, _) = wtp
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let (cheap_cat, _) =
+        wtp.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap_or((0, &0.0));
+    let (rich_cat, _) =
+        wtp.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap_or((0, &0.0));
     println!("\ninconsistent user {user}: category branch affinity by price level");
     for (label, cat) in [("cheapest-WTP", cheap_cat), ("highest-WTP", rich_cat)] {
         let row: Vec<String> = (0..n_levels)

@@ -14,16 +14,17 @@ fn main() {
     //    60/20/20 split.
     let synth = yelp_like(0.02, 2020);
     let stats = pup_data::stats::dataset_stats("yelp-like", &synth.dataset);
-    println!("dataset: {} users, {} items, {} interactions", stats.n_users, stats.n_items, stats.n_interactions);
+    println!(
+        "dataset: {} users, {} items, {} interactions",
+        stats.n_users, stats.n_items, stats.n_interactions
+    );
 
     let pipeline = Pipeline::new(synth.dataset);
 
     // 2. Model: the full two-branch PUP with the paper's best 56/8
     //    embedding allocation, trained with BPR + Adam.
-    let fit_cfg = FitConfig {
-        train: TrainConfig { epochs: 20, ..Default::default() },
-        ..Default::default()
-    };
+    let fit_cfg =
+        FitConfig { train: TrainConfig { epochs: 20, ..Default::default() }, ..Default::default() };
     println!("training PUP (20 epochs) ...");
     let pup = pipeline.fit_pup(PupConfig::default(), &fit_cfg);
 

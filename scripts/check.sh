@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full local gate — identical to what CI runs (.github/workflows/ci.yml).
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # skip the test suite (fmt + clippy + lint only)
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all --check
+step cargo clippy --workspace --all-targets -- -D warnings
+step cargo run -p pup-analysis --quiet -- lint
+if [[ $fast -eq 0 ]]; then
+    step cargo test --workspace -q
+fi
+
+echo
+echo "all checks passed"

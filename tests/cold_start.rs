@@ -33,10 +33,8 @@ fn tasks_respect_protocol_invariants() {
                 assert!(pool.binary_search(t).is_ok(), "{protocol:?}: truth not in pool");
             }
             // No pool item belongs to a trained category.
-            let train_cats: std::collections::BTreeSet<usize> = train_lists[u]
-                .iter()
-                .map(|&i| p.dataset().item_category[i as usize])
-                .collect();
+            let train_cats: std::collections::BTreeSet<usize> =
+                train_lists[u].iter().map(|&i| p.dataset().item_category[i as usize]).collect();
             for &i in pool {
                 assert!(
                     !train_cats.contains(&p.dataset().item_category[i as usize]),
@@ -95,8 +93,5 @@ fn cir_scores_are_at_least_ucir_scores_for_same_model() {
     let ucir = build_cold_start_task(p.dataset(), p.split(), ColdStartProtocol::Ucir);
     let r_cir = evaluate_cold_start(pup.as_ref(), &cir, &[50]).at(50).recall;
     let r_ucir = evaluate_cold_start(pup.as_ref(), &ucir, &[50]).at(50).recall;
-    assert!(
-        r_cir >= r_ucir,
-        "CIR ({r_cir:.4}) must be no harder than UCIR ({r_ucir:.4})"
-    );
+    assert!(r_cir >= r_ucir, "CIR ({r_cir:.4}) must be no harder than UCIR ({r_ucir:.4})");
 }

@@ -80,10 +80,7 @@ fn training_loss_decreases_for_pup() {
     );
     let first = stats.epoch_losses[0];
     let last = stats.final_loss();
-    assert!(
-        last < first * 0.8,
-        "BPR loss should drop at least 20%: {first:.4} -> {last:.4}"
-    );
+    assert!(last < first * 0.8, "BPR loss should drop at least 20%: {first:.4} -> {last:.4}");
     assert!(stats.epoch_losses.iter().all(|l| l.is_finite()), "loss must stay finite");
 }
 
@@ -93,12 +90,7 @@ fn evaluation_skips_users_without_test_items_and_stays_bounded() {
     let cfg = quick_fit(2);
     let model = p.fit(ModelKind::BprMf, &cfg);
     let report = p.evaluate(model.as_ref(), &[10, 50]);
-    let with_test = p
-        .split()
-        .test_items_by_user()
-        .iter()
-        .filter(|l| !l.is_empty())
-        .count();
+    let with_test = p.split().test_items_by_user().iter().filter(|l| !l.is_empty()).count();
     assert_eq!(report.n_users, with_test);
     for &(_, m) in &report.at_k {
         assert!((0.0..=1.0).contains(&m.recall));
@@ -122,16 +114,10 @@ fn recall_increases_with_k() {
 fn all_pup_variants_train_end_to_end() {
     let p = price_driven_pipeline(29);
     let cfg = quick_fit(3);
-    for variant in [
-        PupVariant::Full,
-        PupVariant::PriceOnly,
-        PupVariant::CategoryOnly,
-        PupVariant::Bipartite,
-    ] {
-        let model = p.fit(
-            ModelKind::Pup(PupConfig { variant, ..Default::default() }),
-            &cfg,
-        );
+    for variant in
+        [PupVariant::Full, PupVariant::PriceOnly, PupVariant::CategoryOnly, PupVariant::Bipartite]
+    {
+        let model = p.fit(ModelKind::Pup(PupConfig { variant, ..Default::default() }), &cfg);
         let r = p.evaluate(model.as_ref(), &[20]);
         assert!(r.n_users > 0, "{variant:?} evaluated no users");
     }

@@ -143,10 +143,7 @@ fn consistent_users_are_easier_than_inconsistent_ones() {
         rc += p.evaluate_users(pup.as_ref(), &consistent, &[20]).at(20).ndcg;
         ri += p.evaluate_users(pup.as_ref(), &inconsistent, &[20]).at(20).ndcg;
     }
-    assert!(
-        rc > ri,
-        "consistent users should be easier to predict: {rc:.4} vs {ri:.4}"
-    );
+    assert!(rc > ri, "consistent users should be easier to predict: {rc:.4} vs {ri:.4}");
 }
 
 #[test]
@@ -160,7 +157,7 @@ fn quantization_scheme_changes_price_levels_not_data() {
     assert_ne!(a.dataset.item_price_level, b.dataset.item_price_level);
     // Rank quantization spreads items more evenly over levels.
     let spread = |levels: &[usize]| {
-        let mut c = vec![0usize; 10];
+        let mut c = [0usize; 10];
         for &l in levels {
             c[l] += 1;
         }
