@@ -17,6 +17,40 @@ use std::fmt;
 
 use pup_tensor::{Matrix, Var};
 
+/// The gradcheck sweep registry: every op name exercised by the sweep test
+/// (`tests/gradcheck_sweep.rs`), as recorded on the tape.
+///
+/// This list is deliberately written out by hand rather than derived from
+/// `pup_tensor::ops::BUILTIN_OPS`: the graph auditor's op-coverage pass
+/// diffs the two (and the op names scraped from `ops.rs` itself), so an op
+/// added to the tensor crate without a matching sweep case fails
+/// `audit-graph` instead of silently dodging gradcheck. The sweep test
+/// asserts this registry is honest — that the ops it exercises record
+/// exactly these names.
+pub const SWEPT_OPS: &[&str] = &[
+    "add",
+    "sub",
+    "mul",
+    "scale",
+    "matmul",
+    "spmm",
+    "tanh",
+    "sigmoid",
+    "leaky_relu",
+    "square",
+    "softplus",
+    "gather_rows",
+    "rowwise_dot",
+    "row_sums",
+    "sum",
+    "concat_cols",
+    "concat_rows",
+    "slice_rows",
+    "slice_cols",
+    "add_row_broadcast",
+    "dropout",
+];
+
 /// Step size and tolerance for a gradient check.
 #[derive(Debug, Clone, Copy)]
 pub struct GradcheckConfig {

@@ -14,6 +14,12 @@
 //!   for any scalar-valued function of [`pup_tensor::Var`] inputs. The
 //!   integration tests sweep it over every public op in `pup_tensor::ops`
 //!   and the BPR losses of all six models.
+//! - [`graph`] — static passes over the tape IR exported by
+//!   `pup_tensor::tape`: dead-parameter / dead-subgraph detection, shape
+//!   re-derivation, op-coverage cross-checks against the gradcheck sweep
+//!   registry, and a same-seed determinism audit. Run all of them against
+//!   every model with `cargo run -p pup-analysis -- audit-graph`.
 
 pub mod gradcheck;
+pub mod graph;
 pub mod lint;

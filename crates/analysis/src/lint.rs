@@ -1,8 +1,8 @@
 //! Static lint driver for the PUP workspace.
 //!
-//! The driver walks every `crates/*/src` tree and enforces four repo
-//! conventions that `rustc`/`clippy` either cannot express or cannot scope
-//! the way we need:
+//! The driver walks every `crates/*/src` tree and enforces repo conventions
+//! that `rustc`/`clippy` either cannot express or cannot scope the way we
+//! need:
 //!
 //! | rule | meaning |
 //! |------|---------|
@@ -10,12 +10,21 @@
 //! | `panic-in-backward` | no `panic!` inside backward closures of `ops.rs` / `autograd.rs` |
 //! | `undocumented-pub-op` | every `pub fn` in the tensor op module has a doc comment |
 //! | `clone-in-loop` | no `.clone()` / `.value_clone()` inside loop bodies (perf smell) |
+//! | `unguarded-ln` | no `.ln()`/`.log2()`/`.log10()` or division by a tape value without an epsilon/clamp guard in model/loss code |
+//! | `float-eq` | no `==`/`!=` between `f64` expressions outside tests |
+//! | `stale-allow` | (`--strict` only) an allow escape that suppresses nothing |
 //!
 //! A site opts out with `// pup-lint: allow(<rule>)` on the offending line
-//! or on the line directly above it. The scanner works on a *masked* copy of
-//! each file — comments, string literals and char literals are blanked out —
-//! so needles inside doc examples or messages never trigger, and `#[cfg(test)]`
-//! regions are excluded by brace matching.
+//! or on the line directly above it; the escape must live in a real `//`
+//! comment (an allow spelled inside a string literal is ignored). The
+//! scanner works on a *masked* copy of each file — comments, string literals
+//! and char literals are blanked out — so needles inside doc examples or
+//! messages never trigger, and `#[cfg(test)]` regions are excluded by brace
+//! matching.
+//!
+//! In strict mode ([`lint_workspace_with`] with `strict = true`) every
+//! allow escape must still suppress at least one finding; stale escapes are
+//! reported as `stale-allow` violations so they cannot rot in place.
 
 use std::fmt;
 use std::fs;
@@ -33,9 +42,26 @@ pub enum Rule {
     UndocumentedPubOp,
     /// `.clone()` / `.value_clone()` inside a loop body.
     CloneInLoop,
+    /// Unguarded `.ln()` / `.log2()` / `.log10()` or division by a
+    /// tape-derived value in model/loss code.
+    UnguardedLn,
+    /// `==` / `!=` between `f64` expressions outside tests.
+    FloatEq,
+    /// An allow escape that no longer suppresses any finding (strict mode).
+    StaleAllow,
 }
 
 impl Rule {
+    /// Every rule an allow escape may name.
+    pub const ALLOWABLE: &'static [Rule] = &[
+        Rule::UnwrapInLib,
+        Rule::PanicInBackward,
+        Rule::UndocumentedPubOp,
+        Rule::CloneInLoop,
+        Rule::UnguardedLn,
+        Rule::FloatEq,
+    ];
+
     /// The rule's name as used in `// pup-lint: allow(<name>)` comments.
     pub fn name(self) -> &'static str {
         match self {
@@ -43,6 +69,9 @@ impl Rule {
             Rule::PanicInBackward => "panic-in-backward",
             Rule::UndocumentedPubOp => "undocumented-pub-op",
             Rule::CloneInLoop => "clone-in-loop",
+            Rule::UnguardedLn => "unguarded-ln",
+            Rule::FloatEq => "float-eq",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 }
@@ -75,8 +104,14 @@ pub struct LintReport {
     pub files_checked: usize,
 }
 
-/// Lints every `.rs` file under `<root>/crates/*/src`.
+/// Lints every `.rs` file under `<root>/crates/*/src` (non-strict).
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    lint_workspace_with(root, false)
+}
+
+/// Lints every `.rs` file under `<root>/crates/*/src`; with `strict`, allow
+/// escapes that suppress nothing are reported as `stale-allow` violations.
+pub fn lint_workspace_with(root: &Path, strict: bool) -> io::Result<LintReport> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     for entry in fs::read_dir(&crates_dir)? {
@@ -89,7 +124,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let mut diagnostics = Vec::new();
     for file in &files {
         let source = fs::read_to_string(file)?;
-        diagnostics.extend(lint_source(file, &source));
+        diagnostics.extend(lint_source_with(file, &source, strict));
     }
     diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(LintReport { diagnostics, files_checked: files.len() })
@@ -107,14 +142,27 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints a single file's source text. Exposed for tests; `path` only
-/// influences the path-scoped rules (`panic-in-backward`,
-/// `undocumented-pub-op`) and the reported location.
+/// Lints a single file's source text (non-strict). Exposed for tests;
+/// `path` only influences the path-scoped rules (`panic-in-backward`,
+/// `undocumented-pub-op`, `unguarded-ln`) and the reported location.
 pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
-    let masked = mask_non_code(source);
+    lint_source_with(path, source, false)
+}
+
+/// A candidate finding before allow-escape filtering.
+struct Candidate {
+    offset: usize,
+    rule: Rule,
+    message: String,
+}
+
+/// Lints a single file's source text; with `strict`, stale allow escapes
+/// are reported too.
+pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnostic> {
+    let (masked, comment_spans) = mask_non_code_spans(source);
     let m = masked.as_bytes();
     let line_starts = line_starts(source);
-    let allows = parse_allows(source);
+    let allows = parse_allows(source, &comment_spans);
     let test_spans = attribute_spans(m, b"#[cfg(test)]");
     let mut test_fn_spans = attribute_spans(m, b"#[test]");
     let mut all_test_spans = test_spans;
@@ -123,26 +171,22 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
     let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
     let is_tape_file = file_name == "ops.rs" || file_name == "autograd.rs";
     let is_op_module = path.ends_with("tensor/src/ops.rs");
+    let path_str = path.to_string_lossy().replace('\\', "/");
+    let is_model_or_loss = path_str.contains("models/src") || path_str.contains("tensor/src");
 
-    let mut diags = Vec::new();
-    let mut push = |offset: usize, rule: Rule, message: String| {
-        let line = line_of(&line_starts, offset);
-        if !is_allowed(&allows, line, rule) {
-            diags.push(Diagnostic { file: path.to_path_buf(), line, rule, message });
-        }
-    };
+    let mut candidates = Vec::new();
 
     for needle in [".unwrap()", ".expect("] {
         for at in find_all(m, needle.as_bytes()) {
             if !in_any_span(&all_test_spans, at) {
-                push(
-                    at,
-                    Rule::UnwrapInLib,
-                    format!(
+                candidates.push(Candidate {
+                    offset: at,
+                    rule: Rule::UnwrapInLib,
+                    message: format!(
                         "`{needle}` in non-test library code; return an error or \
                          annotate with `// pup-lint: allow(unwrap-in-lib)`"
                     ),
-                );
+                });
             }
         }
     }
@@ -151,13 +195,13 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
         let backward_spans = paren_spans(m, b"Box::new(");
         for at in find_all(m, b"panic!") {
             if in_any_span(&backward_spans, at) && !in_any_span(&all_test_spans, at) {
-                push(
-                    at,
-                    Rule::PanicInBackward,
-                    "`panic!` inside a backward closure: a broken gradient must \
-                     surface through the tape auditor, not ad-hoc panics"
+                candidates.push(Candidate {
+                    offset: at,
+                    rule: Rule::PanicInBackward,
+                    message: "`panic!` inside a backward closure: a broken gradient must \
+                              surface through the tape auditor, not ad-hoc panics"
                         .to_string(),
-                );
+                });
             }
         }
     }
@@ -165,45 +209,95 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
     for needle in [".clone()", ".value_clone()"] {
         for at in find_all(m, needle.as_bytes()) {
             if in_any_span(&loop_spans, at) && !in_any_span(&all_test_spans, at) {
-                push(
-                    at,
-                    Rule::CloneInLoop,
-                    format!(
+                candidates.push(Candidate {
+                    offset: at,
+                    rule: Rule::CloneInLoop,
+                    message: format!(
                         "`{needle}` inside a loop body allocates per iteration; hoist \
                          it or annotate with `// pup-lint: allow(clone-in-loop)`"
                     ),
-                );
+                });
             }
         }
     }
 
     if is_op_module {
-        diags.extend(undocumented_pub_fns(path, source, &masked, &all_test_spans, &allows));
+        candidates.extend(undocumented_pub_fns(source, &masked, &all_test_spans, &line_starts));
     }
 
+    if is_model_or_loss {
+        candidates.extend(unguarded_ln_candidates(&masked, &all_test_spans, &line_starts));
+    }
+
+    candidates.extend(float_eq_candidates(&masked, &all_test_spans, &line_starts));
+
+    // Filter candidates through the allow escapes, tracking which escape
+    // actually earned its keep.
+    let mut used: Vec<Vec<bool>> = allows.iter().map(|a| vec![false; a.names.len()]).collect();
+    let mut diags = Vec::new();
+    for c in candidates {
+        let line = line_of(&line_starts, c.offset);
+        let mut suppressed = false;
+        for (si, site) in allows.iter().enumerate() {
+            if site.line != line && site.line + 1 != line {
+                continue;
+            }
+            for (ni, name) in site.names.iter().enumerate() {
+                if name == c.rule.name() {
+                    used[si][ni] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            diags.push(Diagnostic {
+                file: path.to_path_buf(),
+                line,
+                rule: c.rule,
+                message: c.message,
+            });
+        }
+    }
+
+    if strict {
+        for (si, site) in allows.iter().enumerate() {
+            for (ni, name) in site.names.iter().enumerate() {
+                let known = Rule::ALLOWABLE.iter().any(|r| r.name() == name.as_str());
+                let message = if !known {
+                    format!("allow escape names unknown rule `{name}`; delete or fix it")
+                } else if !used[si][ni] {
+                    format!("stale escape: `allow({name})` suppresses nothing; delete it")
+                } else {
+                    continue;
+                };
+                diags.push(Diagnostic {
+                    file: path.to_path_buf(),
+                    line: site.line,
+                    rule: Rule::StaleAllow,
+                    message,
+                });
+            }
+        }
+    }
+
+    diags.sort_by_key(|d| d.line);
     diags
 }
 
 /// Finds `pub fn` declarations without a preceding `///` doc comment.
 fn undocumented_pub_fns(
-    path: &Path,
     source: &str,
     masked: &str,
     test_spans: &[(usize, usize)],
-    allows: &[(usize, Vec<String>)],
-) -> Vec<Diagnostic> {
+    line_starts: &[usize],
+) -> Vec<Candidate> {
     let lines: Vec<&str> = source.lines().collect();
     let masked_lines: Vec<&str> = masked.lines().collect();
-    let mut offset = 0usize;
-    let mut line_offsets = Vec::with_capacity(masked_lines.len());
-    for l in &masked_lines {
-        line_offsets.push(offset);
-        offset += l.len() + 1;
-    }
-    let mut diags = Vec::new();
+    let mut candidates = Vec::new();
     for (idx, mline) in masked_lines.iter().enumerate() {
         let trimmed = mline.trim_start();
-        if !trimmed.starts_with("pub fn ") || in_any_span(test_spans, line_offsets[idx]) {
+        let offset = line_starts[idx];
+        if !trimmed.starts_with("pub fn ") || in_any_span(test_spans, offset) {
             continue;
         }
         let fn_name: String = trimmed["pub fn ".len()..]
@@ -224,16 +318,134 @@ fn undocumented_pub_fns(
             }
             break above.starts_with("///");
         };
-        if !documented && !is_allowed(allows, idx + 1, Rule::UndocumentedPubOp) {
-            diags.push(Diagnostic {
-                file: path.to_path_buf(),
-                line: idx + 1,
+        if !documented {
+            candidates.push(Candidate {
+                offset,
                 rule: Rule::UndocumentedPubOp,
                 message: format!("public tensor op `{fn_name}` has no doc comment"),
             });
         }
     }
-    diags
+    candidates
+}
+
+/// Tokens whose presence on a line counts as an epsilon/clamp guard.
+const GUARD_TOKENS: &[&str] = &["max(", ".max", "clamp", "eps", "EPS", "1e-", "ln_1p"];
+
+/// Divisor fragments that mark a division as "by a tape value".
+const TAPE_VALUE_NEEDLES: &[&str] = &[".scalar()", ".value()", ".sum()", ".mean(", ".get("];
+
+fn line_bounds(masked: &str, line_starts: &[usize], offset: usize) -> (usize, usize) {
+    let line = line_of(line_starts, offset);
+    let start = line_starts[line - 1];
+    let end = masked[start..].find('\n').map_or(masked.len(), |e| start + e);
+    (start, end)
+}
+
+/// `unguarded-ln`: `.ln()` / `.log2()` / `.log10()` calls, and divisions
+/// whose divisor mentions a tape-derived value, on lines with no
+/// epsilon/clamp guard token. Model/loss code only: a log of a
+/// zero-probability or a division by an un-floored norm turns one bad batch
+/// into NaN weights.
+fn unguarded_ln_candidates(
+    masked: &str,
+    test_spans: &[(usize, usize)],
+    line_starts: &[usize],
+) -> Vec<Candidate> {
+    let m = masked.as_bytes();
+    let mut candidates = Vec::new();
+    let mut consider = |at: usize, what: String| {
+        let (start, end) = line_bounds(masked, line_starts, at);
+        let line_text = &masked[start..end];
+        if GUARD_TOKENS.iter().any(|g| line_text.contains(g)) {
+            return;
+        }
+        candidates.push(Candidate {
+            offset: at,
+            rule: Rule::UnguardedLn,
+            message: format!(
+                "{what} without an epsilon/clamp guard on the same line; floor the \
+                 argument (e.g. `.max(EPS)`) or annotate with \
+                 `// pup-lint: allow(unguarded-ln)`"
+            ),
+        });
+    };
+    for needle in [".ln()", ".log2()", ".log10()"] {
+        for at in find_all(m, needle.as_bytes()) {
+            if !in_any_span(test_spans, at) {
+                consider(at, format!("`{needle}` in model/loss code"));
+            }
+        }
+    }
+    for at in find_all(m, b"/") {
+        // `//` never survives masking; `/=` and `/` are both divisions.
+        if in_any_span(test_spans, at) {
+            continue;
+        }
+        let (_, end) = line_bounds(masked, line_starts, at);
+        let divisor = &masked[at + 1..end];
+        if TAPE_VALUE_NEEDLES.iter().any(|n| divisor.contains(n)) {
+            consider(at, "division by a tape-derived value".to_string());
+        }
+    }
+    candidates
+}
+
+/// `float-eq`: `==` / `!=` where either adjacent operand token looks like
+/// an `f64` expression (a float literal, an `f64` cast, or a `.scalar`
+/// read). Exact float comparison is almost always a bug outside tests;
+/// legitimate exact sentinels (`p == 0.0` fast paths) opt out explicitly.
+fn float_eq_candidates(
+    masked: &str,
+    test_spans: &[(usize, usize)],
+    line_starts: &[usize],
+) -> Vec<Candidate> {
+    let m = masked.as_bytes();
+    let token_char = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '.';
+    let is_floaty = |tok: &str| {
+        let bytes = tok.as_bytes();
+        let has_float_literal = bytes.windows(3).any(|w| {
+            w[0].is_ascii_digit() && w[1] == b'.' && (w[2].is_ascii_digit() || w[2] == b'_')
+        }) || (tok.len() >= 2
+            && bytes[bytes.len() - 1] == b'.'
+            && bytes[bytes.len() - 2].is_ascii_digit());
+        has_float_literal || tok.ends_with("f64") || tok.ends_with("f32") || tok.contains("scalar")
+    };
+    let mut candidates = Vec::new();
+    for needle in ["==", "!="] {
+        for at in find_all(m, needle.as_bytes()) {
+            if in_any_span(test_spans, at) {
+                continue;
+            }
+            // Skip `<=`-style composites and pattern arms (`=>`).
+            if at > 0 && matches!(m[at - 1], b'=' | b'<' | b'>' | b'!') {
+                continue;
+            }
+            if m.get(at + 2) == Some(&b'=') {
+                continue;
+            }
+            let (start, end) = line_bounds(masked, line_starts, at);
+            let left_text = masked[start..at].trim_end();
+            let right_text = masked[at + 2..end].trim_start();
+            let left_tok: String = {
+                let rev: String = left_text.chars().rev().take_while(|&c| token_char(c)).collect();
+                rev.chars().rev().collect()
+            };
+            let right_tok: String = right_text.chars().take_while(|&c| token_char(c)).collect();
+            if is_floaty(&left_tok) || is_floaty(&right_tok) {
+                candidates.push(Candidate {
+                    offset: at,
+                    rule: Rule::FloatEq,
+                    message: format!(
+                        "`{needle}` between f64 expressions (`{left_tok}` vs `{right_tok}`); \
+                         compare against a tolerance or annotate with \
+                         `// pup-lint: allow(float-eq)`"
+                    ),
+                });
+            }
+        }
+    }
+    candidates
 }
 
 /// Byte offsets where each line starts (for offset → line translation).
@@ -252,24 +464,43 @@ fn line_of(starts: &[usize], offset: usize) -> usize {
     starts.partition_point(|&s| s <= offset)
 }
 
-/// Collects `// pup-lint: allow(a, b)` comments as `(line, rule-names)`.
-fn parse_allows(source: &str) -> Vec<(usize, Vec<String>)> {
+/// One `// pup-lint: allow(a, b)` escape comment.
+struct AllowSite {
+    /// 1-based line of the comment.
+    line: usize,
+    names: Vec<String>,
+}
+
+/// Collects allow escapes. Only occurrences inside genuine *plain*
+/// comments count: an allow spelled in a string literal (e.g. a lint
+/// message that mentions the escape syntax) or in a `///` / `//!` doc
+/// comment (documentation *about* escapes) is not an escape.
+fn parse_allows(source: &str, comment_spans: &[(usize, usize)]) -> Vec<AllowSite> {
+    const MARKER: &str = "pup-lint: allow(";
+    let starts = line_starts(source);
     let mut allows = Vec::new();
-    for (idx, line) in source.lines().enumerate() {
-        let Some(at) = line.find("pup-lint: allow(") else { continue };
-        let rest = &line[at + "pup-lint: allow(".len()..];
+    for at in find_all_str(source, MARKER) {
+        let Some(&(cs, _)) = comment_spans.iter().find(|&&(s, e)| at >= s && at < e) else {
+            continue;
+        };
+        let head = &source[cs..(cs + 3).min(source.len())];
+        if head.starts_with("///")
+            || head.starts_with("//!")
+            || head.starts_with("/**")
+            || head.starts_with("/*!")
+        {
+            continue;
+        }
+        let rest = &source[at + MARKER.len()..];
         let Some(close) = rest.find(')') else { continue };
         let names = rest[..close].split(',').map(|s| s.trim().to_string()).collect();
-        allows.push((idx + 1, names));
+        allows.push(AllowSite { line: line_of(&starts, at), names });
     }
     allows
 }
 
-/// An allow on line `n` covers lines `n` and `n + 1`.
-fn is_allowed(allows: &[(usize, Vec<String>)], line: usize, rule: Rule) -> bool {
-    allows
-        .iter()
-        .any(|(l, names)| (*l == line || *l + 1 == line) && names.iter().any(|n| n == rule.name()))
+fn find_all_str(haystack: &str, needle: &str) -> Vec<usize> {
+    find_all(haystack.as_bytes(), needle.as_bytes())
 }
 
 fn find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
@@ -402,17 +633,24 @@ fn keyword_positions_in<'a>(
 
 /// Blanks out comments, string literals and char literals, preserving byte
 /// offsets and newlines so positions map 1:1 back to the original source.
-fn mask_non_code(src: &str) -> String {
+/// Also returns the byte spans of every comment (line and block), so
+/// callers can distinguish "blanked because comment" from "blanked because
+/// string literal".
+fn mask_non_code_spans(src: &str) -> (String, Vec<(usize, usize)>) {
     let b = src.as_bytes();
     let mut out: Vec<u8> = b.iter().map(|&c| if c == b'\n' { b'\n' } else { b' ' }).collect();
+    let mut comment_spans = Vec::new();
     let mut i = 0usize;
     while i < b.len() {
         let c = b[i];
         if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
             while i < b.len() && b[i] != b'\n' {
                 i += 1;
             }
+            comment_spans.push((start, i));
         } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
             let mut depth = 1u32;
             i += 2;
             while i < b.len() && depth > 0 {
@@ -426,6 +664,7 @@ fn mask_non_code(src: &str) -> String {
                     i += 1;
                 }
             }
+            comment_spans.push((start, i));
         } else if c == b'"' {
             i += 1;
             while i < b.len() && b[i] != b'"' {
@@ -479,7 +718,7 @@ fn mask_non_code(src: &str) -> String {
         }
     }
     // Only ASCII bytes were blanked, so the masked text is valid UTF-8.
-    String::from_utf8_lossy(&out).into_owned()
+    (String::from_utf8_lossy(&out).into_owned(), comment_spans)
 }
 
 #[cfg(test)]
@@ -488,6 +727,10 @@ mod tests {
 
     fn lint_str(name: &str, src: &str) -> Vec<Diagnostic> {
         lint_source(Path::new(name), src)
+    }
+
+    fn lint_strict(name: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source_with(Path::new(name), src, true)
     }
 
     #[test]
@@ -512,6 +755,14 @@ mod tests {
         let wrong_rule =
             "// pup-lint: allow(clone-in-loop)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(lint_str("lib.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_not_an_escape() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let _m = \"pup-lint: allow(unwrap-in-lib)\";\n    x.unwrap()\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1, "a string mentioning the escape must not suppress: {d:?}");
+        assert_eq!(d[0].rule, Rule::UnwrapInLib);
     }
 
     #[test]
@@ -576,5 +827,104 @@ mod tests {
     fn raw_strings_and_char_literals_masked() {
         let src = "fn f() {\n    let s = r#\"x.unwrap()\"#;\n    let c = '\\'';\n    let lt: &'static str = \"\";\n    drop((s, c, lt));\n}\n";
         assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    // --- unguarded-ln ---------------------------------------------------
+
+    #[test]
+    fn unguarded_ln_flagged_in_model_code() {
+        let src = "fn loss(p: f64) -> f64 {\n    p.ln()\n}\n";
+        let d = lint_str("crates/models/src/pup.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnguardedLn);
+        assert_eq!(d[0].line, 2);
+        // Out of scope: not model/loss code.
+        assert!(lint_str("crates/eval/src/metrics.rs", src).is_empty());
+        // A guard on the same line quiets it.
+        let guarded = "fn loss(p: f64) -> f64 {\n    p.max(EPS).ln()\n}\n";
+        assert!(lint_str("crates/models/src/pup.rs", guarded).is_empty());
+        // So does an explicit escape.
+        let escaped =
+            "fn loss(p: f64) -> f64 {\n    // pup-lint: allow(unguarded-ln)\n    p.ln()\n}\n";
+        assert!(lint_str("crates/models/src/pup.rs", escaped).is_empty());
+    }
+
+    #[test]
+    fn unguarded_division_by_tape_value_flagged() {
+        let src = "fn norm(x: &Var, t: &Var) -> f64 {\n    x.scalar() / t.scalar()\n}\n";
+        let d = lint_str("crates/models/src/trainer.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnguardedLn);
+        let guarded =
+            "fn norm(x: &Var, t: &Var) -> f64 {\n    x.scalar() / t.scalar().max(1e-12)\n}\n";
+        assert!(lint_str("crates/models/src/trainer.rs", guarded).is_empty());
+        // Division by a plain count is fine.
+        let count = "fn mean(sum: f64, n: usize) -> f64 {\n    sum / n as f64\n}\n";
+        assert!(lint_str("crates/models/src/trainer.rs", count).is_empty());
+    }
+
+    // --- float-eq -------------------------------------------------------
+
+    #[test]
+    fn float_eq_flagged_outside_tests() {
+        let src = "fn f(p: f64) -> bool {\n    p == 0.0\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::FloatEq);
+        assert_eq!(d[0].line, 2);
+        let ne = "fn f(p: f64) -> bool {\n    p != 1.5\n}\n";
+        assert_eq!(lint_str("lib.rs", ne).len(), 1);
+        // Integer comparisons are fine.
+        let int = "fn f(r: usize) -> bool {\n    r % 2 == 0\n}\n";
+        assert!(lint_str("lib.rs", int).is_empty());
+        // Tests may compare exactly.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(p: f64) -> bool {\n        p == 0.0\n    }\n}\n";
+        assert!(lint_str("lib.rs", test_src).is_empty());
+        // Escapes work.
+        let escaped = "fn f(p: f64) -> bool {\n    p == 0.0 // pup-lint: allow(float-eq)\n}\n";
+        assert!(lint_str("lib.rs", escaped).is_empty());
+    }
+
+    #[test]
+    fn float_eq_ignores_composite_operators() {
+        let src = "fn f(p: f64) -> bool {\n    p <= 0.0 || p >= 1.0\n}\n";
+        assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    // --- stale-allow ----------------------------------------------------
+
+    #[test]
+    fn stale_allow_reported_only_in_strict_mode() {
+        let src = "// pup-lint: allow(unwrap-in-lib)\nfn f() -> u32 {\n    42\n}\n";
+        assert!(lint_str("lib.rs", src).is_empty(), "non-strict ignores stale escapes");
+        let d = lint_strict("lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::StaleAllow);
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("unwrap-in-lib"));
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let src = "// pup-lint: allow(unwrap-in-lib)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_strict("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_reported_in_strict_mode() {
+        let src = "// pup-lint: allow(no-such-rule)\nfn f() {}\n";
+        let d = lint_strict("lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::StaleAllow);
+        assert!(d[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn one_stale_name_in_multi_name_allow_is_reported() {
+        let src = "// pup-lint: allow(unwrap-in-lib, clone-in-loop)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let d = lint_strict("lib.rs", src);
+        assert_eq!(d.len(), 1, "only the clone-in-loop half is stale: {d:?}");
+        assert!(d[0].message.contains("clone-in-loop"));
     }
 }

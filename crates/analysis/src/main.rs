@@ -1,47 +1,75 @@
 //! CLI for the PUP correctness tooling.
 //!
 //! ```text
-//! cargo run -p pup-analysis -- lint [ROOT]
+//! cargo run -p pup-analysis -- lint [--strict] [ROOT]
+//! cargo run -p pup-analysis -- audit-graph [ROOT]
 //! ```
 //!
 //! `lint` walks `ROOT/crates/*/src` (default: the current directory),
 //! prints one `file:line: [rule] message` diagnostic per violation, and
 //! exits 1 when anything is found, 0 on a clean tree, 2 on usage or I/O
-//! errors.
+//! errors. With `--strict`, stale `// pup-lint: allow(...)` escapes (ones
+//! that no longer suppress any finding) are violations too.
+//!
+//! `audit-graph` instantiates all seven model types on a tiny synthetic
+//! dataset, records their training-loss graphs as tape IR, and runs the
+//! static passes in `pup_analysis::graph` (dead-parameter, dead-subgraph,
+//! shape, op-coverage, determinism). Diagnostics are file-less
+//! (`model: [pass] message`); the exit protocol is the same as `lint`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pup_analysis::lint;
+use pup_analysis::{graph, lint};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
+            let mut strict = false;
+            let mut root = PathBuf::from(".");
+            for arg in args {
+                if arg == "--strict" {
+                    strict = true;
+                } else {
+                    root = PathBuf::from(arg);
+                }
+            }
+            run_lint(&root, strict)
+        }
+        Some("audit-graph") => {
             let root = PathBuf::from(args.next().unwrap_or_else(|| ".".to_string()));
-            run_lint(&root)
+            run_audit_graph(&root)
         }
         _ => {
-            eprintln!("usage: pup-analysis lint [ROOT]");
+            eprintln!("usage: pup-analysis lint [--strict] [ROOT]");
+            eprintln!("       pup-analysis audit-graph [ROOT]");
             eprintln!();
-            eprintln!("Walks ROOT/crates/*/src and enforces the workspace lint rules:");
+            eprintln!("lint walks ROOT/crates/*/src and enforces the workspace lint rules:");
             for rule in [
                 lint::Rule::UnwrapInLib,
                 lint::Rule::PanicInBackward,
                 lint::Rule::UndocumentedPubOp,
                 lint::Rule::CloneInLoop,
+                lint::Rule::UnguardedLn,
+                lint::Rule::FloatEq,
             ] {
                 eprintln!("  - {}", rule.name());
             }
             eprintln!();
-            eprintln!("Suppress a site with `// pup-lint: allow(<rule>)` on or above it.");
+            eprintln!("Suppress a site with `// pup-lint: allow(<rule>)` on or above it;");
+            eprintln!("--strict additionally reports escapes that suppress nothing.");
+            eprintln!();
+            eprintln!("audit-graph records every model's training-loss graph as tape IR");
+            eprintln!("and runs the static passes: dead-parameter, dead-subgraph, shape,");
+            eprintln!("op-coverage, determinism.");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint(root: &std::path::Path) -> ExitCode {
-    match lint::lint_workspace(root) {
+fn run_lint(root: &std::path::Path, strict: bool) -> ExitCode {
+    match lint::lint_workspace_with(root, strict) {
         Ok(report) => {
             for diag in &report.diagnostics {
                 println!("{diag}");
@@ -62,5 +90,29 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
             eprintln!("pup-analysis: cannot lint {}: {e}", root.display());
             ExitCode::from(2)
         }
+    }
+}
+
+fn run_audit_graph(root: &std::path::Path) -> ExitCode {
+    let report = graph::audit_workspace(root);
+    for note in &report.notes {
+        eprintln!("{note}");
+    }
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    for m in &report.models {
+        println!("audit-graph: {}: {} tape nodes, {} parameters", m.model, m.nodes, m.params);
+    }
+    if report.diagnostics.is_empty() {
+        println!("audit-graph: clean ({} models audited)", report.models.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "audit-graph: {} finding(s) across {} models",
+            report.diagnostics.len(),
+            report.models.len()
+        );
+        ExitCode::from(1)
     }
 }

@@ -210,3 +210,60 @@ fn model_loss_gcmc() {
 fn model_loss_deepfm() {
     check_model_loss(DeepFm::new(&train_data(), 4, 6, 16));
 }
+
+/// Registry honesty: `SWEPT_OPS` is a hand-written list, so nothing stops
+/// it from silently drifting from reality. This test builds every public
+/// op constructor under tape recording and asserts the set of recorded op
+/// names equals the registry exactly — in both directions. A new op that
+/// records an unlisted name fails here (add it to the sweep *and* the
+/// registry); a registry entry no op produces anymore fails here too.
+#[test]
+fn swept_ops_registry_matches_recorded_reality() {
+    use std::collections::BTreeSet;
+
+    use pup_analysis::gradcheck::SWEPT_OPS;
+    use pup_tensor::tape;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let sp = Rc::new(CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 2, 0.5), (2, 1, -1.0)]));
+
+    tape::start_recording();
+    let a = param(3, 3, 90);
+    let b = param(3, 3, 91);
+    let bias = param(1, 3, 92);
+    let mut total = ops::sum(&ops::add(&a, &b));
+    let mut absorb = |v: Var| {
+        total = ops::add(&total, &ops::sum(&v));
+    };
+    absorb(ops::sub(&a, &b));
+    absorb(ops::mul(&a, &b));
+    absorb(ops::scale(&a, -0.5));
+    absorb(ops::matmul(&a, &b));
+    absorb(ops::spmm(&sp, &a));
+    absorb(ops::tanh(&a));
+    absorb(ops::sigmoid(&a));
+    absorb(ops::relu(&a)); // records `leaky_relu`
+    absorb(ops::leaky_relu(&a, 0.1));
+    absorb(ops::square(&a));
+    absorb(ops::softplus(&a));
+    absorb(ops::gather_rows(&a, &[0, 2]));
+    absorb(ops::rowwise_dot(&a, &b));
+    absorb(ops::row_sums(&a));
+    absorb(ops::mean(&a)); // records `scale` + `sum`
+    absorb(ops::concat_cols(&a, &b));
+    absorb(ops::concat_rows(&a, &b));
+    absorb(ops::slice_rows(&a, 0, 2));
+    absorb(ops::slice_cols(&a, 1, 3));
+    absorb(ops::add_row_broadcast(&a, &bias));
+    absorb(ops::dropout(&a, 0.3, &mut rng));
+    absorb(ops::l2_penalty(&a)); // records `square` + `sum`
+    let tape = tape::finish_recording(&total);
+
+    let recorded: BTreeSet<&str> =
+        tape.nodes.iter().filter(|n| !n.is_leaf()).map(|n| n.op).collect();
+    let registry: BTreeSet<&str> = SWEPT_OPS.iter().copied().collect();
+    let missing: Vec<&&str> = recorded.difference(&registry).collect();
+    let phantom: Vec<&&str> = registry.difference(&recorded).collect();
+    assert!(missing.is_empty(), "recorded ops absent from SWEPT_OPS: {missing:?}");
+    assert!(phantom.is_empty(), "SWEPT_OPS entries no op records: {phantom:?}");
+}

@@ -295,6 +295,7 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
     // uniformly over the configured span of the timeline.
     let item_arrival: Vec<u64> = (0..config.n_items)
         .map(|i| {
+            // pup-lint: allow(float-eq) — 0.0 is the documented "no staggering" sentinel
             if i < config.n_categories || config.arrival_span == 0.0 {
                 0
             } else {

@@ -88,6 +88,7 @@ impl Table {
 
 /// Relative improvement in percent, `(new - base) / base * 100`.
 pub fn improvement_pct(base: f64, new: f64) -> f64 {
+    // pup-lint: allow(float-eq) — exact-zero guard before dividing by `base`
     if base == 0.0 {
         return 0.0;
     }

@@ -39,11 +39,14 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
     let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1.0);
     let se = (var / n).sqrt();
     let dof = a.len() - 1;
+    // pup-lint: allow(float-eq) — zero standard error is an exact degenerate case
     if se == 0.0 {
         // All differences identical: degenerate — p is 0 unless the mean is 0.
-        let p = if mean == 0.0 { 1.0 } else { 0.0 };
+        // pup-lint: allow(float-eq) — so is an exactly-zero mean difference
+        let mean_is_zero = mean == 0.0;
+        let p = if mean_is_zero { 1.0 } else { 0.0 };
         return TTestResult {
-            t: if mean == 0.0 { 0.0 } else { f64::INFINITY * mean.signum() },
+            t: if mean_is_zero { 0.0 } else { f64::INFINITY * mean.signum() },
             dof,
             p_two_sided: p,
             mean_diff: mean,
@@ -67,9 +70,11 @@ pub fn student_t_sf(t: f64, v: f64) -> f64 {
 /// fraction (Numerical Recipes §6.4).
 pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    // pup-lint: allow(float-eq) — exact domain endpoints of I_x(a, b)
     if x == 0.0 {
         return 0.0;
     }
+    // pup-lint: allow(float-eq) — exact domain endpoints of I_x(a, b)
     if x == 1.0 {
         return 1.0;
     }

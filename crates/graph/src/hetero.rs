@@ -154,6 +154,7 @@ fn binarize(m: &CsrMatrix) -> CsrMatrix {
     let mut triplets = Vec::with_capacity(m.nnz());
     for r in 0..m.rows() {
         for (c, v) in m.row_entries(r) {
+            // pup-lint: allow(float-eq) — structural nonzeros are exact by construction
             if v != 0.0 {
                 triplets.push((r, c, 1.0));
             }

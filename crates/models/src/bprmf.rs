@@ -6,7 +6,7 @@ use rand::SeedableRng;
 
 use pup_tensor::{init, ops, Var};
 
-use crate::common::{Recommender, TrainData};
+use crate::common::{NamedParam, ParamRegistry, Recommender, TrainData};
 use crate::trainer::BprModel;
 
 /// Matrix factorization: `s(u, i) = e_u · e_i`.
@@ -48,6 +48,15 @@ impl BprModel for BprMf {
     }
 
     fn finalize(&mut self) {}
+}
+
+impl ParamRegistry for BprMf {
+    fn named_params(&self) -> Vec<NamedParam> {
+        vec![
+            NamedParam::new("user_emb", &self.user_emb),
+            NamedParam::new("item_emb", &self.item_emb),
+        ]
+    }
 }
 
 impl Recommender for BprMf {

@@ -1,6 +1,7 @@
 //! Shared model infrastructure: the [`Recommender`] trait, the
-//! [`TrainData`] view consumed by every model, and the linear-time FM
-//! decoder (paper eq. 7).
+//! [`TrainData`] view consumed by every model, the uniform parameter
+//! registry ([`ParamRegistry`]) consumed by the graph auditor, and the
+//! linear-time FM decoder (paper eq. 7).
 
 use pup_data::{Dataset, Split};
 use pup_tensor::{ops, Var};
@@ -62,6 +63,36 @@ impl<'a> TrainData<'a> {
     pub fn category_of(&self, items: &[usize]) -> Vec<usize> {
         items.iter().map(|&i| self.item_category[i]).collect()
     }
+}
+
+/// A trainable parameter together with its stable, human-readable name
+/// (e.g. `"item_emb"`, `"w1[0]"`), as exposed by [`ParamRegistry`].
+#[derive(Clone, Debug)]
+pub struct NamedParam {
+    /// Stable field-level name, unique within one model instance.
+    pub name: String,
+    /// The parameter leaf itself (aliases the model's own handle).
+    pub var: Var,
+}
+
+impl NamedParam {
+    /// Names `var` (the handle is cloned; `Var` clones alias the node).
+    pub fn new(name: impl Into<String>, var: &Var) -> Self {
+        Self { name: name.into(), var: var.clone() }
+    }
+}
+
+/// Uniform parameter registry: every model exposes its trainable leaves
+/// under stable names so static analyses (the `audit-graph` dead-parameter
+/// pass in `pup-analysis`) can report *which* parameter fails to reach the
+/// loss, not just that one does.
+///
+/// Implementations must return **every** trainable leaf the model owns —
+/// the registry, not the forward pass, is the source of truth for "this
+/// parameter should be trained".
+pub trait ParamRegistry {
+    /// All trainable parameters with their names, in declaration order.
+    fn named_params(&self) -> Vec<NamedParam>;
 }
 
 /// Sum of all pairwise inner products among the feature embeddings, computed

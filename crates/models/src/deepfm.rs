@@ -7,7 +7,7 @@ use rand::SeedableRng;
 
 use pup_tensor::{init, ops, Matrix, Var};
 
-use crate::common::{pairwise_interactions, Recommender, TrainData};
+use crate::common::{pairwise_interactions, NamedParam, ParamRegistry, Recommender, TrainData};
 use crate::fm::Fm;
 use crate::trainer::BprModel;
 
@@ -79,6 +79,23 @@ impl BprModel for DeepFm {
     }
 
     fn finalize(&mut self) {}
+}
+
+impl ParamRegistry for DeepFm {
+    fn named_params(&self) -> Vec<NamedParam> {
+        let mut p = self.fm.named_params();
+        for np in &mut p {
+            np.name.insert_str(0, "fm.");
+        }
+        p.extend([
+            NamedParam::new("w1", &self.w1),
+            NamedParam::new("b1", &self.b1),
+            NamedParam::new("w2", &self.w2),
+            NamedParam::new("b2", &self.b2),
+            NamedParam::new("w_out", &self.w_out),
+        ]);
+        p
+    }
 }
 
 impl Recommender for DeepFm {

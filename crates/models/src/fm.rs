@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use pup_tensor::{init, ops, Matrix, Var};
 
-use crate::common::{pairwise_interactions, Recommender, TrainData};
+use crate::common::{pairwise_interactions, NamedParam, ParamRegistry, Recommender, TrainData};
 use crate::trainer::BprModel;
 
 /// 2-way FM over (user, item, category, price) fields.
@@ -150,6 +150,21 @@ impl BprModel for Fm {
     }
 
     fn finalize(&mut self) {}
+}
+
+impl ParamRegistry for Fm {
+    fn named_params(&self) -> Vec<NamedParam> {
+        vec![
+            NamedParam::new("user_emb", &self.user_emb),
+            NamedParam::new("item_emb", &self.item_emb),
+            NamedParam::new("cat_emb", &self.cat_emb),
+            NamedParam::new("price_emb", &self.price_emb),
+            NamedParam::new("user_w", &self.user_w),
+            NamedParam::new("item_w", &self.item_w),
+            NamedParam::new("cat_w", &self.cat_w),
+            NamedParam::new("price_w", &self.price_w),
+        ]
+    }
 }
 
 impl Recommender for Fm {

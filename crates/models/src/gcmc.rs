@@ -15,7 +15,7 @@ use pup_graph::normalize::sym_normalized;
 use pup_graph::{build_pup_graph, GraphSpec};
 use pup_tensor::{init, ops, CsrMatrix, Matrix, Var};
 
-use crate::common::{Recommender, TrainData};
+use crate::common::{NamedParam, ParamRegistry, Recommender, TrainData};
 use crate::trainer::BprModel;
 
 /// GC-MC: `Z = tanh(Â E) W`, `s(u, i) = z_u · z_i`.
@@ -96,6 +96,12 @@ impl BprModel for GcMc {
     fn finalize(&mut self) {
         self.final_repr = Some(self.propagate(None).value_clone());
         self.step_repr = None;
+    }
+}
+
+impl ParamRegistry for GcMc {
+    fn named_params(&self) -> Vec<NamedParam> {
+        vec![NamedParam::new("emb", &self.emb), NamedParam::new("w", &self.w)]
     }
 }
 

@@ -30,7 +30,7 @@ pub mod pup;
 pub mod trainer;
 
 pub use bprmf::BprMf;
-pub use common::{Recommender, TrainData};
+pub use common::{NamedParam, ParamRegistry, Recommender, TrainData};
 pub use deepfm::DeepFm;
 pub use fm::Fm;
 pub use gcmc::GcMc;

@@ -22,7 +22,7 @@ use pup_graph::normalize::sym_normalized;
 use pup_graph::{build_pup_graph, GraphSpec};
 use pup_tensor::{init, ops, CsrMatrix, Matrix, Var};
 
-use crate::common::{Recommender, TrainData};
+use crate::common::{NamedParam, ParamRegistry, Recommender, TrainData};
 use crate::trainer::BprModel;
 
 /// NGCF with price-aware item inputs.
@@ -134,6 +134,19 @@ impl BprModel for Ngcf {
     fn finalize(&mut self) {
         self.final_repr = Some(self.propagate(None).value_clone());
         self.step_repr = None;
+    }
+}
+
+impl ParamRegistry for Ngcf {
+    fn named_params(&self) -> Vec<NamedParam> {
+        let mut p = vec![
+            NamedParam::new("user_emb", &self.user_emb),
+            NamedParam::new("item_emb", &self.item_emb),
+            NamedParam::new("price_emb", &self.price_emb),
+        ];
+        p.extend(self.w1.iter().enumerate().map(|(l, w)| NamedParam::new(format!("w1[{l}]"), w)));
+        p.extend(self.w2.iter().enumerate().map(|(l, w)| NamedParam::new(format!("w2[{l}]"), w)));
+        p
     }
 }
 

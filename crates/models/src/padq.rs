@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use pup_tensor::optim::{Adam, Optimizer};
 use pup_tensor::{init, ops, Matrix, Var};
 
-use crate::common::{Recommender, TrainData};
+use crate::common::{NamedParam, ParamRegistry, Recommender, TrainData};
 
 /// Hyperparameters for PaDQ's collective factorization.
 #[derive(Clone, Debug)]
@@ -63,17 +63,38 @@ pub struct Padq {
 impl Padq {
     /// Fits the collective factorization on the training data.
     pub fn fit(data: &TrainData<'_>, cfg: &PadqConfig) -> Self {
-        assert!(cfg.dim > 0 && cfg.epochs > 0, "degenerate PaDQ config");
-        assert!(!data.train.is_empty(), "training set is empty");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let user_emb = Var::param(init::normal(data.n_users, cfg.dim, 0.1, &mut rng));
-        let item_emb = Var::param(init::normal(data.n_items, cfg.dim, 0.1, &mut rng));
-        let price_emb =
-            Var::param(init::normal(data.n_price_levels.max(1), cfg.dim, 0.1, &mut rng));
-        let mut model =
-            Self { user_emb, item_emb, price_emb, n_price_levels: data.n_price_levels.max(1) };
+        let mut model = Self::init(data, cfg, &mut rng);
         model.train(data, cfg, &mut rng);
         model
+    }
+
+    /// Initializes an untrained model (split out of [`Padq::fit`] so the
+    /// graph auditor can record the loss graph without training; `fit` draws
+    /// initialization and training samples from the same `rng` stream, so
+    /// per-seed determinism is unchanged).
+    pub fn init(data: &TrainData<'_>, cfg: &PadqConfig, rng: &mut StdRng) -> Self {
+        assert!(cfg.dim > 0 && cfg.epochs > 0, "degenerate PaDQ config");
+        assert!(!data.train.is_empty(), "training set is empty");
+        let user_emb = Var::param(init::normal(data.n_users, cfg.dim, 0.1, rng));
+        let item_emb = Var::param(init::normal(data.n_items, cfg.dim, 0.1, rng));
+        let price_emb = Var::param(init::normal(data.n_price_levels.max(1), cfg.dim, 0.1, rng));
+        Self { user_emb, item_emb, price_emb, n_price_levels: data.n_price_levels.max(1) }
+    }
+
+    /// The squared-error training objective over one mini-batch, exactly as
+    /// `fit` computes it (`chunk` holds indices into `data.train`). Public
+    /// so the graph auditor can record PaDQ's loss graph.
+    pub fn training_loss(
+        &self,
+        data: &TrainData<'_>,
+        chunk: &[usize],
+        cfg: &PadqConfig,
+        rng: &mut StdRng,
+    ) -> Var {
+        let user_price: Vec<(usize, usize)> =
+            data.train.iter().map(|&(u, i)| (u, data.item_price_level[i])).collect();
+        self.batch_loss(data, &user_price, chunk, cfg, rng)
     }
 
     fn train(&mut self, data: &TrainData<'_>, cfg: &PadqConfig, rng: &mut StdRng) {
@@ -159,6 +180,16 @@ impl Padq {
                 &ops::scale(&ip, cfg.item_price_weight),
             ),
         )
+    }
+}
+
+impl ParamRegistry for Padq {
+    fn named_params(&self) -> Vec<NamedParam> {
+        vec![
+            NamedParam::new("user_emb", &self.user_emb),
+            NamedParam::new("item_emb", &self.item_emb),
+            NamedParam::new("price_emb", &self.price_emb),
+        ]
     }
 }
 

@@ -24,7 +24,7 @@ use pup_graph::normalize::row_normalized;
 use pup_graph::{build_pup_graph, GraphSpec, Layout, NodeRef};
 use pup_tensor::{init, ops, CsrMatrix, Matrix, Var};
 
-use crate::common::{pairwise_interactions, Recommender, TrainData};
+use crate::common::{pairwise_interactions, NamedParam, ParamRegistry, Recommender, TrainData};
 use crate::trainer::BprModel;
 
 /// Which PUP variant to build (paper Table III / Fig. 6 ablations).
@@ -497,6 +497,16 @@ impl BprModel for Pup {
             .map(|b| b.propagate(self.config.n_layers, 0.0, None).value_clone());
         self.step_global = None;
         self.step_category = None;
+    }
+}
+
+impl ParamRegistry for Pup {
+    fn named_params(&self) -> Vec<NamedParam> {
+        let mut p = vec![NamedParam::new("global.emb", &self.global.emb)];
+        if let Some(b) = &self.category {
+            p.push(NamedParam::new("category.emb", &b.emb));
+        }
+        p
     }
 }
 

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::checks;
 use crate::matrix::Matrix;
+use crate::tape;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
@@ -84,18 +85,23 @@ impl Var {
 
     /// A trainable leaf (gradient is accumulated here).
     pub fn param(value: Matrix) -> Self {
-        Self::new("leaf", value, true, Vec::new(), None)
+        let v = Self::new("leaf", value, true, Vec::new(), None);
+        tape::record_node(&v, &[]);
+        v
     }
 
     /// A constant leaf (no gradient).
     pub fn constant(value: Matrix) -> Self {
-        Self::new("constant", value, false, Vec::new(), None)
+        let v = Self::new("constant", value, false, Vec::new(), None);
+        tape::record_node(&v, &[]);
+        v
     }
 
     /// Internal constructor for op results. `requires_grad` is inherited from
     /// the parents; nodes with no differentiable parent skip the tape. The
     /// tape auditor scans `value` for NaN/Inf here, so every op is covered at
-    /// its single construction point.
+    /// its single construction point, and the tape-IR recorder (see
+    /// [`crate::tape`]) observes every op here too.
     pub(crate) fn from_op(
         op: &'static str,
         value: Matrix,
@@ -103,12 +109,28 @@ impl Var {
         backward: BackwardFn,
     ) -> Self {
         checks::assert_finite(op, "op result", &value);
+        // Capture input ids before the non-differentiable branch below drops
+        // the parent edges; pre-existing parents are pulled onto the tape so
+        // every recorded edge resolves.
+        let inputs: Vec<u64> = if tape::is_recording() {
+            parents
+                .iter()
+                .map(|p| {
+                    tape::ensure_recorded(p);
+                    p.id()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let requires = parents.iter().any(Var::requires_grad);
-        if requires {
+        let v = if requires {
             Self::new(op, value, true, parents, Some(backward))
         } else {
             Self::new(op, value, false, Vec::new(), None)
-        }
+        };
+        tape::record_node(&v, &inputs);
+        v
     }
 
     /// Public extension point: builds an op node from a precomputed `value`,
@@ -118,13 +140,17 @@ impl Var {
     ///
     /// This is how code outside `pup-tensor` (e.g. the gradcheck harness in
     /// `pup-analysis`) defines custom differentiable ops; it is subject to
-    /// the same tape-auditor checks as the built-in ops.
+    /// the same tape-auditor checks as the built-in ops. Under the auditor
+    /// the `op` name must be a stable snake_case identifier that does not
+    /// collide with a built-in op (see [`crate::tape`]), so tape diffs and
+    /// the op-coverage cross-check can key on names reliably.
     pub fn custom_op(
         op: &'static str,
         value: Matrix,
         parents: Vec<Var>,
         backward: BackwardFn,
     ) -> Self {
+        tape::validate_custom_op_name(op);
         Self::from_op(op, value, parents, backward)
     }
 
@@ -134,9 +160,16 @@ impl Var {
         self.inner.borrow().op
     }
 
-    /// Unique creation id (monotonically increasing).
-    pub(crate) fn id(&self) -> u64 {
+    /// Unique creation id (monotonically increasing, process-global). Tape
+    /// IR nodes (see [`crate::tape`]) reference each other by this id.
+    pub fn id(&self) -> u64 {
         self.inner.borrow().id
+    }
+
+    /// Clones the parent handles (empty for leaves and for results whose
+    /// parents were dropped because no parent requires gradient).
+    pub(crate) fn parents(&self) -> Vec<Var> {
+        self.inner.borrow().parents.clone()
     }
 
     /// Whether gradients flow into this node.

@@ -31,6 +31,7 @@ pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
     // Guard against ln(0).
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen();
+    // pup-lint: allow(unguarded-ln) — u1 is sampled from [MIN_POSITIVE, 1), never 0
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 

@@ -34,6 +34,7 @@ pub mod matrix;
 pub mod ops;
 pub mod optim;
 pub mod sparse;
+pub mod tape;
 
 pub use autograd::Var;
 pub use matrix::Matrix;

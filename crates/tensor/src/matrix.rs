@@ -165,6 +165,7 @@ impl Matrix {
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
+                // pup-lint: allow(float-eq) — exact-zero sparsity skip, not a tolerance test
                 if a == 0.0 {
                     continue;
                 }
@@ -189,6 +190,7 @@ impl Matrix {
             let a_row = self.row(r);
             let b_row = rhs.row(r);
             for (k, &a) in a_row.iter().enumerate() {
+                // pup-lint: allow(float-eq) — exact-zero sparsity skip, not a tolerance test
                 if a == 0.0 {
                     continue;
                 }

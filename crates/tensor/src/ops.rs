@@ -12,6 +12,38 @@ use crate::autograd::Var;
 use crate::matrix::Matrix;
 use crate::sparse::CsrMatrix;
 
+/// Every op name this module records on the tape, in definition order.
+///
+/// Derived ops that delegate (`relu` → `leaky_relu`, `mean` → `scale`∘`sum`,
+/// `l2_penalty` → `sum`∘`square`) do not record their own names and are
+/// deliberately absent. The graph auditor cross-checks this list against the
+/// op names scraped from this file's `Var::from_op` call sites and against
+/// the gradcheck sweep registry, so adding an op without extending all three
+/// fails the `audit-graph` gate.
+pub const BUILTIN_OPS: &[&str] = &[
+    "add",
+    "sub",
+    "mul",
+    "scale",
+    "matmul",
+    "spmm",
+    "tanh",
+    "sigmoid",
+    "leaky_relu",
+    "square",
+    "softplus",
+    "gather_rows",
+    "rowwise_dot",
+    "row_sums",
+    "sum",
+    "concat_cols",
+    "concat_rows",
+    "slice_rows",
+    "slice_cols",
+    "add_row_broadcast",
+    "dropout",
+];
+
 /// Element-wise sum `a + b`.
 pub fn add(a: &Var, b: &Var) -> Var {
     let value = a.value().add(&b.value());
@@ -402,6 +434,7 @@ pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
 /// training only.
 pub fn dropout(a: &Var, p: f64, rng: &mut impl rand::Rng) -> Var {
     assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+    // pup-lint: allow(float-eq) — p == 0.0 is an exact "dropout disabled" fast path
     if p == 0.0 {
         return a.clone();
     }
