@@ -12,6 +12,7 @@
 //! | `clone-in-loop` | no `.clone()` / `.value_clone()` inside loop bodies (perf smell) |
 //! | `unguarded-ln` | no `.ln()`/`.log2()`/`.log10()` or division by a tape value without an epsilon/clamp guard in model/loss code |
 //! | `float-eq` | no `==`/`!=` between `f64` expressions outside tests |
+//! | `crash-unsafe-io` | no `fs::write`/`File::create` in a function that never calls `rename` (write-temp-then-rename keeps saves atomic) |
 //! | `stale-allow` | (`--strict` only) an allow escape that suppresses nothing |
 //!
 //! A site opts out with `// pup-lint: allow(<rule>)` on the offending line
@@ -47,6 +48,9 @@ pub enum Rule {
     UnguardedLn,
     /// `==` / `!=` between `f64` expressions outside tests.
     FloatEq,
+    /// `fs::write` / `File::create` in a function that never calls
+    /// `rename`: a crash mid-write tears the target file.
+    CrashUnsafeIo,
     /// An allow escape that no longer suppresses any finding (strict mode).
     StaleAllow,
 }
@@ -60,6 +64,7 @@ impl Rule {
         Rule::CloneInLoop,
         Rule::UnguardedLn,
         Rule::FloatEq,
+        Rule::CrashUnsafeIo,
     ];
 
     /// The rule's name as used in `// pup-lint: allow(<name>)` comments.
@@ -71,6 +76,7 @@ impl Rule {
             Rule::CloneInLoop => "clone-in-loop",
             Rule::UnguardedLn => "unguarded-ln",
             Rule::FloatEq => "float-eq",
+            Rule::CrashUnsafeIo => "crash-unsafe-io",
             Rule::StaleAllow => "stale-allow",
         }
     }
@@ -230,6 +236,8 @@ pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnost
     }
 
     candidates.extend(float_eq_candidates(&masked, &all_test_spans, &line_starts));
+
+    candidates.extend(crash_unsafe_io_candidates(&masked, &all_test_spans));
 
     // Filter candidates through the allow escapes, tracking which escape
     // actually earned its keep.
@@ -448,6 +456,42 @@ fn float_eq_candidates(
     candidates
 }
 
+/// `crash-unsafe-io`: direct `fs::write(` / `File::create(` calls inside a
+/// function whose body never calls `rename`. A write that lands in place
+/// can be torn by a crash mid-write; the convention is to write a temporary
+/// sibling and `fs::rename` it over the target (see `pup_ckpt::store`).
+fn crash_unsafe_io_candidates(masked: &str, test_spans: &[(usize, usize)]) -> Vec<Candidate> {
+    let m = masked.as_bytes();
+    let fn_spans = fn_body_spans(m);
+    let mut candidates = Vec::new();
+    for needle in ["fs::write(", "File::create("] {
+        for at in find_all(m, needle.as_bytes()) {
+            if in_any_span(test_spans, at) {
+                continue;
+            }
+            // The innermost enclosing fn body decides: a `rename(` anywhere
+            // in it means this write is half of an atomic replace.
+            let enclosing =
+                fn_spans.iter().filter(|&&(s, e)| at >= s && at < e).min_by_key(|&&(s, e)| e - s);
+            if let Some(&(s, e)) = enclosing {
+                if masked[s..e].contains("rename(") {
+                    continue;
+                }
+            }
+            candidates.push(Candidate {
+                offset: at,
+                rule: Rule::CrashUnsafeIo,
+                message: format!(
+                    "`{needle}..)` with no `rename` in the enclosing function: a crash \
+                     mid-write tears the file; write a temp sibling and `fs::rename` it \
+                     into place, or annotate with `// pup-lint: allow(crash-unsafe-io)`"
+                ),
+            });
+        }
+    }
+    candidates
+}
+
 /// Byte offsets where each line starts (for offset → line translation).
 fn line_starts(source: &str) -> Vec<usize> {
     let mut starts = vec![0];
@@ -582,6 +626,33 @@ fn loop_body_spans(masked: &[u8]) -> Vec<(usize, usize)> {
                     break;
                 }
                 b';' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if let Some(open) = open {
+            spans.push((open, matching_delim(masked, open, b'{', b'}')));
+        }
+    }
+    spans
+}
+
+/// Body spans of `fn` items and closures declared with the `fn` keyword:
+/// for each `fn` token, the first `{` at bracket depth 0 before a `;`
+/// (trait method declarations without bodies are skipped).
+fn fn_body_spans(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (at, kw) in keyword_positions_in(masked, &["fn"]).collect::<Vec<_>>() {
+        let mut depth = 0i32;
+        let mut open = None;
+        for (j, &b) in masked.iter().enumerate().skip(at + kw.len()) {
+            match b {
+                b'(' | b'[' | b'<' => depth += 1,
+                b')' | b']' | b'>' => depth -= 1,
+                b'{' if depth <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                b';' if depth <= 0 => break,
                 _ => {}
             }
         }
@@ -890,6 +961,46 @@ mod tests {
     fn float_eq_ignores_composite_operators() {
         let src = "fn f(p: f64) -> bool {\n    p <= 0.0 || p >= 1.0\n}\n";
         assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    // --- crash-unsafe-io ------------------------------------------------
+
+    #[test]
+    fn in_place_write_without_rename_is_flagged() {
+        let src = "fn save(p: &Path, s: &str) -> io::Result<()> {\n    fs::write(p, s)\n}\n";
+        let d = lint_str("io.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::CrashUnsafeIo);
+        assert_eq!(d[0].line, 2);
+
+        let create = "fn save(p: &Path) -> io::Result<File> {\n    File::create(p)\n}\n";
+        let d = lint_str("io.rs", create);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::CrashUnsafeIo);
+    }
+
+    #[test]
+    fn write_temp_then_rename_is_clean() {
+        let src = "fn save(p: &Path, s: &str) -> io::Result<()> {\n    let tmp = p.with_extension(\"tmp\");\n    fs::write(&tmp, s)?;\n    fs::rename(&tmp, p)\n}\n";
+        assert!(lint_str("io.rs", src).is_empty());
+        let create = "fn save(p: &Path, s: &[u8]) -> io::Result<()> {\n    let tmp = p.with_extension(\"tmp\");\n    let mut f = File::create(&tmp)?;\n    f.write_all(s)?;\n    f.sync_all()?;\n    fs::rename(&tmp, p)\n}\n";
+        assert!(lint_str("io.rs", create).is_empty());
+    }
+
+    #[test]
+    fn crash_unsafe_io_respects_tests_and_escapes() {
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn scratch(p: &Path) {\n        fs::write(p, \"x\").unwrap();\n    }\n}\n";
+        assert!(lint_str("io.rs", test_src).is_empty());
+        let escaped = "fn corrupt(p: &Path) -> io::Result<()> {\n    // pup-lint: allow(crash-unsafe-io)\n    fs::write(p, \"x\")\n}\n";
+        assert!(lint_str("io.rs", escaped).is_empty());
+    }
+
+    #[test]
+    fn rename_in_a_different_fn_does_not_launder_a_write() {
+        let src = "fn save(p: &Path, s: &str) -> io::Result<()> {\n    fs::write(p, s)\n}\n\nfn other(a: &Path, b: &Path) -> io::Result<()> {\n    fs::rename(a, b)\n}\n";
+        let d = lint_str("io.rs", src);
+        assert_eq!(d.len(), 1, "the rename lives in an unrelated fn: {d:?}");
+        assert_eq!(d[0].rule, Rule::CrashUnsafeIo);
     }
 
     // --- stale-allow ----------------------------------------------------

@@ -53,6 +53,7 @@ fn main() -> ExitCode {
                 lint::Rule::CloneInLoop,
                 lint::Rule::UnguardedLn,
                 lint::Rule::FloatEq,
+                lint::Rule::CrashUnsafeIo,
             ] {
                 eprintln!("  - {}", rule.name());
             }

@@ -1,0 +1,69 @@
+//! Benchmarks: checkpoint save / load for a trained PUP model — the cost
+//! a resilient run pays per epoch for crash safety (encode + fsync +
+//! rename on save; read + checksum + validate + restore on load).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pup_ckpt::store;
+use pup_data::synthetic::{generate, GeneratorConfig};
+use pup_data::SplitRatios;
+use pup_models::{BprTrainer, Pup, PupConfig, TrainConfig, TrainData};
+
+/// A PUP model plus a trainer that has run one epoch, so the checkpoint
+/// carries warm Adam moments and a real RNG/shuffle state.
+fn fixture() -> (Pup, BprTrainer, std::path::PathBuf) {
+    let dataset = generate(&GeneratorConfig {
+        n_users: 300,
+        n_items: 250,
+        n_categories: 12,
+        n_price_levels: 8,
+        n_interactions: 8_000,
+        kcore: 0,
+        seed: 5,
+        ..Default::default()
+    })
+    .dataset;
+    let split = pup_data::split::temporal_split(&dataset, SplitRatios::PAPER);
+    let data = TrainData::new(&dataset, &split);
+    let cfg = TrainConfig { epochs: 2, batch_size: 1024, ..Default::default() };
+    let mut model = Pup::new(&data, PupConfig::default());
+    let mut trainer = BprTrainer::new(&model, data.n_users, data.n_items, data.train, &cfg);
+    trainer.run_epoch(&mut model).expect("warmup epoch");
+
+    let dir = std::env::temp_dir().join(format!("pup-bench-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    (model, trainer, dir)
+}
+
+fn bench_checkpointing(c: &mut Criterion) {
+    let (model, trainer, dir) = fixture();
+    let path = store::checkpoint_path(&dir, 1);
+
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(20);
+    group.bench_function("save_pup", |b| {
+        b.iter(|| trainer.save_checkpoint(&model, black_box(&path)).expect("save"))
+    });
+
+    trainer.save_checkpoint(&model, &path).expect("seed checkpoint for load bench");
+    group.bench_function("load_pup", |b| {
+        b.iter(|| black_box(store::load(black_box(&path)).expect("load")))
+    });
+
+    group.bench_function("encode_pup", |b| {
+        let ckpt = trainer.checkpoint(&model);
+        b.iter(|| black_box(ckpt.to_bytes()))
+    });
+
+    group.bench_function("decode_pup", |b| {
+        let bytes = trainer.checkpoint(&model).to_bytes();
+        b.iter(|| black_box(pup_ckpt::Checkpoint::from_bytes(black_box(&bytes)).expect("decode")))
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_checkpointing);
+criterion_main!(benches);

@@ -40,42 +40,54 @@ fn bench_epochs(c: &mut Criterion) {
         b.iter(|| {
             let data = TrainData::new(&dataset, &split);
             let mut m = BprMf::new(&data, 64, 1);
-            black_box(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg))
+            black_box(
+                train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg).expect("training"),
+            )
         })
     });
     group.bench_function("fm", |b| {
         b.iter(|| {
             let data = TrainData::new(&dataset, &split);
             let mut m = Fm::new(&data, 64, 1);
-            black_box(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg))
+            black_box(
+                train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg).expect("training"),
+            )
         })
     });
     group.bench_function("deepfm", |b| {
         b.iter(|| {
             let data = TrainData::new(&dataset, &split);
             let mut m = DeepFm::new(&data, 64, 64, 1);
-            black_box(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg))
+            black_box(
+                train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg).expect("training"),
+            )
         })
     });
     group.bench_function("gcmc", |b| {
         b.iter(|| {
             let data = TrainData::new(&dataset, &split);
             let mut m = GcMc::new(&data, 64, 0.1, 1);
-            black_box(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg))
+            black_box(
+                train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg).expect("training"),
+            )
         })
     });
     group.bench_function("ngcf", |b| {
         b.iter(|| {
             let data = TrainData::new(&dataset, &split);
             let mut m = Ngcf::new(&data, 21, 2, 0.1, 1);
-            black_box(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg))
+            black_box(
+                train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg).expect("training"),
+            )
         })
     });
     group.bench_function("pup_full", |b| {
         b.iter(|| {
             let data = TrainData::new(&dataset, &split);
             let mut m = Pup::new(&data, PupConfig::default());
-            black_box(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg))
+            black_box(
+                train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg).expect("training"),
+            )
         })
     });
     group.finish();
@@ -101,7 +113,10 @@ fn bench_pup_variants(c: &mut Criterion) {
             b.iter(|| {
                 let data = TrainData::new(&dataset, &split);
                 let mut m = Pup::new(&data, pcfg.clone());
-                black_box(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg))
+                black_box(
+                    train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg)
+                        .expect("training"),
+                )
             })
         });
     }

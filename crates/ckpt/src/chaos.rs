@@ -1,0 +1,91 @@
+//! Deterministic fault injection for exercising the recovery paths.
+//!
+//! Production failure modes are rare by construction, so the integration
+//! tests *manufacture* them: a [`FaultPlan`] makes the trainer observe a NaN
+//! loss at chosen global steps (as if the optimization diverged), while
+//! [`flip_byte`] and [`truncate_to`] damage checkpoint files on disk exactly
+//! the way a crash mid-write or a failing disk would. Kill-at-epoch-N is
+//! simulated at the test level by dropping the trainer and resuming from
+//! disk. Everything here is deterministic — no clocks, no randomness — so
+//! every recovery test replays identically.
+
+use std::fs;
+use std::path::Path;
+
+use crate::CkptError;
+
+/// A scripted set of faults to inject into a training run.
+///
+/// Each fault fires **once**: when the trainer consults the plan at a step
+/// listed in `nan_at_steps`, the fault is consumed and the loss for that
+/// step reads as NaN. One-shot semantics matter — after the trainer rolls
+/// back and replays the same step, the fault must not re-fire, otherwise
+/// recovery could never make progress.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Global step indices (across the whole run, 0-based) still waiting to
+    /// produce a NaN loss.
+    nan_steps: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan that makes the loss read as NaN at each listed global step.
+    pub fn nan_at_steps(steps: impl IntoIterator<Item = u64>) -> Self {
+        let mut nan_steps: Vec<u64> = steps.into_iter().collect();
+        nan_steps.sort_unstable();
+        nan_steps.dedup();
+        Self { nan_steps }
+    }
+
+    /// Consults the plan at global `step`; returns `true` (and consumes the
+    /// fault) when a NaN should be injected there.
+    pub fn fire_nan(&mut self, step: u64) -> bool {
+        if let Ok(idx) = self.nan_steps.binary_search(&step) {
+            self.nan_steps.remove(idx);
+            return true;
+        }
+        false
+    }
+
+    /// Number of faults that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.nan_steps.len()
+    }
+}
+
+/// Flips every bit of the byte at `offset` in the file at `path`, simulating
+/// single-byte media corruption. Fails when `offset` is past the end.
+pub fn flip_byte(path: &Path, offset: usize) -> Result<(), CkptError> {
+    let mut bytes = fs::read(path)?;
+    let len = bytes.len();
+    let Some(b) = bytes.get_mut(offset) else {
+        return Err(CkptError::Corrupt {
+            what: format!("cannot flip byte {offset} of a {len}-byte file"),
+        });
+    };
+    *b ^= 0xFF;
+    // Deliberately non-atomic: this *is* the corruption simulator.
+    // pup-lint: allow(crash-unsafe-io)
+    fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Truncates the file at `path` to `len` bytes, simulating a crash
+/// mid-write (or a torn download). `len` must not exceed the current size.
+pub fn truncate_to(path: &Path, len: usize) -> Result<(), CkptError> {
+    let bytes = fs::read(path)?;
+    if len > bytes.len() {
+        return Err(CkptError::Corrupt {
+            what: format!("cannot truncate a {}-byte file to {len} bytes", bytes.len()),
+        });
+    }
+    // Deliberately non-atomic: this *is* the corruption simulator.
+    // pup-lint: allow(crash-unsafe-io)
+    fs::write(path, &bytes[..len])?;
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Atomic on-disk checkpoint store.
+//!
+//! Checkpoints are written with the classic crash-safe protocol: serialize
+//! to a temporary file in the same directory, `fsync` it, then `rename` it
+//! over the final name (atomic on POSIX), and finally `fsync` the directory
+//! so the rename itself survives a power cut. A crash at any point leaves
+//! either the old checkpoint or the new one — never a half-written file —
+//! and a stray `.tmp` at worst.
+//!
+//! Discovery ([`load_latest`]) walks a checkpoint directory newest-first and
+//! skips files that fail validation, so a corrupted latest checkpoint
+//! degrades to the previous good one instead of aborting the run.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::{Checkpoint, CkptError};
+
+/// File extension used for checkpoint files.
+pub const EXTENSION: &str = "pupckpt";
+
+/// Canonical path of the checkpoint for `epoch` inside `dir`
+/// (`ckpt-000042.pupckpt` — zero-padded so lexical order is epoch order).
+pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("ckpt-{epoch:06}.{EXTENSION}"))
+}
+
+/// Serializes `ckpt` and writes it atomically to `path`.
+///
+/// The parent directory must exist. On success the file at `path` is either
+/// the complete new checkpoint or (if the process died mid-call) whatever
+/// was there before; partial writes only ever touch the temporary file.
+pub fn save_atomic(ckpt: &Checkpoint, path: &Path) -> Result<(), CkptError> {
+    let bytes = ckpt.to_bytes();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension(format!("{EXTENSION}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        // Persist the rename itself. Directory fsync is best-effort: some
+        // filesystems refuse to open directories for syncing.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and validates the checkpoint at `path`.
+pub fn load(path: &Path) -> Result<Checkpoint, CkptError> {
+    let bytes = fs::read(path)?;
+    Checkpoint::from_bytes(&bytes)
+}
+
+/// Lists checkpoint files in `dir` as `(epoch, path)`, oldest first.
+///
+/// Only well-formed `ckpt-NNNNNN.pupckpt` names are returned; the files
+/// themselves are not opened. A missing directory yields an empty list.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CkptError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let Some(stem) =
+            name.strip_prefix("ckpt-").and_then(|rest| rest.strip_suffix(&format!(".{EXTENSION}")))
+        else {
+            continue;
+        };
+        if let Ok(epoch) = stem.parse::<u64>() {
+            found.push((epoch, path));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Outcome of [`load_latest`]: the newest loadable checkpoint plus the
+/// corrupt files that were skipped on the way to it.
+pub struct LatestCheckpoint {
+    /// The newest checkpoint that parsed and validated.
+    pub checkpoint: Checkpoint,
+    /// Where it was loaded from.
+    pub path: PathBuf,
+    /// Newer files that were rejected, with the error each produced.
+    pub rejected: Vec<(PathBuf, CkptError)>,
+}
+
+/// Loads the newest valid checkpoint in `dir`, falling back past corrupt or
+/// truncated files.
+///
+/// Files are tried newest-first; every rejection is recorded (path + typed
+/// error) so callers can report what was skipped. Returns
+/// [`CkptError::NoCheckpoint`] when the directory holds no loadable
+/// checkpoint at all.
+pub fn load_latest(dir: &Path) -> Result<LatestCheckpoint, CkptError> {
+    let mut rejected = Vec::new();
+    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+        match load(&path) {
+            Ok(checkpoint) => return Ok(LatestCheckpoint { checkpoint, path, rejected }),
+            Err(e) => rejected.push((path, e)),
+        }
+    }
+    Err(CkptError::NoCheckpoint)
+}

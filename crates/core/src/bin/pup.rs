@@ -5,6 +5,7 @@
 //! pup evaluate  --items items.csv --interactions interactions.csv
 //!               [--model pup|itempop|bprmf|padq|fm|deepfm|gcmc|ngcf]
 //!               [--epochs 30] [--levels 10] [--rank-quantize] [--k 50,100]
+//!               [--checkpoint-dir DIR] [--resume]
 //! pup recommend --items items.csv --interactions interactions.csv
 //!               --user USER_ID [--top 10] [--epochs 30] [--levels 10]
 //! ```
@@ -61,6 +62,7 @@ USAGE:
   pup generate  --preset yelp|beibei|amazon [--scale F] [--seed N] --out DIR
   pup evaluate  --items FILE --interactions FILE [--model NAME] [--epochs N]
                 [--levels N] [--rank-quantize] [--k LIST]
+                [--checkpoint-dir DIR] [--resume]
   pup recommend --items FILE --interactions FILE --user ID [--top N]
                 [--epochs N] [--levels N]
 
@@ -73,7 +75,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("expected --flag, got {a:?}"));
         };
-        if key == "rank-quantize" {
+        if key == "rank-quantize" || key == "resume" {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -176,7 +178,23 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
         pipeline.split().train.len(),
         cfg.train.epochs
     );
-    let model = pipeline.fit(kind, &cfg);
+    let model = match flags.get("checkpoint-dir") {
+        None => pipeline.fit(kind, &cfg),
+        Some(dir) => {
+            let resume = flags.contains_key("resume");
+            let (model, stats) = pipeline
+                .fit_checkpointed(kind, &cfg, &RecoveryPolicy::default(), Path::new(dir), resume)
+                .map_err(|e| e.to_string())?;
+            for rec in &stats.recoveries {
+                eprintln!(
+                    "recovered from divergence at epoch {}: rolled back to epoch {}, \
+                     retry {} (lr x{})",
+                    rec.at_epoch, rec.rolled_back_to, rec.retry, rec.lr_factor
+                );
+            }
+            model
+        }
+    };
     let report = pipeline.evaluate(model.as_ref(), &ks);
     let mut table = Table::for_metrics(&ks);
     table.push_report(&report);
@@ -239,6 +257,13 @@ mod tests {
         let f = flags(&["--rank-quantize", "--levels", "5"]).unwrap();
         assert_eq!(f["rank-quantize"], "true");
         assert_eq!(f["levels"], "5");
+    }
+
+    #[test]
+    fn resume_is_a_boolean_flag() {
+        let f = flags(&["--resume", "--checkpoint-dir", "ckpts"]).unwrap();
+        assert_eq!(f["resume"], "true");
+        assert_eq!(f["checkpoint-dir"], "ckpts");
     }
 
     #[test]

@@ -24,12 +24,16 @@
 //! assert_eq!(baseline.model, "ItemPop");
 //! ```
 
+use std::path::Path;
+
 use pup_data::split::{temporal_split, SplitRatios};
 use pup_data::{Dataset, Split};
 use pup_eval::{evaluate, evaluate_users, MetricReport};
+use pup_models::common::ParamRegistry;
 use pup_models::{
-    train_bpr, BprMf, DeepFm, Fm, GcMc, ItemPop, Ngcf, Padq, PadqConfig, Pup, PupConfig,
-    Recommender, TrainConfig, TrainData,
+    train_bpr, train_bpr_resilient, BprMf, BprModel, DeepFm, Fm, GcMc, ItemPop, Ngcf, Padq,
+    PadqConfig, Pup, PupConfig, Recommender, RecoveryPolicy, TrainConfig, TrainData, TrainError,
+    TrainStats,
 };
 
 /// Commonly used types, re-exported for one-line imports.
@@ -38,7 +42,9 @@ pub mod prelude {
     pub use pup_data::synthetic::{amazon_like, beibei_like, yelp_like, GeneratorConfig};
     pub use pup_data::{Dataset, Quantization, Split, SplitRatios};
     pub use pup_eval::{ColdStartProtocol, MetricPair, MetricReport, Table};
-    pub use pup_models::{PupConfig, PupVariant, Recommender, TrainConfig};
+    pub use pup_models::{
+        PupConfig, PupVariant, Recommender, RecoveryPolicy, TrainConfig, TrainError,
+    };
 }
 
 /// Which model to fit (paper Table II rows plus the PUP ablations).
@@ -158,6 +164,50 @@ pub struct Pipeline {
     split: Split,
 }
 
+/// Unwraps a training result for the infallible `fit` facade, pointing the
+/// caller at the recoverable alternative.
+fn must_train(result: Result<TrainStats, TrainError>) -> TrainStats {
+    match result {
+        Ok(stats) => stats,
+        Err(e) => panic!(
+            "model training failed: {e}; use Pipeline::fit_checkpointed for \
+             checkpointing and divergence recovery"
+        ),
+    }
+}
+
+/// Bundles the resilient-training knobs so `fit_checkpointed`'s per-model
+/// arms stay one-liners.
+struct ResilientCtx<'a> {
+    cfg: &'a FitConfig,
+    policy: &'a RecoveryPolicy,
+    ckpt_dir: &'a Path,
+    resume: bool,
+}
+
+impl ResilientCtx<'_> {
+    fn train<M>(
+        &self,
+        mut model: M,
+        data: &TrainData<'_>,
+    ) -> Result<(Box<dyn Recommender>, TrainStats), TrainError>
+    where
+        M: BprModel + ParamRegistry + Recommender + 'static,
+    {
+        let stats = train_bpr_resilient(
+            &mut model,
+            data.n_users,
+            data.n_items,
+            data.train,
+            &self.cfg.train,
+            self.policy,
+            self.ckpt_dir,
+            self.resume,
+        )?;
+        Ok((Box::new(model), stats))
+    }
+}
+
 impl Pipeline {
     /// Splits the dataset 60/20/20 by time (paper §V-A1).
     pub fn new(dataset: Dataset) -> Self {
@@ -187,6 +237,11 @@ impl Pipeline {
     }
 
     /// Fits a model of the given kind.
+    ///
+    /// # Panics
+    /// Panics if the optimization diverges (non-finite loss). For a
+    /// recoverable path with checkpointing, rollback and learning-rate
+    /// backoff, use [`Pipeline::fit_checkpointed`].
     pub fn fit(&self, kind: ModelKind, cfg: &FitConfig) -> Box<dyn Recommender> {
         let data = self.train_data();
         let n_users = data.n_users;
@@ -196,7 +251,7 @@ impl Pipeline {
             ModelKind::ItemPop => Box::new(ItemPop::fit(&data)),
             ModelKind::BprMf => {
                 let mut m = BprMf::new(&data, cfg.dim, cfg.seed);
-                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                must_train(train_bpr(&mut m, n_users, n_items, train, &cfg.train));
                 Box::new(m)
             }
             ModelKind::Padq => {
@@ -213,17 +268,17 @@ impl Pipeline {
             }
             ModelKind::Fm => {
                 let mut m = Fm::new(&data, cfg.dim, cfg.seed);
-                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                must_train(train_bpr(&mut m, n_users, n_items, train, &cfg.train));
                 Box::new(m)
             }
             ModelKind::DeepFm => {
                 let mut m = DeepFm::new(&data, cfg.dim, cfg.deepfm_hidden, cfg.seed);
-                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                must_train(train_bpr(&mut m, n_users, n_items, train, &cfg.train));
                 Box::new(m)
             }
             ModelKind::GcMc => {
                 let mut m = GcMc::new(&data, cfg.dim, cfg.dropout, cfg.seed);
-                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                must_train(train_bpr(&mut m, n_users, n_items, train, &cfg.train));
                 Box::new(m)
             }
             ModelKind::Ngcf => {
@@ -231,25 +286,80 @@ impl Pipeline {
                 // concatenates the (layers + 1) blocks into the final
                 // representation, exactly as in Wang et al. [18].
                 let mut m = Ngcf::new(&data, cfg.dim, cfg.ngcf_layers, cfg.dropout, cfg.seed);
-                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                must_train(train_bpr(&mut m, n_users, n_items, train, &cfg.train));
                 Box::new(m)
             }
             ModelKind::Pup(mut pup_cfg) => {
                 pup_cfg.dropout = cfg.dropout;
                 pup_cfg.seed = cfg.seed;
                 let mut m = Pup::new(&data, pup_cfg);
-                train_bpr(&mut m, n_users, n_items, train, &cfg.train);
+                must_train(train_bpr(&mut m, n_users, n_items, train, &cfg.train));
                 Box::new(m)
+            }
+        }
+    }
+
+    /// Fits a model with crash-safe checkpointing and divergence recovery
+    /// (see `pup_models::resilient`): training state is checkpointed to
+    /// `ckpt_dir` per `policy`, a non-finite loss rolls back to the last
+    /// good checkpoint with a learning-rate backoff, and `resume = true`
+    /// continues a previous run from its newest valid checkpoint.
+    ///
+    /// Returns the fitted model together with its [`TrainStats`] (which
+    /// surface any recoveries that occurred). `ItemPop` and `PaDQ` own
+    /// their (fast, non-iterative or closed-form-ish) fitting procedures and
+    /// are fitted directly; their stats are empty.
+    pub fn fit_checkpointed(
+        &self,
+        kind: ModelKind,
+        cfg: &FitConfig,
+        policy: &RecoveryPolicy,
+        ckpt_dir: &Path,
+        resume: bool,
+    ) -> Result<(Box<dyn Recommender>, TrainStats), TrainError> {
+        let data = self.train_data();
+        let empty_stats = || TrainStats { epoch_losses: Vec::new(), recoveries: Vec::new() };
+        let ctx = ResilientCtx { cfg, policy, ckpt_dir, resume };
+        match kind {
+            ModelKind::ItemPop => Ok((Box::new(ItemPop::fit(&data)), empty_stats())),
+            ModelKind::Padq => {
+                let pcfg = PadqConfig {
+                    dim: cfg.dim,
+                    epochs: cfg.train.epochs,
+                    batch_size: cfg.train.batch_size,
+                    lr: cfg.train.lr,
+                    l2: cfg.train.l2,
+                    seed: cfg.train.seed,
+                    ..Default::default()
+                };
+                Ok((Box::new(Padq::fit(&data, &pcfg)), empty_stats()))
+            }
+            ModelKind::BprMf => ctx.train(BprMf::new(&data, cfg.dim, cfg.seed), &data),
+            ModelKind::Fm => ctx.train(Fm::new(&data, cfg.dim, cfg.seed), &data),
+            ModelKind::DeepFm => {
+                ctx.train(DeepFm::new(&data, cfg.dim, cfg.deepfm_hidden, cfg.seed), &data)
+            }
+            ModelKind::GcMc => ctx.train(GcMc::new(&data, cfg.dim, cfg.dropout, cfg.seed), &data),
+            ModelKind::Ngcf => {
+                ctx.train(Ngcf::new(&data, cfg.dim, cfg.ngcf_layers, cfg.dropout, cfg.seed), &data)
+            }
+            ModelKind::Pup(mut pup_cfg) => {
+                pup_cfg.dropout = cfg.dropout;
+                pup_cfg.seed = cfg.seed;
+                ctx.train(Pup::new(&data, pup_cfg), &data)
             }
         }
     }
 
     /// Fits PUP and returns the concrete type (for price-affinity
     /// introspection in the examples).
+    ///
+    /// # Panics
+    /// Panics if the optimization diverges; see [`Pipeline::fit`].
     pub fn fit_pup(&self, pup_cfg: PupConfig, cfg: &FitConfig) -> Pup {
         let data = self.train_data();
         let mut m = Pup::new(&data, pup_cfg);
-        train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg.train);
+        must_train(train_bpr(&mut m, data.n_users, data.n_items, data.train, &cfg.train));
         m
     }
 
@@ -264,7 +374,7 @@ impl Pipeline {
         model: &mut M,
         cfg: &FitConfig,
         stopping: &EarlyStopping,
-    ) -> ValidationHistory
+    ) -> Result<ValidationHistory, TrainError>
     where
         M: pup_models::BprModel + Recommender,
     {
@@ -296,7 +406,7 @@ impl Pipeline {
         let mut best: Option<(f64, Vec<pup_tensor::Matrix>)> = None;
         let mut bad_checks = 0usize;
         for _ in 0..cfg.train.epochs {
-            let loss = trainer.run_epoch(model);
+            let loss = trainer.run_epoch(model)?;
             history.epoch_losses.push(loss);
             if !trainer.completed_epochs().is_multiple_of(stopping.check_every) {
                 continue;
@@ -325,7 +435,7 @@ impl Pipeline {
             history.best_recall = score;
         }
         model.finalize();
-        history
+        Ok(history)
     }
 
     /// Standard full-ranking evaluation at the given cutoffs.
@@ -413,11 +523,13 @@ mod tests {
             train: TrainConfig { epochs: 8, batch_size: 256, ..Default::default() },
             ..Default::default()
         };
-        let history = p.fit_with_early_stopping(
-            &mut m,
-            &cfg,
-            &EarlyStopping { k: 20, check_every: 2, patience: 2 },
-        );
+        let history = p
+            .fit_with_early_stopping(
+                &mut m,
+                &cfg,
+                &EarlyStopping { k: 20, check_every: 2, patience: 2 },
+            )
+            .expect("training");
         assert!(!history.validation_recalls.is_empty(), "checks must have run");
         assert!(history.epoch_losses.len() <= 8);
         // The restored parameters reproduce the best validation recall.
@@ -426,6 +538,41 @@ mod tests {
         // Model is usable for inference after restoration.
         let report = p.evaluate(&m, &[10]);
         assert!(report.n_users > 0);
+    }
+
+    #[test]
+    fn fit_checkpointed_trains_persists_and_resumes() {
+        let p = small_pipeline();
+        let cfg = quick_cfg();
+        let dir = std::env::temp_dir().join(format!("pup-core-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let (model, stats) = p
+            .fit_checkpointed(ModelKind::BprMf, &cfg, &RecoveryPolicy::default(), &dir, false)
+            .expect("checkpointed fit");
+        assert_eq!(stats.epoch_losses.len(), cfg.train.epochs);
+        assert!(stats.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(stats.recoveries.is_empty());
+        let report = p.evaluate(model.as_ref(), &[10]);
+        assert!(report.n_users > 0);
+        assert!(
+            !pup_ckpt::store::list_checkpoints(&dir).expect("list").is_empty(),
+            "checkpoints must be on disk"
+        );
+
+        // Resuming the finished run replays the identical loss history.
+        let (_, resumed) = p
+            .fit_checkpointed(ModelKind::BprMf, &cfg, &RecoveryPolicy::default(), &dir, true)
+            .expect("resume of finished run");
+        let bits = |l: &[f64]| l.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&stats.epoch_losses), bits(&resumed.epoch_losses));
+
+        // Non-iterative models bypass the trainer with empty stats.
+        let (_, pop_stats) = p
+            .fit_checkpointed(ModelKind::ItemPop, &cfg, &RecoveryPolicy::default(), &dir, false)
+            .expect("itempop fit");
+        assert!(pop_stats.epoch_losses.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! [`load_dataset`] maps string ids to dense indices, quantizes prices with
 //! the chosen scheme and returns the [`Dataset`] plus the id maps.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::fs;
-use std::io::{self};
+use std::io::{self, Write as _};
 use std::path::Path;
 
 use crate::quantize::{quantize, Quantization};
@@ -55,6 +55,19 @@ pub enum LoadError {
         /// The offending item id.
         item_id: String,
     },
+    /// The same (user, item, timestamp) event appears twice — almost always
+    /// a doubled export, which would silently skew implicit-feedback counts.
+    DuplicateInteraction {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The offending user id.
+        user_id: String,
+        /// The offending item id.
+        item_id: String,
+    },
+    /// The interactions CSV contains no events, so there is nothing to
+    /// split or train on.
+    EmptyDataset,
 }
 
 impl std::fmt::Display for LoadError {
@@ -67,6 +80,14 @@ impl std::fmt::Display for LoadError {
             LoadError::UnknownItem { line, item_id } => {
                 write!(f, "interactions csv, line {line}: unknown item id {item_id:?}")
             }
+            LoadError::DuplicateInteraction { line, user_id, item_id } => {
+                write!(
+                    f,
+                    "interactions csv, line {line}: duplicate event for user \
+                     {user_id:?}, item {item_id:?}"
+                )
+            }
+            LoadError::EmptyDataset => write!(f, "interactions csv contains no events"),
         }
     }
 }
@@ -145,6 +166,7 @@ pub fn parse_dataset(
     // --- interactions ------------------------------------------------------
     let mut user_index: HashMap<String, usize> = HashMap::new();
     let mut interactions: Vec<Interaction> = Vec::new();
+    let mut seen_events: HashSet<(u32, u32, u64)> = HashSet::new();
     for (lineno, line) in interactions_csv.lines().enumerate() {
         if lineno == 0 || line.trim().is_empty() {
             continue;
@@ -173,11 +195,21 @@ pub fn parse_dataset(
             maps.users.push(user.to_string());
             maps.users.len() - 1
         });
+        if !seen_events.insert((user_id as u32, item_id as u32, ts)) {
+            return Err(LoadError::DuplicateInteraction {
+                line: lineno + 1,
+                user_id: user.to_string(),
+                item_id: item.to_string(),
+            });
+        }
         interactions.push(Interaction {
             user: user_id as u32,
             item: item_id as u32,
             timestamp: ts,
         });
+    }
+    if interactions.is_empty() {
+        return Err(LoadError::EmptyDataset);
     }
     interactions.sort_by_key(|it| it.timestamp);
 
@@ -242,7 +274,20 @@ pub fn dataset_to_csv(dataset: &Dataset, maps: Option<&IdMaps>) -> (String, Stri
     (items, inter)
 }
 
-/// Writes a dataset to two CSV files.
+/// Writes `contents` to `path` atomically: a temporary sibling is written
+/// and fsynced first, then renamed over the target, so a crash mid-save
+/// never leaves a half-written CSV behind.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("csv.tmp");
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(contents.as_bytes())?;
+    file.sync_all()?;
+    fs::rename(&tmp, path)
+}
+
+/// Writes a dataset to two CSV files. Each file is written atomically
+/// (temp file + rename), so an interrupted save cannot tear an existing
+/// dataset on disk.
 pub fn save_dataset(
     dataset: &Dataset,
     maps: Option<&IdMaps>,
@@ -250,8 +295,8 @@ pub fn save_dataset(
     interactions_path: &Path,
 ) -> io::Result<()> {
     let (items, inter) = dataset_to_csv(dataset, maps);
-    fs::write(items_path, items)?;
-    fs::write(interactions_path, inter)
+    write_atomic(items_path, &items)?;
+    write_atomic(interactions_path, &inter)
 }
 
 #[cfg(test)]
@@ -306,6 +351,88 @@ mod tests {
         let ragged = "item_id,price,category\nonlyone\n";
         let err = parse_dataset(ragged, "h\n", 2, Quantization::Uniform).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_interactions_row() {
+        // A file cut off mid-row (e.g. a torn download) loses its trailing
+        // fields; the error names the file and the exact line.
+        let truncated = "user_id,item_id,timestamp\nalice,espresso,3\nbob,burg";
+        let err = parse_dataset(ITEMS, truncated, 2, Quantization::Uniform).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { file: "interactions", line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_fields() {
+        let bad_price = "item_id,price,category\nx,cheap,a\n";
+        let err = parse_dataset(bad_price, "h\n", 2, Quantization::Uniform).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { file: "items", line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("bad price"), "{err}");
+
+        let bad_ts = "user_id,item_id,timestamp\nalice,espresso,yesterday\n";
+        let err = parse_dataset(ITEMS, bad_ts, 2, Quantization::Uniform).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { file: "interactions", line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("bad timestamp"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_interaction() {
+        let dup = "user_id,item_id,timestamp\n\
+            alice,espresso,3\n\
+            bob,burger,1\n\
+            alice,espresso,3\n";
+        let err = parse_dataset(ITEMS, dup, 2, Quantization::Uniform).unwrap_err();
+        match err {
+            LoadError::DuplicateInteraction { line, user_id, item_id } => {
+                assert_eq!(line, 4, "second occurrence is the offender");
+                assert_eq!(user_id, "alice");
+                assert_eq!(item_id, "espresso");
+            }
+            other => panic!("expected DuplicateInteraction, got {other}"),
+        }
+        // The same pair at a different time is a legitimate repeat purchase.
+        let repeat = "user_id,item_id,timestamp\nalice,espresso,3\nalice,espresso,5\n";
+        assert!(parse_dataset(ITEMS, repeat, 2, Quantization::Uniform).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let err = parse_dataset(ITEMS, "user_id,item_id,timestamp\n", 2, Quantization::Uniform)
+            .unwrap_err();
+        assert!(matches!(err, LoadError::EmptyDataset), "{err}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(128))]
+
+        // Malformed input must always come back as a typed `LoadError`,
+        // never a panic: shuffle arbitrary tokens from a hostile alphabet
+        // into both CSVs and parse.
+        #[test]
+        fn malformed_lines_never_panic(
+            picks in proptest::prop::collection::vec((0usize..12, 0usize..12, 0usize..12), 1..20),
+            as_items in 0u8..2,
+        ) {
+            const ALPHABET: [&str; 12] = [
+                "alice", "espresso", "3", "-1", "2.5e308", "nan", "",
+                ",", ",,", "\u{fffd}", "price", "item_id,price,category",
+            ];
+            let mut csv = String::from("h\n");
+            for (a, b, c) in picks {
+                csv.push_str(ALPHABET[a]);
+                csv.push(',');
+                csv.push_str(ALPHABET[b]);
+                csv.push(',');
+                csv.push_str(ALPHABET[c]);
+                csv.push('\n');
+            }
+            // Result ignored: any Ok/Err is fine, only a panic would fail.
+            if as_items == 0 {
+                let _ = parse_dataset(&csv, INTER, 2, Quantization::Uniform);
+            } else {
+                let _ = parse_dataset(ITEMS, &csv, 2, Quantization::Uniform);
+            }
+        }
     }
 
     /// Interactions as (user name, item name, timestamp) triples — the

@@ -124,7 +124,7 @@ mod tests {
         let mut m = BprMf::new(&data, 8, 1);
         let cfg =
             TrainConfig { epochs: 60, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
-        train_bpr(&mut m, 8, 8, &train, &cfg);
+        train_bpr(&mut m, 8, 8, &train, &cfg).expect("training");
         // Held-out in-block pair should outrank every out-of-block item.
         let scores = m.score_items(0);
         let in_block = scores[3]; // (0,3) untrained but in-block

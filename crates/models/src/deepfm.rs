@@ -179,7 +179,8 @@ mod tests {
         let mut m = DeepFm::new(&data, 6, 8, 4);
         let cfg =
             TrainConfig { epochs: 30, batch_size: 4, lr: 0.02, l2: 0.0, ..Default::default() };
-        let stats = train_bpr(&mut m, 2, 6, &train, &cfg);
-        assert!(stats.final_loss() < stats.epoch_losses[0]);
+        let stats = train_bpr(&mut m, 2, 6, &train, &cfg).expect("training");
+        let last = stats.final_loss().expect("at least one epoch ran");
+        assert!(last < stats.epoch_losses[0]);
     }
 }

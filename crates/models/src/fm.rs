@@ -261,7 +261,7 @@ mod tests {
             l2: 0.0,
             ..Default::default()
         };
-        crate::trainer::train_bpr(&mut m, 2, 6, &train, &cfg);
+        crate::trainer::train_bpr(&mut m, 2, 6, &train, &cfg).expect("training");
         let s0 = m.score_items(0);
         // Held-out items 4 (price 0) vs 5 (price 1) for the cheap user.
         assert!(s0[4] > s0[5], "FM failed to learn price preference: {} vs {}", s0[4], s0[5]);

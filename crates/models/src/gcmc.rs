@@ -179,8 +179,9 @@ mod tests {
         let mut m = GcMc::new(&data, 8, 0.0, 1);
         let cfg =
             TrainConfig { epochs: 60, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
-        let stats = train_bpr(&mut m, 8, 8, &train, &cfg);
-        assert!(stats.final_loss() < stats.epoch_losses[0] * 0.6);
+        let stats = train_bpr(&mut m, 8, 8, &train, &cfg).expect("training");
+        let last = stats.final_loss().expect("at least one epoch ran");
+        assert!(last < stats.epoch_losses[0] * 0.6);
         let s = m.score_items(0);
         let in_block = s[3];
         let best_out = s[4..].iter().cloned().fold(f64::MIN, f64::max);

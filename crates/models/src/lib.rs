@@ -27,6 +27,7 @@ pub mod itempop;
 pub mod ngcf;
 pub mod padq;
 pub mod pup;
+pub mod resilient;
 pub mod trainer;
 
 pub use bprmf::BprMf;
@@ -38,4 +39,7 @@ pub use itempop::ItemPop;
 pub use ngcf::Ngcf;
 pub use padq::{Padq, PadqConfig};
 pub use pup::{AttributeTarget, ExtraAttribute, Pup, PupConfig, PupVariant};
-pub use trainer::{train_bpr, BprModel, BprTrainer, TrainConfig, TrainStats};
+pub use resilient::{train_bpr_resilient, train_bpr_resilient_with_faults, RecoveryPolicy};
+pub use trainer::{
+    train_bpr, BprModel, BprTrainer, RecoveryEvent, TrainConfig, TrainError, TrainStats,
+};

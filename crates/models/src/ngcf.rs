@@ -222,7 +222,7 @@ mod tests {
         let mut m = Ngcf::new(&d, 8, 2, 0.0, 1);
         let cfg =
             TrainConfig { epochs: 60, batch_size: 8, lr: 0.02, l2: 0.0, ..Default::default() };
-        train_bpr(&mut m, 8, 8, &train, &cfg);
+        train_bpr(&mut m, 8, 8, &train, &cfg).expect("training");
         let s = m.score_items(0);
         let in_block = s[3];
         let best_out = s[4..].iter().cloned().fold(f64::MIN, f64::max);

@@ -630,7 +630,7 @@ mod tests {
         let mut m = Pup::new(&data, small_config(PupVariant::Full));
         let cfg =
             TrainConfig { epochs: 120, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
-        train_bpr(&mut m, 4, 8, &train, &cfg);
+        train_bpr(&mut m, 4, 8, &train, &cfg).expect("training");
         let s = m.score_items(0);
         // Held-out items 4 (price 0) vs 5 (price 1): cheap user prefers 4.
         assert!(s[4] > s[5], "PUP failed price transfer: {} vs {}", s[4], s[5]);
@@ -801,7 +801,8 @@ mod tests {
             4,
             &train,
             &crate::trainer::TrainConfig { epochs: 3, batch_size: 4, ..Default::default() },
-        );
+        )
+        .expect("training");
         let exported = m.export_params();
         let before = m.score_items(1);
 

@@ -4,12 +4,25 @@
 //! all methods: BPR pairwise loss over sampled positive/negative item pairs,
 //! Adam, mini-batches, 1:1 negative sampling and a two-step learning-rate
 //! decay. Models plug in through [`BprModel`].
+//!
+//! The trainer is crash-safe and divergence-aware: [`BprTrainer::save_checkpoint`]
+//! / [`BprTrainer::resume`] give bit-exact kill-and-resume (see `pup-ckpt`),
+//! a non-finite epoch loss surfaces as [`TrainError::Diverged`] instead of a
+//! panic, and [`crate::resilient::train_bpr_resilient`] layers rollback +
+//! learning-rate backoff on top.
+
+use std::fmt;
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pup_tensor::optim::{Adam, LrSchedule, Optimizer};
+use pup_ckpt::chaos::FaultPlan;
+use pup_ckpt::{store, Checkpoint, CkptError, ConfigFingerprint, ParamBlob};
+use pup_tensor::optim::{Adam, AdamState, LrSchedule, Optimizer};
 use pup_tensor::{ops, Var};
+
+use crate::common::ParamRegistry;
 
 /// Hook interface for models trained with BPR.
 pub trait BprModel {
@@ -64,18 +77,103 @@ impl Default for TrainConfig {
     }
 }
 
+impl TrainConfig {
+    /// The checkpoint-compatibility fingerprint of this configuration.
+    ///
+    /// Two configurations resume-compatibly iff their fingerprints are
+    /// equal (floats compared by bit pattern).
+    pub fn fingerprint(&self) -> ConfigFingerprint {
+        ConfigFingerprint {
+            epochs: self.epochs as u64,
+            batch_size: self.batch_size as u64,
+            negatives_per_positive: self.negatives_per_positive as u64,
+            seed: self.seed,
+            lr_bits: self.lr.to_bits(),
+            l2_bits: self.l2.to_bits(),
+            lr_decay: self.lr_decay,
+        }
+    }
+}
+
+/// Why training stopped before completing its epoch budget.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The epoch loss went non-finite (NaN/∞) — the optimization diverged.
+    Diverged {
+        /// Epoch (0-based) in which the divergence was observed.
+        epoch: usize,
+        /// Global mini-batch step at which it was observed.
+        step: u64,
+    },
+    /// A checkpoint could not be saved, loaded, or applied.
+    Ckpt(CkptError),
+    /// Divergence recovery gave up after the configured retry budget.
+    RetriesExhausted {
+        /// Epoch of the final (fatal) divergence.
+        epoch: usize,
+        /// Retries that had been consumed.
+        retries: u32,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Diverged { epoch, step } => {
+                write!(f, "training diverged (non-finite loss) at epoch {epoch}, step {step}")
+            }
+            Self::Ckpt(e) => write!(f, "checkpoint error: {e}"),
+            Self::RetriesExhausted { epoch, retries } => write!(
+                f,
+                "training diverged at epoch {epoch} and recovery gave up after {retries} retries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Ckpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> Self {
+        Self::Ckpt(e)
+    }
+}
+
+/// One rollback performed by the divergence-recovery driver
+/// ([`crate::resilient::train_bpr_resilient`]).
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// Epoch in which the divergence was observed.
+    pub at_epoch: usize,
+    /// Epoch of the checkpoint training rolled back to.
+    pub rolled_back_to: usize,
+    /// Which retry this was (1-based).
+    pub retry: u32,
+    /// Learning-rate multiplier in effect after the rollback.
+    pub lr_factor: f64,
+}
+
 /// Per-epoch training telemetry.
 #[derive(Clone, Debug)]
 pub struct TrainStats {
     /// Mean BPR loss per epoch.
     pub epoch_losses: Vec<f64>,
+    /// Divergence rollbacks performed during the run (empty for the plain
+    /// [`train_bpr`] path, which does not recover).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl TrainStats {
-    /// Loss of the final epoch.
-    pub fn final_loss(&self) -> f64 {
-        // pup-lint: allow(unwrap-in-lib) — documented precondition: stats exist only after training.
-        *self.epoch_losses.last().expect("at least one epoch")
+    /// Loss of the final epoch, or `None` when no epoch completed.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.epoch_losses.last().copied()
     }
 }
 
@@ -86,6 +184,11 @@ pub struct NegativeSampler {
     positives: Vec<Vec<u32>>,
 }
 
+/// Rejection draws before [`NegativeSampler::sample`] falls back to a direct
+/// rank-based draw. With the fallback, even a user holding all but one item
+/// terminates after a bounded number of RNG calls.
+const MAX_REJECTIONS: usize = 32;
+
 impl NegativeSampler {
     /// Builds the sampler from training pairs.
     pub fn new(n_users: usize, n_items: usize, train: &[(usize, usize)]) -> Self {
@@ -95,23 +198,42 @@ impl NegativeSampler {
         }
         for l in &mut positives {
             l.sort_unstable();
+            l.dedup();
         }
         Self { n_items, positives }
     }
 
     /// Samples an item the user has not interacted with in training.
     ///
+    /// Uses rejection sampling (uniform over all items, retry on a positive)
+    /// for the common sparse case, but falls back to drawing the k-th
+    /// non-positive directly after [`MAX_REJECTIONS`] failed attempts, so
+    /// near-saturated users terminate deterministically instead of spinning.
+    ///
     /// # Panics
-    /// Panics when the user has interacted with every item.
+    /// Panics when the user has interacted with every item (no negative
+    /// exists at all).
     pub fn sample(&self, user: usize, rng: &mut impl Rng) -> usize {
         let pos = &self.positives[user];
         assert!(pos.len() < self.n_items, "user {user} has no negative items");
-        loop {
+        for _ in 0..MAX_REJECTIONS {
             let cand = rng.gen_range(0..self.n_items) as u32;
             if pos.binary_search(&cand).is_err() {
                 return cand as usize;
             }
         }
+        // Near-saturated user: draw a rank among the non-positives and walk
+        // the sorted positive list to translate rank -> item id.
+        let k = rng.gen_range(0..self.n_items - pos.len());
+        let mut item = k;
+        for &p in pos {
+            if (p as usize) <= item {
+                item += 1;
+            } else {
+                break;
+            }
+        }
+        item
     }
 
     /// The user's sorted positive training items.
@@ -122,7 +244,7 @@ impl NegativeSampler {
 
 /// Incremental BPR trainer: owns the optimizer, sampler and shuffling state
 /// so callers can interleave epochs with validation (early stopping lives in
-/// `pup-recsys`).
+/// `pup-recsys`), checkpoint after any epoch, and resume bit-exactly.
 pub struct BprTrainer {
     sampler: NegativeSampler,
     opt: Adam,
@@ -132,6 +254,16 @@ pub struct BprTrainer {
     train: Vec<(usize, usize)>,
     cfg: TrainConfig,
     epoch: usize,
+    /// Mean loss of every completed epoch (restored on resume).
+    losses: Vec<f64>,
+    /// Divergence-recovery learning-rate multiplier (1.0 = no backoff).
+    lr_factor: f64,
+    /// Divergence retries consumed so far (carried through checkpoints).
+    retries_used: u32,
+    /// Global mini-batch counter across the whole run.
+    step: u64,
+    /// Scripted faults to inject (tests only; `None` in production).
+    faults: Option<FaultPlan>,
 }
 
 impl BprTrainer {
@@ -159,6 +291,11 @@ impl BprTrainer {
             train: train.to_vec(),
             cfg: cfg.clone(),
             epoch: 0,
+            losses: Vec::new(),
+            lr_factor: 1.0,
+            retries_used: 0,
+            step: 0,
+            faults: None,
         }
     }
 
@@ -167,12 +304,53 @@ impl BprTrainer {
         self.epoch
     }
 
+    /// Mean loss of every completed epoch (includes epochs restored from a
+    /// checkpoint on resume).
+    pub fn epoch_losses(&self) -> &[f64] {
+        &self.losses
+    }
+
+    /// The learning-rate backoff multiplier currently in effect.
+    pub fn lr_factor(&self) -> f64 {
+        self.lr_factor
+    }
+
+    /// Divergence retries consumed so far.
+    pub fn retries_used(&self) -> u32 {
+        self.retries_used
+    }
+
+    /// Installs a scripted fault plan (see `pup_ckpt::chaos`). Faults are
+    /// consumed as they fire; [`BprTrainer::take_faults`] recovers the plan
+    /// from a diverged trainer so a rollback does not re-arm spent faults.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes and returns the installed fault plan, if any.
+    pub fn take_faults(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// Sets the divergence-recovery state (used by the rollback driver after
+    /// restoring from a checkpoint).
+    pub fn set_recovery(&mut self, lr_factor: f64, retries_used: u32) {
+        assert!(lr_factor.is_finite() && lr_factor > 0.0, "lr_factor must be positive");
+        self.lr_factor = lr_factor;
+        self.retries_used = retries_used;
+    }
+
     /// Runs one epoch; returns the mean mini-batch BPR loss.
-    pub fn run_epoch<M: BprModel>(&mut self, model: &mut M) -> f64 {
-        self.opt.set_lr(self.schedule.lr_at(self.epoch));
+    ///
+    /// A non-finite loss aborts the epoch immediately with
+    /// [`TrainError::Diverged`] — the offending batch's gradients are never
+    /// applied, the epoch counter does not advance, and the caller decides
+    /// whether to roll back (see `crate::resilient`).
+    pub fn run_epoch<M: BprModel>(&mut self, model: &mut M) -> Result<f64, TrainError> {
+        self.opt.set_lr(self.schedule.lr_at(self.epoch) * self.lr_factor);
         shuffle(&mut self.order, &mut self.rng);
         let mut loss_sum = 0.0;
-        let mut batches = 0.0;
+        let mut batches = 0usize;
         let npp = self.cfg.negatives_per_positive;
         for chunk in self.order.chunks(self.cfg.batch_size) {
             // Expand each positive into `negatives_per_positive` triples.
@@ -193,33 +371,210 @@ impl BprTrainer {
             // BPR: -ln σ(s_pos - s_neg) == softplus(-(s_pos - s_neg)).
             let margin = ops::sub(&s_pos, &s_neg);
             let loss = ops::mean(&ops::softplus(&ops::scale(&margin, -1.0)));
-            pup_tensor::checks::guard_finite("bpr loss", &loss);
-            loss_sum += loss.scalar();
-            batches += 1.0;
+            let mut loss_value = loss.scalar();
+            if let Some(plan) = &mut self.faults {
+                if plan.fire_nan(self.step) {
+                    loss_value = f64::NAN;
+                }
+            }
+            if !loss_value.is_finite() {
+                return Err(TrainError::Diverged { epoch: self.epoch, step: self.step });
+            }
+            loss_sum += loss_value;
+            batches += 1;
+            self.step += 1;
             loss.backward();
             self.opt.step();
         }
         self.epoch += 1;
-        loss_sum / batches
+        // `order` is never empty (asserted in `new`), but guard the division
+        // anyway so a zero-batch epoch reads as zero loss, not NaN.
+        let mean = if batches == 0 { 0.0 } else { loss_sum / batches as f64 };
+        self.losses.push(mean);
+        Ok(mean)
     }
+
+    /// Captures everything needed to resume this trainer bit-exactly:
+    /// model parameters (by registry name), full Adam state, RNG state,
+    /// shuffle order, loss history and recovery bookkeeping.
+    pub fn checkpoint<M: ParamRegistry>(&self, model: &M) -> Checkpoint {
+        let params = model
+            .named_params()
+            .iter()
+            .map(|np| ParamBlob { name: np.name.clone(), value: np.var.value_clone() })
+            .collect();
+        let adam = self.opt.state();
+        Checkpoint {
+            epoch: self.epoch as u64,
+            lr_factor: self.lr_factor,
+            retries_used: self.retries_used,
+            config: self.cfg.fingerprint(),
+            epoch_losses: self.losses.clone(),
+            order: self.order.iter().map(|&o| o as u64).collect(),
+            rng_state: self.rng.get_state(),
+            params,
+            adam_t: adam.t,
+            adam_moments: adam.moments,
+        }
+    }
+
+    /// Writes a checkpoint of this trainer + `model` atomically to `path`
+    /// (see `pup_ckpt::store::save_atomic` for the crash-safety protocol).
+    pub fn save_checkpoint<M: ParamRegistry>(
+        &self,
+        model: &M,
+        path: &Path,
+    ) -> Result<(), TrainError> {
+        store::save_atomic(&self.checkpoint(model), path)?;
+        Ok(())
+    }
+
+    /// Reconstructs a trainer (and restores `model`'s parameters) from a
+    /// checkpoint, such that continuing training is **bit-exact** with the
+    /// uninterrupted run the checkpoint was taken from.
+    ///
+    /// The checkpoint is validated against the live state first: the config
+    /// fingerprint, interaction count, parameter names and shapes, Adam
+    /// moment shapes and RNG state must all agree, otherwise a typed error
+    /// is returned and nothing is mutated.
+    pub fn resume<M: BprModel + ParamRegistry>(
+        model: &mut M,
+        n_users: usize,
+        n_items: usize,
+        train: &[(usize, usize)],
+        cfg: &TrainConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, TrainError> {
+        let fp = cfg.fingerprint();
+        if fp != ckpt.config {
+            return Err(CkptError::StateMismatch {
+                what: format!(
+                    "config fingerprint differs (checkpoint {:?}, live {:?})",
+                    ckpt.config, fp
+                ),
+            }
+            .into());
+        }
+        if ckpt.epoch as usize > cfg.epochs {
+            return Err(CkptError::StateMismatch {
+                what: format!(
+                    "checkpoint is at epoch {} but the run budget is {} epochs",
+                    ckpt.epoch, cfg.epochs
+                ),
+            }
+            .into());
+        }
+        if ckpt.epoch_losses.len() != ckpt.epoch as usize {
+            return Err(CkptError::StateMismatch {
+                what: format!(
+                    "{} recorded losses for epoch {}",
+                    ckpt.epoch_losses.len(),
+                    ckpt.epoch
+                ),
+            }
+            .into());
+        }
+        let order = validate_order(&ckpt.order, train.len())?;
+        if ckpt.rng_state.iter().all(|&w| w == 0) {
+            return Err(
+                CkptError::StateMismatch { what: "RNG state is all-zero".to_string() }.into()
+            );
+        }
+
+        // Validate every parameter before mutating any of them, so a bad
+        // checkpoint cannot leave the model half-restored.
+        let named = model.named_params();
+        for np in &named {
+            let blob = ckpt
+                .param(&np.name)
+                // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
+                .ok_or_else(|| CkptError::MissingParam { name: np.name.clone() })?;
+            let expected = np.var.shape();
+            let found = blob.value.shape();
+            if found != expected {
+                return Err(
+                    // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
+                    CkptError::ShapeMismatch { name: np.name.clone(), expected, found }.into(),
+                );
+            }
+        }
+        for blob in &ckpt.params {
+            if !named.iter().any(|np| np.name == blob.name) {
+                // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
+                return Err(CkptError::UnknownParam { name: blob.name.clone() }.into());
+            }
+        }
+        for np in &named {
+            // `param` was checked above; a vanished name here is impossible.
+            if let Some(blob) = ckpt.param(&np.name) {
+                // pup-lint: allow(clone-in-loop) — one copy per restored parameter is the operation itself.
+                np.var.set_value(blob.value.clone());
+            }
+        }
+
+        let mut trainer = Self::new(model, n_users, n_items, train, cfg);
+        trainer
+            .opt
+            .restore_state(AdamState { t: ckpt.adam_t, moments: ckpt.adam_moments.clone() })
+            .map_err(|e| CkptError::StateMismatch { what: e.to_string() })?;
+        trainer.rng.set_state(ckpt.rng_state);
+        trainer.order = order;
+        trainer.epoch = ckpt.epoch as usize;
+        trainer.losses.clone_from(&ckpt.epoch_losses);
+        trainer.lr_factor = ckpt.lr_factor;
+        trainer.retries_used = ckpt.retries_used;
+        trainer.step = ckpt.epoch * batches_per_epoch(train.len(), cfg) as u64;
+        Ok(trainer)
+    }
+}
+
+/// Mini-batch steps one epoch performs (ceil of pairs / batch size).
+fn batches_per_epoch(n_pairs: usize, cfg: &TrainConfig) -> usize {
+    n_pairs.div_ceil(cfg.batch_size)
+}
+
+/// Checks that a checkpointed order is a permutation of `0..n` and converts
+/// it back to `usize` indices.
+fn validate_order(order: &[u64], n: usize) -> Result<Vec<usize>, CkptError> {
+    if order.len() != n {
+        return Err(CkptError::StateMismatch {
+            what: format!("checkpoint order has {} entries for {n} training pairs", order.len()),
+        });
+    }
+    let mut seen = vec![false; n];
+    let mut out = Vec::with_capacity(n);
+    for &o in order {
+        let idx = o as usize;
+        if o >= n as u64 || seen[idx] {
+            return Err(CkptError::StateMismatch {
+                what: format!("checkpoint order is not a permutation of 0..{n}"),
+            });
+        }
+        seen[idx] = true;
+        out.push(idx);
+    }
+    Ok(out)
 }
 
 /// Trains `model` with BPR on `train` pairs for the configured number of
 /// epochs; returns per-epoch losses.
+///
+/// This is the plain, non-recovering path: a divergence surfaces as
+/// [`TrainError::Diverged`]. For rollback + learning-rate backoff use
+/// [`crate::resilient::train_bpr_resilient`].
 pub fn train_bpr<M: BprModel>(
     model: &mut M,
     n_users: usize,
     n_items: usize,
     train: &[(usize, usize)],
     cfg: &TrainConfig,
-) -> TrainStats {
+) -> Result<TrainStats, TrainError> {
     let mut trainer = BprTrainer::new(model, n_users, n_items, train, cfg);
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {
-        epoch_losses.push(trainer.run_epoch(model));
+        trainer.run_epoch(model)?;
     }
     model.finalize();
-    TrainStats { epoch_losses }
+    Ok(TrainStats { epoch_losses: trainer.losses, recoveries: Vec::new() })
 }
 
 /// Fisher–Yates shuffle (avoids depending on `rand`'s slice extension).
@@ -264,6 +619,15 @@ mod tests {
         fn finalize(&mut self) {}
     }
 
+    impl ParamRegistry for TinyMf {
+        fn named_params(&self) -> Vec<crate::common::NamedParam> {
+            vec![
+                crate::common::NamedParam::new("users", &self.users),
+                crate::common::NamedParam::new("items", &self.items),
+            ]
+        }
+    }
+
     fn block_train_pairs() -> Vec<(usize, usize)> {
         // Users 0-4 like items 0-4; users 5-9 like items 5-9.
         let mut train = Vec::new();
@@ -283,10 +647,17 @@ mod tests {
         let mut model = TinyMf::new(10, 10, 8, 3);
         let cfg =
             TrainConfig { epochs: 30, batch_size: 8, lr: 0.05, l2: 0.0, ..Default::default() };
-        let stats = train_bpr(&mut model, 10, 10, &train, &cfg);
+        let stats = train_bpr(&mut model, 10, 10, &train, &cfg).expect("training");
         let first = stats.epoch_losses[0];
-        let last = stats.final_loss();
+        let last = stats.final_loss().expect("at least one epoch ran");
         assert!(last < first * 0.5, "BPR loss should at least halve: {first} -> {last}");
+        assert!(stats.recoveries.is_empty());
+    }
+
+    #[test]
+    fn final_loss_is_none_before_training() {
+        let stats = TrainStats { epoch_losses: Vec::new(), recoveries: Vec::new() };
+        assert_eq!(stats.final_loss(), None);
     }
 
     #[test]
@@ -311,7 +682,7 @@ mod tests {
                 seed,
                 ..Default::default()
             };
-            train_bpr(&mut model, 10, 10, &train, &cfg);
+            train_bpr(&mut model, 10, 10, &train, &cfg).expect("training");
             let score = |u: usize, i: usize| {
                 let uu = model.users.value().gather_rows(&[u]);
                 let ii = model.items.value().gather_rows(&[i]);
@@ -347,12 +718,44 @@ mod tests {
     }
 
     #[test]
+    fn negative_sampler_terminates_for_near_saturated_user() {
+        // User 0 holds every item except item 7: rejection sampling would
+        // expect n_items draws per success; the rank-based fallback must
+        // find item 7 after a bounded number of draws, every time.
+        let n_items = 200;
+        let train: Vec<(usize, usize)> = (0..n_items).filter(|&i| i != 7).map(|i| (0, i)).collect();
+        let sampler = NegativeSampler::new(1, n_items, &train);
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..500 {
+            assert_eq!(sampler.sample(0, &mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn negative_sampler_fallback_is_uniform_over_gaps() {
+        // User 0 holds all even items; both fallback survivors (odd items)
+        // must all stay reachable.
+        let n_items = 20;
+        let train: Vec<(usize, usize)> = (0..n_items).step_by(2).map(|i| (0, i)).collect();
+        let sampler = NegativeSampler::new(1, n_items, &train);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hit = vec![false; n_items];
+        for _ in 0..2_000 {
+            let n = sampler.sample(0, &mut rng);
+            assert_eq!(n % 2, 1, "sampled a positive item {n}");
+            hit[n] = true;
+        }
+        let odd_hits = hit.iter().skip(1).step_by(2).filter(|&&h| h).count();
+        assert_eq!(odd_hits, n_items / 2, "some negatives are unreachable");
+    }
+
+    #[test]
     fn training_is_deterministic_per_seed() {
         let train = block_train_pairs();
         let run = |seed| {
             let mut model = TinyMf::new(10, 10, 4, 9);
             let cfg = TrainConfig { epochs: 5, batch_size: 8, seed, ..Default::default() };
-            train_bpr(&mut model, 10, 10, &train, &cfg).epoch_losses
+            train_bpr(&mut model, 10, 10, &train, &cfg).expect("training").epoch_losses
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
@@ -364,7 +767,7 @@ mod tests {
         let losses_a = {
             let mut model = TinyMf::new(10, 10, 4, 9);
             let cfg = TrainConfig { epochs: 6, batch_size: 8, ..Default::default() };
-            train_bpr(&mut model, 10, 10, &train, &cfg).epoch_losses
+            train_bpr(&mut model, 10, 10, &train, &cfg).expect("training").epoch_losses
         };
         let losses_b = {
             let mut model = TinyMf::new(10, 10, 4, 9);
@@ -372,9 +775,10 @@ mod tests {
             let mut t = BprTrainer::new(&model, 10, 10, &train, &cfg);
             let mut out = Vec::new();
             for _ in 0..6 {
-                out.push(t.run_epoch(&mut model));
+                out.push(t.run_epoch(&mut model).expect("epoch"));
             }
             assert_eq!(t.completed_epochs(), 6);
+            assert_eq!(t.epoch_losses(), out.as_slice());
             out
         };
         assert_eq!(losses_a, losses_b, "wrapper and incremental paths must agree");
@@ -390,8 +794,118 @@ mod tests {
             batch_size: 8,
             ..Default::default()
         };
-        let stats = train_bpr(&mut model, 10, 10, &train, &cfg);
+        let stats = train_bpr(&mut model, 10, 10, &train, &cfg).expect("training");
         assert_eq!(stats.epoch_losses.len(), 3);
         assert!(stats.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn injected_nan_surfaces_as_diverged() {
+        let train = block_train_pairs();
+        let mut model = TinyMf::new(10, 10, 4, 2);
+        let cfg = TrainConfig { epochs: 4, batch_size: 8, ..Default::default() };
+        let mut t = BprTrainer::new(&model, 10, 10, &train, &cfg);
+        // 26 pairs at batch 8 -> 4 steps per epoch; step 5 is epoch 1's
+        // second batch.
+        t.inject_faults(FaultPlan::nan_at_steps([5]));
+        assert!(t.run_epoch(&mut model).is_ok(), "epoch 0 (steps 0..=3) must survive");
+        let err = t.run_epoch(&mut model).expect_err("step 5 falls in epoch 1");
+        match err {
+            TrainError::Diverged { epoch, step } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(step, 5);
+            }
+            other => panic!("expected Diverged, got {other}"),
+        }
+        assert_eq!(t.completed_epochs(), 1, "the diverged epoch must not count");
+        assert_eq!(t.take_faults().expect("plan still installed").pending(), 0);
+        // The poisoned batch never backpropagated, so no NaN reached the
+        // parameters.
+        assert!(model.users.value().all_finite());
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_exact_mid_run() {
+        let train = block_train_pairs();
+        let cfg = TrainConfig { epochs: 8, batch_size: 8, ..Default::default() };
+
+        // Straight-through reference run.
+        let mut ref_model = TinyMf::new(10, 10, 4, 9);
+        let mut ref_trainer = BprTrainer::new(&ref_model, 10, 10, &train, &cfg);
+        let mut ref_losses = Vec::new();
+        for _ in 0..8 {
+            ref_losses.push(ref_trainer.run_epoch(&mut ref_model).expect("epoch"));
+        }
+
+        // Interrupted run: checkpoint (in memory) after epoch 3, then
+        // resume into a *differently initialized* model — the checkpoint
+        // alone must determine the continuation.
+        let mut model_a = TinyMf::new(10, 10, 4, 9);
+        let mut t_a = BprTrainer::new(&model_a, 10, 10, &train, &cfg);
+        for _ in 0..3 {
+            t_a.run_epoch(&mut model_a).expect("epoch");
+        }
+        let ckpt = t_a.checkpoint(&model_a);
+        drop((t_a, model_a));
+
+        let mut model_b = TinyMf::new(10, 10, 4, 777);
+        let mut t_b =
+            BprTrainer::resume(&mut model_b, 10, 10, &train, &cfg, &ckpt).expect("resume");
+        assert_eq!(t_b.completed_epochs(), 3);
+        for _ in 3..8 {
+            t_b.run_epoch(&mut model_b).expect("epoch");
+        }
+
+        let bits = |m: &TinyMf| {
+            let mut v: Vec<u64> = m.users.value().as_slice().iter().map(|x| x.to_bits()).collect();
+            v.extend(m.items.value().as_slice().iter().map(|x| x.to_bits()));
+            v
+        };
+        let loss_bits = |l: &[f64]| l.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            loss_bits(t_b.epoch_losses()),
+            loss_bits(&ref_losses),
+            "per-epoch losses must match bit-for-bit"
+        );
+        assert_eq!(bits(&ref_model), bits(&model_b), "final params must match bit-for-bit");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_state() {
+        let train = block_train_pairs();
+        let cfg = TrainConfig { epochs: 4, batch_size: 8, ..Default::default() };
+        let mut model = TinyMf::new(10, 10, 4, 9);
+        let mut t = BprTrainer::new(&model, 10, 10, &train, &cfg);
+        t.run_epoch(&mut model).expect("epoch");
+        let good = t.checkpoint(&model);
+
+        // Different config.
+        let other_cfg = TrainConfig { lr: 0.5, ..cfg };
+        let mut m2 = TinyMf::new(10, 10, 4, 9);
+        assert!(matches!(
+            BprTrainer::resume(&mut m2, 10, 10, &train, &other_cfg, &good),
+            Err(TrainError::Ckpt(CkptError::StateMismatch { .. }))
+        ));
+
+        // Different interaction count.
+        assert!(matches!(
+            BprTrainer::resume(&mut m2, 10, 10, &train[1..], &cfg, &good),
+            Err(TrainError::Ckpt(CkptError::StateMismatch { .. }))
+        ));
+
+        // Shape mismatch (different embedding dim).
+        let mut wide = TinyMf::new(10, 10, 6, 9);
+        assert!(matches!(
+            BprTrainer::resume(&mut wide, 10, 10, &train, &cfg, &good),
+            Err(TrainError::Ckpt(CkptError::ShapeMismatch { .. }))
+        ));
+
+        // Order that is not a permutation.
+        let mut bad_order = good.clone();
+        bad_order.order[0] = bad_order.order[1];
+        assert!(matches!(
+            BprTrainer::resume(&mut m2, 10, 10, &train, &cfg, &bad_order),
+            Err(TrainError::Ckpt(CkptError::StateMismatch { .. }))
+        ));
     }
 }

@@ -5,6 +5,8 @@
 //! [`Adam`] and a plain [`Sgd`] are provided, plus the [`LrSchedule`]
 //! implementing the paper's two-step decay.
 
+use std::fmt;
+
 use crate::autograd::Var;
 use crate::matrix::Matrix;
 
@@ -73,6 +75,56 @@ impl Optimizer for Sgd {
     }
 }
 
+/// A snapshot of an [`Adam`] optimizer's mutable state: the step counter and
+/// per-parameter moment estimates.
+///
+/// Produced by [`Adam::state`] and consumed by [`Adam::restore_state`]; the
+/// checkpoint layer serializes this to resume training bit-exactly.
+#[derive(Clone, Debug)]
+pub struct AdamState {
+    /// Number of optimizer steps taken so far (drives bias correction).
+    pub t: u64,
+    /// Per-parameter `(first, second)` moment estimates, in parameter order.
+    pub moments: Vec<(Matrix, Matrix)>,
+}
+
+/// Why restoring optimizer state was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptimStateError {
+    /// The snapshot holds moments for a different number of parameters.
+    CountMismatch {
+        /// Parameter count of the live optimizer.
+        expected: usize,
+        /// Moment-pair count in the snapshot.
+        found: usize,
+    },
+    /// A moment pair's shape disagrees with the corresponding live parameter.
+    ShapeMismatch {
+        /// Zero-based parameter index.
+        index: usize,
+        /// Shape of the live parameter.
+        expected: (usize, usize),
+        /// Shape found in the snapshot.
+        found: (usize, usize),
+    },
+}
+
+impl fmt::Display for OptimStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CountMismatch { expected, found } => {
+                write!(f, "optimizer state holds {found} moment pairs, model has {expected}")
+            }
+            Self::ShapeMismatch { index, expected, found } => write!(
+                f,
+                "moment pair {index} has shape {found:?}, parameter has shape {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OptimStateError {}
+
 /// Adam (Kingma & Ba) with optional L2 weight decay, matching the paper's
 /// optimizer choice (§V-A3).
 pub struct Adam {
@@ -115,6 +167,39 @@ impl Adam {
             })
             .collect();
         Self { params, lr, beta1, beta2, eps, weight_decay, moments, t: 0 }
+    }
+
+    /// Snapshots the optimizer's mutable state (step counter + moments).
+    ///
+    /// Restoring this snapshot with [`Adam::restore_state`] on an optimizer
+    /// over the same parameter list reproduces the exact update sequence.
+    pub fn state(&self) -> AdamState {
+        AdamState { t: self.t, moments: self.moments.clone() }
+    }
+
+    /// Replaces the optimizer's mutable state with a snapshot.
+    ///
+    /// The snapshot is validated against the live parameter list first:
+    /// moment-pair count and every shape must match, otherwise a typed
+    /// [`OptimStateError`] is returned and the optimizer is left untouched.
+    pub fn restore_state(&mut self, state: AdamState) -> Result<(), OptimStateError> {
+        if state.moments.len() != self.params.len() {
+            return Err(OptimStateError::CountMismatch {
+                expected: self.params.len(),
+                found: state.moments.len(),
+            });
+        }
+        for (index, ((m, v), p)) in state.moments.iter().zip(&self.params).enumerate() {
+            let expected = p.shape();
+            for found in [m.shape(), v.shape()] {
+                if found != expected {
+                    return Err(OptimStateError::ShapeMismatch { index, expected, found });
+                }
+            }
+        }
+        self.moments = state.moments;
+        self.t = state.t;
+        Ok(())
     }
 }
 
@@ -267,6 +352,59 @@ mod tests {
         opt.step();
         assert!((p.value().get(0, 0) - 0.5).abs() < 1e-12);
         assert_eq!(q.value().get(0, 0), 1.0, "untouched param must not move");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bit_exact() {
+        let run = |resume_at: Option<usize>| {
+            let p = Var::param(Matrix::from_vec(1, 2, vec![1.0, -2.0]));
+            let mut opt = Adam::new(vec![p.clone()], 0.1, 0.01);
+            let mut saved = None;
+            for step in 0..40 {
+                if Some(step) == resume_at {
+                    saved = Some((opt.state(), p.value_clone()));
+                }
+                quadratic_loss(&p).backward();
+                opt.step();
+            }
+            if let Some((state, value)) = saved {
+                // Rebuild a fresh optimizer mid-run and replay the tail.
+                let q = Var::param(value);
+                let mut opt2 = Adam::new(vec![q.clone()], 0.1, 0.01);
+                opt2.restore_state(state).expect("snapshot from same model must restore");
+                for _ in resume_at.unwrap_or(0)..40 {
+                    quadratic_loss(&q).backward();
+                    opt2.step();
+                }
+                return q.value_clone();
+            }
+            p.value_clone()
+        };
+        let straight = run(None);
+        let resumed = run(Some(17));
+        for (a, b) in straight.as_slice().iter().zip(resumed.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resumed run diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn adam_restore_rejects_mismatched_state() {
+        let p = Var::param(Matrix::zeros(2, 3));
+        let mut opt = Adam::new(vec![p], 0.1, 0.0);
+
+        let empty = AdamState { t: 1, moments: Vec::new() };
+        assert_eq!(
+            opt.restore_state(empty),
+            Err(OptimStateError::CountMismatch { expected: 1, found: 0 })
+        );
+
+        let wrong_shape =
+            AdamState { t: 1, moments: vec![(Matrix::zeros(3, 2), Matrix::zeros(3, 2))] };
+        assert_eq!(
+            opt.restore_state(wrong_shape),
+            Err(OptimStateError::ShapeMismatch { index: 0, expected: (2, 3), found: (3, 2) })
+        );
+        assert_eq!(opt.state().t, 0, "failed restore must leave the optimizer untouched");
     }
 
     #[test]

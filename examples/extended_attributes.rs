@@ -49,11 +49,11 @@ fn main() {
     let tc = TrainConfig { epochs: 15, ..Default::default() };
     println!("training PUP without extras ...");
     let mut plain = Pup::new(&data, PupConfig::default());
-    train_bpr(&mut plain, data.n_users, data.n_items, data.train, &tc);
+    train_bpr(&mut plain, data.n_users, data.n_items, data.train, &tc).expect("training");
 
     println!("training PUP with brand + city node families ...");
     let mut extended = Pup::with_extras(&data, PupConfig::default(), &[brands, cities]);
-    train_bpr(&mut extended, data.n_users, data.n_items, data.train, &tc);
+    train_bpr(&mut extended, data.n_users, data.n_items, data.train, &tc).expect("training");
 
     let ks = [20usize, 50];
     let rp = pipeline.evaluate(&plain, &ks);

@@ -23,6 +23,11 @@ step cargo run -p pup-analysis --quiet -- lint --strict
 step cargo run -p pup-analysis --quiet -- audit-graph
 if [[ $fast -eq 0 ]]; then
     step cargo test --workspace -q
+    # Chaos gate: the fault-injection + kill/resume suites, run explicitly so
+    # a recovery regression is named in the output even when buried in the
+    # workspace run above.
+    step cargo test -q -p pup-models --test chaos
+    step cargo test -q -p pup-models --test checkpoint_resume
 fi
 
 echo

@@ -77,9 +77,10 @@ fn training_loss_decreases_for_pup() {
         data.n_items,
         data.train,
         &TrainConfig { epochs: 12, batch_size: 512, ..Default::default() },
-    );
+    )
+    .expect("training");
     let first = stats.epoch_losses[0];
-    let last = stats.final_loss();
+    let last = stats.final_loss().expect("at least one epoch ran");
     assert!(last < first * 0.8, "BPR loss should drop at least 20%: {first:.4} -> {last:.4}");
     assert!(stats.epoch_losses.iter().all(|l| l.is_finite()), "loss must stay finite");
 }
