@@ -13,6 +13,7 @@
 //! | `unguarded-ln` | no `.ln()`/`.log2()`/`.log10()` or division by a tape value without an epsilon/clamp guard in model/loss code |
 //! | `float-eq` | no `==`/`!=` between `f64` expressions outside tests |
 //! | `crash-unsafe-io` | no `fs::write`/`File::create` in a function that never calls `rename` (write-temp-then-rename keeps saves atomic) |
+//! | `raw-print-in-lib` | no `println!`/`eprintln!` in library code (bins and tests exempt); telemetry goes through `pup-obs`, data through return values |
 //! | `stale-allow` | (`--strict` only) an allow escape that suppresses nothing |
 //!
 //! A site opts out with `// pup-lint: allow(<rule>)` on the offending line
@@ -51,6 +52,9 @@ pub enum Rule {
     /// `fs::write` / `File::create` in a function that never calls
     /// `rename`: a crash mid-write tears the target file.
     CrashUnsafeIo,
+    /// `println!` / `eprintln!` in crate library code (bins/tests exempt):
+    /// structured output belongs in `pup-obs` telemetry or return values.
+    RawPrintInLib,
     /// An allow escape that no longer suppresses any finding (strict mode).
     StaleAllow,
 }
@@ -65,6 +69,7 @@ impl Rule {
         Rule::UnguardedLn,
         Rule::FloatEq,
         Rule::CrashUnsafeIo,
+        Rule::RawPrintInLib,
     ];
 
     /// The rule's name as used in `// pup-lint: allow(<name>)` comments.
@@ -77,6 +82,7 @@ impl Rule {
             Rule::UnguardedLn => "unguarded-ln",
             Rule::FloatEq => "float-eq",
             Rule::CrashUnsafeIo => "crash-unsafe-io",
+            Rule::RawPrintInLib => "raw-print-in-lib",
             Rule::StaleAllow => "stale-allow",
         }
     }
@@ -223,6 +229,32 @@ pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnost
                          it or annotate with `// pup-lint: allow(clone-in-loop)`"
                     ),
                 });
+            }
+        }
+    }
+
+    // Binary targets own stdout/stderr; the rule polices library code only.
+    let is_bin = path_str.contains("/src/bin/") || file_name == "main.rs";
+    if !is_bin {
+        for needle in ["println!", "eprintln!"] {
+            for at in find_all(m, needle.as_bytes()) {
+                // `println!` is a suffix of `eprintln!`; require a
+                // non-identifier byte before the match so each macro call
+                // yields exactly one candidate.
+                if at > 0 && (m[at - 1].is_ascii_alphanumeric() || m[at - 1] == b'_') {
+                    continue;
+                }
+                if !in_any_span(&all_test_spans, at) {
+                    candidates.push(Candidate {
+                        offset: at,
+                        rule: Rule::RawPrintInLib,
+                        message: format!(
+                            "`{needle}` in library code; record telemetry via pup-obs or \
+                             return the data to the caller, or annotate with \
+                             `// pup-lint: allow(raw-print-in-lib)`"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -1001,6 +1033,41 @@ mod tests {
         let d = lint_str("io.rs", src);
         assert_eq!(d.len(), 1, "the rename lives in an unrelated fn: {d:?}");
         assert_eq!(d[0].rule, Rule::CrashUnsafeIo);
+    }
+
+    // --- raw-print-in-lib -----------------------------------------------
+
+    #[test]
+    fn raw_print_flagged_in_lib_code() {
+        let src = "fn f(x: u32) {\n    println!(\"{x}\");\n    eprintln!(\"{x}\");\n}\n";
+        let d = lint_str("crates/models/src/trainer.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::RawPrintInLib));
+        assert_eq!((d[0].line, d[1].line), (2, 3));
+        // One candidate per call: `eprintln!` must not also match as
+        // `println!`.
+        assert!(d[1].message.contains("eprintln!"));
+    }
+
+    #[test]
+    fn raw_print_exempt_in_bins_and_tests() {
+        let src = "fn f(x: u32) {\n    println!(\"{x}\");\n}\n";
+        assert!(lint_str("crates/core/src/bin/pup.rs", src).is_empty());
+        assert!(lint_str("crates/analysis/src/main.rs", src).is_empty());
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(x: u32) {\n        println!(\"{x}\");\n    }\n}\n";
+        assert!(lint_str("crates/models/src/trainer.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn raw_print_escape_and_masking_work() {
+        let escaped =
+            "fn f(x: u32) {\n    // pup-lint: allow(raw-print-in-lib)\n    println!(\"{x}\");\n}\n";
+        assert!(lint_str("crates/models/src/trainer.rs", escaped).is_empty());
+        // Needles inside strings/comments never fire.
+        let masked =
+            "fn f() -> &'static str {\n    // println! here is prose\n    \"eprintln!\"\n}\n";
+        assert!(lint_str("crates/models/src/trainer.rs", masked).is_empty());
     }
 
     // --- stale-allow ----------------------------------------------------

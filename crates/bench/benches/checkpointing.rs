@@ -2,7 +2,7 @@
 //! a resilient run pays per epoch for crash safety (encode + fsync +
 //! rename on save; read + checksum + validate + restore on load).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use pup_ckpt::store;
@@ -66,4 +66,10 @@ fn bench_checkpointing(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_checkpointing);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let path = pup_bench::harness::write_bench_json("checkpointing", &criterion::take_results())
+        .expect("write BENCH_checkpointing.json");
+    println!("wrote {}", path.display());
+}

@@ -1,7 +1,7 @@
 //! Benchmarks: one BPR training epoch per model on a common synthetic
 //! dataset — the throughput comparison behind every experiment's wall-clock.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use pup_data::synthetic::{generate, GeneratorConfig};
@@ -124,4 +124,10 @@ fn bench_pup_variants(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_epochs, bench_pup_variants);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let path = pup_bench::harness::write_bench_json("training", &criterion::take_results())
+        .expect("write BENCH_training.json");
+    println!("wrote {}", path.display());
+}

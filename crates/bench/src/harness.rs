@@ -65,26 +65,125 @@ pub fn fit_verbose(
     cfg: &FitConfig,
 ) -> Box<dyn pup_recsys::prelude::Recommender> {
     let name = kind.name();
+    // pup-lint: allow(raw-print-in-lib) — progress note is this fn's contract.
     eprintln!("  training {name} ...");
     let t = std::time::Instant::now();
     let model = pipeline.fit(kind, cfg);
+    // pup-lint: allow(raw-print-in-lib)
     eprintln!("  trained {name} in {:.1}s", t.elapsed().as_secs_f64());
     model
 }
 
 /// Renders a standard experiment banner.
 pub fn banner(title: &str, env: &ExperimentEnv) {
+    // pup-lint: allow(raw-print-in-lib) — the banner's whole job is stdout.
     println!("== {title} ==");
+    // pup-lint: allow(raw-print-in-lib)
     println!(
         "(scale={}, epochs={}, seed={}; set PUP_SCALE / PUP_EPOCHS / PUP_SEED to change)",
         env.scale, env.epochs, env.seed
     );
+    // pup-lint: allow(raw-print-in-lib)
     println!();
+}
+
+/// Serializes finished benchmark cases as `BENCH_<target>.json`.
+///
+/// Schema (`pup-bench/1`), one object per file:
+///
+/// ```json
+/// {
+///   "schema": "pup-bench/1",
+///   "target": "training",
+///   "cases": [
+///     {"group": "bpr_epoch", "name": "bpr_mf",
+///      "median_ns": 12345678, "min_ns": 11111111, "max_ns": 14444444,
+///      "samples": 10}
+///   ]
+/// }
+/// ```
+///
+/// Cases appear in run order. All times are wall-clock nanoseconds for one
+/// invocation of the bench routine (median / min / max over `samples` timed
+/// runs, warm-up excluded). The file lands in `$PUP_BENCH_OUT` if set,
+/// otherwise the current directory, and is written atomically (tmp +
+/// rename) so a crashed bench run never leaves a truncated report.
+/// Returns the path written.
+pub fn write_bench_json(
+    target: &str,
+    cases: &[criterion::CaseResult],
+) -> std::io::Result<std::path::PathBuf> {
+    use pup_obs::json::Value;
+    use std::io::Write;
+
+    let case_objs: Vec<Value> = cases
+        .iter()
+        .map(|c| {
+            Value::Obj(vec![
+                ("group".to_string(), Value::Str(c.group.clone())),
+                ("name".to_string(), Value::Str(c.label.clone())),
+                ("median_ns".to_string(), Value::num(c.median_ns as f64)),
+                ("min_ns".to_string(), Value::num(c.min_ns as f64)),
+                ("max_ns".to_string(), Value::num(c.max_ns as f64)),
+                ("samples".to_string(), Value::num(c.samples as f64)),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("schema".to_string(), Value::Str("pup-bench/1".to_string())),
+        ("target".to_string(), Value::Str(target.to_string())),
+        ("cases".to_string(), Value::Arr(case_objs)),
+    ]);
+
+    let dir = std::env::var("PUP_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{target}.json"));
+    let tmp = dir.join(format!("BENCH_{target}.json.tmp"));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(doc.render().as_bytes())?;
+    f.write_all(b"\n")?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_round_trips_through_obs_parser() {
+        let dir = std::env::temp_dir().join(format!("pup-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        // No other test in this binary touches PUP_BENCH_OUT, so setting it
+        // here is safe even under the parallel test runner.
+        std::env::set_var("PUP_BENCH_OUT", &dir);
+        let cases = vec![criterion::CaseResult {
+            group: "g".to_string(),
+            label: "case_a".to_string(),
+            median_ns: 1_500,
+            min_ns: 1_000,
+            max_ns: 2_000,
+            samples: 10,
+        }];
+        let path = write_bench_json("harness_test", &cases).expect("write");
+        std::env::remove_var("PUP_BENCH_OUT");
+        assert_eq!(path.file_name().and_then(|n| n.to_str()), Some("BENCH_harness_test.json"));
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = pup_obs::json::Value::parse(&text).expect("valid json");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("pup-bench/1"));
+        assert_eq!(doc.get("target").and_then(|v| v.as_str()), Some("harness_test"));
+        let cases_v = match doc.get("cases") {
+            Some(pup_obs::json::Value::Arr(a)) => a,
+            other => panic!("cases should be an array, got {other:?}"),
+        };
+        assert_eq!(cases_v.len(), 1);
+        assert_eq!(cases_v[0].get("name").and_then(|v| v.as_str()), Some("case_a"));
+        assert_eq!(cases_v[0].get("median_ns").and_then(|v| v.as_u64()), Some(1_500));
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn env_defaults_apply() {

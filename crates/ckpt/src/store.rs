@@ -32,7 +32,9 @@ pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
 /// the complete new checkpoint or (if the process died mid-call) whatever
 /// was there before; partial writes only ever touch the temporary file.
 pub fn save_atomic(ckpt: &Checkpoint, path: &Path) -> Result<(), CkptError> {
+    let _t = pup_obs::time("io", "ckpt_save");
     let bytes = ckpt.to_bytes();
+    pup_obs::counter_add("ckpt.bytes_written", bytes.len() as u64);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let tmp = path.with_extension(format!("{EXTENSION}.tmp"));
     {
@@ -53,7 +55,9 @@ pub fn save_atomic(ckpt: &Checkpoint, path: &Path) -> Result<(), CkptError> {
 
 /// Loads and validates the checkpoint at `path`.
 pub fn load(path: &Path) -> Result<Checkpoint, CkptError> {
+    let _t = pup_obs::time("io", "ckpt_load");
     let bytes = fs::read(path)?;
+    pup_obs::counter_add("ckpt.bytes_read", bytes.len() as u64);
     Checkpoint::from_bytes(&bytes)
 }
 

@@ -8,11 +8,15 @@
 //!               [--checkpoint-dir DIR] [--resume]
 //! pup recommend --items items.csv --interactions interactions.csv
 //!               --user USER_ID [--top 10] [--epochs 30] [--levels 10]
+//! pup report-telemetry run.jsonl [--top 10]
 //! ```
 //!
 //! `generate` writes a synthetic dataset as the two-CSV format of
 //! `pup_data::io`; `evaluate` trains a model on a temporal 60/20/20 split
 //! and prints Recall/NDCG; `recommend` prints top items with their prices.
+//! `evaluate --telemetry FILE` additionally records a structured telemetry
+//! trace (spans, per-op timings, training metrics) that `report-telemetry`
+//! renders as a human-readable report.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -30,6 +34,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `report-telemetry` takes a positional FILE argument, which `parse_flags`
+    // rejects by design; handle it before the flag parser runs.
+    if cmd == "report-telemetry" {
+        return match cmd_report_telemetry(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -62,11 +77,16 @@ USAGE:
   pup generate  --preset yelp|beibei|amazon [--scale F] [--seed N] --out DIR
   pup evaluate  --items FILE --interactions FILE [--model NAME] [--epochs N]
                 [--levels N] [--rank-quantize] [--k LIST]
-                [--checkpoint-dir DIR] [--resume]
+                [--checkpoint-dir DIR] [--resume] [--telemetry FILE]
   pup recommend --items FILE --interactions FILE --user ID [--top N]
                 [--epochs N] [--levels N]
+  pup report-telemetry FILE [--top N]
 
-MODELS: pup (default), itempop, bprmf, padq, fm, deepfm, gcmc, ngcf";
+MODELS: pup (default), itempop, bprmf, padq, fm, deepfm, gcmc, ngcf
+
+`evaluate --telemetry FILE` records spans, op timings and training metrics
+to FILE as JSON lines; `report-telemetry FILE` renders them as a span tree,
+top ops by self-time, and metric summaries.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -170,6 +190,10 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
         .split(',')
         .map(|s| s.trim().parse().map_err(|_| format!("--k: bad cutoff {s:?}")))
         .collect::<Result<_, _>>()?;
+    let telemetry_out = flags.get("telemetry").map(PathBuf::from);
+    if telemetry_out.is_some() {
+        pup_obs::start();
+    }
     eprintln!(
         "training {} on {} users / {} items ({} train pairs, {} epochs) ...",
         kind.name(),
@@ -196,10 +220,45 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     let report = pipeline.evaluate(model.as_ref(), &ks);
+    if let Some(path) = &telemetry_out {
+        let telemetry = pup_obs::finish();
+        telemetry.write_jsonl(path).map_err(|e| format!("--telemetry {}: {e}", path.display()))?;
+        eprintln!(
+            "telemetry: {} spans, {} metric series written to {} \
+             (render with `pup report-telemetry {}`)",
+            telemetry.spans.len(),
+            telemetry.counters.len() + telemetry.gauges.len() + telemetry.hists.len(),
+            path.display(),
+            path.display()
+        );
+    }
     let mut table = Table::for_metrics(&ks);
     table.push_report(&report);
     println!("{}", table.render());
     println!("({} users evaluated)", report.n_users);
+    Ok(())
+}
+
+fn cmd_report_telemetry(args: &[String]) -> Result<(), String> {
+    let mut file: Option<&str> = None;
+    let mut top_k = pup_obs::report::DEFAULT_TOP_K;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--top" {
+            let v = it.next().ok_or("--top needs a value")?;
+            top_k = v.parse().map_err(|_| format!("--top: cannot parse {v:?}"))?;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a:?} for report-telemetry"));
+        } else if file.is_none() {
+            file = Some(a);
+        } else {
+            return Err(format!("unexpected extra argument {a:?}"));
+        }
+    }
+    let file = file.ok_or("usage: pup report-telemetry FILE [--top N]")?;
+    let telemetry =
+        pup_obs::Telemetry::read_jsonl(Path::new(file)).map_err(|e| format!("{file}: {e}"))?;
+    println!("{}", pup_obs::report::render_with_top_k(&telemetry, top_k));
     Ok(())
 }
 

@@ -243,6 +243,7 @@ impl Pipeline {
     /// recoverable path with checkpointing, rollback and learning-rate
     /// backoff, use [`Pipeline::fit_checkpointed`].
     pub fn fit(&self, kind: ModelKind, cfg: &FitConfig) -> Box<dyn Recommender> {
+        let _span = pup_obs::span("fit");
         let data = self.train_data();
         let n_users = data.n_users;
         let n_items = data.n_items;
@@ -317,8 +318,9 @@ impl Pipeline {
         ckpt_dir: &Path,
         resume: bool,
     ) -> Result<(Box<dyn Recommender>, TrainStats), TrainError> {
+        let _span = pup_obs::span("fit");
         let data = self.train_data();
-        let empty_stats = || TrainStats { epoch_losses: Vec::new(), recoveries: Vec::new() };
+        let empty_stats = TrainStats::empty;
         let ctx = ResilientCtx { cfg, policy, ckpt_dir, resume };
         match kind {
             ModelKind::ItemPop => Ok((Box::new(ItemPop::fit(&data)), empty_stats())),

@@ -158,6 +158,7 @@ pub fn evaluate_pools_per_user(
     assert_eq!(users.len(), pools.len(), "one pool per user");
     assert_eq!(users.len(), ground_truths.len(), "one ground truth per user");
     assert!(!ks.is_empty(), "need at least one cutoff");
+    let _span = pup_obs::span("evaluate");
     let max_k = ks.iter().copied().max().unwrap_or(0);
     let mut kept_users = Vec::new();
     let mut per_k: Vec<Vec<MetricPair>> = ks.iter().map(|_| Vec::new()).collect();
@@ -165,8 +166,15 @@ pub fn evaluate_pools_per_user(
         if gt.is_empty() {
             continue;
         }
-        let scores = model.score_items(u);
-        let ranked = rank_candidates(&scores, pool, max_k);
+        pup_obs::counter_add("eval.users", 1);
+        let scores = {
+            let _t = pup_obs::time("eval", "score_items");
+            model.score_items(u)
+        };
+        let ranked = {
+            let _t = pup_obs::time("eval", "rank_candidates");
+            rank_candidates(&scores, pool, max_k)
+        };
         for (slot, &k) in ks.iter().enumerate() {
             per_k[slot].push(MetricPair {
                 recall: recall_at_k(&ranked, gt, k),

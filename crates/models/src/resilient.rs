@@ -16,6 +16,7 @@
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use pup_ckpt::chaos::FaultPlan;
 use pup_ckpt::{store, CkptError};
@@ -77,6 +78,7 @@ pub fn train_bpr_resilient_with_faults<M: BprModel + ParamRegistry>(
 ) -> Result<TrainStats, TrainError> {
     assert!(policy.checkpoint_every > 0, "checkpoint_every must be at least 1");
     assert!(policy.lr_backoff > 0.0 && policy.lr_backoff <= 1.0, "lr_backoff must be in (0, 1]");
+    let start = Instant::now();
     fs::create_dir_all(ckpt_dir).map_err(CkptError::from)?;
 
     let mut trainer = if resume {
@@ -132,6 +134,8 @@ pub fn train_bpr_resilient_with_faults<M: BprModel + ParamRegistry>(
                     model,
                     &store::checkpoint_path(ckpt_dir, latest.checkpoint.epoch),
                 )?;
+                pup_obs::counter_add("train.recoveries", 1);
+                pup_obs::gauge_set("train.lr_backoff_factor", lr_factor);
                 recoveries.push(RecoveryEvent {
                     at_epoch: epoch,
                     rolled_back_to: latest.checkpoint.epoch as usize,
@@ -145,7 +149,12 @@ pub fn train_bpr_resilient_with_faults<M: BprModel + ParamRegistry>(
     }
 
     model.finalize();
-    Ok(TrainStats { epoch_losses: trainer.epoch_losses().to_vec(), recoveries })
+    Ok(TrainStats {
+        epoch_losses: trainer.epoch_losses().to_vec(),
+        epoch_durations: trainer.epoch_durations().to_vec(),
+        total_duration: start.elapsed(),
+        recoveries,
+    })
 }
 
 /// Starts a fresh trainer and immediately checkpoints the initial state, so

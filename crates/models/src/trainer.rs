@@ -13,6 +13,7 @@
 
 use std::fmt;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -165,15 +166,43 @@ pub struct RecoveryEvent {
 pub struct TrainStats {
     /// Mean BPR loss per epoch.
     pub epoch_losses: Vec<f64>,
+    /// Wall-clock duration of each epoch, index-aligned with
+    /// `epoch_losses`. Epochs restored from a checkpoint (not re-run in
+    /// this process) report [`Duration::ZERO`]. Measured unconditionally —
+    /// two clock reads per epoch, no full telemetry needed.
+    pub epoch_durations: Vec<Duration>,
+    /// Wall-clock duration of the whole training call, including
+    /// finalization and (for the resilient path) rollback/retry overhead.
+    pub total_duration: Duration,
     /// Divergence rollbacks performed during the run (empty for the plain
     /// [`train_bpr`] path, which does not recover).
     pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl TrainStats {
+    /// Stats for a run that trained nothing (e.g. a heuristic model).
+    pub fn empty() -> Self {
+        TrainStats {
+            epoch_losses: Vec::new(),
+            epoch_durations: Vec::new(),
+            total_duration: Duration::ZERO,
+            recoveries: Vec::new(),
+        }
+    }
+
     /// Loss of the final epoch, or `None` when no epoch completed.
     pub fn final_loss(&self) -> Option<f64> {
         self.epoch_losses.last().copied()
+    }
+
+    /// Mean duration of the epochs actually run in this process (restored
+    /// epochs are excluded), or `None` when none ran.
+    pub fn mean_epoch_duration(&self) -> Option<Duration> {
+        let run: Vec<&Duration> = self.epoch_durations.iter().filter(|d| !d.is_zero()).collect();
+        if run.is_empty() {
+            return None;
+        }
+        Some(run.iter().copied().sum::<Duration>() / run.len() as u32)
     }
 }
 
@@ -216,12 +245,16 @@ impl NegativeSampler {
     pub fn sample(&self, user: usize, rng: &mut impl Rng) -> usize {
         let pos = &self.positives[user];
         assert!(pos.len() < self.n_items, "user {user} has no negative items");
-        for _ in 0..MAX_REJECTIONS {
+        pup_obs::counter_add("sampler.draws", 1);
+        for attempt in 0..MAX_REJECTIONS {
             let cand = rng.gen_range(0..self.n_items) as u32;
             if pos.binary_search(&cand).is_err() {
+                pup_obs::counter_add("sampler.rejections", attempt as u64);
                 return cand as usize;
             }
         }
+        pup_obs::counter_add("sampler.rejections", MAX_REJECTIONS as u64);
+        pup_obs::counter_add("sampler.fallbacks", 1);
         // Near-saturated user: draw a rank among the non-positives and walk
         // the sorted positive list to translate rank -> item id.
         let k = rng.gen_range(0..self.n_items - pos.len());
@@ -256,6 +289,9 @@ pub struct BprTrainer {
     epoch: usize,
     /// Mean loss of every completed epoch (restored on resume).
     losses: Vec<f64>,
+    /// Wall-clock time of epochs run in this process; restored epochs are
+    /// padded with zero to stay index-aligned with `losses`.
+    durations: Vec<Duration>,
     /// Divergence-recovery learning-rate multiplier (1.0 = no backoff).
     lr_factor: f64,
     /// Divergence retries consumed so far (carried through checkpoints).
@@ -292,6 +328,7 @@ impl BprTrainer {
             cfg: cfg.clone(),
             epoch: 0,
             losses: Vec::new(),
+            durations: Vec::new(),
             lr_factor: 1.0,
             retries_used: 0,
             step: 0,
@@ -308,6 +345,13 @@ impl BprTrainer {
     /// checkpoint on resume).
     pub fn epoch_losses(&self) -> &[f64] {
         &self.losses
+    }
+
+    /// Wall-clock duration of every completed epoch, index-aligned with
+    /// [`BprTrainer::epoch_losses`]. Epochs restored from a checkpoint (not
+    /// re-run in this process) report [`Duration::ZERO`].
+    pub fn epoch_durations(&self) -> &[Duration] {
+        &self.durations
     }
 
     /// The learning-rate backoff multiplier currently in effect.
@@ -347,10 +391,13 @@ impl BprTrainer {
     /// applied, the epoch counter does not advance, and the caller decides
     /// whether to roll back (see `crate::resilient`).
     pub fn run_epoch<M: BprModel>(&mut self, model: &mut M) -> Result<f64, TrainError> {
+        let epoch_start = Instant::now();
+        let _span = pup_obs::span("epoch");
         self.opt.set_lr(self.schedule.lr_at(self.epoch) * self.lr_factor);
         shuffle(&mut self.order, &mut self.rng);
         let mut loss_sum = 0.0;
         let mut batches = 0usize;
+        let mut examples = 0usize;
         let npp = self.cfg.negatives_per_positive;
         for chunk in self.order.chunks(self.cfg.batch_size) {
             // Expand each positive into `negatives_per_positive` triples.
@@ -382,8 +429,18 @@ impl BprTrainer {
             }
             loss_sum += loss_value;
             batches += 1;
+            examples += users.len();
             self.step += 1;
+            if pup_obs::enabled() {
+                // Positive/negative score gap: how far apart the decoder
+                // pushes the sampled pairs this batch.
+                pup_obs::observe("train.score_gap", batch_score_gap(&s_pos, &s_neg));
+            }
             loss.backward();
+            if pup_obs::enabled() {
+                let sq_sum: f64 = self.opt.params().iter().filter_map(Var::grad_sq_norm).sum();
+                pup_obs::gauge_set("train.grad_norm", sq_sum.sqrt());
+            }
             self.opt.step();
         }
         self.epoch += 1;
@@ -391,6 +448,15 @@ impl BprTrainer {
         // anyway so a zero-batch epoch reads as zero loss, not NaN.
         let mean = if batches == 0 { 0.0 } else { loss_sum / batches as f64 };
         self.losses.push(mean);
+        let elapsed = epoch_start.elapsed();
+        self.durations.push(elapsed);
+        pup_obs::record("train.epoch_loss", mean);
+        pup_obs::record("train.epoch_duration_ms", elapsed.as_secs_f64() * 1e3);
+        if pup_obs::enabled() {
+            let secs = elapsed.as_secs_f64();
+            let rate = if secs > 0.0 { examples as f64 / secs } else { 0.0 };
+            pup_obs::gauge_set("train.examples_per_sec", rate);
+        }
         Ok(mean)
     }
 
@@ -425,6 +491,8 @@ impl BprTrainer {
         model: &M,
         path: &Path,
     ) -> Result<(), TrainError> {
+        let _span = pup_obs::span("checkpoint_save");
+        pup_obs::counter_add("ckpt.saves", 1);
         store::save_atomic(&self.checkpoint(model), path)?;
         Ok(())
     }
@@ -445,6 +513,8 @@ impl BprTrainer {
         cfg: &TrainConfig,
         ckpt: &Checkpoint,
     ) -> Result<Self, TrainError> {
+        let _span = pup_obs::span("checkpoint_restore");
+        pup_obs::counter_add("ckpt.restores", 1);
         let fp = cfg.fingerprint();
         if fp != ckpt.config {
             return Err(CkptError::StateMismatch {
@@ -521,6 +591,9 @@ impl BprTrainer {
         trainer.order = order;
         trainer.epoch = ckpt.epoch as usize;
         trainer.losses.clone_from(&ckpt.epoch_losses);
+        // Restored epochs were not run in this process; keep the duration
+        // vector index-aligned with the loss history.
+        trainer.durations = vec![Duration::ZERO; trainer.losses.len()];
         trainer.lr_factor = ckpt.lr_factor;
         trainer.retries_used = ckpt.retries_used;
         trainer.step = ckpt.epoch * batches_per_epoch(train.len(), cfg) as u64;
@@ -531,6 +604,15 @@ impl BprTrainer {
 /// Mini-batch steps one epoch performs (ceil of pairs / batch size).
 fn batches_per_epoch(n_pairs: usize, cfg: &TrainConfig) -> usize {
     n_pairs.div_ceil(cfg.batch_size)
+}
+
+/// Mean positive score minus mean negative score of one mini-batch
+/// (telemetry only; computed from the already-materialized forward values).
+fn batch_score_gap(s_pos: &Var, s_neg: &Var) -> f64 {
+    let pos_sum: f64 = s_pos.value().as_slice().iter().sum();
+    let neg_sum: f64 = s_neg.value().as_slice().iter().sum();
+    let count = s_pos.shape().0.max(1) as f64;
+    (pos_sum - neg_sum) / count
 }
 
 /// Checks that a checkpointed order is a permutation of `0..n` and converts
@@ -569,12 +651,18 @@ pub fn train_bpr<M: BprModel>(
     train: &[(usize, usize)],
     cfg: &TrainConfig,
 ) -> Result<TrainStats, TrainError> {
+    let start = Instant::now();
     let mut trainer = BprTrainer::new(model, n_users, n_items, train, cfg);
     for _ in 0..cfg.epochs {
         trainer.run_epoch(model)?;
     }
     model.finalize();
-    Ok(TrainStats { epoch_losses: trainer.losses, recoveries: Vec::new() })
+    Ok(TrainStats {
+        epoch_losses: trainer.losses,
+        epoch_durations: trainer.durations,
+        total_duration: start.elapsed(),
+        recoveries: Vec::new(),
+    })
 }
 
 /// Fisher–Yates shuffle (avoids depending on `rand`'s slice extension).
@@ -656,8 +744,9 @@ mod tests {
 
     #[test]
     fn final_loss_is_none_before_training() {
-        let stats = TrainStats { epoch_losses: Vec::new(), recoveries: Vec::new() };
+        let stats = TrainStats::empty();
         assert_eq!(stats.final_loss(), None);
+        assert_eq!(stats.mean_epoch_duration(), None);
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Human-readable report over a [`Telemetry`] snapshot: aggregated span
+//! tree, top-k ops by self-time with wall-clock coverage, and metric
+//! summaries. Returns a `String` (the `pup report-telemetry` binary does
+//! the printing — library code routes output through sinks, per the
+//! `raw-print-in-lib` lint).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::telemetry::{SpanRecord, Telemetry};
+
+/// Number of op rows shown by [`render`].
+pub const DEFAULT_TOP_K: usize = 10;
+
+/// Histogram kinds counted as "compute ops" for the coverage figure:
+/// forward ops, backward tape-walk per-op time, and the optimizer step.
+const OP_KINDS: [&str; 3] = ["fwd.", "bwd.", "opt."];
+
+/// Render the full report with the default top-k.
+pub fn render(t: &Telemetry) -> String {
+    render_with_top_k(t, DEFAULT_TOP_K)
+}
+
+/// Render the full report, showing the `k` most expensive ops.
+pub fn render_with_top_k(t: &Telemetry, k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "telemetry report (schema v{})", crate::SCHEMA_VERSION);
+    let _ = writeln!(
+        out,
+        "  {} spans · {} counters · {} gauges · {} histograms · {} series points",
+        t.spans.len(),
+        t.counters.len(),
+        t.gauges.len(),
+        t.hists.len(),
+        t.series.len()
+    );
+    render_span_tree(t, &mut out);
+    render_top_ops(t, k, &mut out);
+    render_metrics(t, &mut out);
+    render_series(t, &mut out);
+    out
+}
+
+/// One node of the aggregated span tree: spans sharing a name under the
+/// same aggregated parent are merged.
+struct AggNode {
+    name: String,
+    count: u64,
+    total_ns: u64,
+    children: Vec<AggNode>,
+}
+
+impl AggNode {
+    fn child_mut(&mut self, name: &str) -> &mut AggNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(AggNode {
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            children: Vec::new(),
+        });
+        let last = self.children.len() - 1;
+        &mut self.children[last]
+    }
+}
+
+fn build_tree(spans: &[SpanRecord]) -> AggNode {
+    let mut root = AggNode { name: String::new(), count: 0, total_ns: 0, children: Vec::new() };
+    // Path of ancestor names per span id, so each record lands on the
+    // aggregated node addressed by its name-path.
+    let mut paths: HashMap<u32, Vec<String>> = HashMap::new();
+    for s in spans {
+        let mut path = match s.parent.and_then(|p| paths.get(&p)) {
+            // pup-lint: allow(clone-in-loop) — each span owns its path; report-time only.
+            Some(parent_path) => parent_path.clone(),
+            None => Vec::new(),
+        };
+        // pup-lint: allow(clone-in-loop)
+        path.push(s.name.clone());
+        let mut node = &mut root;
+        for name in &path {
+            node = node.child_mut(name);
+        }
+        node.count += 1;
+        node.total_ns += s.dur_ns;
+        paths.insert(s.id, path);
+    }
+    root
+}
+
+fn render_span_tree(t: &Telemetry, out: &mut String) {
+    let _ = writeln!(out, "\nspan tree (aggregated by path):");
+    if t.spans.is_empty() {
+        let _ = writeln!(out, "  (no spans recorded)");
+        return;
+    }
+    let root = build_tree(&t.spans);
+    for child in &root.children {
+        render_node(child, 0, out);
+    }
+}
+
+fn render_node(node: &AggNode, depth: usize, out: &mut String) {
+    let child_ns: u64 = node.children.iter().map(|c| c.total_ns).sum();
+    let self_ns = node.total_ns.saturating_sub(child_ns);
+    let indent = "  ".repeat(depth + 1);
+    let _ = write!(
+        out,
+        "{indent}{:<24} {:>6}x  total {:>9}",
+        node.name,
+        node.count,
+        fmt_ns(node.total_ns)
+    );
+    if !node.children.is_empty() {
+        let _ = write!(out, "  self {:>9}", fmt_ns(self_ns));
+    }
+    let _ = writeln!(out);
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+/// Wall-clock denominator for op coverage: the total of `fit` spans when
+/// present, else the total of `epoch` spans.
+fn training_wall_clock_ns(t: &Telemetry) -> Option<(u64, &'static str)> {
+    let total_of =
+        |name: &str| -> u64 { t.spans.iter().filter(|s| s.name == name).map(|s| s.dur_ns).sum() };
+    let fit = total_of("fit");
+    if fit > 0 {
+        return Some((fit, "fit"));
+    }
+    let epoch = total_of("epoch");
+    if epoch > 0 {
+        return Some((epoch, "epoch"));
+    }
+    None
+}
+
+fn render_top_ops(t: &Telemetry, k: usize, out: &mut String) {
+    let mut ops: Vec<(&str, u64, f64)> = t
+        .hists
+        .iter()
+        .filter(|h| OP_KINDS.iter().any(|kind| h.name.starts_with(kind)))
+        .map(|h| (h.name.as_str(), h.summary.count, h.summary.sum))
+        .collect();
+    let _ = writeln!(out, "\ntop ops by self-time:");
+    if ops.is_empty() {
+        let _ = writeln!(out, "  (no op timings recorded)");
+        return;
+    }
+    ops.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let grand_total: f64 = ops.iter().map(|o| o.2).sum();
+    for (rank, (name, calls, sum_ns)) in ops.iter().take(k).enumerate() {
+        let share = if grand_total > 0.0 { 100.0 * sum_ns / grand_total } else { 0.0 };
+        let mean = if *calls > 0 { sum_ns / *calls as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {:>2}. {:<24} {:>8} calls  total {:>9}  mean {:>9}  {share:>5.1}%",
+            rank + 1,
+            name,
+            calls,
+            fmt_ns(*sum_ns as u64),
+            fmt_ns(mean as u64),
+        );
+    }
+    if ops.len() > k {
+        let rest: f64 = ops.iter().skip(k).map(|o| o.2).sum();
+        let _ = writeln!(out, "      … {} more ops, total {}", ops.len() - k, fmt_ns(rest as u64));
+    }
+    if let Some((wall_ns, basis)) = training_wall_clock_ns(t) {
+        let coverage = 100.0 * grand_total / wall_ns as f64;
+        let _ = writeln!(
+            out,
+            "  op self-time coverage: {coverage:.1}% of {} wall-clock ({})",
+            basis,
+            fmt_ns(wall_ns)
+        );
+    }
+}
+
+/// Fraction (0..) of training wall-clock accounted for by op-level
+/// self-times (forward + backward + optimizer histograms). `None` when no
+/// training spans were recorded. Exposed for tests and acceptance checks.
+pub fn op_coverage(t: &Telemetry) -> Option<f64> {
+    let (wall_ns, _) = training_wall_clock_ns(t)?;
+    let op_total: f64 = t
+        .hists
+        .iter()
+        .filter(|h| OP_KINDS.iter().any(|kind| h.name.starts_with(kind)))
+        .map(|h| h.summary.sum)
+        .sum();
+    Some(op_total / wall_ns as f64)
+}
+
+fn render_metrics(t: &Telemetry, out: &mut String) {
+    if !t.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for c in &t.counters {
+            let _ = writeln!(out, "  {:<32} {}", c.name, c.value);
+        }
+    }
+    if !t.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges (last / min / max / n):");
+        for g in &t.gauges {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:.6} / {:.6} / {:.6} / {}",
+                g.name, g.stat.last, g.stat.min, g.stat.max, g.stat.n
+            );
+        }
+    }
+    let non_op: Vec<_> =
+        t.hists.iter().filter(|h| !OP_KINDS.iter().any(|kind| h.name.starts_with(kind))).collect();
+    if !non_op.is_empty() {
+        let _ = writeln!(out, "\nhistograms (count / p50 / p95 / p99):");
+        for h in non_op {
+            let s = &h.summary;
+            let _ = writeln!(
+                out,
+                "  {:<32} {} / {:.6} / {:.6} / {:.6}",
+                h.name, s.count, s.p50, s.p95, s.p99
+            );
+        }
+    }
+}
+
+fn render_series(t: &Telemetry, out: &mut String) {
+    if t.series.is_empty() {
+        return;
+    }
+    let mut names: Vec<&str> = t.series.iter().map(|s| s.name.as_str()).collect();
+    names.dedup();
+    names.sort_unstable();
+    names.dedup();
+    let _ = writeln!(out, "\nseries:");
+    for name in names {
+        let values = t.series_values(name);
+        let rendered: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+        let _ = writeln!(out, "  {:<32} [{}]", name, rendered.join(", "));
+    }
+}
+
+/// Format nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}us", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistSummary;
+    use crate::telemetry::HistRecord;
+
+    fn span(id: u32, parent: Option<u32>, name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord { id, parent, name: name.to_string(), start_ns: start, dur_ns: dur }
+    }
+
+    fn hist(name: &str, count: u64, sum: f64) -> HistRecord {
+        HistRecord {
+            name: name.to_string(),
+            summary: HistSummary { count, sum, min: 1.0, max: sum, p50: sum, p95: sum, p99: sum },
+        }
+    }
+
+    #[test]
+    fn tree_aggregates_same_name_siblings() {
+        let t = Telemetry {
+            spans: vec![
+                span(0, None, "fit", 0, 100),
+                span(1, Some(0), "epoch", 0, 40),
+                span(2, Some(0), "epoch", 40, 50),
+            ],
+            ..Telemetry::default()
+        };
+        let text = render(&t);
+        assert!(text.contains("fit"), "{text}");
+        // Two epoch spans merged into one row with count 2 and 90ns total.
+        assert!(text.contains("epoch"), "{text}");
+        assert!(text.contains("2x"), "{text}");
+        assert!(text.contains("90ns"), "{text}");
+    }
+
+    #[test]
+    fn coverage_uses_fit_span_and_op_hists() {
+        let t = Telemetry {
+            spans: vec![span(0, None, "fit", 0, 1000)],
+            hists: vec![hist("fwd.spmm", 10, 600.0), hist("bwd.spmm", 10, 300.0)],
+            ..Telemetry::default()
+        };
+        let c = op_coverage(&t).unwrap();
+        assert!((c - 0.9).abs() < 1e-12, "coverage {c}");
+        assert!(render(&t).contains("coverage: 90.0%"));
+    }
+
+    #[test]
+    fn empty_telemetry_renders_without_panic() {
+        let text = render(&Telemetry::default());
+        assert!(text.contains("no spans recorded"));
+        assert!(text.contains("no op timings recorded"));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let hists = (0..15).map(|i| hist(&format!("fwd.op{i:02}"), 1, 100.0 + i as f64)).collect();
+        let t = Telemetry { hists, ..Telemetry::default() };
+        let text = render_with_top_k(&t, 5);
+        assert!(text.contains("… 10 more ops"), "{text}");
+    }
+}

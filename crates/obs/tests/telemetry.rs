@@ -1,0 +1,169 @@
+//! Integration tests for pup-obs: span nesting and unbalanced-guard
+//! behavior, JSONL round-trip through the report-telemetry parser, and
+//! determinism of event ordering across identical runs.
+
+use pup_obs::{report, Telemetry};
+
+/// A fixed synthetic workload; called twice by the determinism test.
+fn workload() -> Telemetry {
+    pup_obs::start();
+    {
+        let _fit = pup_obs::span("fit");
+        for epoch in 0..3u32 {
+            let _e = pup_obs::span("epoch");
+            for _ in 0..4 {
+                let _t = pup_obs::time("fwd", "spmm");
+                pup_obs::counter_add("sampler.draws", 8);
+            }
+            pup_obs::counter_add("sampler.rejections", 2);
+            pup_obs::record("train.epoch_loss", 0.7 - 0.1 * f64::from(epoch));
+            pup_obs::gauge_set("train.grad_norm", 0.5 + f64::from(epoch));
+        }
+    }
+    pup_obs::finish()
+}
+
+#[test]
+fn spans_nest_with_correct_parentage() {
+    pup_obs::start();
+    {
+        let _a = pup_obs::span("a");
+        {
+            let _b = pup_obs::span("b");
+            let _c = pup_obs::span("c");
+        }
+        let _d = pup_obs::span("d");
+    }
+    let t = pup_obs::finish();
+    let names: Vec<&str> = t.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["a", "b", "c", "d"]);
+    assert_eq!(t.spans[0].parent, None);
+    assert_eq!(t.spans[1].parent, Some(0));
+    assert_eq!(t.spans[2].parent, Some(1));
+    assert_eq!(t.spans[3].parent, Some(0));
+    // A child cannot outlast its parent's measured window.
+    for s in &t.spans[1..] {
+        let parent = &t.spans[s.parent.unwrap() as usize];
+        assert!(s.start_ns >= parent.start_ns);
+        assert!(s.start_ns + s.dur_ns <= parent.start_ns + parent.dur_ns);
+    }
+}
+
+#[test]
+fn unbalanced_guard_drop_closes_descendants() {
+    pup_obs::start();
+    let a = pup_obs::span("a");
+    let b = pup_obs::span("b");
+    let _c = pup_obs::span("c");
+    // Parent dropped first: b and c must be closed at the same instant,
+    // and c's later drop must be a harmless no-op.
+    drop(a);
+    drop(b);
+    let t = pup_obs::finish();
+    assert_eq!(t.spans.len(), 3);
+    let end = |i: usize| t.spans[i].start_ns + t.spans[i].dur_ns;
+    assert_eq!(end(1), end(0), "b closed when a closed");
+    assert_eq!(end(2), end(0), "c closed when a closed");
+}
+
+#[test]
+fn spans_still_open_at_finish_are_closed() {
+    pup_obs::start();
+    let guard = pup_obs::span("leaked");
+    let t = pup_obs::finish();
+    assert_eq!(t.spans.len(), 1);
+    // Dropping the guard after finish() must not panic or corrupt anything.
+    drop(guard);
+    assert!(!pup_obs::enabled());
+}
+
+#[test]
+fn guards_from_a_previous_collection_are_ignored() {
+    pup_obs::start();
+    let stale = pup_obs::span("old");
+    pup_obs::abort();
+    pup_obs::start();
+    let _fresh = pup_obs::span("new");
+    drop(stale); // generation mismatch: must not close "new"
+    let _inner = pup_obs::span("inner");
+    let t = pup_obs::finish();
+    let names: Vec<&str> = t.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["new", "inner"]);
+    assert_eq!(t.spans[1].parent, Some(0), "stale guard must not pop the live stack");
+}
+
+#[test]
+fn disabled_recording_is_inert() {
+    assert!(!pup_obs::enabled());
+    let _s = pup_obs::span("ignored");
+    let _t = pup_obs::time("fwd", "ignored");
+    pup_obs::counter_add("ignored", 1);
+    pup_obs::observe("ignored", 1.0);
+    pup_obs::record("ignored", 1.0);
+    pup_obs::start();
+    let t = pup_obs::finish();
+    assert_eq!(t.record_count(), 0);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_every_record() {
+    let t = workload();
+    let dir = std::env::temp_dir().join(format!("pup-obs-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    t.write_jsonl(&path).unwrap();
+    let back = Telemetry::read_jsonl(&path).unwrap();
+    assert_eq!(back, t, "write → parse must be lossless");
+    // The report renderer (what `pup report-telemetry` prints) accepts it.
+    let text = report::render(&back);
+    assert!(text.contains("train.epoch_loss"), "{text}");
+    assert!(text.contains("fwd.spmm"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parser_rejects_corrupt_input() {
+    assert!(Telemetry::from_jsonl_str("").is_err(), "empty file");
+    assert!(Telemetry::from_jsonl_str("{\"t\":\"span\"}").is_err(), "missing meta");
+    assert!(
+        Telemetry::from_jsonl_str("{\"t\":\"meta\",\"version\":99}").is_err(),
+        "future version"
+    );
+    let truncated = "{\"t\":\"meta\",\"version\":1}\n{\"t\":\"coun";
+    assert!(Telemetry::from_jsonl_str(truncated).is_err(), "torn line");
+}
+
+#[test]
+fn event_ordering_is_deterministic_across_identical_runs() {
+    let a = workload();
+    let b = workload();
+    // Timings differ between runs; everything else — span names/order/
+    // parentage, counter values, series, gauge values, histogram counts —
+    // must be identical.
+    let shape = |t: &Telemetry| {
+        let spans: Vec<(String, Option<u32>)> =
+            t.spans.iter().map(|s| (s.name.clone(), s.parent)).collect();
+        let counters: Vec<(String, u64)> =
+            t.counters.iter().map(|c| (c.name.clone(), c.value)).collect();
+        let hists: Vec<(String, u64)> =
+            t.hists.iter().map(|h| (h.name.clone(), h.summary.count)).collect();
+        let series: Vec<(String, u64, f64)> =
+            t.series.iter().map(|s| (s.name.clone(), s.idx, s.value)).collect();
+        (spans, counters, hists, series)
+    };
+    assert_eq!(shape(&a), shape(&b));
+    assert_eq!(a.counter("sampler.draws"), Some(96));
+    assert_eq!(a.counter("sampler.rejections"), Some(6));
+    assert_eq!(a.series_values("train.epoch_loss"), vec![0.7, 0.7 - 0.1, 0.7 - 0.2]);
+    let g = a.gauge("train.grad_norm").unwrap();
+    assert_eq!(g.n, 3);
+    assert_eq!(g.last, 2.5);
+}
+
+#[test]
+fn nested_start_panics_like_tape_recording() {
+    pup_obs::start();
+    let result = std::panic::catch_unwind(pup_obs::start);
+    pup_obs::abort();
+    assert!(result.is_err());
+}

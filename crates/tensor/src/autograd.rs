@@ -207,6 +207,12 @@ impl Var {
         self.inner.borrow().grad.clone()
     }
 
+    /// Squared L2 norm of the accumulated gradient, without cloning the
+    /// buffer (telemetry reads this per step to feed the grad-norm gauge).
+    pub fn grad_sq_norm(&self) -> Option<f64> {
+        self.inner.borrow().grad.as_ref().map(|g| g.as_slice().iter().map(|v| v * v).sum())
+    }
+
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
         self.inner.borrow_mut().grad = None;
@@ -298,6 +304,7 @@ impl Var {
             let Some(grad) = grad else { continue };
             let inner = node.inner.borrow();
             if let Some(backward) = &inner.backward {
+                let _t = crate::profile::bwd(inner.op);
                 backward(&grad, &inner.parents);
             }
         }

@@ -33,6 +33,7 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+mod profile;
 pub mod sparse;
 pub mod tape;
 

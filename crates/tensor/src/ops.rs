@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use crate::autograd::Var;
 use crate::matrix::Matrix;
+use crate::profile;
 use crate::sparse::CsrMatrix;
 
 /// Every op name this module records on the tape, in definition order.
@@ -46,6 +47,7 @@ pub const BUILTIN_OPS: &[&str] = &[
 
 /// Element-wise sum `a + b`.
 pub fn add(a: &Var, b: &Var) -> Var {
+    let _t = profile::fwd("add");
     let value = a.value().add(&b.value());
     Var::from_op(
         "add",
@@ -60,6 +62,7 @@ pub fn add(a: &Var, b: &Var) -> Var {
 
 /// Element-wise difference `a - b`.
 pub fn sub(a: &Var, b: &Var) -> Var {
+    let _t = profile::fwd("sub");
     let value = a.value().sub(&b.value());
     Var::from_op(
         "sub",
@@ -74,6 +77,7 @@ pub fn sub(a: &Var, b: &Var) -> Var {
 
 /// Element-wise (Hadamard) product `a ⊙ b`.
 pub fn mul(a: &Var, b: &Var) -> Var {
+    let _t = profile::fwd("mul");
     let value = a.value().hadamard(&b.value());
     Var::from_op(
         "mul",
@@ -93,6 +97,7 @@ pub fn mul(a: &Var, b: &Var) -> Var {
 
 /// Scalar multiple `alpha * a`.
 pub fn scale(a: &Var, alpha: f64) -> Var {
+    let _t = profile::fwd("scale");
     let value = a.value().scale(alpha);
     Var::from_op(
         "scale",
@@ -104,6 +109,7 @@ pub fn scale(a: &Var, alpha: f64) -> Var {
 
 /// Dense matrix product `a * b`.
 pub fn matmul(a: &Var, b: &Var) -> Var {
+    let _t = profile::fwd("matmul");
     let value = a.value().matmul(&b.value());
     Var::from_op(
         "matmul",
@@ -123,6 +129,7 @@ pub fn matmul(a: &Var, b: &Var) -> Var {
 /// Sparse-dense product `A * x` with a constant sparse `A` (graph
 /// propagation `Â · E`). The gradient flows only into `x`: `dx = A^T g`.
 pub fn spmm(a: &Rc<CsrMatrix>, x: &Var) -> Var {
+    let _t = profile::fwd("spmm");
     let value = a.spmm(&x.value());
     let a = Rc::clone(a);
     Var::from_op(
@@ -135,6 +142,7 @@ pub fn spmm(a: &Rc<CsrMatrix>, x: &Var) -> Var {
 
 /// Hyperbolic tangent activation.
 pub fn tanh(a: &Var) -> Var {
+    let _t = profile::fwd("tanh");
     let value = a.value().map(f64::tanh);
     let saved = value.clone();
     Var::from_op(
@@ -151,6 +159,7 @@ pub fn tanh(a: &Var) -> Var {
 
 /// Logistic sigmoid activation.
 pub fn sigmoid(a: &Var) -> Var {
+    let _t = profile::fwd("sigmoid");
     let value = a.value().map(stable_sigmoid);
     let saved = value.clone();
     Var::from_op(
@@ -171,6 +180,7 @@ pub fn relu(a: &Var) -> Var {
 
 /// Leaky ReLU with the given negative-side slope (NGCF uses 0.2).
 pub fn leaky_relu(a: &Var, slope: f64) -> Var {
+    let _t = profile::fwd("leaky_relu");
     let input = a.value_clone();
     let value = input.map(|v| if v > 0.0 { v } else { slope * v });
     Var::from_op(
@@ -186,6 +196,7 @@ pub fn leaky_relu(a: &Var, slope: f64) -> Var {
 
 /// Element-wise square `a ⊙ a` (cheaper than `mul(a, a)`).
 pub fn square(a: &Var) -> Var {
+    let _t = profile::fwd("square");
     let value = a.value().map(|v| v * v);
     Var::from_op(
         "square",
@@ -203,6 +214,7 @@ pub fn square(a: &Var) -> Var {
 /// `mean(softplus(-(s_pos - s_neg)))` is exactly the BPR objective of the
 /// paper's eq. (4) (with the σ-difference typo corrected; see DESIGN.md).
 pub fn softplus(a: &Var) -> Var {
+    let _t = profile::fwd("softplus");
     let input = a.value_clone();
     let value = input.map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
     Var::from_op(
@@ -218,6 +230,7 @@ pub fn softplus(a: &Var) -> Var {
 
 /// Gathers rows of an embedding table (lookup). Backward scatter-adds.
 pub fn gather_rows(a: &Var, indices: &[usize]) -> Var {
+    let _t = profile::fwd("gather_rows");
     let value = a.value().gather_rows(indices);
     let indices: Rc<[usize]> = indices.into();
     let (rows, cols) = a.shape();
@@ -236,6 +249,7 @@ pub fn gather_rows(a: &Var, indices: &[usize]) -> Var {
 /// Row-wise dot product of equally shaped matrices, producing `rows x 1`
 /// scores (the FM / dot-product decoder primitive).
 pub fn rowwise_dot(a: &Var, b: &Var) -> Var {
+    let _t = profile::fwd("rowwise_dot");
     let value = a.value().rowwise_dot(&b.value());
     Var::from_op(
         "rowwise_dot",
@@ -266,6 +280,7 @@ fn broadcast_col_scale(m: &Matrix, col: &Matrix) -> Matrix {
 
 /// Per-row sum, producing a `rows x 1` matrix.
 pub fn row_sums(a: &Var) -> Var {
+    let _t = profile::fwd("row_sums");
     let value = a.value().row_sums();
     let cols = a.shape().1;
     Var::from_op(
@@ -288,6 +303,7 @@ pub fn row_sums(a: &Var) -> Var {
 
 /// Sum over all entries, producing a scalar (1x1).
 pub fn sum(a: &Var) -> Var {
+    let _t = profile::fwd("sum");
     let value = Matrix::from_vec(1, 1, vec![a.value().sum()]);
     Var::from_op(
         "sum",
@@ -311,6 +327,7 @@ pub fn mean(a: &Var) -> Var {
 
 /// Horizontal concatenation `[a | b]`.
 pub fn concat_cols(a: &Var, b: &Var) -> Var {
+    let _t = profile::fwd("concat_cols");
     let value = a.value().concat_cols(&b.value());
     let a_cols = a.shape().1;
     let total = value.cols();
@@ -328,6 +345,7 @@ pub fn concat_cols(a: &Var, b: &Var) -> Var {
 /// Vertical concatenation `[a ; b]` (stacks rows). Used to assemble the
 /// full node-embedding matrix from per-family tables.
 pub fn concat_rows(a: &Var, b: &Var) -> Var {
+    let _t = profile::fwd("concat_rows");
     let value = {
         let av = a.value();
         let bv = b.value();
@@ -355,6 +373,7 @@ pub fn concat_rows(a: &Var, b: &Var) -> Var {
 
 /// Extracts rows `[start, end)`.
 pub fn slice_rows(a: &Var, start: usize, end: usize) -> Var {
+    let _t = profile::fwd("slice_rows");
     let (rows, cols) = a.shape();
     assert!(start <= end && end <= rows, "slice_rows: bad range {start}..{end}");
     let value = {
@@ -375,6 +394,7 @@ pub fn slice_rows(a: &Var, start: usize, end: usize) -> Var {
 
 /// Extracts columns `[start, end)`.
 pub fn slice_cols(a: &Var, start: usize, end: usize) -> Var {
+    let _t = profile::fwd("slice_cols");
     let value = a.value().slice_cols(start, end);
     let cols = a.shape().1;
     Var::from_op(
@@ -394,6 +414,7 @@ pub fn slice_cols(a: &Var, start: usize, end: usize) -> Var {
 
 /// Adds a row vector `bias` (1 x cols) to every row of `a`.
 pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
+    let _t = profile::fwd("add_row_broadcast");
     {
         let (_, ac) = a.shape();
         let (br, bc) = bias.shape();
@@ -438,6 +459,7 @@ pub fn dropout(a: &Var, p: f64, rng: &mut impl rand::Rng) -> Var {
     if p == 0.0 {
         return a.clone();
     }
+    let _t = profile::fwd("dropout");
     let keep = 1.0 - p;
     let (rows, cols) = a.shape();
     let mask =

@@ -44,6 +44,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let _t = pup_obs::time("opt", "sgd_step");
         for p in &self.params {
             let Some(g) = p.grad() else { continue };
             let lr = self.lr;
@@ -177,6 +178,12 @@ impl Adam {
         AdamState { t: self.t, moments: self.moments.clone() }
     }
 
+    /// The parameter list this optimizer updates (telemetry reads gradient
+    /// norms off these between `backward()` and [`Optimizer::step`]).
+    pub fn params(&self) -> &[Var] {
+        &self.params
+    }
+
     /// Replaces the optimizer's mutable state with a snapshot.
     ///
     /// The snapshot is validated against the live parameter list first:
@@ -205,6 +212,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self) {
+        let _t = pup_obs::time("opt", "adam_step");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -1,0 +1,21 @@
+//! Op-level profiling hooks backed by pup-obs.
+//!
+//! Every op in [`crate::ops`] opens a `fwd` timer at entry (covering the
+//! eager forward compute plus tape registration) and the backward walk in
+//! [`crate::autograd`] opens a `bwd` timer around each node's closure,
+//! keyed by the same tape op names the graph auditor checks. Timers are
+//! inert unless `pup_obs::start()` is active on the current thread — the
+//! off path is a single thread-local flag read, the same opt-in contract
+//! as tape recording.
+
+/// Time an op's forward pass into the `fwd.<op>` histogram.
+#[inline]
+pub(crate) fn fwd(op: &'static str) -> pup_obs::Timer {
+    pup_obs::time("fwd", op)
+}
+
+/// Time one backward closure into the `bwd.<op>` histogram.
+#[inline]
+pub(crate) fn bwd(op: &'static str) -> pup_obs::Timer {
+    pup_obs::time("bwd", op)
+}

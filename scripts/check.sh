@@ -28,6 +28,18 @@ if [[ $fast -eq 0 ]]; then
     # workspace run above.
     step cargo test -q -p pup-models --test chaos
     step cargo test -q -p pup-models --test checkpoint_resume
+    # Telemetry smoke: a tiny traced run must produce a JSONL file that
+    # report-telemetry parses and renders (exit 0 = schema intact end to end).
+    smoke=target/telemetry-smoke
+    rm -rf "$smoke" && mkdir -p "$smoke"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        generate --preset yelp --scale 0.01 --seed 7 --out "$smoke/data"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        evaluate --items "$smoke/data/items.csv" \
+        --interactions "$smoke/data/interactions.csv" \
+        --model bprmf --epochs 2 --k 10 --telemetry "$smoke/run.jsonl"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        report-telemetry "$smoke/run.jsonl"
 fi
 
 echo

@@ -11,10 +11,52 @@
 //! Measurement is intentionally simple — median of `sample_size` wall-clock
 //! samples after one warm-up — with results printed to stdout. There is no
 //! statistical analysis, HTML report, or baseline comparison.
+//!
+//! Beyond the criterion API, every finished benchmark is also recorded as a
+//! [`CaseResult`] in a process-wide buffer that a bench target's `main` can
+//! drain with [`take_results`] to emit machine-readable output (see
+//! `pup_bench::harness::write_bench_json`).
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Summary of one finished benchmark case, in nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseResult {
+    /// Group name passed to [`Criterion::benchmark_group`].
+    pub group: String,
+    /// Case label within the group (rendered [`BenchmarkId`]).
+    pub label: String,
+    /// Median of the timed samples.
+    pub median_ns: u128,
+    /// Fastest timed sample.
+    pub min_ns: u128,
+    /// Slowest timed sample.
+    pub max_ns: u128,
+    /// Number of timed samples (warm-up excluded).
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<CaseResult>> = Mutex::new(Vec::new());
+
+fn record(result: CaseResult) {
+    // A panic inside someone else's bench routine may have poisoned the
+    // lock; the buffer itself is still valid, so keep collecting.
+    let mut results = RESULTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    results.push(result);
+}
+
+/// Drains and returns every [`CaseResult`] recorded so far, in run order.
+///
+/// Bench targets with an explicit `main` call this after running their
+/// groups to serialize the results (the buffer is process-global, so call
+/// it once, after all groups have finished).
+pub fn take_results() -> Vec<CaseResult> {
+    let mut results = RESULTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::mem::take(&mut *results)
+}
 
 /// Re-export matching `criterion::black_box` (benches may import either
 /// this or `std::hint::black_box`).
@@ -153,6 +195,14 @@ impl Bencher {
             "{group}/{label}: median {median:?} (min {min:?}, max {max:?}, n={})",
             self.samples.len()
         );
+        record(CaseResult {
+            group: group.to_string(),
+            label: label.to_string(),
+            median_ns: median.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: self.samples.len(),
+        });
     }
 }
 
@@ -206,5 +256,28 @@ mod tests {
             b.iter(|| seen = x * 2);
         });
         assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        // The buffer is process-global; other tests in this binary may also
+        // record, so look for our uniquely named case rather than asserting
+        // on the full contents.
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("take_results_test");
+        group.sample_size(3);
+        group.bench_function("recorded_case", |b| b.iter(|| hint::black_box(1 + 1)));
+        group.finish();
+        let results = take_results();
+        let case = results
+            .iter()
+            .find(|r| r.group == "take_results_test" && r.label == "recorded_case")
+            .expect("bench case should have been recorded");
+        assert_eq!(case.samples, 3);
+        assert!(case.min_ns <= case.median_ns && case.median_ns <= case.max_ns);
+        // Drained: a second take must not see it again.
+        assert!(!take_results()
+            .iter()
+            .any(|r| r.group == "take_results_test" && r.label == "recorded_case"));
     }
 }
