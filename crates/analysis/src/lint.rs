@@ -7,6 +7,7 @@
 //! | rule | meaning |
 //! |------|---------|
 //! | `unwrap-in-lib` | no `.unwrap()` / `.expect(` in non-test library code |
+//! | `mutex-unwrap` | no `.lock().unwrap()`-style poisoned-lock panics; recover with `unwrap_or_else(PoisonError::into_inner)` |
 //! | `panic-in-backward` | no `panic!` inside backward closures of `ops.rs` / `autograd.rs` |
 //! | `undocumented-pub-op` | every `pub fn` in the tensor op module has a doc comment |
 //! | `clone-in-loop` | no `.clone()` / `.value_clone()` inside loop bodies (perf smell) |
@@ -38,6 +39,9 @@ use std::path::{Path, PathBuf};
 pub enum Rule {
     /// `.unwrap()` / `.expect(` in non-test library code.
     UnwrapInLib,
+    /// `.lock().unwrap()` / `.read().expect(`-style poisoned-lock panics
+    /// in non-test library code.
+    MutexUnwrap,
     /// `panic!` inside a backward closure in `ops.rs` / `autograd.rs`.
     PanicInBackward,
     /// `pub fn` in the tensor op module without a doc comment.
@@ -63,6 +67,7 @@ impl Rule {
     /// Every rule an allow escape may name.
     pub const ALLOWABLE: &'static [Rule] = &[
         Rule::UnwrapInLib,
+        Rule::MutexUnwrap,
         Rule::PanicInBackward,
         Rule::UndocumentedPubOp,
         Rule::CloneInLoop,
@@ -76,6 +81,7 @@ impl Rule {
     pub fn name(self) -> &'static str {
         match self {
             Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::MutexUnwrap => "mutex-unwrap",
             Rule::PanicInBackward => "panic-in-backward",
             Rule::UndocumentedPubOp => "undocumented-pub-op",
             Rule::CloneInLoop => "clone-in-loop",
@@ -188,9 +194,37 @@ pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnost
 
     let mut candidates = Vec::new();
 
+    // A poisoned-lock unwrap is a more specific defect than a generic
+    // unwrap: it turns one panicked thread into a cascading panic on every
+    // other thread touching the lock. Detect these first, and let each
+    // match subsume the overlapping `unwrap-in-lib` candidate so one site
+    // yields one diagnostic under the more precise rule.
+    let mut mutex_spans = Vec::new();
+    for guard in [".lock()", ".read()", ".write()"] {
+        for sink in [".unwrap()", ".expect("] {
+            let needle = format!("{guard}{sink}");
+            for at in find_all(m, needle.as_bytes()) {
+                if in_any_span(&all_test_spans, at) {
+                    continue;
+                }
+                mutex_spans.push((at, at + needle.len()));
+                candidates.push(Candidate {
+                    offset: at,
+                    rule: Rule::MutexUnwrap,
+                    message: format!(
+                        "`{needle}..` panics whenever another thread panicked while \
+                         holding the lock; recover with \
+                         `{guard}.unwrap_or_else(PoisonError::into_inner)` or annotate \
+                         with `// pup-lint: allow(mutex-unwrap)`"
+                    ),
+                });
+            }
+        }
+    }
+
     for needle in [".unwrap()", ".expect("] {
         for at in find_all(m, needle.as_bytes()) {
-            if !in_any_span(&all_test_spans, at) {
+            if !in_any_span(&all_test_spans, at) && !in_any_span(&mutex_spans, at) {
                 candidates.push(Candidate {
                     offset: at,
                     rule: Rule::UnwrapInLib,
@@ -846,6 +880,57 @@ mod tests {
 
         let test_src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n}\n";
         assert!(lint_str("lib.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn mutex_unwrap_flagged_once_and_subsumes_unwrap_in_lib() {
+        let src = "fn depth(&self) -> usize {\n    self.inner.lock().unwrap().len()\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1, "one site, one diagnostic: {d:?}");
+        assert_eq!(d[0].rule, Rule::MutexUnwrap);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("PoisonError::into_inner"));
+    }
+
+    #[test]
+    fn mutex_unwrap_covers_rwlock_and_expect() {
+        for guard in [".lock()", ".read()", ".write()"] {
+            let unwrap = format!("fn f(&self) {{\n    self.m{guard}.unwrap();\n}}\n");
+            let d = lint_str("lib.rs", &unwrap);
+            assert_eq!(d.len(), 1, "{guard}: {d:?}");
+            assert_eq!(d[0].rule, Rule::MutexUnwrap);
+            let expect = format!("fn f(&self) {{\n    self.m{guard}.expect(\"poisoned\");\n}}\n");
+            let d = lint_str("lib.rs", &expect);
+            assert_eq!(d.len(), 1, "{guard} expect: {d:?}");
+            assert_eq!(d[0].rule, Rule::MutexUnwrap);
+        }
+    }
+
+    #[test]
+    fn poison_safe_locking_is_clean() {
+        let src = "fn depth(&self) -> usize {\n    self.inner.lock().unwrap_or_else(PoisonError::into_inner).len()\n}\n";
+        assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mutex_unwrap_respects_tests_and_escapes() {
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f(m: &Mutex<u32>) -> u32 {\n        *m.lock().unwrap()\n    }\n}\n";
+        assert!(lint_str("lib.rs", test_src).is_empty());
+        let escaped = "fn f(m: &Mutex<u32>) -> u32 {\n    // pup-lint: allow(mutex-unwrap)\n    *m.lock().unwrap()\n}\n";
+        assert!(lint_str("lib.rs", escaped).is_empty());
+        // The escape must name the specific rule; unwrap-in-lib alone does
+        // not cover a poisoned-lock unwrap.
+        let wrong = "fn f(m: &Mutex<u32>) -> u32 {\n    // pup-lint: allow(unwrap-in-lib)\n    *m.lock().unwrap()\n}\n";
+        let d = lint_strict("lib.rs", wrong);
+        assert!(d.iter().any(|d| d.rule == Rule::MutexUnwrap), "{d:?}");
+    }
+
+    #[test]
+    fn plain_result_unwrap_is_still_unwrap_in_lib() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnwrapInLib);
     }
 
     #[test]

@@ -46,15 +46,7 @@ fn main() -> ExitCode {
             eprintln!("       pup-analysis audit-graph [ROOT]");
             eprintln!();
             eprintln!("lint walks ROOT/crates/*/src and enforces the workspace lint rules:");
-            for rule in [
-                lint::Rule::UnwrapInLib,
-                lint::Rule::PanicInBackward,
-                lint::Rule::UndocumentedPubOp,
-                lint::Rule::CloneInLoop,
-                lint::Rule::UnguardedLn,
-                lint::Rule::FloatEq,
-                lint::Rule::CrashUnsafeIo,
-            ] {
+            for rule in lint::Rule::ALLOWABLE {
                 eprintln!("  - {}", rule.name());
             }
             eprintln!();

@@ -1,0 +1,93 @@
+//! Benchmarks: single-request serving latency — the primary score-and-rank
+//! path through the resilience pipeline vs. the degraded popularity
+//! fallback it falls back to, plus the raw fallback answer. The gap between
+//! primary and degraded is the price of a breaker trip as seen by one user.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use pup_data::synthetic::{generate, GeneratorConfig};
+use pup_data::SplitRatios;
+use pup_models::{train_bpr, BprMf, TrainConfig, TrainData};
+use pup_serve::engine::handle_now;
+use pup_serve::{Fallback, RecommenderScorer, Request, Scorer, ServeConfig, ServiceShared, Source};
+
+struct Fixture {
+    shared: ServiceShared,
+    /// Same pipeline, but with a cost hint no deadline can fit, so every
+    /// request takes the degraded fallback branch.
+    degraded: ServiceShared,
+    scorer: RecommenderScorer,
+    n_users: usize,
+}
+
+fn fixture() -> Fixture {
+    let dataset = generate(&GeneratorConfig {
+        n_users: 300,
+        n_items: 250,
+        n_categories: 12,
+        n_price_levels: 8,
+        n_interactions: 8_000,
+        kcore: 0,
+        seed: 5,
+        ..Default::default()
+    })
+    .dataset;
+    let split = pup_data::split::temporal_split(&dataset, SplitRatios::PAPER);
+    let data = TrainData::new(&dataset, &split);
+    let cfg = TrainConfig { epochs: 2, batch_size: 1024, ..Default::default() };
+    let mut model = BprMf::new(&data, 64, 7);
+    train_bpr(&mut model, data.n_users, data.n_items, data.train, &cfg).expect("train");
+
+    let fallback =
+        Fallback::from_train(split.n_users, split.n_items, &split.train).expect("fallback");
+    let shared = ServiceShared::new(ServeConfig::default(), fallback.clone(), split.n_users);
+    let degraded_cfg = ServeConfig { primary_cost_hint_ns: u64::MAX, ..Default::default() };
+    let degraded = ServiceShared::new(degraded_cfg, fallback, split.n_users);
+    let scorer = RecommenderScorer::new(Box::new(model), split.n_items);
+    Fixture { shared, degraded, scorer, n_users: split.n_users }
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(30);
+
+    let mut user = 0usize;
+    group.bench_function("primary_request", |b| {
+        b.iter(|| {
+            user = (user + 1) % f.n_users;
+            let resp = handle_now(&f.shared, &f.scorer, Request { user, k: 10 })
+                .expect("primary request answered");
+            assert_eq!(resp.source, Source::Primary);
+            black_box(resp)
+        })
+    });
+
+    group.bench_function("degraded_fallback_request", |b| {
+        b.iter(|| {
+            user = (user + 1) % f.n_users;
+            let resp = handle_now(&f.degraded, &f.scorer, Request { user, k: 10 })
+                .expect("degraded request answered");
+            assert!(resp.source.is_degraded());
+            black_box(resp)
+        })
+    });
+
+    group.bench_function("raw_score_pass", |b| {
+        b.iter(|| {
+            user = (user + 1) % f.n_users;
+            black_box(f.scorer.score(black_box(user)).expect("score"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+
+fn main() {
+    benches();
+    let path = pup_bench::harness::write_bench_json("serving", &criterion::take_results())
+        .expect("write BENCH_serving.json");
+    println!("wrote {}", path.display());
+}

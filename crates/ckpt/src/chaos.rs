@@ -14,18 +14,37 @@ use std::path::Path;
 
 use crate::CkptError;
 
-/// A scripted set of faults to inject into a training run.
+/// A scripted set of faults to inject into a training run or a serving
+/// pipeline.
 ///
-/// Each fault fires **once**: when the trainer consults the plan at a step
-/// listed in `nan_at_steps`, the fault is consumed and the loss for that
-/// step reads as NaN. One-shot semantics matter — after the trainer rolls
-/// back and replays the same step, the fault must not re-fire, otherwise
-/// recovery could never make progress.
+/// Each fault fires **once**: when the consumer consults the plan at a step
+/// listed for a fault kind, the fault is consumed. One-shot semantics matter —
+/// after a trainer rolls back and replays the same step (or a server retries
+/// the same scoring attempt), the fault must not re-fire, otherwise recovery
+/// could never make progress.
+///
+/// Fault kinds:
+/// - **NaN loss** (`nan_at_steps` / [`fire_nan`](Self::fire_nan)) — the
+///   training loss at a global step reads as NaN, as if optimization
+///   diverged.
+/// - **Scorer error** (`scorer_errors_at` / [`fire_scorer_error`](Self::fire_scorer_error))
+///   — a scoring attempt fails transiently, as if a replica crashed or an
+///   RPC was dropped.
+/// - **Latency spike** (`latency_spikes_at` / [`fire_latency_spike`](Self::fire_latency_spike))
+///   — a scoring attempt is charged extra virtual nanoseconds against its
+///   deadline budget, as if a GC pause or page fault stalled the scorer. No
+///   real sleeping happens, so tests stay fast and deterministic.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     /// Global step indices (across the whole run, 0-based) still waiting to
     /// produce a NaN loss.
     nan_steps: Vec<u64>,
+    /// Scoring-attempt indices (0-based, across the run) still waiting to
+    /// fail with a transient scorer error.
+    scorer_error_steps: Vec<u64>,
+    /// `(attempt, extra_ns)` pairs, sorted by attempt: scoring attempts still
+    /// waiting to be charged `extra_ns` virtual nanoseconds of latency.
+    latency_spikes: Vec<(u64, u64)>,
 }
 
 impl FaultPlan {
@@ -36,10 +55,44 @@ impl FaultPlan {
 
     /// A plan that makes the loss read as NaN at each listed global step.
     pub fn nan_at_steps(steps: impl IntoIterator<Item = u64>) -> Self {
-        let mut nan_steps: Vec<u64> = steps.into_iter().collect();
-        nan_steps.sort_unstable();
-        nan_steps.dedup();
-        Self { nan_steps }
+        Self::default().with_nan_steps(steps)
+    }
+
+    /// A plan that fails the scoring attempt at each listed attempt index.
+    pub fn scorer_errors_at(steps: impl IntoIterator<Item = u64>) -> Self {
+        Self::default().with_scorer_errors(steps)
+    }
+
+    /// A plan that charges extra virtual latency at the listed
+    /// `(attempt, extra_ns)` pairs.
+    pub fn latency_spikes_at(spikes: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        Self::default().with_latency_spikes(spikes)
+    }
+
+    /// Adds NaN-loss faults at the listed global steps (builder style).
+    pub fn with_nan_steps(mut self, steps: impl IntoIterator<Item = u64>) -> Self {
+        self.nan_steps.extend(steps);
+        self.nan_steps.sort_unstable();
+        self.nan_steps.dedup();
+        self
+    }
+
+    /// Adds transient scorer-error faults at the listed attempt indices
+    /// (builder style).
+    pub fn with_scorer_errors(mut self, steps: impl IntoIterator<Item = u64>) -> Self {
+        self.scorer_error_steps.extend(steps);
+        self.scorer_error_steps.sort_unstable();
+        self.scorer_error_steps.dedup();
+        self
+    }
+
+    /// Adds latency-spike faults at the listed `(attempt, extra_ns)` pairs
+    /// (builder style). Duplicate attempt indices keep the first entry.
+    pub fn with_latency_spikes(mut self, spikes: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        self.latency_spikes.extend(spikes);
+        self.latency_spikes.sort_unstable_by_key(|&(step, _)| step);
+        self.latency_spikes.dedup_by_key(|&mut (step, _)| step);
+        self
     }
 
     /// Consults the plan at global `step`; returns `true` (and consumes the
@@ -52,9 +105,30 @@ impl FaultPlan {
         false
     }
 
-    /// Number of faults that have not fired yet.
+    /// Consults the plan at scoring `attempt`; returns `true` (and consumes
+    /// the fault) when that attempt should fail transiently.
+    pub fn fire_scorer_error(&mut self, attempt: u64) -> bool {
+        if let Ok(idx) = self.scorer_error_steps.binary_search(&attempt) {
+            self.scorer_error_steps.remove(idx);
+            return true;
+        }
+        false
+    }
+
+    /// Consults the plan at scoring `attempt`; returns the extra virtual
+    /// nanoseconds to charge (and consumes the fault) when a latency spike
+    /// is scheduled there.
+    pub fn fire_latency_spike(&mut self, attempt: u64) -> Option<u64> {
+        if let Ok(idx) = self.latency_spikes.binary_search_by_key(&attempt, |&(step, _)| step) {
+            let (_, extra_ns) = self.latency_spikes.remove(idx);
+            return Some(extra_ns);
+        }
+        None
+    }
+
+    /// Number of faults (of any kind) that have not fired yet.
     pub fn pending(&self) -> usize {
-        self.nan_steps.len()
+        self.nan_steps.len() + self.scorer_error_steps.len() + self.latency_spikes.len()
     }
 }
 
@@ -88,4 +162,43 @@ pub fn truncate_to(path: &Path, len: usize) -> Result<(), CkptError> {
     // pup-lint: allow(crash-unsafe-io)
     fs::write(path, &bytes[..len])?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FaultPlan;
+
+    #[test]
+    fn scorer_errors_fire_once() {
+        let mut plan = FaultPlan::scorer_errors_at([3, 5]);
+        assert_eq!(plan.pending(), 2);
+        assert!(!plan.fire_scorer_error(2));
+        assert!(plan.fire_scorer_error(3));
+        assert!(!plan.fire_scorer_error(3), "one-shot: must not re-fire");
+        assert!(plan.fire_scorer_error(5));
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn latency_spikes_fire_once_with_magnitude() {
+        let mut plan = FaultPlan::latency_spikes_at([(7, 1_000), (2, 500)]);
+        assert_eq!(plan.fire_latency_spike(2), Some(500));
+        assert_eq!(plan.fire_latency_spike(2), None, "one-shot: must not re-fire");
+        assert_eq!(plan.fire_latency_spike(7), Some(1_000));
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn builder_composes_all_fault_kinds() {
+        let mut plan = FaultPlan::none()
+            .with_nan_steps([1])
+            .with_scorer_errors([2, 2])
+            .with_latency_spikes([(3, 10), (3, 20)]);
+        // Duplicates collapse; first spike magnitude wins.
+        assert_eq!(plan.pending(), 3);
+        assert!(plan.fire_nan(1));
+        assert!(plan.fire_scorer_error(2));
+        assert_eq!(plan.fire_latency_spike(3), Some(10));
+        assert_eq!(plan.pending(), 0);
+    }
 }

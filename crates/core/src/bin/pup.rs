@@ -7,13 +7,22 @@
 //!               [--epochs 30] [--levels 10] [--rank-quantize] [--k 50,100]
 //!               [--checkpoint-dir DIR] [--resume]
 //! pup recommend --items items.csv --interactions interactions.csv
-//!               --user USER_ID [--top 10] [--epochs 30] [--levels 10]
+//!               --user USER_ID [-k 10] [--epochs 30] [--levels 10]
+//!               [--checkpoint-dir DIR] [--model NAME]
+//! pup serve-bench --items items.csv --interactions interactions.csv
+//!               --checkpoint-dir DIR [--model NAME] [--requests N]
+//!               [--clients N] [--workers N] [--fault-errors SPEC]
+//!               [--fault-spikes SPEC] [--min-availability F]
 //! pup report-telemetry run.jsonl [--top 10]
 //! ```
 //!
 //! `generate` writes a synthetic dataset as the two-CSV format of
 //! `pup_data::io`; `evaluate` trains a model on a temporal 60/20/20 split
-//! and prints Recall/NDCG; `recommend` prints top items with their prices.
+//! and prints Recall/NDCG; `recommend` prints top items with their prices,
+//! either training in-process or restoring a trained model instantly from a
+//! `--checkpoint-dir`; `serve-bench` drives the fault-tolerant scoring
+//! service (`pup-serve`) with closed-loop load and an optional injected
+//! fault schedule, then prints the availability/latency/breaker report.
 //! `evaluate --telemetry FILE` additionally records a structured telemetry
 //! trace (spans, per-op timings, training metrics) that `report-telemetry`
 //! renders as a human-readable report.
@@ -21,6 +30,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use pup_data::io::{load_dataset, save_dataset, IdMaps};
 use pup_data::synthetic::{amazon_like, beibei_like, yelp_like};
@@ -56,6 +66,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "recommend" => cmd_recommend(&flags),
+        "serve-bench" => cmd_serve_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -78,21 +89,43 @@ USAGE:
   pup evaluate  --items FILE --interactions FILE [--model NAME] [--epochs N]
                 [--levels N] [--rank-quantize] [--k LIST]
                 [--checkpoint-dir DIR] [--resume] [--telemetry FILE]
-  pup recommend --items FILE --interactions FILE --user ID [--top N]
-                [--epochs N] [--levels N]
+  pup recommend --items FILE --interactions FILE --user ID [-k N | --top N]
+                [--epochs N] [--levels N] [--checkpoint-dir DIR] [--model NAME]
+  pup serve-bench --items FILE --interactions FILE --checkpoint-dir DIR
+                [--model NAME] [--requests N] [--clients N] [--workers N]
+                [--queue N] [--deadline-ms F] [--retries N] [--seed N]
+                [-k N] [--fault-errors A,B,C-D] [--fault-spikes SEQ:MS,...]
+                [--min-availability F] [--telemetry FILE]
   pup report-telemetry FILE [--top N]
 
 MODELS: pup (default), itempop, bprmf, padq, fm, deepfm, gcmc, ngcf
 
 `evaluate --telemetry FILE` records spans, op timings and training metrics
 to FILE as JSON lines; `report-telemetry FILE` renders them as a span tree,
-top ops by self-time, and metric summaries.";
+top ops by self-time, and metric summaries.
+
+`recommend --checkpoint-dir DIR` restores the trained model from its newest
+valid checkpoint instead of re-training (write one with
+`evaluate --checkpoint-dir DIR`).
+
+`serve-bench` restores the model from DIR, starts the bounded-queue scoring
+service with a circuit breaker and popularity fallback, drives it with
+closed-loop clients, and prints a report (availability, shed/degraded
+counts, latency percentiles, breaker transitions). `--fault-errors 3,4,5`
+makes scoring attempts 3-5 fail; `--fault-spikes 8:40` charges attempt 8 a
+40ms latency spike. With `--min-availability 0.99` the exit code fails when
+availability over admitted requests drops below the floor.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let Some(key) = a.strip_prefix("--") else {
+        // `-k` is shorthand for `--top` (top-K size), as in `recommend -k 10`.
+        let key = if a == "-k" {
+            "top"
+        } else if let Some(key) = a.strip_prefix("--") {
+            key
+        } else {
             return Err(format!("expected --flag, got {a:?}"));
         };
         if key == "rank-quantize" || key == "resume" {
@@ -272,14 +305,26 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
         .ok_or_else(|| format!("user {user_name:?} not found"))?;
     let top: usize = get_parsed(flags, "top", 10)?;
     let cfg = fit_config(flags)?;
-    eprintln!("training PUP ({} epochs) ...", cfg.train.epochs);
-    let model = pipeline.fit(ModelKind::Pup(PupConfig::default()), &cfg);
+    let kind = model_kind(flags)?;
+    let model = match flags.get("checkpoint-dir") {
+        Some(dir) => {
+            eprintln!("restoring {} from checkpoints in {dir} ...", kind.name());
+            pipeline
+                .load_checkpointed(kind, &cfg, Path::new(dir))
+                .map_err(|e| format!("--checkpoint-dir {dir}: {e}"))?
+        }
+        None => {
+            eprintln!("training {} ({} epochs) ...", kind.name(), cfg.train.epochs);
+            pipeline.fit(kind, &cfg)
+        }
+    };
     let dataset = pipeline.dataset();
     let seen = &pipeline.split().train_items_by_user()[user];
-    let scores = model.score_items(user);
+    let scores = model.try_score_items(user).map_err(|e| e.to_string())?;
     let candidates: Vec<u32> =
         (0..dataset.n_items as u32).filter(|i| seen.binary_search(i).is_err()).collect();
-    let ranked = pup_eval::ranking::rank_candidates(&scores, &candidates, top);
+    let ranked =
+        pup_eval::try_rank_candidates(&scores, &candidates, top).map_err(|e| e.to_string())?;
     println!("top {top} items for user {user_name:?}:");
     for (rank, &i) in ranked.iter().enumerate() {
         let i = i as usize;
@@ -292,6 +337,123 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
             dataset.n_price_levels,
             maps.categories[dataset.item_category[i]],
         );
+    }
+    Ok(())
+}
+
+/// Parses a scorer-error schedule like `"3,4,10-12"` into attempt indices.
+fn parse_fault_errors(spec: &str) -> Result<Vec<u64>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: u64 = lo.trim().parse().map_err(|_| bad_fault(part))?;
+                let hi: u64 = hi.trim().parse().map_err(|_| bad_fault(part))?;
+                if lo > hi {
+                    return Err(bad_fault(part));
+                }
+                out.extend(lo..=hi);
+            }
+            None => out.push(part.parse().map_err(|_| bad_fault(part))?),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a latency-spike schedule like `"8:40,20:15"` (attempt:milliseconds).
+fn parse_fault_spikes(spec: &str) -> Result<Vec<(u64, u64)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (seq, ms) = part.split_once(':').ok_or_else(|| bad_fault(part))?;
+        let seq: u64 = seq.trim().parse().map_err(|_| bad_fault(part))?;
+        let ms: u64 = ms.trim().parse().map_err(|_| bad_fault(part))?;
+        out.push((seq, ms.saturating_mul(1_000_000)));
+    }
+    Ok(out)
+}
+
+fn bad_fault(part: &str) -> String {
+    format!("bad fault spec element {part:?} (use `A,B,C-D` or `SEQ:MS,...`)")
+}
+
+fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (pipeline, _maps) = load(flags)?;
+    let ckpt_dir =
+        PathBuf::from(flags.get("checkpoint-dir").ok_or("--checkpoint-dir is required")?);
+    let cfg = fit_config(flags)?;
+    let kind = model_kind(flags)?;
+
+    let mut serve_cfg = pup_serve::ServeConfig::default();
+    serve_cfg.queue_capacity = get_parsed(flags, "queue", serve_cfg.queue_capacity)?;
+    serve_cfg.workers = get_parsed(flags, "workers", serve_cfg.workers)?;
+    let deadline_ms: f64 = get_parsed(flags, "deadline-ms", 50.0)?;
+    serve_cfg.deadline_ns = (deadline_ms * 1e6) as u64;
+    serve_cfg.max_retries = get_parsed(flags, "retries", serve_cfg.max_retries)?;
+    let bench = pup_serve::BenchConfig {
+        requests: get_parsed(flags, "requests", 200)?,
+        clients: get_parsed(flags, "clients", 4)?,
+        k: get_parsed(flags, "top", 10)?,
+        seed: get_parsed(flags, "seed", 7)?,
+    };
+    let min_availability: f64 = get_parsed(flags, "min-availability", 0.0)?;
+
+    let mut plan = pup_ckpt::chaos::FaultPlan::none();
+    if let Some(spec) = flags.get("fault-errors") {
+        plan = plan.with_scorer_errors(parse_fault_errors(spec)?);
+    }
+    if let Some(spec) = flags.get("fault-spikes") {
+        plan = plan.with_latency_spikes(parse_fault_spikes(spec)?);
+    }
+
+    let telemetry_out = flags.get("telemetry").map(PathBuf::from);
+    if telemetry_out.is_some() {
+        pup_obs::start();
+    }
+
+    let split = pipeline.split();
+    let n_users = split.n_users;
+    let n_items = split.n_items;
+    let fallback = pup_serve::Fallback::from_train(n_users, n_items, &split.train)
+        .map_err(|e| e.to_string())?;
+    let shared =
+        Arc::new(pup_serve::ServiceShared::with_faults(serve_cfg, fallback, n_users, plan));
+
+    // Each worker restores its own replica from the checkpoint (models are
+    // not Send); validate the checkpoint once up front for a clear error.
+    eprintln!("restoring {} from checkpoints in {} ...", kind.name(), ckpt_dir.display());
+    pipeline
+        .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
+        .map_err(|e| format!("--checkpoint-dir {}: {e}", ckpt_dir.display()))?;
+    let pipeline = Arc::new(pipeline);
+    let factory: pup_serve::ScorerFactory = {
+        let pipeline = Arc::clone(&pipeline);
+        Arc::new(move || {
+            let model = pipeline
+                .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
+                .map_err(|e| e.to_string())?;
+            Ok(Box::new(pup_serve::RecommenderScorer::new(model, n_items)))
+        })
+    };
+
+    eprintln!(
+        "serving {} requests from {} closed-loop clients ({} workers, queue {}, deadline {deadline_ms}ms) ...",
+        bench.requests, bench.clients, shared.cfg.workers, shared.cfg.queue_capacity
+    );
+    let report = pup_serve::run_closed_loop(Arc::clone(&shared), factory, bench)
+        .map_err(|e| e.to_string())?;
+    println!("{}", report.render());
+
+    if let Some(path) = &telemetry_out {
+        shared.stats.publish_obs(&shared.breaker, &shared.faults);
+        let telemetry = pup_obs::finish();
+        telemetry.write_jsonl(path).map_err(|e| format!("--telemetry {}: {e}", path.display()))?;
+        eprintln!("telemetry written to {}", path.display());
+    }
+    if report.availability < min_availability {
+        return Err(format!(
+            "availability {:.4} fell below the required {min_availability:.4}",
+            report.availability
+        ));
     }
     Ok(())
 }
@@ -338,6 +500,31 @@ mod tests {
         assert_eq!(get_parsed(&f, "top", 10usize).unwrap(), 10);
         let bad = flags(&["--epochs", "many"]).unwrap();
         assert!(get_parsed(&bad, "epochs", 1usize).is_err());
+    }
+
+    #[test]
+    fn dash_k_is_an_alias_for_top() {
+        let f = flags(&["-k", "25", "--user", "u3"]).unwrap();
+        assert_eq!(f["top"], "25");
+        assert_eq!(f["user"], "u3");
+    }
+
+    #[test]
+    fn fault_error_spec_parses_singles_and_ranges() {
+        assert_eq!(parse_fault_errors("3, 5,8-10").unwrap(), vec![3, 5, 8, 9, 10]);
+        assert_eq!(parse_fault_errors("").unwrap(), Vec::<u64>::new());
+        assert!(parse_fault_errors("7-4").is_err());
+        assert!(parse_fault_errors("x").is_err());
+    }
+
+    #[test]
+    fn fault_spike_spec_parses_attempt_and_milliseconds() {
+        assert_eq!(
+            parse_fault_spikes("8:40, 20:15").unwrap(),
+            vec![(8, 40_000_000), (20, 15_000_000)]
+        );
+        assert!(parse_fault_spikes("8").is_err());
+        assert!(parse_fault_spikes("8:ms").is_err());
     }
 
     #[test]

@@ -353,6 +353,57 @@ impl Pipeline {
         }
     }
 
+    /// Rebuilds a trained model from the newest valid checkpoint in
+    /// `ckpt_dir` without re-training: the model skeleton is constructed
+    /// exactly as [`Pipeline::fit_checkpointed`] would build it, its
+    /// parameters are restored via [`pup_models::restore_params`], and the
+    /// model is finalized so cached propagation state matches the restored
+    /// weights. `cfg` must match the run that wrote the checkpoint; a
+    /// dimension disagreement surfaces as `CkptError::ShapeMismatch`.
+    ///
+    /// `ItemPop` has no learned parameters and is fitted directly from the
+    /// training split. `PaDQ`'s sampled state is not checkpointable and is
+    /// reported as `CkptError::StateMismatch`.
+    pub fn load_checkpointed(
+        &self,
+        kind: ModelKind,
+        cfg: &FitConfig,
+        ckpt_dir: &Path,
+    ) -> Result<Box<dyn Recommender>, pup_ckpt::CkptError> {
+        let _span = pup_obs::span("load_checkpointed");
+        let data = self.train_data();
+        fn restore<M>(mut m: M, dir: &Path) -> Result<Box<dyn Recommender>, pup_ckpt::CkptError>
+        where
+            M: ParamRegistry + BprModel + Recommender + 'static,
+        {
+            let latest = pup_ckpt::store::load_latest(dir)?;
+            pup_models::restore_params(&m, &latest.checkpoint)?;
+            m.finalize();
+            Ok(Box::new(m))
+        }
+        match kind {
+            ModelKind::ItemPop => Ok(Box::new(ItemPop::fit(&data))),
+            ModelKind::Padq => Err(pup_ckpt::CkptError::StateMismatch {
+                what: "PaDQ's sampled factorization state is not checkpointable; re-fit it"
+                    .to_string(),
+            }),
+            ModelKind::BprMf => restore(BprMf::new(&data, cfg.dim, cfg.seed), ckpt_dir),
+            ModelKind::Fm => restore(Fm::new(&data, cfg.dim, cfg.seed), ckpt_dir),
+            ModelKind::DeepFm => {
+                restore(DeepFm::new(&data, cfg.dim, cfg.deepfm_hidden, cfg.seed), ckpt_dir)
+            }
+            ModelKind::GcMc => restore(GcMc::new(&data, cfg.dim, cfg.dropout, cfg.seed), ckpt_dir),
+            ModelKind::Ngcf => {
+                restore(Ngcf::new(&data, cfg.dim, cfg.ngcf_layers, cfg.dropout, cfg.seed), ckpt_dir)
+            }
+            ModelKind::Pup(mut pup_cfg) => {
+                pup_cfg.dropout = cfg.dropout;
+                pup_cfg.seed = cfg.seed;
+                restore(Pup::new(&data, pup_cfg), ckpt_dir)
+            }
+        }
+    }
+
     /// Fits PUP and returns the concrete type (for price-affinity
     /// introspection in the examples).
     ///
@@ -574,6 +625,45 @@ mod tests {
             .fit_checkpointed(ModelKind::ItemPop, &cfg, &RecoveryPolicy::default(), &dir, false)
             .expect("itempop fit");
         assert!(pop_stats.epoch_losses.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_checkpointed_reproduces_trained_scores() {
+        let p = small_pipeline();
+        let cfg = quick_cfg();
+        let dir = std::env::temp_dir().join(format!("pup-core-load-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let (trained, _) = p
+            .fit_checkpointed(ModelKind::BprMf, &cfg, &RecoveryPolicy::default(), &dir, false)
+            .expect("checkpointed fit");
+        let loaded =
+            p.load_checkpointed(ModelKind::BprMf, &cfg, &dir).expect("load from checkpoint");
+        let a = trained.score_items(0);
+        let b = loaded.score_items(0);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "restored model must score identically");
+
+        // A dimension mismatch is a typed shape error, not a panic.
+        let wrong = FitConfig { dim: cfg.dim + 1, ..cfg.clone() };
+        match p.load_checkpointed(ModelKind::BprMf, &wrong, &dir) {
+            Err(pup_ckpt::CkptError::ShapeMismatch { .. }) => {}
+            Err(e) => panic!("expected ShapeMismatch, got {e}"),
+            Ok(_) => panic!("expected ShapeMismatch, got a model"),
+        }
+        // PaDQ is honestly non-checkpointable.
+        assert!(matches!(
+            p.load_checkpointed(ModelKind::Padq, &cfg, &dir),
+            Err(pup_ckpt::CkptError::StateMismatch { .. })
+        ));
+        // An empty directory reports NoCheckpoint.
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(matches!(
+            p.load_checkpointed(ModelKind::BprMf, &cfg, &dir),
+            Err(pup_ckpt::CkptError::NoCheckpoint)
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

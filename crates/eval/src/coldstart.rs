@@ -196,6 +196,9 @@ mod tests {
             fn score_items(&self, _u: usize) -> Vec<f64> {
                 vec![0.0; 6]
             }
+            fn n_users(&self) -> usize {
+                usize::MAX
+            }
         }
         let (d, s) = fixture();
         let task = build_cold_start_task(&d, &s, ColdStartProtocol::Cir);

@@ -5,7 +5,7 @@
 //! them and Recall@K / NDCG@K are averaged over users.
 
 use pup_data::Split;
-use pup_models::Recommender;
+use pup_models::{Recommender, ScoreError};
 
 use crate::metrics::{ndcg_at_k, recall_at_k};
 
@@ -45,12 +45,30 @@ impl MetricReport {
 
 /// Ranks the `candidates` by `scores` (descending), returning item ids.
 /// Ties break by item id for determinism.
+///
+/// # Panics
+/// Panics when a candidate id is not an index into `scores`; use
+/// [`try_rank_candidates`] for untrusted candidate lists.
 pub fn rank_candidates(scores: &[f64], candidates: &[u32], top: usize) -> Vec<u32> {
+    try_rank_candidates(scores, candidates, top).unwrap_or_else(|e| panic!("rank_candidates: {e}"))
+}
+
+/// Bounds-checked [`rank_candidates`]: a candidate id outside `scores`
+/// surfaces as a typed [`ScoreError`] instead of an indexing panic, so a
+/// serving path fed a malformed candidate pool can reject the request.
+pub fn try_rank_candidates(
+    scores: &[f64],
+    candidates: &[u32],
+    top: usize,
+) -> Result<Vec<u32>, ScoreError> {
+    if let Some(&bad) = candidates.iter().find(|&&c| (c as usize) >= scores.len()) {
+        return Err(ScoreError::ItemOutOfRange { item: bad as usize, n_items: scores.len() });
+    }
     let mut idx: Vec<u32> = candidates.to_vec();
     let top = top.min(idx.len());
     idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b)));
     idx.truncate(top);
-    idx
+    Ok(idx)
 }
 
 /// Standard evaluation: every user with test items, candidates are all items
@@ -229,6 +247,9 @@ mod tests {
         fn score_items(&self, _user: usize) -> Vec<f64> {
             self.prefs.clone()
         }
+        fn n_users(&self) -> usize {
+            usize::MAX
+        }
     }
 
     fn split(train: Vec<(usize, usize)>, test: Vec<(usize, usize)>, n_items: usize) -> Split {
@@ -270,6 +291,17 @@ mod tests {
     fn rank_candidates_breaks_ties_by_id() {
         let ranked = rank_candidates(&[1.0, 1.0, 2.0], &[0, 1, 2], 3);
         assert_eq!(ranked, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn try_rank_candidates_rejects_out_of_range_candidate() {
+        let err = try_rank_candidates(&[1.0, 2.0, 3.0], &[0, 7, 1], 2).unwrap_err();
+        assert_eq!(err, ScoreError::ItemOutOfRange { item: 7, n_items: 3 });
+        // The in-range call matches the panicking variant.
+        assert_eq!(
+            try_rank_candidates(&[1.0, 1.0, 2.0], &[0, 1, 2], 3).unwrap(),
+            rank_candidates(&[1.0, 1.0, 2.0], &[0, 1, 2], 3)
+        );
     }
 
     #[test]

@@ -108,6 +108,9 @@ mod tests {
         fn score_items(&self, _u: usize) -> Vec<f64> {
             self.0.clone()
         }
+        fn n_users(&self) -> usize {
+            usize::MAX
+        }
     }
 
     fn split(test: Vec<(usize, usize)>) -> Split {

@@ -69,6 +69,10 @@ impl Recommender for BprMf {
         let items = self.item_emb.value();
         u.matmul_t(&items).into_vec()
     }
+
+    fn n_users(&self) -> usize {
+        self.user_emb.shape().0
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +134,28 @@ mod tests {
         let in_block = scores[3]; // (0,3) untrained but in-block
         let best_out = scores[4..].iter().cloned().fold(f64::MIN, f64::max);
         assert!(in_block > best_out, "MF failed to learn CF blocks");
+    }
+
+    #[test]
+    fn try_score_items_rejects_malformed_user_id() {
+        use crate::common::ScoreError;
+        let price = vec![0usize; 5];
+        let cat = vec![0usize; 5];
+        let train = vec![(0, 0)];
+        let data = TrainData {
+            n_users: 3,
+            n_items: 5,
+            n_categories: 1,
+            n_price_levels: 1,
+            item_price_level: &price,
+            item_category: &cat,
+            train: &train,
+        };
+        let m = BprMf::new(&data, 4, 0);
+        assert_eq!(m.try_score_items(2).map(|s| s.len()), Ok(5));
+        assert_eq!(
+            m.try_score_items(3).unwrap_err(),
+            ScoreError::UserOutOfRange { user: 3, n_users: 3 }
+        );
     }
 }

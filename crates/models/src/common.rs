@@ -3,8 +3,49 @@
 //! registry ([`ParamRegistry`]) consumed by the graph auditor, and the
 //! linear-time FM decoder (paper eq. 7).
 
+use std::fmt;
+
 use pup_data::{Dataset, Split};
 use pup_tensor::{ops, Var};
+
+/// A malformed id reached the scoring path.
+///
+/// Online traffic carries ids the training set never saw — a user created
+/// after the last retrain, a typo'd item id in a replayed log. Indexing with
+/// them must surface as a typed, recoverable error at the request boundary,
+/// never as an indexing panic inside a scorer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScoreError {
+    /// The user id is not in `0..n_users`.
+    UserOutOfRange {
+        /// The offending user id.
+        user: usize,
+        /// Number of users the model was trained on.
+        n_users: usize,
+    },
+    /// An item id is not in `0..n_items`.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: usize,
+        /// Number of items the model was trained on.
+        n_items: usize,
+    },
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UserOutOfRange { user, n_users } => {
+                write!(f, "user id {user} out of range (model knows {n_users} users)")
+            }
+            Self::ItemOutOfRange { item, n_items } => {
+                write!(f, "item id {item} out of range (model knows {n_items} items)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
 
 /// A trained model that can rank all items for a user.
 ///
@@ -15,7 +56,26 @@ pub trait Recommender {
     fn name(&self) -> &str;
 
     /// Predicted preference scores for every item, higher = better.
+    ///
+    /// Offline evaluation iterates known users, so this path may assume
+    /// `user` is in range (and panics otherwise). Online callers must use
+    /// [`try_score_items`](Self::try_score_items) instead.
     fn score_items(&self, user: usize) -> Vec<f64>;
+
+    /// Number of users the model can score, i.e. valid ids are
+    /// `0..n_users()`. Models that genuinely score any user (e.g. a pure
+    /// popularity baseline) return `usize::MAX`.
+    fn n_users(&self) -> usize;
+
+    /// Bounds-checked scoring for untrusted ids: returns a typed
+    /// [`ScoreError`] instead of panicking on an out-of-range user.
+    fn try_score_items(&self, user: usize) -> Result<Vec<f64>, ScoreError> {
+        let n_users = self.n_users();
+        if user >= n_users {
+            return Err(ScoreError::UserOutOfRange { user, n_users });
+        }
+        Ok(self.score_items(user))
+    }
 }
 
 /// Everything a model needs to train: sizes, item attributes and the

@@ -115,6 +115,10 @@ impl Recommender for DeepFm {
         let deep_v = deep.value();
         (0..n_items).map(|k| fm_part[k] + deep_v.get(k, 0)).collect()
     }
+
+    fn n_users(&self) -> usize {
+        self.fm.n_users()
+    }
 }
 
 #[cfg(test)]

@@ -175,6 +175,10 @@ impl Recommender for Fm {
     fn score_items(&self, user: usize) -> Vec<f64> {
         self.dense_scores(user)
     }
+
+    fn n_users(&self) -> usize {
+        self.user_emb.shape().0
+    }
 }
 
 #[cfg(test)]

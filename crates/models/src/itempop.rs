@@ -1,6 +1,6 @@
 //! ItemPop baseline: non-personalized popularity ranking (paper §V-A2).
 
-use crate::common::{Recommender, TrainData};
+use crate::common::{Recommender, ScoreError, TrainData};
 
 /// Ranks every item by its training-set popularity, identically for all
 /// users.
@@ -11,12 +11,25 @@ pub struct ItemPop {
 
 impl ItemPop {
     /// Counts training interactions per item.
+    ///
+    /// Panics when a training pair references an item id outside
+    /// `0..n_items`; use [`try_fit`](Self::try_fit) for untrusted input.
     pub fn fit(data: &TrainData<'_>) -> Self {
+        Self::try_fit(data).unwrap_or_else(|e| panic!("ItemPop::fit: {e}"))
+    }
+
+    /// Counts training interactions per item, returning a typed error when
+    /// a pair references an out-of-range item id (malformed logs must not
+    /// panic the scoring path that builds a popularity fallback from them).
+    pub fn try_fit(data: &TrainData<'_>) -> Result<Self, ScoreError> {
         let mut scores = vec![0.0; data.n_items];
         for &(_, i) in data.train {
-            scores[i] += 1.0;
+            match scores.get_mut(i) {
+                Some(s) => *s += 1.0,
+                None => return Err(ScoreError::ItemOutOfRange { item: i, n_items: data.n_items }),
+            }
         }
-        Self { scores }
+        Ok(Self { scores })
     }
 
     /// The raw popularity counts.
@@ -32,6 +45,11 @@ impl Recommender for ItemPop {
 
     fn score_items(&self, _user: usize) -> Vec<f64> {
         self.scores.clone()
+    }
+
+    /// Popularity is user-independent: any user id scores identically.
+    fn n_users(&self) -> usize {
+        usize::MAX
     }
 }
 
@@ -63,5 +81,21 @@ mod tests {
         let train = vec![(0, 0), (1, 3)];
         let m = ItemPop::fit(&data(&train));
         assert_eq!(m.score_items(0), m.score_items(2));
+    }
+
+    #[test]
+    fn try_fit_rejects_out_of_range_item() {
+        use crate::common::ScoreError;
+        let train = vec![(0, 1), (1, 9)]; // item 9 with n_items = 4
+        let err = ItemPop::try_fit(&data(&train)).unwrap_err();
+        assert_eq!(err, ScoreError::ItemOutOfRange { item: 9, n_items: 4 });
+    }
+
+    #[test]
+    fn any_user_id_is_scoreable() {
+        let train = vec![(0, 0)];
+        let m = ItemPop::fit(&data(&train));
+        // Popularity is user-independent, so even unseen user ids score.
+        assert!(m.try_score_items(usize::MAX - 1).is_ok());
     }
 }

@@ -31,7 +31,7 @@ pub mod resilient;
 pub mod trainer;
 
 pub use bprmf::BprMf;
-pub use common::{NamedParam, ParamRegistry, Recommender, TrainData};
+pub use common::{NamedParam, ParamRegistry, Recommender, ScoreError, TrainData};
 pub use deepfm::DeepFm;
 pub use fm::Fm;
 pub use gcmc::GcMc;
@@ -41,5 +41,6 @@ pub use padq::{Padq, PadqConfig};
 pub use pup::{AttributeTarget, ExtraAttribute, Pup, PupConfig, PupVariant};
 pub use resilient::{train_bpr_resilient, train_bpr_resilient_with_faults, RecoveryPolicy};
 pub use trainer::{
-    train_bpr, BprModel, BprTrainer, RecoveryEvent, TrainConfig, TrainError, TrainStats,
+    restore_params, train_bpr, BprModel, BprTrainer, RecoveryEvent, TrainConfig, TrainError,
+    TrainStats,
 };

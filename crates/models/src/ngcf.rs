@@ -163,6 +163,10 @@ impl Recommender for Ngcf {
         let items = repr.gather_rows(&items_idx);
         u.matmul_t(&items).into_vec()
     }
+
+    fn n_users(&self) -> usize {
+        self.n_users
+    }
 }
 
 #[cfg(test)]

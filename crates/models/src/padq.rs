@@ -202,6 +202,10 @@ impl Recommender for Padq {
         let u = self.user_emb.value().gather_rows(&[user]);
         u.matmul_t(&self.item_emb.value()).into_vec()
     }
+
+    fn n_users(&self) -> usize {
+        self.user_emb.shape().0
+    }
 }
 
 #[cfg(test)]

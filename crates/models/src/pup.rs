@@ -523,6 +523,10 @@ impl Recommender for Pup {
     fn score_items(&self, user: usize) -> Vec<f64> {
         self.dense_scores(user)
     }
+
+    fn n_users(&self) -> usize {
+        self.global.layout.n_users()
+    }
 }
 
 #[cfg(test)]

@@ -551,36 +551,7 @@ impl BprTrainer {
             );
         }
 
-        // Validate every parameter before mutating any of them, so a bad
-        // checkpoint cannot leave the model half-restored.
-        let named = model.named_params();
-        for np in &named {
-            let blob = ckpt
-                .param(&np.name)
-                // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
-                .ok_or_else(|| CkptError::MissingParam { name: np.name.clone() })?;
-            let expected = np.var.shape();
-            let found = blob.value.shape();
-            if found != expected {
-                return Err(
-                    // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
-                    CkptError::ShapeMismatch { name: np.name.clone(), expected, found }.into(),
-                );
-            }
-        }
-        for blob in &ckpt.params {
-            if !named.iter().any(|np| np.name == blob.name) {
-                // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
-                return Err(CkptError::UnknownParam { name: blob.name.clone() }.into());
-            }
-        }
-        for np in &named {
-            // `param` was checked above; a vanished name here is impossible.
-            if let Some(blob) = ckpt.param(&np.name) {
-                // pup-lint: allow(clone-in-loop) — one copy per restored parameter is the operation itself.
-                np.var.set_value(blob.value.clone());
-            }
-        }
+        restore_params(model, ckpt)?;
 
         let mut trainer = Self::new(model, n_users, n_items, train, cfg);
         trainer
@@ -599,6 +570,48 @@ impl BprTrainer {
         trainer.step = ckpt.epoch * batches_per_epoch(train.len(), cfg) as u64;
         Ok(trainer)
     }
+}
+
+/// Restores every parameter of `model` from `ckpt`, validating first so a
+/// bad checkpoint cannot leave the model half-restored.
+///
+/// All parameter names and shapes are checked against the live registry
+/// (missing, unknown, and shape-mismatched parameters each surface as their
+/// own typed [`CkptError`]) before any value is written. Shared between
+/// [`BprTrainer::resume`] (training continuation) and the serving path,
+/// which loads inference replicas from the same checkpoints without
+/// constructing a trainer.
+pub fn restore_params<M: ParamRegistry + ?Sized>(
+    model: &M,
+    ckpt: &Checkpoint,
+) -> Result<(), CkptError> {
+    let named = model.named_params();
+    for np in &named {
+        let blob = ckpt
+            .param(&np.name)
+            // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
+            .ok_or_else(|| CkptError::MissingParam { name: np.name.clone() })?;
+        let expected = np.var.shape();
+        let found = blob.value.shape();
+        if found != expected {
+            // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
+            return Err(CkptError::ShapeMismatch { name: np.name.clone(), expected, found });
+        }
+    }
+    for blob in &ckpt.params {
+        if !named.iter().any(|np| np.name == blob.name) {
+            // pup-lint: allow(clone-in-loop) — cold error path, owning the name for the error.
+            return Err(CkptError::UnknownParam { name: blob.name.clone() });
+        }
+    }
+    for np in &named {
+        // `param` was checked above; a vanished name here is impossible.
+        if let Some(blob) = ckpt.param(&np.name) {
+            // pup-lint: allow(clone-in-loop) — one copy per restored parameter is the operation itself.
+            np.var.set_value(blob.value.clone());
+        }
+    }
+    Ok(())
 }
 
 /// Mini-batch steps one epoch performs (ceil of pairs / batch size).

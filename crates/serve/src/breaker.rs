@@ -1,0 +1,266 @@
+//! Deterministic circuit breaker around the primary scorer.
+//!
+//! Classic three-state breaker (closed → open → half-open → closed), with
+//! one deliberate twist: the open-state cooldown is measured in **logical
+//! requests routed past the breaker**, not wall-clock time. A time-based
+//! cooldown makes state transitions a function of scheduler jitter; a
+//! request-counted cooldown makes the whole transition trace a pure
+//! function of the request/fault sequence, which is what lets the chaos
+//! tests assert bit-identical traces across same-seed runs.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Breaker thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive primary failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Requests that are routed to the fallback while open; the
+    /// `cooldown_requests`-th request after the trip becomes the
+    /// half-open probe.
+    pub cooldown_requests: u32,
+    /// Consecutive half-open probe successes that close the breaker.
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 5, cooldown_requests: 10, close_after: 2 }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows to the primary scorer.
+    Closed,
+    /// Primary is bypassed; requests degrade to the fallback.
+    Open,
+    /// Probing: requests reach the primary again, but failures re-trip.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for reports and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// One recorded state transition, tagged with the decision sequence number
+/// (the count of [`CircuitBreaker::allow`] calls made so far) at which it
+/// happened. Two same-seed chaos runs must produce equal traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Decision count at the moment of the transition.
+    pub seq: u64,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    probe_successes: u32,
+    decisions: u64,
+    trace: Vec<Transition>,
+}
+
+impl Inner {
+    fn transition(&mut self, to: BreakerState) {
+        let from = self.state;
+        self.state = to;
+        self.trace.push(Transition { seq: self.decisions, from, to });
+    }
+}
+
+/// Deterministic circuit breaker; all methods are cheap and lock-protected,
+/// safe to call from any worker thread.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+/// Poisoned-lock recovery: breaker state is a few integers with no
+/// invariants spanning the lock, so the state is still coherent even if a
+/// panicking thread died mid-update; propagating the poison would turn one
+/// failed request into a dead service.
+fn locked(inner: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.failure_threshold > 0, "failure_threshold must be positive");
+        assert!(cfg.cooldown_requests > 0, "cooldown_requests must be positive");
+        assert!(cfg.close_after > 0, "close_after must be positive");
+        Self {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                cooldown_left: 0,
+                probe_successes: 0,
+                decisions: 0,
+                trace: Vec::new(),
+            }),
+        }
+    }
+
+    /// Routes one request: `true` = try the primary scorer (closed, or a
+    /// half-open probe), `false` = degrade to the fallback. While open,
+    /// each call counts down the cooldown; the call that exhausts it flips
+    /// the breaker half-open and becomes the probe.
+    pub fn allow(&self) -> bool {
+        let mut inner = locked(&self.inner);
+        inner.decisions += 1;
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                inner.cooldown_left = inner.cooldown_left.saturating_sub(1);
+                if inner.cooldown_left == 0 {
+                    inner.probe_successes = 0;
+                    inner.transition(BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful primary outcome for a request that was allowed.
+    pub fn record_success(&self) {
+        let mut inner = locked(&self.inner);
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.probe_successes += 1;
+                if inner.probe_successes >= self.cfg.close_after {
+                    inner.consecutive_failures = 0;
+                    inner.transition(BreakerState::Closed);
+                }
+            }
+            // A success can land after a concurrent failure re-opened the
+            // breaker; the open state owns the decision, ignore it.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports a failed primary attempt. Enough consecutive failures trip
+    /// the breaker; any half-open failure re-trips it immediately.
+    pub fn record_failure(&self) {
+        let mut inner = locked(&self.inner);
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.cfg.failure_threshold {
+                    inner.cooldown_left = self.cfg.cooldown_requests;
+                    inner.transition(BreakerState::Open);
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.consecutive_failures = 0;
+                inner.cooldown_left = self.cfg.cooldown_requests;
+                inner.transition(BreakerState::Open);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        locked(&self.inner).state
+    }
+
+    /// The full transition trace so far.
+    pub fn trace(&self) -> Vec<Transition> {
+        locked(&self.inner).trace.clone()
+    }
+
+    /// Number of times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        locked(&self.inner).trace.iter().filter(|t| t.to == BreakerState::Open).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(failure_threshold: u32, cooldown_requests: u32, close_after: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig { failure_threshold, cooldown_requests, close_after })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = breaker(3, 5, 1);
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // resets the streak
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_is_counted_in_requests_and_probe_closes() {
+        let b = breaker(1, 3, 2);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Two requests shed during cooldown, the third probes.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow(), "cooldown exhausted: this request is the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs close_after successes");
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_retrips() {
+        let b = breaker(1, 2, 1);
+        assert!(b.allow());
+        b.record_failure();
+        assert!(!b.allow());
+        assert!(b.allow()); // probe
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn trace_records_seq_from_and_to() {
+        let b = breaker(1, 1, 1);
+        assert!(b.allow()); // decision 1
+        b.record_failure(); // -> Open at seq 1
+        assert!(b.allow()); // decision 2: cooldown 1 -> probe, -> HalfOpen at seq 2
+        b.record_success(); // -> Closed at seq 2
+        let trace = b.trace();
+        assert_eq!(
+            trace,
+            vec![
+                Transition { seq: 1, from: BreakerState::Closed, to: BreakerState::Open },
+                Transition { seq: 2, from: BreakerState::Open, to: BreakerState::HalfOpen },
+                Transition { seq: 2, from: BreakerState::HalfOpen, to: BreakerState::Closed },
+            ]
+        );
+    }
+}

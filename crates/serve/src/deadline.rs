@@ -1,0 +1,84 @@
+//! Per-request deadline budgets, checked at every pipeline stage.
+//!
+//! A deadline mixes two clocks: real elapsed time (a monotonic
+//! [`Instant`]) and *virtual* nanoseconds charged explicitly for injected
+//! latency spikes and retry backoff. Charging instead of sleeping keeps
+//! chaos tests instantaneous and bit-deterministic while still exercising
+//! every budget-exhaustion branch the real clock would.
+
+use std::time::Instant;
+
+/// A per-request time budget.
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    start: Instant,
+    budget_ns: u64,
+    virtual_ns: u64,
+}
+
+impl Deadline {
+    /// Starts a budget of `budget_ns` nanoseconds now.
+    pub fn new(budget_ns: u64) -> Self {
+        Self { start: Instant::now(), budget_ns, virtual_ns: 0 }
+    }
+
+    /// The total budget this deadline started with.
+    pub fn budget_ns(&self) -> u64 {
+        self.budget_ns
+    }
+
+    /// Charges `ns` virtual nanoseconds (injected spike, retry backoff)
+    /// against the budget without sleeping.
+    pub fn charge_virtual(&mut self, ns: u64) {
+        self.virtual_ns = self.virtual_ns.saturating_add(ns);
+    }
+
+    /// Total time charged so far: real elapsed plus virtual.
+    pub fn elapsed_ns(&self) -> u64 {
+        let real = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        real.saturating_add(self.virtual_ns)
+    }
+
+    /// Budget still available, saturating at zero.
+    pub fn remaining_ns(&self) -> u64 {
+        self.budget_ns.saturating_sub(self.elapsed_ns())
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exceeded(&self) -> bool {
+        self.elapsed_ns() >= self.budget_ns
+    }
+
+    /// Whether at least `cost_ns` of budget remains — the gate that decides
+    /// between starting a primary score pass and degrading early.
+    pub fn fits(&self, cost_ns: u64) -> bool {
+        self.remaining_ns() >= cost_ns && !self.exceeded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_charges_consume_the_budget() {
+        let mut d = Deadline::new(1_000_000_000); // 1s: real time won't matter
+        assert!(!d.exceeded());
+        assert!(d.fits(500_000_000));
+        d.charge_virtual(600_000_000);
+        assert!(!d.exceeded());
+        assert!(!d.fits(500_000_000), "only ~400ms left");
+        d.charge_virtual(500_000_000);
+        assert!(d.exceeded());
+        assert_eq!(d.remaining_ns(), 0);
+    }
+
+    #[test]
+    fn charges_saturate_instead_of_overflowing() {
+        let mut d = Deadline::new(10);
+        d.charge_virtual(u64::MAX);
+        d.charge_virtual(u64::MAX);
+        assert!(d.exceeded());
+        assert_eq!(d.remaining_ns(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Graceful-degradation fallback: cached popularity top-K.
+//!
+//! When the breaker is open or the deadline cannot fit a full primary
+//! score pass, requests are answered from a precomputed popularity
+//! ranking (the ItemPop baseline of the paper's §V-A2) filtered by the
+//! user's already-seen items. Answering is O(k + |seen|) over a cached
+//! order — no model, no allocation proportional to the catalog.
+
+use pup_models::ScoreError;
+
+/// Precomputed popularity ranking plus per-user seen sets.
+#[derive(Clone, Debug)]
+pub struct Fallback {
+    /// All item ids, most popular first (ties by id ascending).
+    order: Vec<u32>,
+    /// Items each user interacted with in training, sorted ascending.
+    seen: Vec<Vec<u32>>,
+    n_items: usize,
+}
+
+impl Fallback {
+    /// Builds the fallback from training pairs. Malformed pairs surface as
+    /// typed errors — a popularity cache built from corrupt logs must not
+    /// panic the serving path.
+    pub fn from_train(
+        n_users: usize,
+        n_items: usize,
+        train: &[(usize, usize)],
+    ) -> Result<Self, ScoreError> {
+        let mut counts = vec![0u64; n_items];
+        let mut seen = vec![Vec::new(); n_users];
+        for &(u, i) in train {
+            match counts.get_mut(i) {
+                Some(c) => *c += 1,
+                None => return Err(ScoreError::ItemOutOfRange { item: i, n_items }),
+            }
+            match seen.get_mut(u) {
+                Some(s) => s.push(i as u32),
+                None => return Err(ScoreError::UserOutOfRange { user: u, n_users }),
+            }
+        }
+        for s in &mut seen {
+            s.sort_unstable();
+            s.dedup();
+        }
+        let mut order: Vec<u32> = (0..n_items as u32).collect();
+        order.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
+        Ok(Self { order, seen, n_items })
+    }
+
+    /// Number of items in the catalog.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The user's sorted seen-item list (empty for users outside the
+    /// training range — the fallback serves anyone).
+    pub fn seen_items(&self, user: usize) -> &[u32] {
+        self.seen.get(user).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Top-`k` most popular items the user has not already seen. Infallible
+    /// by construction for any user id; `k` is clamped to the catalog.
+    pub fn answer(&self, user: usize, k: usize) -> Vec<u32> {
+        let seen = self.seen_items(user);
+        let mut out = Vec::with_capacity(k.min(self.n_items));
+        for &item in &self.order {
+            if out.len() >= k {
+                break;
+            }
+            if seen.binary_search(&item).is_err() {
+                out.push(item);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_popularity_excluding_seen() {
+        // Item 2 most popular, then 0, then 1/3 tie (by id).
+        let train = vec![(0, 2), (1, 2), (2, 2), (0, 0), (1, 0), (0, 1), (1, 3)];
+        let fb = Fallback::from_train(3, 4, &train).unwrap();
+        // User 2 has only seen item 2.
+        assert_eq!(fb.answer(2, 3), vec![0, 1, 3]);
+        // User 0 saw 2, 0, 1 — only 3 remains.
+        assert_eq!(fb.answer(0, 3), vec![3]);
+    }
+
+    #[test]
+    fn unknown_users_get_the_global_ranking() {
+        let train = vec![(0, 1), (1, 1), (0, 0)];
+        let fb = Fallback::from_train(2, 3, &train).unwrap();
+        assert_eq!(fb.answer(999, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn malformed_train_pairs_are_typed_errors() {
+        assert_eq!(
+            Fallback::from_train(2, 3, &[(0, 9)]).unwrap_err(),
+            ScoreError::ItemOutOfRange { item: 9, n_items: 3 }
+        );
+        assert_eq!(
+            Fallback::from_train(2, 3, &[(7, 1)]).unwrap_err(),
+            ScoreError::UserOutOfRange { user: 7, n_users: 2 }
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Thread-safe fault injection for the serving pipeline.
+//!
+//! Wraps a `pup_ckpt::chaos::FaultPlan` (extended with scorer-error and
+//! latency-spike kinds) behind a mutex plus a global attempt counter, so
+//! every primary scoring attempt across all workers draws the next attempt
+//! index exactly once. Faults stay one-shot and the schedule stays a pure
+//! function of attempt order — in single-threaded harnesses that order is
+//! deterministic, which is what the chaos tests rely on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use pup_ckpt::chaos::FaultPlan;
+
+/// The faults drawn for one primary scoring attempt.
+#[derive(Clone, Copy, Debug)]
+pub struct AttemptFaults {
+    /// Global attempt index this draw consumed.
+    pub seq: u64,
+    /// Whether the attempt must fail with a transient scorer error.
+    pub scorer_error: bool,
+    /// Extra virtual nanoseconds to charge against the deadline, if a
+    /// latency spike is scheduled here.
+    pub spike_ns: Option<u64>,
+}
+
+/// Shared fault source for all workers of one service.
+pub struct FaultInjector {
+    plan: Mutex<FaultPlan>,
+    attempts: AtomicU64,
+}
+
+/// Poisoned-lock recovery: the plan is a plain list of pending faults;
+/// injecting none beats wedging the scorer path.
+fn locked(m: &Mutex<FaultPlan>) -> MutexGuard<'_, FaultPlan> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl FaultInjector {
+    /// Wraps a scripted plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan: Mutex::new(plan), attempts: AtomicU64::new(0) }
+    }
+
+    /// An injector that never fires.
+    pub fn none() -> Self {
+        Self::new(FaultPlan::none())
+    }
+
+    /// Draws the faults for the next scoring attempt, consuming them.
+    pub fn next_attempt(&self) -> AttemptFaults {
+        let seq = self.attempts.fetch_add(1, Ordering::Relaxed);
+        let mut plan = locked(&self.plan);
+        AttemptFaults {
+            seq,
+            scorer_error: plan.fire_scorer_error(seq),
+            spike_ns: plan.fire_latency_spike(seq),
+        }
+    }
+
+    /// Scoring attempts drawn so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Scheduled faults that have not fired yet.
+    pub fn pending(&self) -> usize {
+        locked(&self.plan).pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_faults_in_attempt_order_once() {
+        let inj =
+            FaultInjector::new(FaultPlan::scorer_errors_at([1]).with_latency_spikes([(2, 700)]));
+        let a0 = inj.next_attempt();
+        assert!((a0.seq, a0.scorer_error, a0.spike_ns) == (0, false, None));
+        let a1 = inj.next_attempt();
+        assert!(a1.scorer_error && a1.spike_ns.is_none());
+        let a2 = inj.next_attempt();
+        assert_eq!(a2.spike_ns, Some(700));
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.attempts(), 3);
+    }
+}

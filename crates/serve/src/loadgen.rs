@@ -1,0 +1,118 @@
+//! Closed-loop load generator for `pup serve-bench`.
+//!
+//! Each client thread submits a request, blocks on its answer, then
+//! submits the next — classic closed-loop load, which keeps offered
+//! concurrency bounded at `clients` and makes shed counts meaningful.
+//! User ids are drawn from a per-client seeded RNG, so a given
+//! `(seed, clients, requests)` triple replays the identical request
+//! stream every run.
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+
+use crate::engine::ServiceShared;
+use crate::scorer::ScorerFactory;
+use crate::server::Server;
+use crate::stats::ServeReport;
+use crate::{Request, ServeError};
+
+/// Shape of one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Total requests issued across all clients.
+    pub requests: usize,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Top-K size each request asks for.
+    pub k: usize,
+    /// Base seed; client `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self { requests: 200, clients: 4, k: 10, seed: 7 }
+    }
+}
+
+/// Runs the closed loop against a freshly started server and returns the
+/// aggregated report. Every request ends in exactly one bucket: answered
+/// (primary or degraded) or typed-rejected — a panic or hang anywhere in
+/// the pipeline fails the bench.
+pub fn run_closed_loop(
+    shared: Arc<ServiceShared>,
+    factory: ScorerFactory,
+    bench: BenchConfig,
+) -> Result<ServeReport, ServeError> {
+    let server = Arc::new(Server::start(Arc::clone(&shared), factory)?);
+    let clients = bench.clients.max(1);
+    let per_client = bench.requests / clients;
+    let remainder = bench.requests % clients;
+    let n_users = shared.n_users;
+    let mut handles = Vec::with_capacity(clients);
+    for client in 0..clients {
+        let server = Arc::clone(&server);
+        let quota = per_client + usize::from(client < remainder);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(bench.seed + client as u64);
+        let k = bench.k;
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..quota {
+                let user = if n_users == usize::MAX || n_users == 0 {
+                    rng.gen_range(0..1024usize)
+                } else {
+                    rng.gen_range(0..n_users)
+                };
+                // Closed loop: wait for the answer before the next send.
+                // A shed / invalid / shutdown rejection is a legal terminal
+                // outcome; the stats already counted it.
+                if let Ok(handle) = server.submit(Request { user, k }) {
+                    let _ = handle.wait();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Ok(server) = Arc::try_unwrap(server) {
+        server.shutdown();
+    }
+    Ok(shared.stats.report(&shared.breaker, &shared.faults))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fallback::Fallback;
+    use crate::scorer::Scorer;
+    use crate::ServeConfig;
+    use pup_models::ScoreError;
+
+    struct Flat;
+
+    impl Scorer for Flat {
+        fn name(&self) -> &str {
+            "flat"
+        }
+        fn n_items(&self) -> usize {
+            6
+        }
+        fn score(&self, user: usize) -> Result<Vec<f64>, ScoreError> {
+            Ok((0..6).map(|i| ((i + user) % 6) as f64).collect())
+        }
+    }
+
+    #[test]
+    fn closed_loop_answers_every_admitted_request() {
+        let fallback = Fallback::from_train(8, 6, &[(0, 1), (1, 2)]).unwrap();
+        let shared = Arc::new(ServiceShared::new(ServeConfig::default(), fallback, 8));
+        let factory: ScorerFactory = Arc::new(|| Ok(Box::new(Flat)));
+        let bench = BenchConfig { requests: 50, clients: 3, k: 4, seed: 11 };
+        let report = run_closed_loop(shared, factory, bench).expect("bench runs");
+        assert_eq!(report.submitted, 50);
+        assert_eq!(report.submitted, report.admitted + report.shed);
+        assert_eq!(report.admitted, report.primary + report.degraded());
+        assert!(report.availability >= 0.99, "availability {}", report.availability);
+    }
+}

@@ -1,0 +1,146 @@
+//! Bounded admission queue with load shedding.
+//!
+//! Admission control is the first line of defense: the queue never blocks
+//! a producer. A submission against a full queue fails immediately with a
+//! typed rejection (load shedding), so overload degrades throughput — not
+//! latency, and never memory. Consumers block on a condvar until work or
+//! shutdown arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushRefused {
+    /// The queue is at capacity: shed the request.
+    Full {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The queue is closed: the service is shutting down.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// Poisoned-lock recovery: a queue of owned jobs has no cross-field
+/// invariants a mid-panic writer could have broken; shedding the poison
+/// keeps the service draining instead of deadlocking every worker.
+fn locked<T>(m: &Mutex<Inner<T>>) -> MutexGuard<'_, Inner<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An open queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push. Returns the queue depth after the push, or a
+    /// typed refusal — never waits.
+    pub fn try_push(&self, item: T) -> Result<usize, PushRefused> {
+        let mut inner = locked(&self.inner);
+        if inner.closed {
+            return Err(PushRefused::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushRefused::Full { capacity: self.capacity });
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop: waits until an item arrives or the queue is closed.
+    /// Returns `None` only when the queue is closed **and** drained, so
+    /// shutdown never drops admitted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = locked(&self.inner);
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: new pushes are refused, consumers drain what is
+    /// left and then observe `None`.
+    pub fn close(&self) {
+        locked(&self.inner).closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        locked(&self.inner).items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_when_full_without_blocking() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushRefused::Full { capacity: 2 }));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = AdmissionQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushRefused::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,57 @@
+//! The primary-scorer abstraction and its model adapter.
+//!
+//! `pup-tensor` autograd nodes are `Rc<RefCell<…>>` handles — a trained
+//! model is deliberately **not** `Send`/`Sync`. The service therefore
+//! never shares a model across threads: each worker thread invokes a
+//! [`ScorerFactory`] once at startup and owns a private replica, exactly
+//! the way a real fleet loads one copy of the checkpoint per process.
+
+use std::sync::Arc;
+
+use pup_models::{Recommender, ScoreError};
+
+/// A loaded model replica that scores the full catalog for one user.
+pub trait Scorer {
+    /// Model name for reports (e.g. `"PUP"`, `"BPR-MF"`).
+    fn name(&self) -> &str;
+
+    /// Catalog size: `score` returns this many scores.
+    fn n_items(&self) -> usize;
+
+    /// Scores every item for `user`; malformed ids surface as typed
+    /// errors, never as panics.
+    fn score(&self, user: usize) -> Result<Vec<f64>, ScoreError>;
+}
+
+/// Builds one scorer replica per worker thread. The factory itself crosses
+/// threads (it is `Send + Sync`); the scorers it builds never do. Errors
+/// are stringly typed because model loading spans several error domains
+/// (checkpoint, training, IO).
+pub type ScorerFactory = Arc<dyn Fn() -> Result<Box<dyn Scorer>, String> + Send + Sync>;
+
+/// Adapts any [`Recommender`] into a [`Scorer`].
+pub struct RecommenderScorer {
+    model: Box<dyn Recommender>,
+    n_items: usize,
+}
+
+impl RecommenderScorer {
+    /// Wraps `model`, which scores a catalog of `n_items` items.
+    pub fn new(model: Box<dyn Recommender>, n_items: usize) -> Self {
+        Self { model, n_items }
+    }
+}
+
+impl Scorer for RecommenderScorer {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn score(&self, user: usize) -> Result<Vec<f64>, ScoreError> {
+        self.model.try_score_items(user)
+    }
+}

@@ -1,0 +1,253 @@
+//! The multi-threaded scoring server.
+//!
+//! N worker threads drain one bounded [`AdmissionQueue`]; each worker owns
+//! a private scorer replica built by the [`ScorerFactory`] (autograd
+//! models are not `Send`, so sharing is structurally impossible — see
+//! [`crate::scorer`]). Submission is non-blocking: over-capacity traffic
+//! is shed with a typed error at the call site, and every admitted job is
+//! eventually answered through its reply channel, even during shutdown.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::deadline::Deadline;
+use crate::engine::{process, ServiceShared};
+use crate::queue::{AdmissionQueue, PushRefused};
+use crate::scorer::ScorerFactory;
+use crate::{Request, Response, ServeError};
+
+/// One queued unit of work.
+struct Job {
+    req: Request,
+    deadline: Deadline,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+/// The receiving end of one submitted request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request's answer arrives. A worker vanishing
+    /// without replying (a bug by contract) surfaces as
+    /// [`ServeError::ChannelClosed`] instead of a hang.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ChannelClosed))
+    }
+}
+
+/// A running scoring service.
+pub struct Server {
+    shared: Arc<ServiceShared>,
+    queue: Arc<AdmissionQueue<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `shared.cfg.workers` worker threads, each building its own
+    /// scorer via `factory`. Fails (and tears everything down) if any
+    /// worker cannot construct its replica.
+    pub fn start(shared: Arc<ServiceShared>, factory: ScorerFactory) -> Result<Self, ServeError> {
+        let n_workers = shared.cfg.workers.max(1);
+        let queue = Arc::new(AdmissionQueue::<Job>::new(shared.cfg.queue_capacity));
+        let (init_tx, init_rx) = mpsc::channel::<Result<(), String>>();
+        let mut workers = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            let factory = Arc::clone(&factory);
+            // pup-lint: allow(clone-in-loop) — one sender handle per worker, at startup only.
+            let init_tx = init_tx.clone();
+            workers.push(std::thread::spawn(move || {
+                // The scorer must be built on this thread: it is not Send.
+                let scorer = match factory() {
+                    Ok(s) => {
+                        let _ = init_tx.send(Ok(()));
+                        s
+                    }
+                    Err(e) => {
+                        let _ = init_tx.send(Err(e));
+                        return;
+                    }
+                };
+                drop(init_tx);
+                while let Some(mut job) = queue.pop() {
+                    let wait_ns =
+                        u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    shared.stats.observe_queue_wait_ns(wait_ns);
+                    let result = process(&shared, scorer.as_ref(), job.req, &mut job.deadline);
+                    // A dropped receiver means the client stopped waiting;
+                    // the work is complete either way.
+                    let _ = job.reply.send(result);
+                }
+            }));
+        }
+        drop(init_tx);
+        for _ in 0..n_workers {
+            match init_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    queue.close();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(ServeError::WorkerInit(e));
+                }
+                Err(_) => {
+                    queue.close();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(ServeError::WorkerInit("worker died during startup".into()));
+                }
+            }
+        }
+        Ok(Self { shared, queue, workers })
+    }
+
+    /// The shared pipeline state (stats, breaker, faults).
+    pub fn shared(&self) -> &Arc<ServiceShared> {
+        &self.shared
+    }
+
+    /// Non-blocking submission: admission control happens here. Returns a
+    /// handle to wait on, or a typed rejection (shed / invalid / shutdown)
+    /// without ever queuing unboundedly.
+    pub fn submit(&self, req: Request) -> Result<ResponseHandle, ServeError> {
+        self.shared.stats.note_submitted();
+        // Reject malformed user ids before they consume a queue slot.
+        if self.shared.n_users != usize::MAX && req.user >= self.shared.n_users {
+            self.shared.stats.note_rejected_invalid();
+            return Err(ServeError::Score(pup_models::ScoreError::UserOutOfRange {
+                user: req.user,
+                n_users: self.shared.n_users,
+            }));
+        }
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            deadline: Deadline::new(self.shared.cfg.deadline_ns),
+            enqueued: Instant::now(),
+            reply,
+        };
+        match self.queue.try_push(job) {
+            Ok(depth) => {
+                self.shared.stats.note_admitted();
+                self.shared.stats.note_queue_depth(depth);
+                pup_obs::gauge_set("serve.queue.depth", depth as f64);
+                Ok(ResponseHandle { rx })
+            }
+            Err(PushRefused::Full { capacity }) => {
+                self.shared.stats.note_shed();
+                pup_obs::counter_add("serve.shed", 1);
+                Err(ServeError::QueueFull { capacity })
+            }
+            Err(PushRefused::Closed) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Stops admitting, drains the queue, and joins every worker. Admitted
+    /// requests are still answered before workers exit.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fallback::Fallback;
+    use crate::scorer::Scorer;
+    use crate::{ServeConfig, Source};
+    use pup_models::ScoreError;
+
+    struct Flat {
+        n_items: usize,
+    }
+
+    impl Scorer for Flat {
+        fn name(&self) -> &str {
+            "flat"
+        }
+        fn n_items(&self) -> usize {
+            self.n_items
+        }
+        fn score(&self, _user: usize) -> Result<Vec<f64>, ScoreError> {
+            Ok((0..self.n_items).map(|i| i as f64).collect())
+        }
+    }
+
+    fn start_server(cfg: ServeConfig) -> Server {
+        let fallback = Fallback::from_train(4, 8, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let shared = Arc::new(ServiceShared::new(cfg, fallback, 4));
+        let factory: ScorerFactory = Arc::new(|| Ok(Box::new(Flat { n_items: 8 })));
+        Server::start(shared, factory).expect("server start")
+    }
+
+    #[test]
+    fn serves_concurrent_requests_to_completion() {
+        let server = start_server(ServeConfig { workers: 3, ..Default::default() });
+        let mut handles = Vec::new();
+        for user in [0usize, 1, 2, 3, 0, 1, 2, 3] {
+            match server.submit(Request { user, k: 3 }) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::QueueFull { .. }) => {} // legal under load
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        for h in handles {
+            let resp = h.wait().expect("answered");
+            assert_eq!(resp.source, Source::Primary);
+            assert_eq!(resp.items.len(), 3);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_user_rejected_at_submission() {
+        let server = start_server(ServeConfig::default());
+        let err = server.submit(Request { user: 99, k: 3 }).unwrap_err();
+        assert!(matches!(err, ServeError::Score(ScoreError::UserOutOfRange { .. })));
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_init_failure_is_typed_and_clean() {
+        let fallback = Fallback::from_train(2, 4, &[]).unwrap();
+        let shared = Arc::new(ServiceShared::new(ServeConfig::default(), fallback, 2));
+        let factory: ScorerFactory = Arc::new(|| Err("no checkpoint".to_string()));
+        match Server::start(shared, factory) {
+            Err(ServeError::WorkerInit(msg)) => assert!(msg.contains("no checkpoint")),
+            Err(e) => panic!("expected WorkerInit, got {e}"),
+            Ok(_) => panic!("expected WorkerInit, got a running server"),
+        }
+    }
+
+    #[test]
+    fn shutdown_answers_already_admitted_work() {
+        let server = start_server(ServeConfig { workers: 1, ..Default::default() });
+        let handles: Vec<_> =
+            (0..4).filter_map(|u| server.submit(Request { user: u % 4, k: 2 }).ok()).collect();
+        server.shutdown();
+        for h in handles {
+            assert!(h.wait().is_ok(), "admitted work must be answered through shutdown");
+        }
+    }
+}

@@ -40,6 +40,30 @@ if [[ $fast -eq 0 ]]; then
         --model bprmf --epochs 2 --k 10 --telemetry "$smoke/run.jsonl"
     step cargo run --release -q -p pup-recsys --bin pup -- \
         report-telemetry "$smoke/run.jsonl"
+    # Serving smoke: train with checkpoints, restore into the fault-tolerant
+    # scoring service, and drive it with an injected fault schedule. The
+    # serve-bench exit code enforces zero panics/hangs and >= 99%
+    # availability of admitted requests; recommend proves the checkpoint
+    # answers a real top-K query.
+    serve_smoke=target/serve-smoke
+    rm -rf "$serve_smoke" && mkdir -p "$serve_smoke"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        generate --preset yelp --scale 0.01 --seed 7 --out "$serve_smoke/data"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        evaluate --items "$serve_smoke/data/items.csv" \
+        --interactions "$serve_smoke/data/interactions.csv" \
+        --model bprmf --epochs 2 --k 10 --checkpoint-dir "$serve_smoke/ckpts"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        serve-bench --items "$serve_smoke/data/items.csv" \
+        --interactions "$serve_smoke/data/interactions.csv" \
+        --checkpoint-dir "$serve_smoke/ckpts" --model bprmf \
+        --requests 200 --clients 4 --workers 2 \
+        --fault-errors 5,6,7,20-24 --fault-spikes 40:10,80:10 \
+        --min-availability 0.99
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        recommend --items "$serve_smoke/data/items.csv" \
+        --interactions "$serve_smoke/data/interactions.csv" \
+        --checkpoint-dir "$serve_smoke/ckpts" --model bprmf --user 54 -k 5
 fi
 
 echo
