@@ -19,7 +19,25 @@
 //!   re-derivation, op-coverage cross-checks against the gradcheck sweep
 //!   registry, and a same-seed determinism audit. Run all of them against
 //!   every model with `cargo run -p pup-analysis -- audit-graph`.
+//! - [`lex`] / [`syntax`] — the lossless Rust lexer and item/block span
+//!   parser the lint and audit passes are built on. Tokens tile the source
+//!   byte-for-byte; scopes (test items, fn bodies, loop bodies,
+//!   statements) are computed by bracket matching on code tokens, so
+//!   needles in strings, comments or wrapped lines can never confuse a
+//!   rule.
+//! - [`concurrency`] — the Send/Sync shareability audit gating the
+//!   arena-tape migration: per-crate manifests of shared-state policy, a
+//!   ratcheted worklist of `Rc`/`RefCell` sites in `pup-tensor`, a
+//!   Mutex/RwLock acquisition-order pass over the serving path, and an
+//!   atomic-ordering lint. Run it with
+//!   `cargo run -p pup-analysis -- audit-concurrency`.
+//! - [`fix`] — mechanical cleanup for `lint --fix`: deletes stale
+//!   `// pup-lint: allow(…)` escapes in place, idempotently.
 
+pub mod concurrency;
+pub mod fix;
 pub mod gradcheck;
 pub mod graph;
+pub mod lex;
 pub mod lint;
+pub mod syntax;

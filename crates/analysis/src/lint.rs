@@ -1,4 +1,4 @@
-//! Static lint driver for the PUP workspace.
+//! Token-based static lint driver for the PUP workspace.
 //!
 //! The driver walks every `crates/*/src` tree and enforces repo conventions
 //! that `rustc`/`clippy` either cannot express or cannot scope the way we
@@ -17,22 +17,30 @@
 //! | `raw-print-in-lib` | no `println!`/`eprintln!` in library code (bins and tests exempt); telemetry goes through `pup-obs`, data through return values |
 //! | `stale-allow` | (`--strict` only) an allow escape that suppresses nothing |
 //!
-//! A site opts out with `// pup-lint: allow(<rule>)` on the offending line
-//! or on the line directly above it; the escape must live in a real `//`
-//! comment (an allow spelled inside a string literal is ignored). The
-//! scanner works on a *masked* copy of each file — comments, string literals
-//! and char literals are blanked out — so needles inside doc examples or
-//! messages never trigger, and `#[cfg(test)]` regions are excluded by brace
-//! matching.
+//! Every rule matches **code tokens** from the [`crate::lex`] lexer inside
+//! scopes computed by [`crate::syntax`] — not lines, not regexes. That
+//! kills the classic line-scanner false-positive/negative classes for
+//! good: needles inside string literals, doc comments, or raw strings can
+//! never fire; `#[cfg(all(test, …))]` and multi-line attributes exclude
+//! test code correctly; method chains and comparisons split across lines
+//! by rustfmt are still seen whole; and an identifier that merely
+//! *contains* a guard word (`unclamped`) no longer quiets `unguarded-ln`.
 //!
-//! In strict mode ([`lint_workspace_with`] with `strict = true`) every
-//! allow escape must still suppress at least one finding; stale escapes are
-//! reported as `stale-allow` violations so they cannot rot in place.
+//! A site opts out with `// pup-lint: allow(<rule>)` on the offending line
+//! or on the line directly above it; the escape must live in a real plain
+//! `//` comment (an allow spelled inside a string literal or a doc comment
+//! is prose, not an escape). In strict mode every allow escape must still
+//! suppress at least one finding; stale escapes are reported as
+//! `stale-allow` violations so they cannot rot in place — and
+//! [`crate::fix`] can delete them mechanically.
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::lex::TokenKind;
+use crate::syntax::{in_any, SourceFile, Stmt};
 
 /// The lint rules the driver enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,13 +102,15 @@ impl Rule {
     }
 }
 
-/// A single lint finding, pointing at `file:line`.
+/// A single lint finding, pointing at `file:line` with a byte span.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     /// File the violation is in.
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
+    /// Byte span `[start, end)` of the offending tokens.
+    pub span: (usize, usize),
     /// The rule that fired.
     pub rule: Rule,
     /// Human-readable explanation.
@@ -130,6 +140,18 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
 /// Lints every `.rs` file under `<root>/crates/*/src`; with `strict`, allow
 /// escapes that suppress nothing are reported as `stale-allow` violations.
 pub fn lint_workspace_with(root: &Path, strict: bool) -> io::Result<LintReport> {
+    let files = workspace_rs_files(root)?;
+    let mut diagnostics = Vec::new();
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        diagnostics.extend(lint_source_with(file, &source, strict));
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(LintReport { diagnostics, files_checked: files.len() })
+}
+
+/// Every `.rs` file under `<root>/crates/*/src`, sorted.
+pub fn workspace_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     for entry in fs::read_dir(&crates_dir)? {
@@ -139,13 +161,7 @@ pub fn lint_workspace_with(root: &Path, strict: bool) -> io::Result<LintReport> 
         }
     }
     files.sort();
-    let mut diagnostics = Vec::new();
-    for file in &files {
-        let source = fs::read_to_string(file)?;
-        diagnostics.extend(lint_source_with(file, &source, strict));
-    }
-    diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(LintReport { diagnostics, files_checked: files.len() })
+    Ok(files)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -162,7 +178,8 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 
 /// Lints a single file's source text (non-strict). Exposed for tests;
 /// `path` only influences the path-scoped rules (`panic-in-backward`,
-/// `undocumented-pub-op`, `unguarded-ln`) and the reported location.
+/// `undocumented-pub-op`, `unguarded-ln`, `raw-print-in-lib`) and the
+/// reported location.
 pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
     lint_source_with(path, source, false)
 }
@@ -170,147 +187,102 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
 /// A candidate finding before allow-escape filtering.
 struct Candidate {
     offset: usize,
+    end: usize,
     rule: Rule,
     message: String,
+}
+
+/// One `// pup-lint: allow(a, b)` escape comment.
+pub struct AllowSite {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// Byte span of the whole comment token.
+    pub span: (usize, usize),
+    /// The rule names listed in the escape, in order.
+    pub names: Vec<String>,
+}
+
+/// Collects `// pup-lint: allow(…)` escapes from plain (non-doc) comments.
+/// An allow spelled in a string literal or doc comment is prose.
+pub fn parse_allows(file: &SourceFile<'_>) -> Vec<AllowSite> {
+    const MARKER: &str = "pup-lint: allow(";
+    let mut allows = Vec::new();
+    for t in &file.tokens {
+        let plain = matches!(
+            t.kind,
+            TokenKind::LineComment { doc: false } | TokenKind::BlockComment { doc: false }
+        );
+        if !plain {
+            continue;
+        }
+        let text = t.text(file.src);
+        let Some(at) = text.find(MARKER) else { continue };
+        let rest = &text[at + MARKER.len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let names = rest[..close].split(',').map(|s| s.trim().to_string()).collect();
+        allows.push(AllowSite { line: file.line_of(t.start + at), span: (t.start, t.end), names });
+    }
+    allows
 }
 
 /// Lints a single file's source text; with `strict`, stale allow escapes
 /// are reported too.
 pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnostic> {
-    let (masked, comment_spans) = mask_non_code_spans(source);
-    let m = masked.as_bytes();
-    let line_starts = line_starts(source);
-    let allows = parse_allows(source, &comment_spans);
-    let test_spans = attribute_spans(m, b"#[cfg(test)]");
-    let mut test_fn_spans = attribute_spans(m, b"#[test]");
-    let mut all_test_spans = test_spans;
-    all_test_spans.append(&mut test_fn_spans);
-    let loop_spans = loop_body_spans(m);
+    analyze_source(path, source, strict).diagnostics
+}
+
+/// Full single-file analysis: the diagnostics plus, for every allow
+/// escape, which of its names actually suppressed a finding. `fix` uses
+/// the liveness map to delete stale escapes mechanically.
+pub struct Analysis {
+    /// The diagnostics `lint_source_with` would report.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every `// pup-lint: allow(…)` escape in the file.
+    pub allows: Vec<AllowSite>,
+    /// `live[i][j]`: whether `allows[i].names[j]` suppressed ≥1 finding.
+    /// Unknown rule names are never live.
+    pub live: Vec<Vec<bool>>,
+}
+
+/// Lints a single file and reports allow-escape liveness alongside the
+/// diagnostics.
+pub fn analyze_source(path: &Path, source: &str, strict: bool) -> Analysis {
+    let file = SourceFile::parse(source);
+    let allows = parse_allows(&file);
+    let test_spans = file.test_spans();
     let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-    let is_tape_file = file_name == "ops.rs" || file_name == "autograd.rs";
-    let is_op_module = path.ends_with("tensor/src/ops.rs");
     let path_str = path.to_string_lossy().replace('\\', "/");
-    let is_model_or_loss = path_str.contains("models/src") || path_str.contains("tensor/src");
+    let scope = PathScope {
+        is_tape_file: file_name == "ops.rs" || file_name == "autograd.rs",
+        is_op_module: path.ends_with("tensor/src/ops.rs"),
+        is_model_or_loss: path_str.contains("models/src") || path_str.contains("tensor/src"),
+        is_bin: path_str.contains("/src/bin/") || file_name == "main.rs",
+    };
 
     let mut candidates = Vec::new();
-
-    // A poisoned-lock unwrap is a more specific defect than a generic
-    // unwrap: it turns one panicked thread into a cascading panic on every
-    // other thread touching the lock. Detect these first, and let each
-    // match subsume the overlapping `unwrap-in-lib` candidate so one site
-    // yields one diagnostic under the more precise rule.
-    let mut mutex_spans = Vec::new();
-    for guard in [".lock()", ".read()", ".write()"] {
-        for sink in [".unwrap()", ".expect("] {
-            let needle = format!("{guard}{sink}");
-            for at in find_all(m, needle.as_bytes()) {
-                if in_any_span(&all_test_spans, at) {
-                    continue;
-                }
-                mutex_spans.push((at, at + needle.len()));
-                candidates.push(Candidate {
-                    offset: at,
-                    rule: Rule::MutexUnwrap,
-                    message: format!(
-                        "`{needle}..` panics whenever another thread panicked while \
-                         holding the lock; recover with \
-                         `{guard}.unwrap_or_else(PoisonError::into_inner)` or annotate \
-                         with `// pup-lint: allow(mutex-unwrap)`"
-                    ),
-                });
-            }
-        }
+    unwrap_rules(&file, &test_spans, &mut candidates);
+    if scope.is_tape_file {
+        panic_in_backward(&file, &test_spans, &mut candidates);
     }
-
-    for needle in [".unwrap()", ".expect("] {
-        for at in find_all(m, needle.as_bytes()) {
-            if !in_any_span(&all_test_spans, at) && !in_any_span(&mutex_spans, at) {
-                candidates.push(Candidate {
-                    offset: at,
-                    rule: Rule::UnwrapInLib,
-                    message: format!(
-                        "`{needle}` in non-test library code; return an error or \
-                         annotate with `// pup-lint: allow(unwrap-in-lib)`"
-                    ),
-                });
-            }
-        }
+    clone_in_loop(&file, &test_spans, &mut candidates);
+    if !scope.is_bin {
+        raw_print_in_lib(&file, &test_spans, &mut candidates);
     }
-
-    if is_tape_file {
-        let backward_spans = paren_spans(m, b"Box::new(");
-        for at in find_all(m, b"panic!") {
-            if in_any_span(&backward_spans, at) && !in_any_span(&all_test_spans, at) {
-                candidates.push(Candidate {
-                    offset: at,
-                    rule: Rule::PanicInBackward,
-                    message: "`panic!` inside a backward closure: a broken gradient must \
-                              surface through the tape auditor, not ad-hoc panics"
-                        .to_string(),
-                });
-            }
-        }
+    if scope.is_op_module {
+        undocumented_pub_fns(&file, &test_spans, &mut candidates);
     }
-
-    for needle in [".clone()", ".value_clone()"] {
-        for at in find_all(m, needle.as_bytes()) {
-            if in_any_span(&loop_spans, at) && !in_any_span(&all_test_spans, at) {
-                candidates.push(Candidate {
-                    offset: at,
-                    rule: Rule::CloneInLoop,
-                    message: format!(
-                        "`{needle}` inside a loop body allocates per iteration; hoist \
-                         it or annotate with `// pup-lint: allow(clone-in-loop)`"
-                    ),
-                });
-            }
-        }
+    if scope.is_model_or_loss {
+        unguarded_ln(&file, &test_spans, &mut candidates);
     }
-
-    // Binary targets own stdout/stderr; the rule polices library code only.
-    let is_bin = path_str.contains("/src/bin/") || file_name == "main.rs";
-    if !is_bin {
-        for needle in ["println!", "eprintln!"] {
-            for at in find_all(m, needle.as_bytes()) {
-                // `println!` is a suffix of `eprintln!`; require a
-                // non-identifier byte before the match so each macro call
-                // yields exactly one candidate.
-                if at > 0 && (m[at - 1].is_ascii_alphanumeric() || m[at - 1] == b'_') {
-                    continue;
-                }
-                if !in_any_span(&all_test_spans, at) {
-                    candidates.push(Candidate {
-                        offset: at,
-                        rule: Rule::RawPrintInLib,
-                        message: format!(
-                            "`{needle}` in library code; record telemetry via pup-obs or \
-                             return the data to the caller, or annotate with \
-                             `// pup-lint: allow(raw-print-in-lib)`"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-
-    if is_op_module {
-        candidates.extend(undocumented_pub_fns(source, &masked, &all_test_spans, &line_starts));
-    }
-
-    if is_model_or_loss {
-        candidates.extend(unguarded_ln_candidates(&masked, &all_test_spans, &line_starts));
-    }
-
-    candidates.extend(float_eq_candidates(&masked, &all_test_spans, &line_starts));
-
-    candidates.extend(crash_unsafe_io_candidates(&masked, &all_test_spans));
+    float_eq(&file, &test_spans, &mut candidates);
+    crash_unsafe_io(&file, &test_spans, &mut candidates);
 
     // Filter candidates through the allow escapes, tracking which escape
     // actually earned its keep.
     let mut used: Vec<Vec<bool>> = allows.iter().map(|a| vec![false; a.names.len()]).collect();
     let mut diags = Vec::new();
     for c in candidates {
-        let line = line_of(&line_starts, c.offset);
+        let line = file.line_of(c.offset);
         let mut suppressed = false;
         for (si, site) in allows.iter().enumerate() {
             if site.line != line && site.line + 1 != line {
@@ -327,6 +299,7 @@ pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnost
             diags.push(Diagnostic {
                 file: path.to_path_buf(),
                 line,
+                span: (c.offset, c.end),
                 rule: c.rule,
                 message: c.message,
             });
@@ -347,6 +320,7 @@ pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnost
                 diags.push(Diagnostic {
                     file: path.to_path_buf(),
                     line: site.line,
+                    span: site.span,
                     rule: Rule::StaleAllow,
                     message,
                 });
@@ -355,184 +329,475 @@ pub fn lint_source_with(path: &Path, source: &str, strict: bool) -> Vec<Diagnost
     }
 
     diags.sort_by_key(|d| d.line);
-    diags
+    Analysis { diagnostics: diags, allows, live: used }
 }
 
-/// Finds `pub fn` declarations without a preceding `///` doc comment.
-fn undocumented_pub_fns(
-    source: &str,
-    masked: &str,
-    test_spans: &[(usize, usize)],
-    line_starts: &[usize],
-) -> Vec<Candidate> {
-    let lines: Vec<&str> = source.lines().collect();
-    let masked_lines: Vec<&str> = masked.lines().collect();
-    let mut candidates = Vec::new();
-    for (idx, mline) in masked_lines.iter().enumerate() {
-        let trimmed = mline.trim_start();
-        let offset = line_starts[idx];
-        if !trimmed.starts_with("pub fn ") || in_any_span(test_spans, offset) {
-            continue;
-        }
-        let fn_name: String = trimmed["pub fn ".len()..]
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        // Walk upward over attributes and blank lines to the nearest
-        // meaningful line; it must be a doc comment.
-        let mut j = idx;
-        let documented = loop {
-            if j == 0 {
-                break false;
-            }
-            j -= 1;
-            let above = lines.get(j).map_or("", |l| l.trim_start());
-            if above.is_empty() || above.starts_with("#[") {
-                continue;
-            }
-            break above.starts_with("///");
-        };
-        if !documented {
-            candidates.push(Candidate {
-                offset,
-                rule: Rule::UndocumentedPubOp,
-                message: format!("public tensor op `{fn_name}` has no doc comment"),
-            });
-        }
-    }
-    candidates
+/// Which path-scoped rules apply to this file.
+struct PathScope {
+    is_tape_file: bool,
+    is_op_module: bool,
+    is_model_or_loss: bool,
+    is_bin: bool,
 }
 
-/// Tokens whose presence on a line counts as an epsilon/clamp guard.
-const GUARD_TOKENS: &[&str] = &["max(", ".max", "clamp", "eps", "EPS", "1e-", "ln_1p"];
-
-/// Divisor fragments that mark a division as "by a tape value".
-const TAPE_VALUE_NEEDLES: &[&str] = &[".scalar()", ".value()", ".sum()", ".mean(", ".get("];
-
-fn line_bounds(masked: &str, line_starts: &[usize], offset: usize) -> (usize, usize) {
-    let line = line_of(line_starts, offset);
-    let start = line_starts[line - 1];
-    let end = masked[start..].find('\n').map_or(masked.len(), |e| start + e);
-    (start, end)
-}
-
-/// `unguarded-ln`: `.ln()` / `.log2()` / `.log10()` calls, and divisions
-/// whose divisor mentions a tape-derived value, on lines with no
-/// epsilon/clamp guard token. Model/loss code only: a log of a
-/// zero-probability or a division by an un-floored norm turns one bad batch
-/// into NaN weights.
-fn unguarded_ln_candidates(
-    masked: &str,
-    test_spans: &[(usize, usize)],
-    line_starts: &[usize],
-) -> Vec<Candidate> {
-    let m = masked.as_bytes();
-    let mut candidates = Vec::new();
-    let mut consider = |at: usize, what: String| {
-        let (start, end) = line_bounds(masked, line_starts, at);
-        let line_text = &masked[start..end];
-        if GUARD_TOKENS.iter().any(|g| line_text.contains(g)) {
-            return;
-        }
-        candidates.push(Candidate {
-            offset: at,
-            rule: Rule::UnguardedLn,
-            message: format!(
-                "{what} without an epsilon/clamp guard on the same line; floor the \
-                 argument (e.g. `.max(EPS)`) or annotate with \
-                 `// pup-lint: allow(unguarded-ln)`"
-            ),
-        });
-    };
-    for needle in [".ln()", ".log2()", ".log10()"] {
-        for at in find_all(m, needle.as_bytes()) {
-            if !in_any_span(test_spans, at) {
-                consider(at, format!("`{needle}` in model/loss code"));
-            }
-        }
-    }
-    for at in find_all(m, b"/") {
-        // `//` never survives masking; `/=` and `/` are both divisions.
-        if in_any_span(test_spans, at) {
-            continue;
-        }
-        let (_, end) = line_bounds(masked, line_starts, at);
-        let divisor = &masked[at + 1..end];
-        if TAPE_VALUE_NEEDLES.iter().any(|n| divisor.contains(n)) {
-            consider(at, "division by a tape-derived value".to_string());
-        }
-    }
-    candidates
-}
-
-/// `float-eq`: `==` / `!=` where either adjacent operand token looks like
-/// an `f64` expression (a float literal, an `f64` cast, or a `.scalar`
-/// read). Exact float comparison is almost always a bug outside tests;
-/// legitimate exact sentinels (`p == 0.0` fast paths) opt out explicitly.
-fn float_eq_candidates(
-    masked: &str,
-    test_spans: &[(usize, usize)],
-    line_starts: &[usize],
-) -> Vec<Candidate> {
-    let m = masked.as_bytes();
-    let token_char = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '.';
-    let is_floaty = |tok: &str| {
-        let bytes = tok.as_bytes();
-        let has_float_literal = bytes.windows(3).any(|w| {
-            w[0].is_ascii_digit() && w[1] == b'.' && (w[2].is_ascii_digit() || w[2] == b'_')
-        }) || (tok.len() >= 2
-            && bytes[bytes.len() - 1] == b'.'
-            && bytes[bytes.len() - 2].is_ascii_digit());
-        has_float_literal || tok.ends_with("f64") || tok.ends_with("f32") || tok.contains("scalar")
-    };
-    let mut candidates = Vec::new();
-    for needle in ["==", "!="] {
-        for at in find_all(m, needle.as_bytes()) {
-            if in_any_span(test_spans, at) {
-                continue;
-            }
-            // Skip `<=`-style composites and pattern arms (`=>`).
-            if at > 0 && matches!(m[at - 1], b'=' | b'<' | b'>' | b'!') {
-                continue;
-            }
-            if m.get(at + 2) == Some(&b'=') {
-                continue;
-            }
-            let (start, end) = line_bounds(masked, line_starts, at);
-            let left_text = masked[start..at].trim_end();
-            let right_text = masked[at + 2..end].trim_start();
-            let left_tok: String = {
-                let rev: String = left_text.chars().rev().take_while(|&c| token_char(c)).collect();
-                rev.chars().rev().collect()
-            };
-            let right_tok: String = right_text.chars().take_while(|&c| token_char(c)).collect();
-            if is_floaty(&left_tok) || is_floaty(&right_tok) {
-                candidates.push(Candidate {
+/// `mutex-unwrap` + `unwrap-in-lib`. A poisoned-lock unwrap is a more
+/// specific defect than a generic unwrap — it turns one panicked thread
+/// into a cascading panic on every thread touching the lock — so each
+/// `.lock().unwrap()` site yields one `mutex-unwrap` diagnostic and
+/// subsumes the overlapping `unwrap-in-lib` candidate.
+fn unwrap_rules(file: &SourceFile<'_>, test_spans: &[(usize, usize)], out: &mut Vec<Candidate>) {
+    let mut mutex_sink_positions = Vec::new();
+    for guard in ["lock", "read", "write"] {
+        for sink in ["unwrap", "expect"] {
+            let pattern: &[&str] = &[".", guard, "(", ")", ".", sink, "("];
+            for p in file.find_seq(pattern) {
+                let at = file.tokens[file.code[p]].start;
+                if in_any(test_spans, at) {
+                    continue;
+                }
+                // Remember the sink's dot so the generic pass skips it.
+                mutex_sink_positions.push(p + 4);
+                let end = file.tokens[file.code[p + 6]].end;
+                let shown = format!(".{guard}().{sink}(");
+                out.push(Candidate {
                     offset: at,
-                    rule: Rule::FloatEq,
+                    end,
+                    rule: Rule::MutexUnwrap,
                     message: format!(
-                        "`{needle}` between f64 expressions (`{left_tok}` vs `{right_tok}`); \
-                         compare against a tolerance or annotate with \
-                         `// pup-lint: allow(float-eq)`"
+                        "`{shown}..` panics whenever another thread panicked while \
+                         holding the lock; recover with \
+                         `.{guard}().unwrap_or_else(PoisonError::into_inner)` or annotate \
+                         with `// pup-lint: allow(mutex-unwrap)`"
                     ),
                 });
             }
         }
     }
-    candidates
+    for sink in ["unwrap", "expect"] {
+        let pattern: &[&str] = &[".", sink, "("];
+        for p in file.find_seq(pattern) {
+            if sink == "unwrap" {
+                // `.unwrap()` specifically — `.unwrap_or_else` etc. are the
+                // recovery idiom, not a violation. `.expect(` always takes
+                // an argument so the bare 3-token pattern suffices.
+                if !file.match_seq(p, &[".", "unwrap", "(", ")"]) {
+                    continue;
+                }
+            }
+            let at = file.tokens[file.code[p]].start;
+            if in_any(test_spans, at) || mutex_sink_positions.contains(&p) {
+                continue;
+            }
+            let end = file.tokens[file.code[p + 2]].end;
+            let shown = if sink == "unwrap" { ".unwrap()" } else { ".expect(" };
+            out.push(Candidate {
+                offset: at,
+                end,
+                rule: Rule::UnwrapInLib,
+                message: format!(
+                    "`{shown}` in non-test library code; return an error or \
+                     annotate with `// pup-lint: allow(unwrap-in-lib)`"
+                ),
+            });
+        }
+    }
 }
 
-/// `crash-unsafe-io`: direct `fs::write(` / `File::create(` calls inside a
-/// function whose body never calls `rename`. A write that lands in place
-/// can be torn by a crash mid-write; the convention is to write a temporary
+/// `panic-in-backward`: `panic!` inside `Box::new(…)` argument lists of
+/// the tape files.
+fn panic_in_backward(
+    file: &SourceFile<'_>,
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Candidate>,
+) {
+    let backward_spans = file.call_arg_spans(&["Box", "new"]);
+    for p in file.find_seq(&["panic", "!"]) {
+        let at = file.tokens[file.code[p]].start;
+        if in_any(&backward_spans, at) && !in_any(test_spans, at) {
+            out.push(Candidate {
+                offset: at,
+                end: file.tokens[file.code[p + 1]].end,
+                rule: Rule::PanicInBackward,
+                message: "`panic!` inside a backward closure: a broken gradient must \
+                          surface through the tape auditor, not ad-hoc panics"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// `clone-in-loop`: `.clone()` / `.value_clone()` inside loop bodies.
+fn clone_in_loop(file: &SourceFile<'_>, test_spans: &[(usize, usize)], out: &mut Vec<Candidate>) {
+    let loop_spans = file.loop_body_spans();
+    for needle in ["clone", "value_clone"] {
+        for p in file.find_seq(&[".", needle, "(", ")"]) {
+            let at = file.tokens[file.code[p]].start;
+            if in_any(&loop_spans, at) && !in_any(test_spans, at) {
+                out.push(Candidate {
+                    offset: at,
+                    end: file.tokens[file.code[p + 3]].end,
+                    rule: Rule::CloneInLoop,
+                    message: format!(
+                        "`.{needle}()` inside a loop body allocates per iteration; hoist \
+                         it or annotate with `// pup-lint: allow(clone-in-loop)`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `raw-print-in-lib`: `println!` / `eprintln!` in library code.
+fn raw_print_in_lib(
+    file: &SourceFile<'_>,
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Candidate>,
+) {
+    for needle in ["println", "eprintln"] {
+        for p in file.find_seq(&[needle, "!"]) {
+            let at = file.tokens[file.code[p]].start;
+            if !in_any(test_spans, at) {
+                out.push(Candidate {
+                    offset: at,
+                    end: file.tokens[file.code[p + 1]].end,
+                    rule: Rule::RawPrintInLib,
+                    message: format!(
+                        "`{needle}!` in library code; record telemetry via pup-obs or \
+                         return the data to the caller, or annotate with \
+                         `// pup-lint: allow(raw-print-in-lib)`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `undocumented-pub-op`: `pub fn` without a preceding doc comment in the
+/// tensor op module. Walks tokens backwards over attributes and whitespace
+/// to the nearest meaningful token, which must be a doc comment.
+fn undocumented_pub_fns(
+    file: &SourceFile<'_>,
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Candidate>,
+) {
+    for p in file.find_seq(&["pub", "fn"]) {
+        let pub_tok = file.code[p];
+        let at = file.tokens[pub_tok].start;
+        if in_any(test_spans, at) {
+            continue;
+        }
+        let fn_name = file.code.get(p + 2).map(|&i| file.text(i)).unwrap_or("?").to_string();
+        // Walk raw tokens backwards from `pub`, skipping whitespace and
+        // attribute groups; documented iff the first thing above is a doc
+        // comment.
+        let mut ti = pub_tok;
+        let documented = loop {
+            if ti == 0 {
+                break false;
+            }
+            ti -= 1;
+            match file.tokens[ti].kind {
+                TokenKind::Whitespace => continue,
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => break doc,
+                TokenKind::Punct if file.is_punct(ti, b']') => {
+                    // Skip a whole `#[…]` attribute.
+                    match file.matching(ti) {
+                        Some(open) if open >= 1 && file.is_punct(open - 1, b'#') => {
+                            ti = open - 1;
+                            continue;
+                        }
+                        Some(open) => {
+                            // `[` preceded by whitespace then `#`.
+                            let mut j = open;
+                            while j > 0 && file.tokens[j - 1].kind == TokenKind::Whitespace {
+                                j -= 1;
+                            }
+                            if j > 0 && file.is_punct(j - 1, b'#') {
+                                ti = j - 1;
+                                continue;
+                            }
+                            break false;
+                        }
+                        None => break false,
+                    }
+                }
+                _ => break false,
+            }
+        };
+        if !documented {
+            out.push(Candidate {
+                offset: at,
+                end: file.tokens[pub_tok].end,
+                rule: Rule::UndocumentedPubOp,
+                message: format!("public tensor op `{fn_name}` has no doc comment"),
+            });
+        }
+    }
+}
+
+/// Guard tokens that quiet `unguarded-ln` when they appear in the same
+/// statement: a floor/clamp call, an epsilon identifier, or a small
+/// negative-exponent float literal.
+fn stmt_has_guard(file: &SourceFile<'_>, stmt: &Stmt) -> bool {
+    let (Some(first), Some(last)) = (file.code_pos(stmt.first), file.code_pos(stmt.last)) else {
+        return false;
+    };
+    for p in first..=last {
+        let ti = file.code[p];
+        match file.tokens[ti].kind {
+            TokenKind::Ident => {
+                let text = file.text(ti);
+                if matches!(text, "max" | "clamp" | "ln_1p") {
+                    return true;
+                }
+                let lower = text.to_ascii_lowercase();
+                if lower.contains("eps") && !lower.contains("step") {
+                    return true;
+                }
+            }
+            TokenKind::Float => {
+                let text = file.text(ti);
+                if text.contains("e-") || text.contains("E-") {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// `unguarded-ln`: `.ln()` / `.log2()` / `.log10()` calls and divisions by
+/// tape-derived values with no epsilon/clamp guard in the same statement.
+/// Model/loss code only: a log of a zero-probability or a division by an
+/// un-floored norm turns one bad batch into NaN weights.
+fn unguarded_ln(file: &SourceFile<'_>, test_spans: &[(usize, usize)], out: &mut Vec<Candidate>) {
+    let mut consider = |at: usize, end: usize, what: String| {
+        let guarded =
+            file.enclosing_statement(at).map(|stmt| stmt_has_guard(file, &stmt)).unwrap_or(false);
+        if guarded {
+            return;
+        }
+        out.push(Candidate {
+            offset: at,
+            end,
+            rule: Rule::UnguardedLn,
+            message: format!(
+                "{what} without an epsilon/clamp guard in the same statement; floor \
+                 the argument (e.g. `.max(EPS)`) or annotate with \
+                 `// pup-lint: allow(unguarded-ln)`"
+            ),
+        });
+    };
+    for needle in ["ln", "log2", "log10"] {
+        for p in file.find_seq(&[".", needle, "(", ")"]) {
+            let at = file.tokens[file.code[p]].start;
+            if !in_any(test_spans, at) {
+                let end = file.tokens[file.code[p + 3]].end;
+                consider(at, end, format!("`.{needle}()` in model/loss code"));
+            }
+        }
+    }
+    // Division by a tape-derived value: scan the divisor expression (the
+    // token run after `/` up to the next lower-precedence operator at the
+    // same depth) for tape-read calls.
+    const TAPE_READS: &[&[&str]] = &[
+        &[".", "scalar", "("],
+        &[".", "value", "("],
+        &[".", "sum", "("],
+        &[".", "mean", "("],
+        &[".", "get", "("],
+    ];
+    for p in 0..file.code.len() {
+        let ti = file.code[p];
+        if !file.is_punct(ti, b'/') {
+            continue;
+        }
+        let at = file.tokens[ti].start;
+        if in_any(test_spans, at) {
+            continue;
+        }
+        // `/=` is a division too; `//` never reaches the code stream.
+        let mut depth = 0i32;
+        let mut q = p + 1;
+        let mut tape_read = false;
+        while let Some(&tj) = file.code.get(q) {
+            if file.tokens[tj].kind == TokenKind::Punct {
+                match file.src.as_bytes()[file.tokens[tj].start] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    b'+' | b'-' | b',' | b';' | b'=' | b'<' | b'>' | b'|' | b'&' if depth == 0 => {
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if depth >= 0 && TAPE_READS.iter().any(|pat| file.match_seq(q, pat)) {
+                tape_read = true;
+            }
+            q += 1;
+        }
+        if tape_read {
+            consider(at, file.tokens[ti].end, "division by a tape-derived value".to_string());
+        }
+    }
+}
+
+/// Tokens allowed inside a comparison operand's postfix chain.
+fn operand_token(file: &SourceFile<'_>, ti: usize) -> bool {
+    matches!(file.tokens[ti].kind, TokenKind::Ident | TokenKind::Int | TokenKind::Float)
+        || file.is_punct(ti, b'.')
+}
+
+/// Whether a set of operand tokens "looks f64": a float literal, an
+/// `f64`/`f32` cast, or a `.scalar`-style tape read.
+fn floaty(file: &SourceFile<'_>, tokens: &[usize]) -> bool {
+    tokens.iter().any(|&ti| match file.tokens[ti].kind {
+        TokenKind::Float => true,
+        TokenKind::Ident => {
+            let t = file.text(ti);
+            t == "f64" || t == "f32" || t.contains("scalar")
+        }
+        _ => false,
+    })
+}
+
+/// `float-eq`: `==` / `!=` where either operand's postfix chain looks like
+/// an `f64` expression. Exact float comparison is almost always a bug
+/// outside tests; legitimate exact sentinels (`p == 0.0` fast paths) opt
+/// out explicitly. Operands are walked across lines, so comparisons split
+/// by rustfmt are still seen whole (a miss class of the old line engine).
+fn float_eq(file: &SourceFile<'_>, test_spans: &[(usize, usize)], out: &mut Vec<Candidate>) {
+    for p in 0..file.code.len() {
+        let a = file.code[p];
+        let Some(&b) = file.code.get(p + 1) else { continue };
+        let first = if file.is_punct(a, b'=') {
+            "="
+        } else if file.is_punct(a, b'!') {
+            "!"
+        } else {
+            continue;
+        };
+        // The two bytes must be adjacent to form one operator.
+        if !file.is_punct(b, b'=') || file.tokens[a].end != file.tokens[b].start {
+            continue;
+        }
+        // Exclude composites: `<=` `>=` `==` prefix, and `x === y` typos.
+        if let Some(prev) = file.prev_code(p) {
+            if file.tokens[prev].end == file.tokens[a].start
+                && (file.is_punct(prev, b'<')
+                    || file.is_punct(prev, b'>')
+                    || file.is_punct(prev, b'=')
+                    || file.is_punct(prev, b'!'))
+            {
+                continue;
+            }
+        }
+        if file
+            .code
+            .get(p + 2)
+            .is_some_and(|&c| file.is_punct(c, b'=') && file.tokens[b].end == file.tokens[c].start)
+        {
+            continue;
+        }
+        let at = file.tokens[a].start;
+        if in_any(test_spans, at) {
+            continue;
+        }
+        // Left operand: walk back over the postfix chain, entering matched
+        // `(…)` groups whole.
+        let mut left = Vec::new();
+        let mut q = p;
+        while q > 0 {
+            let ti = file.code[q - 1];
+            if file.is_punct(ti, b')') {
+                match file.matching(ti).and_then(|o| file.code_pos(o)) {
+                    Some(op) => {
+                        for r in op..q {
+                            left.push(file.code[r]);
+                        }
+                        q = op;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            if operand_token(file, ti) {
+                left.push(ti);
+                q -= 1;
+            } else {
+                break;
+            }
+        }
+        // Right operand: symmetric, forwards.
+        let mut right = Vec::new();
+        let mut q = p + 2;
+        while let Some(&ti) = file.code.get(q) {
+            if file.is_punct(ti, b'(') {
+                match file.matching(ti).and_then(|c| file.code_pos(c)) {
+                    Some(cp) => {
+                        for r in q..=cp {
+                            right.push(file.code[r]);
+                        }
+                        q = cp + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            if operand_token(file, ti) {
+                right.push(ti);
+                q += 1;
+            } else {
+                break;
+            }
+        }
+        if floaty(file, &left) || floaty(file, &right) {
+            let needle = if first == "=" { "==" } else { "!=" };
+            let show = |toks: &[usize]| -> String {
+                let mut sorted = toks.to_vec();
+                sorted.sort_unstable();
+                sorted.iter().map(|&ti| file.text(ti)).collect()
+            };
+            out.push(Candidate {
+                offset: at,
+                end: file.tokens[b].end,
+                rule: Rule::FloatEq,
+                message: format!(
+                    "`{needle}` between f64 expressions (`{}` vs `{}`); \
+                     compare against a tolerance or annotate with \
+                     `// pup-lint: allow(float-eq)`",
+                    show(&left),
+                    show(&right)
+                ),
+            });
+        }
+    }
+}
+
+/// `crash-unsafe-io`: `fs::write(` / `File::create(` inside a function
+/// whose body never calls `rename`. A write that lands in place can be
+/// torn by a crash mid-write; the convention is to write a temporary
 /// sibling and `fs::rename` it over the target (see `pup_ckpt::store`).
-fn crash_unsafe_io_candidates(masked: &str, test_spans: &[(usize, usize)]) -> Vec<Candidate> {
-    let m = masked.as_bytes();
-    let fn_spans = fn_body_spans(m);
-    let mut candidates = Vec::new();
-    for needle in ["fs::write(", "File::create("] {
-        for at in find_all(m, needle.as_bytes()) {
-            if in_any_span(test_spans, at) {
+fn crash_unsafe_io(file: &SourceFile<'_>, test_spans: &[(usize, usize)], out: &mut Vec<Candidate>) {
+    let fn_spans = file.fn_body_spans();
+    let rename_offsets: Vec<usize> = file
+        .find_seq(&["rename", "("])
+        .into_iter()
+        .map(|p| file.tokens[file.code[p]].start)
+        .collect();
+    for (path, shown) in [
+        (&["fs", ":", ":", "write", "("][..], "fs::write("),
+        (&["File", ":", ":", "create", "("][..], "File::create("),
+    ] {
+        for p in file.find_seq(path) {
+            let at = file.tokens[file.code[p]].start;
+            if in_any(test_spans, at) {
                 continue;
             }
             // The innermost enclosing fn body decides: a `rename(` anywhere
@@ -540,322 +805,22 @@ fn crash_unsafe_io_candidates(masked: &str, test_spans: &[(usize, usize)]) -> Ve
             let enclosing =
                 fn_spans.iter().filter(|&&(s, e)| at >= s && at < e).min_by_key(|&&(s, e)| e - s);
             if let Some(&(s, e)) = enclosing {
-                if masked[s..e].contains("rename(") {
+                if rename_offsets.iter().any(|&r| r >= s && r < e) {
                     continue;
                 }
             }
-            candidates.push(Candidate {
+            out.push(Candidate {
                 offset: at,
+                end: file.tokens[file.code[p + path.len() - 1]].end,
                 rule: Rule::CrashUnsafeIo,
                 message: format!(
-                    "`{needle}..)` with no `rename` in the enclosing function: a crash \
+                    "`{shown}..)` with no `rename` in the enclosing function: a crash \
                      mid-write tears the file; write a temp sibling and `fs::rename` it \
                      into place, or annotate with `// pup-lint: allow(crash-unsafe-io)`"
                 ),
             });
         }
     }
-    candidates
-}
-
-/// Byte offsets where each line starts (for offset → line translation).
-fn line_starts(source: &str) -> Vec<usize> {
-    let mut starts = vec![0];
-    for (i, b) in source.bytes().enumerate() {
-        if b == b'\n' {
-            starts.push(i + 1);
-        }
-    }
-    starts
-}
-
-/// 1-based line containing byte `offset`.
-fn line_of(starts: &[usize], offset: usize) -> usize {
-    starts.partition_point(|&s| s <= offset)
-}
-
-/// One `// pup-lint: allow(a, b)` escape comment.
-struct AllowSite {
-    /// 1-based line of the comment.
-    line: usize,
-    names: Vec<String>,
-}
-
-/// Collects allow escapes. Only occurrences inside genuine *plain*
-/// comments count: an allow spelled in a string literal (e.g. a lint
-/// message that mentions the escape syntax) or in a `///` / `//!` doc
-/// comment (documentation *about* escapes) is not an escape.
-fn parse_allows(source: &str, comment_spans: &[(usize, usize)]) -> Vec<AllowSite> {
-    const MARKER: &str = "pup-lint: allow(";
-    let starts = line_starts(source);
-    let mut allows = Vec::new();
-    for at in find_all_str(source, MARKER) {
-        let Some(&(cs, _)) = comment_spans.iter().find(|&&(s, e)| at >= s && at < e) else {
-            continue;
-        };
-        let head = &source[cs..(cs + 3).min(source.len())];
-        if head.starts_with("///")
-            || head.starts_with("//!")
-            || head.starts_with("/**")
-            || head.starts_with("/*!")
-        {
-            continue;
-        }
-        let rest = &source[at + MARKER.len()..];
-        let Some(close) = rest.find(')') else { continue };
-        let names = rest[..close].split(',').map(|s| s.trim().to_string()).collect();
-        allows.push(AllowSite { line: line_of(&starts, at), names });
-    }
-    allows
-}
-
-fn find_all_str(haystack: &str, needle: &str) -> Vec<usize> {
-    find_all(haystack.as_bytes(), needle.as_bytes())
-}
-
-fn find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
-    let mut hits = Vec::new();
-    if needle.is_empty() || haystack.len() < needle.len() {
-        return hits;
-    }
-    for i in 0..=haystack.len() - needle.len() {
-        if &haystack[i..i + needle.len()] == needle {
-            hits.push(i);
-        }
-    }
-    hits
-}
-
-fn in_any_span(spans: &[(usize, usize)], offset: usize) -> bool {
-    spans.iter().any(|&(s, e)| offset >= s && offset < e)
-}
-
-/// Brace-delimited spans of the item following each occurrence of `attr`
-/// (e.g. the `mod tests { ... }` after `#[cfg(test)]`).
-fn attribute_spans(masked: &[u8], attr: &[u8]) -> Vec<(usize, usize)> {
-    find_all(masked, attr)
-        .into_iter()
-        .filter_map(|at| {
-            let open = masked[at..].iter().position(|&b| b == b'{')? + at;
-            Some((open, matching_delim(masked, open, b'{', b'}')))
-        })
-        .collect()
-}
-
-/// Paren-delimited spans following each occurrence of `prefix` (which must
-/// end in `(`), e.g. the whole `Box::new(...)` argument list.
-fn paren_spans(masked: &[u8], prefix: &[u8]) -> Vec<(usize, usize)> {
-    find_all(masked, prefix)
-        .into_iter()
-        .map(|at| {
-            let open = at + prefix.len() - 1;
-            (open, matching_delim(masked, open, b'(', b')'))
-        })
-        .collect()
-}
-
-/// Offset one past the delimiter matching the one at `open`.
-fn matching_delim(masked: &[u8], open: usize, oc: u8, cc: u8) -> usize {
-    let mut depth = 0i32;
-    for (j, &b) in masked.iter().enumerate().skip(open) {
-        if b == oc {
-            depth += 1;
-        } else if b == cc {
-            depth -= 1;
-            if depth == 0 {
-                return j + 1;
-            }
-        }
-    }
-    masked.len()
-}
-
-/// Body spans of `for` / `while` / `loop` statements. `for` inside an
-/// `impl Trait for Type` header is skipped by scanning back to the start of
-/// the current item.
-fn loop_body_spans(masked: &[u8]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    for (at, kw) in keyword_positions(masked) {
-        if kw == "for" && is_impl_for(masked, at) {
-            continue;
-        }
-        // The body is the first `{` after the keyword at bracket depth 0
-        // (skipping over any closure braces nested in parens).
-        let mut depth = 0i32;
-        let mut open = None;
-        for (j, &b) in masked.iter().enumerate().skip(at + kw.len()) {
-            match b {
-                b'(' | b'[' => depth += 1,
-                b')' | b']' => depth -= 1,
-                b'{' if depth == 0 => {
-                    open = Some(j);
-                    break;
-                }
-                b';' if depth == 0 => break,
-                _ => {}
-            }
-        }
-        if let Some(open) = open {
-            spans.push((open, matching_delim(masked, open, b'{', b'}')));
-        }
-    }
-    spans
-}
-
-/// Body spans of `fn` items and closures declared with the `fn` keyword:
-/// for each `fn` token, the first `{` at bracket depth 0 before a `;`
-/// (trait method declarations without bodies are skipped).
-fn fn_body_spans(masked: &[u8]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    for (at, kw) in keyword_positions_in(masked, &["fn"]).collect::<Vec<_>>() {
-        let mut depth = 0i32;
-        let mut open = None;
-        for (j, &b) in masked.iter().enumerate().skip(at + kw.len()) {
-            match b {
-                b'(' | b'[' | b'<' => depth += 1,
-                b')' | b']' | b'>' => depth -= 1,
-                b'{' if depth <= 0 => {
-                    open = Some(j);
-                    break;
-                }
-                b';' if depth <= 0 => break,
-                _ => {}
-            }
-        }
-        if let Some(open) = open {
-            spans.push((open, matching_delim(masked, open, b'{', b'}')));
-        }
-    }
-    spans
-}
-
-/// Whether the `for` at `at` belongs to an `impl ... for ...` header: scan
-/// back to the previous `;`/`{`/`}` and look for an `impl` token.
-fn is_impl_for(masked: &[u8], at: usize) -> bool {
-    let start = masked[..at]
-        .iter()
-        .rposition(|&b| b == b';' || b == b'{' || b == b'}')
-        .map_or(0, |p| p + 1);
-    keyword_positions_in(&masked[start..at], &["impl"]).next().is_some()
-}
-
-fn keyword_positions(masked: &[u8]) -> Vec<(usize, &'static str)> {
-    keyword_positions_in(masked, &["for", "while", "loop"]).collect()
-}
-
-fn keyword_positions_in<'a>(
-    masked: &'a [u8],
-    keywords: &'a [&'static str],
-) -> impl Iterator<Item = (usize, &'static str)> + 'a {
-    let mut i = 0usize;
-    std::iter::from_fn(move || {
-        while i < masked.len() {
-            let b = masked[i];
-            if b.is_ascii_alphabetic() || b == b'_' {
-                let start = i;
-                while i < masked.len() && (masked[i].is_ascii_alphanumeric() || masked[i] == b'_') {
-                    i += 1;
-                }
-                let word = &masked[start..i];
-                if let Some(kw) = keywords.iter().find(|k| k.as_bytes() == word) {
-                    return Some((start, *kw));
-                }
-            } else {
-                i += 1;
-            }
-        }
-        None
-    })
-}
-
-/// Blanks out comments, string literals and char literals, preserving byte
-/// offsets and newlines so positions map 1:1 back to the original source.
-/// Also returns the byte spans of every comment (line and block), so
-/// callers can distinguish "blanked because comment" from "blanked because
-/// string literal".
-fn mask_non_code_spans(src: &str) -> (String, Vec<(usize, usize)>) {
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = b.iter().map(|&c| if c == b'\n' { b'\n' } else { b' ' }).collect();
-    let mut comment_spans = Vec::new();
-    let mut i = 0usize;
-    while i < b.len() {
-        let c = b[i];
-        if c == b'/' && b.get(i + 1) == Some(&b'/') {
-            let start = i;
-            while i < b.len() && b[i] != b'\n' {
-                i += 1;
-            }
-            comment_spans.push((start, i));
-        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
-            let start = i;
-            let mut depth = 1u32;
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            comment_spans.push((start, i));
-        } else if c == b'"' {
-            i += 1;
-            while i < b.len() && b[i] != b'"' {
-                i += if b[i] == b'\\' { 2 } else { 1 };
-            }
-            i += 1;
-        } else if c == b'r'
-            && matches!(b.get(i + 1), Some(&b'"') | Some(&b'#'))
-            && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_'))
-        {
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while b.get(j) == Some(&b'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if b.get(j) == Some(&b'"') {
-                j += 1;
-                // Find `"` followed by `hashes` hash marks.
-                while j < b.len() {
-                    if b[j] == b'"'
-                        && b[j + 1..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes
-                    {
-                        j += 1 + hashes;
-                        break;
-                    }
-                    j += 1;
-                }
-                i = j;
-            } else {
-                out[i] = c;
-                i += 1;
-            }
-        } else if c == b'\'' {
-            // Char literal (incl. escapes) vs. lifetime.
-            if b.get(i + 1) == Some(&b'\\') {
-                let mut j = i + 2;
-                while j < b.len() && b[j] != b'\'' {
-                    j += 1;
-                }
-                i = j + 1;
-            } else if b.get(i + 2) == Some(&b'\'') {
-                i += 3;
-            } else {
-                out[i] = c;
-                i += 1;
-            }
-        } else {
-            out[i] = c;
-            i += 1;
-        }
-    }
-    // Only ASCII bytes were blanked, so the masked text is valid UTF-8.
-    (String::from_utf8_lossy(&out).into_owned(), comment_spans)
 }
 
 #[cfg(test)]
@@ -907,6 +872,15 @@ mod tests {
     }
 
     #[test]
+    fn mutex_unwrap_survives_rustfmt_wrapping() {
+        // The old line-based engine missed chains split across lines.
+        let src = "fn depth(&self) -> usize {\n    self.inner\n        .lock()\n        .unwrap()\n        .len()\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::MutexUnwrap);
+    }
+
+    #[test]
     fn poison_safe_locking_is_clean() {
         let src = "fn depth(&self) -> usize {\n    self.inner.lock().unwrap_or_else(PoisonError::into_inner).len()\n}\n";
         assert!(lint_str("lib.rs", src).is_empty());
@@ -923,14 +897,6 @@ mod tests {
         let wrong = "fn f(m: &Mutex<u32>) -> u32 {\n    // pup-lint: allow(unwrap-in-lib)\n    *m.lock().unwrap()\n}\n";
         let d = lint_strict("lib.rs", wrong);
         assert!(d.iter().any(|d| d.rule == Rule::MutexUnwrap), "{d:?}");
-    }
-
-    #[test]
-    fn plain_result_unwrap_is_still_unwrap_in_lib() {
-        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
-        let d = lint_str("lib.rs", src);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, Rule::UnwrapInLib);
     }
 
     #[test]
@@ -954,9 +920,27 @@ mod tests {
     }
 
     #[test]
+    fn allow_inside_doc_comment_is_not_an_escape() {
+        let src = "/// Use `// pup-lint: allow(unwrap-in-lib)` to opt out.\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1, "doc prose must not suppress: {d:?}");
+    }
+
+    #[test]
     fn needles_inside_strings_and_comments_ignored() {
         let src = "fn f() -> &'static str {\n    // .unwrap() in a comment\n    \".unwrap() in a string\"\n}\n";
         assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_all_test_is_excluded() {
+        // The old regex engine searched for the literal `#[cfg(test)]` and
+        // flagged unwraps inside `#[cfg(all(test, …))]` modules — a
+        // documented false-positive class this engine fixes.
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod tests {\n    fn f(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n}\n";
+        assert!(lint_str("lib.rs", src).is_empty(), "cfg(all(test, ..)) is test code");
+        let multiline = "#[cfg(\n    test\n)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        assert!(lint_str("lib.rs", multiline).is_empty(), "multi-line cfg attr is test code");
     }
 
     #[test]
@@ -989,7 +973,6 @@ mod tests {
     #[test]
     fn impl_for_is_not_a_loop() {
         let src = "impl Clone for Foo {\n    fn clone(&self) -> Self { self.inner.clone() }\n}\n";
-        // The `.clone()` is inside an impl body, not a loop body.
         assert!(lint_str("lib.rs", src).is_empty());
     }
 
@@ -1028,13 +1011,31 @@ mod tests {
         assert_eq!(d[0].line, 2);
         // Out of scope: not model/loss code.
         assert!(lint_str("crates/eval/src/metrics.rs", src).is_empty());
-        // A guard on the same line quiets it.
+        // A guard in the same statement quiets it.
         let guarded = "fn loss(p: f64) -> f64 {\n    p.max(EPS).ln()\n}\n";
         assert!(lint_str("crates/models/src/pup.rs", guarded).is_empty());
         // So does an explicit escape.
         let escaped =
             "fn loss(p: f64) -> f64 {\n    // pup-lint: allow(unguarded-ln)\n    p.ln()\n}\n";
         assert!(lint_str("crates/models/src/pup.rs", escaped).is_empty());
+    }
+
+    #[test]
+    fn unguarded_ln_ignores_identifiers_that_merely_contain_guard_words() {
+        // `unclamped` contains "clamp"; the old substring engine treated it
+        // as a guard and missed the unguarded log — a documented miss class.
+        let src = "fn loss(x: f64) -> f64 {\n    let unclamped = x.ln();\n    unclamped\n}\n";
+        let d = lint_str("crates/models/src/pup.rs", src);
+        assert_eq!(d.len(), 1, "`unclamped` is not a guard: {d:?}");
+        assert_eq!(d[0].rule, Rule::UnguardedLn);
+    }
+
+    #[test]
+    fn unguarded_ln_sees_guards_on_other_lines_of_the_statement() {
+        // The old engine only looked at the offending line; a wrapped
+        // statement with the floor on its own line was a false positive.
+        let src = "fn loss(p: f64) -> f64 {\n    p\n        .max(1e-12)\n        .ln()\n}\n";
+        assert!(lint_str("crates/models/src/pup.rs", src).is_empty());
     }
 
     #[test]
@@ -1078,6 +1079,16 @@ mod tests {
     fn float_eq_ignores_composite_operators() {
         let src = "fn f(p: f64) -> bool {\n    p <= 0.0 || p >= 1.0\n}\n";
         assert!(lint_str("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_sees_operands_across_lines() {
+        // The old engine read operands from the operator's line only, so a
+        // wrapped comparison with the float on the next line was a miss.
+        let src = "fn f(p: f64) -> bool {\n    p ==\n        0.0\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1, "wrapped comparison must still be seen: {d:?}");
+        assert_eq!(d[0].rule, Rule::FloatEq);
     }
 
     // --- crash-unsafe-io ------------------------------------------------

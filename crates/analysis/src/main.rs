@@ -1,7 +1,8 @@
 //! CLI for the PUP correctness tooling.
 //!
 //! ```text
-//! cargo run -p pup-analysis -- lint [--strict] [ROOT]
+//! cargo run -p pup-analysis -- lint [--strict] [--fix [--force]] [--format json] [ROOT]
+//! cargo run -p pup-analysis -- audit-concurrency [--format json] [--update-ratchet] [ROOT]
 //! cargo run -p pup-analysis -- audit-graph [ROOT]
 //! ```
 //!
@@ -9,7 +10,20 @@
 //! prints one `file:line: [rule] message` diagnostic per violation, and
 //! exits 1 when anything is found, 0 on a clean tree, 2 on usage or I/O
 //! errors. With `--strict`, stale `// pup-lint: allow(...)` escapes (ones
-//! that no longer suppress any finding) are violations too.
+//! that no longer suppress any finding) are violations too. With `--fix`,
+//! stale escapes are deleted in place first; that rewrites files, so a
+//! dirty git tree is refused unless `--force` is given.
+//!
+//! `audit-concurrency` runs the Send/Sync shareability manifest, the
+//! lock-discipline pass and the atomic-ordering lint (see
+//! `pup_analysis::concurrency`), compares the tensor migration worklist
+//! against the committed ratchet in `results/concurrency_ratchet.json`,
+//! and exits with the same 0/1/2 protocol. `--update-ratchet` rewrites the
+//! ratchet to the current worklist size.
+//!
+//! `--format json` (for `lint` and `audit-concurrency`) emits a single
+//! machine-readable JSON object on stdout instead of text; CI uploads it
+//! as an artifact.
 //!
 //! `audit-graph` instantiates all seven model types on a tiny synthetic
 //! dataset, records their training-loss graphs as tape IR, and runs the
@@ -20,29 +34,73 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pup_analysis::{graph, lint};
+use pup_analysis::concurrency::{self, json_escape};
+use pup_analysis::{fix, graph, lint};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
             let mut strict = false;
+            let mut apply_fix = false;
+            let mut force = false;
+            let mut json = false;
             let mut root = PathBuf::from(".");
-            for arg in args {
-                if arg == "--strict" {
-                    strict = true;
-                } else {
-                    root = PathBuf::from(arg);
+            let mut args = args.peekable();
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--strict" => strict = true,
+                    "--fix" => apply_fix = true,
+                    "--force" => force = true,
+                    "--format" => match args.next().as_deref() {
+                        Some("json") => json = true,
+                        Some("text") => json = false,
+                        other => {
+                            eprintln!("pup-analysis: unknown format {other:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => root = PathBuf::from(arg),
                 }
             }
-            run_lint(&root, strict)
+            if apply_fix {
+                if let Some(code) = run_fix(&root, force) {
+                    return code;
+                }
+            }
+            run_lint(&root, strict, json)
+        }
+        Some("audit-concurrency") => {
+            let mut json = false;
+            let mut update = false;
+            let mut root = PathBuf::from(".");
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--update-ratchet" => update = true,
+                    "--format" => match args.next().as_deref() {
+                        Some("json") => json = true,
+                        Some("text") => json = false,
+                        other => {
+                            eprintln!("pup-analysis: unknown format {other:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => root = PathBuf::from(arg),
+                }
+            }
+            run_audit_concurrency(&root, json, update)
         }
         Some("audit-graph") => {
             let root = PathBuf::from(args.next().unwrap_or_else(|| ".".to_string()));
             run_audit_graph(&root)
         }
         _ => {
-            eprintln!("usage: pup-analysis lint [--strict] [ROOT]");
+            eprintln!(
+                "usage: pup-analysis lint [--strict] [--fix [--force]] [--format json] [ROOT]"
+            );
+            eprintln!(
+                "       pup-analysis audit-concurrency [--format json] [--update-ratchet] [ROOT]"
+            );
             eprintln!("       pup-analysis audit-graph [ROOT]");
             eprintln!();
             eprintln!("lint walks ROOT/crates/*/src and enforces the workspace lint rules:");
@@ -51,7 +109,12 @@ fn main() -> ExitCode {
             }
             eprintln!();
             eprintln!("Suppress a site with `// pup-lint: allow(<rule>)` on or above it;");
-            eprintln!("--strict additionally reports escapes that suppress nothing.");
+            eprintln!("--strict additionally reports escapes that suppress nothing, and");
+            eprintln!("--fix deletes those stale escapes in place.");
+            eprintln!();
+            eprintln!("audit-concurrency runs the Send/Sync manifest, lock-discipline and");
+            eprintln!("atomic-ordering passes, and checks the tensor migration worklist");
+            eprintln!("against results/concurrency_ratchet.json.");
             eprintln!();
             eprintln!("audit-graph records every model's training-loss graph as tape IR");
             eprintln!("and runs the static passes: dead-parameter, dead-subgraph, shape,");
@@ -61,21 +124,56 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint(root: &std::path::Path, strict: bool) -> ExitCode {
+/// Applies `--fix`; returns an exit code only on refusal or error.
+fn run_fix(root: &std::path::Path, force: bool) -> Option<ExitCode> {
+    if !force && fix::working_tree_dirty(root) == Some(true) {
+        eprintln!(
+            "pup-analysis: lint --fix rewrites files but the git tree has uncommitted \
+             changes; commit/stash them or pass --force"
+        );
+        return Some(ExitCode::from(2));
+    }
+    match fix::fix_workspace(root) {
+        Ok(outcome) => {
+            for file in &outcome.files_changed {
+                eprintln!("pup-lint: fixed {}", file.display());
+            }
+            eprintln!(
+                "pup-lint: removed {} stale escape(s) in {} file(s)",
+                outcome.escapes_removed,
+                outcome.files_changed.len()
+            );
+            None
+        }
+        Err(e) => {
+            eprintln!("pup-analysis: cannot fix {}: {e}", root.display());
+            Some(ExitCode::from(2))
+        }
+    }
+}
+
+fn run_lint(root: &std::path::Path, strict: bool, json: bool) -> ExitCode {
     match lint::lint_workspace_with(root, strict) {
         Ok(report) => {
-            for diag in &report.diagnostics {
-                println!("{diag}");
+            if json {
+                print_lint_json(&report);
+            } else {
+                for diag in &report.diagnostics {
+                    println!("{diag}");
+                }
+                if report.diagnostics.is_empty() {
+                    println!("pup-lint: clean ({} files checked)", report.files_checked);
+                } else {
+                    println!(
+                        "pup-lint: {} violation(s) in {} files checked",
+                        report.diagnostics.len(),
+                        report.files_checked
+                    );
+                }
             }
             if report.diagnostics.is_empty() {
-                println!("pup-lint: clean ({} files checked)", report.files_checked);
                 ExitCode::SUCCESS
             } else {
-                println!(
-                    "pup-lint: {} violation(s) in {} files checked",
-                    report.diagnostics.len(),
-                    report.files_checked
-                );
                 ExitCode::from(1)
             }
         }
@@ -84,6 +182,128 @@ fn run_lint(root: &std::path::Path, strict: bool) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn print_lint_json(report: &lint::LintReport) {
+    let mut out = String::from("{\n  \"schema\": \"pup-lint/1\",\n");
+    out.push_str(&format!("  \"files_checked\": {},\n", report.files_checked));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let comma = if i + 1 < report.diagnostics.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"span\": [{}, {}], \
+             \"message\": \"{}\"}}{comma}\n",
+            json_escape(&d.file.to_string_lossy()),
+            d.line,
+            d.rule.name(),
+            d.span.0,
+            d.span.1,
+            json_escape(&d.message),
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+}
+
+fn run_audit_concurrency(root: &std::path::Path, json: bool, update: bool) -> ExitCode {
+    let report = match concurrency::audit_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pup-analysis: cannot audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if update {
+        if let Err(e) = concurrency::update_ratchet(root, report.worklist.len()) {
+            eprintln!("pup-analysis: cannot update ratchet: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "audit-concurrency: ratchet set to {} tensor non-Send site(s)",
+            report.worklist.len()
+        );
+        // Re-run so the ratchet finding (if any) reflects the new value.
+        return run_audit_concurrency(root, json, false);
+    }
+    if json {
+        print_audit_json(&report);
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "audit-concurrency: {} lock(s), {} ordering edge(s), {} tensor worklist \
+             site(s) (ratchet: {})",
+            report.locks.len(),
+            report.lock_edges.len(),
+            report.worklist.len(),
+            report.ratchet_recorded.map_or_else(|| "unset".to_string(), |r| r.to_string()),
+        );
+        for item in &report.worklist {
+            println!(
+                "audit-concurrency: worklist {}:{}: {}",
+                item.file.display(),
+                item.line,
+                item.construct
+            );
+        }
+        if report.findings.is_empty() {
+            println!("audit-concurrency: clean ({} files checked)", report.files_checked);
+        } else {
+            println!(
+                "audit-concurrency: {} finding(s) in {} files checked",
+                report.findings.len(),
+                report.files_checked
+            );
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_audit_json(report: &concurrency::AuditReport) {
+    let mut out = String::from("{\n  \"schema\": \"pup-audit/1\",\n");
+    out.push_str(&format!("  \"files_checked\": {},\n", report.files_checked));
+    out.push_str(&format!(
+        "  \"ratchet_recorded\": {},\n",
+        report.ratchet_recorded.map_or_else(|| "null".to_string(), |r| r.to_string())
+    ));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let comma = if i + 1 < report.findings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"pass\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+            json_escape(&f.file.to_string_lossy()),
+            f.line,
+            f.pass.name(),
+            json_escape(&f.message),
+        ));
+    }
+    out.push_str("  ],\n  \"worklist\": [\n");
+    for (i, w) in report.worklist.iter().enumerate() {
+        let comma = if i + 1 < report.worklist.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"construct\": \"{}\"}}{comma}\n",
+            json_escape(&w.file.to_string_lossy()),
+            w.line,
+            json_escape(&w.construct),
+        ));
+    }
+    out.push_str("  ],\n  \"lock_edges\": [\n");
+    for (i, (a, b, file, line)) in report.lock_edges.iter().enumerate() {
+        let comma = if i + 1 < report.lock_edges.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"from\": \"{}\", \"to\": \"{}\", \"file\": \"{}\", \"line\": {line}}}{comma}\n",
+            json_escape(a),
+            json_escape(b),
+            json_escape(&file.to_string_lossy()),
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
 }
 
 fn run_audit_graph(root: &std::path::Path) -> ExitCode {

@@ -1,0 +1,533 @@
+//! Item/block span parsing over the [`crate::lex`] token stream.
+//!
+//! [`SourceFile`] computes the byte-span-accurate scopes every token-based
+//! pass needs and a line scanner cannot get right:
+//!
+//! - **test scopes** — items annotated `#[test]` or with any `cfg`
+//!   attribute that mentions `test` (so `#[cfg(all(test, feature = "x"))]`
+//!   and multi-line attributes are excluded correctly, a known
+//!   false-positive class of the old regex engine);
+//! - **fn definitions** — name, parameter group and body span for every
+//!   `fn`, with `where` clauses, generic returns and trait declarations
+//!   without bodies handled;
+//! - **loop bodies** — `for` / `while` / `loop`, with `impl Trait for T`
+//!   headers and `for<'a>` higher-ranked bounds excluded;
+//! - **statements** — `;`- and block-terminated statement spans inside any
+//!   brace pair, which give rules a "same statement" scope that survives
+//!   rustfmt line wrapping;
+//! - **call argument spans** — the parenthesised argument list of a named
+//!   call such as `Box::new(…)`.
+//!
+//! Everything is computed from bracket matching on *code* tokens (trivia
+//! skipped), so needles inside strings, comments or doc examples can never
+//! open or close a scope.
+
+use crate::lex::{lex, Token, TokenKind};
+
+/// A lexed file plus the derived structure the passes query.
+pub struct SourceFile<'a> {
+    /// The source text.
+    pub src: &'a str,
+    /// The lossless token stream.
+    pub tokens: Vec<Token>,
+    /// Indices (into `tokens`) of non-trivia tokens, in order.
+    pub code: Vec<usize>,
+    /// Byte offset where each line starts; `line_starts[0] == 0`.
+    pub line_starts: Vec<usize>,
+    /// For each token index, the index of its matching bracket token, for
+    /// `(` `)` `[` `]` `{` `}` tokens that pair up.
+    match_idx: Vec<Option<usize>>,
+}
+
+/// One `fn` definition: token indices into [`SourceFile::tokens`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnDef {
+    /// Token index of the `fn` keyword.
+    pub kw: usize,
+    /// Token index of the name ident (if present).
+    pub name: Option<usize>,
+    /// Token indices of the parameter list's `(` and `)`.
+    pub params: Option<(usize, usize)>,
+    /// Token indices of the body's `{` and `}`; `None` for bodyless
+    /// declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One statement inside a block: a token-index range `[first, last]`
+/// (inclusive) over code tokens, plus whether it is a `let` binding.
+#[derive(Debug, Clone, Copy)]
+pub struct Stmt {
+    /// Byte span `[start, end)` of the statement.
+    pub span: (usize, usize),
+    /// Token index of the first code token.
+    pub first: usize,
+    /// Token index of the last code token (the `;` or closing `}`).
+    pub last: usize,
+    /// Whether the statement starts with `let`.
+    pub is_let: bool,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lexes and indexes `src`.
+    pub fn parse(src: &'a str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].kind.is_trivia()).collect();
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut match_idx = vec![None; tokens.len()];
+        let mut stack: Vec<(u8, usize)> = Vec::new();
+        for &i in &code {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            match src.as_bytes()[t.start] {
+                c @ (b'(' | b'[' | b'{') => stack.push((c, i)),
+                c @ (b')' | b']' | b'}') => {
+                    let open = match c {
+                        b')' => b'(',
+                        b']' => b'[',
+                        _ => b'{',
+                    };
+                    // Tolerate mismatched input: pop only a matching opener.
+                    if let Some(pos) = stack.iter().rposition(|&(o, _)| o == open) {
+                        let (_, oi) = stack.remove(pos);
+                        match_idx[oi] = Some(i);
+                        match_idx[i] = Some(oi);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self { src, tokens, code, line_starts, match_idx }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// The matching bracket token index for token `i`, if any.
+    pub fn matching(&self, i: usize) -> Option<usize> {
+        self.match_idx.get(i).copied().flatten()
+    }
+
+    /// The text of token `i`.
+    pub fn text(&self, i: usize) -> &'a str {
+        self.tokens[i].text(self.src)
+    }
+
+    /// Whether token `i` is a `Punct` with exactly this byte.
+    pub fn is_punct(&self, i: usize, c: u8) -> bool {
+        self.tokens[i].kind == TokenKind::Punct && self.src.as_bytes()[self.tokens[i].start] == c
+    }
+
+    /// Whether token `i` is an `Ident` with exactly this text.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tokens[i].kind == TokenKind::Ident && self.text(i) == name
+    }
+
+    /// Position of token index `i` within the `code` list, if `i` is code.
+    pub fn code_pos(&self, i: usize) -> Option<usize> {
+        self.code.binary_search(&i).ok()
+    }
+
+    /// The next code token after code-position `p`.
+    pub fn next_code(&self, p: usize) -> Option<usize> {
+        self.code.get(p + 1).copied()
+    }
+
+    /// The previous code token before code-position `p`.
+    pub fn prev_code(&self, p: usize) -> Option<usize> {
+        p.checked_sub(1).map(|q| self.code[q])
+    }
+
+    /// Whether the code tokens starting at code-position `p` match
+    /// `pattern`, where each element is either a literal punct byte
+    /// (single-char string) or an ident text. Trivia between tokens is
+    /// ignored — this is what makes the match immune to rustfmt wrapping.
+    pub fn match_seq(&self, p: usize, pattern: &[&str]) -> bool {
+        for (k, want) in pattern.iter().enumerate() {
+            let Some(&ti) = self.code.get(p + k) else { return false };
+            let ok = if want.len() == 1
+                && !want.as_bytes()[0].is_ascii_alphanumeric()
+                && want.as_bytes()[0] != b'_'
+            {
+                self.is_punct(ti, want.as_bytes()[0])
+            } else {
+                self.is_ident(ti, want)
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All code positions where `pattern` (see [`Self::match_seq`]) matches.
+    pub fn find_seq(&self, pattern: &[&str]) -> Vec<usize> {
+        (0..self.code.len()).filter(|&p| self.match_seq(p, pattern)).collect()
+    }
+
+    /// Byte spans of items gated to test builds: `#[test]` functions and
+    /// any item whose `#[cfg(…)]` attribute mentions the ident `test`.
+    pub fn test_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        for p in 0..self.code.len() {
+            let hash = self.code[p];
+            if !self.is_punct(hash, b'#') {
+                continue;
+            }
+            let Some(open) = self.next_code(p).filter(|&i| self.is_punct(i, b'[')) else {
+                continue;
+            };
+            let Some(close) = self.matching(open) else { continue };
+            // First code token inside the attribute names it.
+            let Some(head) = self.code.iter().copied().find(|&i| i > open && i < close) else {
+                continue;
+            };
+            let is_test_attr = self.is_ident(head, "test")
+                || (self.is_ident(head, "cfg")
+                    && self
+                        .code
+                        .iter()
+                        .any(|&i| i > head && i < close && self.is_ident(i, "test")));
+            if !is_test_attr {
+                continue;
+            }
+            if let Some(end) = self.item_end_after(close) {
+                spans.push((self.tokens[hash].start, end));
+            }
+        }
+        spans
+    }
+
+    /// Given the token index of an attribute's closing `]`, returns the
+    /// byte offset one past the end of the annotated item (its matched
+    /// `{…}` body or terminating `;`), skipping any further attributes.
+    fn item_end_after(&self, attr_close: usize) -> Option<usize> {
+        let mut p = self.code_pos(attr_close)? + 1;
+        // Skip subsequent attributes.
+        while let (Some(&a), Some(&b)) = (self.code.get(p), self.code.get(p + 1)) {
+            if self.is_punct(a, b'#') && self.is_punct(b, b'[') {
+                p = self.code_pos(self.matching(b)?)? + 1;
+            } else {
+                break;
+            }
+        }
+        // Scan for the item's body or terminator, skipping (…)/[…] groups.
+        while let Some(&ti) = self.code.get(p) {
+            if self.is_punct(ti, b'(') || self.is_punct(ti, b'[') {
+                p = self.code_pos(self.matching(ti)?)? + 1;
+            } else if self.is_punct(ti, b'{') {
+                let close = self.matching(ti)?;
+                return Some(self.tokens[close].end);
+            } else if self.is_punct(ti, b';') {
+                return Some(self.tokens[ti].end);
+            } else {
+                p += 1;
+            }
+        }
+        None
+    }
+
+    /// Every `fn` definition in the file.
+    pub fn fn_defs(&self) -> Vec<FnDef> {
+        let mut defs = Vec::new();
+        for p in 0..self.code.len() {
+            let kw = self.code[p];
+            if !self.is_ident(kw, "fn") {
+                continue;
+            }
+            let name = self.next_code(p).filter(|&i| self.tokens[i].kind == TokenKind::Ident);
+            let mut params = None;
+            let mut body = None;
+            let mut q = p + 1;
+            while let Some(&ti) = self.code.get(q) {
+                if self.is_punct(ti, b'(') {
+                    if let Some(close) = self.matching(ti) {
+                        if params.is_none() {
+                            params = Some((ti, close));
+                        }
+                        q = match self.code_pos(close) {
+                            Some(cp) => cp + 1,
+                            None => break,
+                        };
+                        continue;
+                    }
+                    break;
+                } else if self.is_punct(ti, b'[') {
+                    match self.matching(ti).and_then(|c| self.code_pos(c)) {
+                        Some(cp) => {
+                            q = cp + 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                } else if self.is_punct(ti, b'{') {
+                    if let Some(close) = self.matching(ti) {
+                        body = Some((ti, close));
+                    }
+                    break;
+                } else if self.is_punct(ti, b';') {
+                    break;
+                }
+                q += 1;
+            }
+            defs.push(FnDef { kw, name, params, body });
+        }
+        defs
+    }
+
+    /// Byte spans of all `fn` bodies.
+    pub fn fn_body_spans(&self) -> Vec<(usize, usize)> {
+        self.fn_defs()
+            .iter()
+            .filter_map(|d| d.body)
+            .map(|(o, c)| (self.tokens[o].start, self.tokens[c].end))
+            .collect()
+    }
+
+    /// Byte spans of `for` / `while` / `loop` bodies. `impl … for …`
+    /// headers and `for<'a>` higher-ranked bounds are not loops.
+    pub fn loop_body_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        for p in 0..self.code.len() {
+            let kw = self.code[p];
+            if self.tokens[kw].kind != TokenKind::Ident {
+                continue;
+            }
+            let word = self.text(kw);
+            let is_loop_kw = match word {
+                "while" | "loop" => true,
+                "for" => {
+                    // `for<'a>` HRTB is not a loop.
+                    let hrtb = self.next_code(p).is_some_and(|i| self.is_punct(i, b'<'));
+                    // A loop `for` starts a statement; an `impl … for` or
+                    // `trait … for` follows an ident / `>` / lifetime.
+                    let stmt_start = match self.prev_code(p) {
+                        None => true,
+                        Some(prev) => {
+                            self.tokens[prev].kind == TokenKind::Punct
+                                && matches!(
+                                    self.src.as_bytes()[self.tokens[prev].start],
+                                    b'{' | b'}' | b';' | b':'
+                                )
+                        }
+                    };
+                    !hrtb && stmt_start
+                }
+                _ => false,
+            };
+            if !is_loop_kw {
+                continue;
+            }
+            // Body: first `{` at group depth 0, skipping (…)/[…] groups.
+            let mut q = p + 1;
+            while let Some(&ti) = self.code.get(q) {
+                if self.is_punct(ti, b'(') || self.is_punct(ti, b'[') {
+                    match self.matching(ti).and_then(|c| self.code_pos(c)) {
+                        Some(cp) => {
+                            q = cp + 1;
+                            continue;
+                        }
+                        None => break,
+                    }
+                } else if self.is_punct(ti, b'{') {
+                    if let Some(close) = self.matching(ti) {
+                        spans.push((self.tokens[ti].start, self.tokens[close].end));
+                    }
+                    break;
+                } else if self.is_punct(ti, b';') {
+                    break;
+                }
+                q += 1;
+            }
+        }
+        spans
+    }
+
+    /// Byte spans of the argument lists of `head(…)` calls, where `head`
+    /// is a `::`-separated path such as `["Box", "new"]`.
+    pub fn call_arg_spans(&self, path: &[&str]) -> Vec<(usize, usize)> {
+        let mut pattern: Vec<&str> = Vec::new();
+        for (k, seg) in path.iter().enumerate() {
+            if k > 0 {
+                pattern.push(":");
+                pattern.push(":");
+            }
+            pattern.push(seg);
+        }
+        pattern.push("(");
+        self.find_seq(&pattern)
+            .into_iter()
+            .filter_map(|p| {
+                let open = self.code[p + pattern.len() - 1];
+                let close = self.matching(open)?;
+                Some((self.tokens[open].start, self.tokens[close].end))
+            })
+            .collect()
+    }
+
+    /// Splits the block opened by brace token `open` into statements.
+    /// A statement ends at a depth-0 `;` or at the close of a depth-0
+    /// `{…}` group (block expressions, nested blocks, item bodies).
+    pub fn statements_in(&self, open: usize) -> Vec<Stmt> {
+        let Some(close) = self.matching(open) else { return Vec::new() };
+        let mut stmts = Vec::new();
+        let Some(start_pos) = self.code_pos(open) else { return Vec::new() };
+        let Some(end_pos) = self.code_pos(close) else { return Vec::new() };
+        let mut p = start_pos + 1;
+        let mut first: Option<usize> = None;
+        while p < end_pos {
+            let ti = self.code[p];
+            if first.is_none() {
+                first = Some(ti);
+            }
+            if self.is_punct(ti, b'(') || self.is_punct(ti, b'[') {
+                if let Some(cp) = self.matching(ti).and_then(|c| self.code_pos(c)) {
+                    p = cp + 1;
+                    continue;
+                }
+            } else if self.is_punct(ti, b'{') {
+                if let Some(cp) = self.matching(ti).and_then(|c| self.code_pos(c)) {
+                    // A `{…}` group ends the statement unless it is
+                    // followed by `;`/operator continuation; treating the
+                    // close brace as a terminator is the useful
+                    // approximation for guard-liveness and guard scopes.
+                    let close_ti = self.code[cp];
+                    let f = first.unwrap_or(ti);
+                    stmts.push(self.mk_stmt(f, close_ti));
+                    first = None;
+                    p = cp + 1;
+                    continue;
+                }
+            } else if self.is_punct(ti, b';') {
+                let f = first.unwrap_or(ti);
+                stmts.push(self.mk_stmt(f, ti));
+                first = None;
+            }
+            p += 1;
+        }
+        if let Some(f) = first {
+            // Trailing expression without `;`.
+            let last = self.code[end_pos - 1];
+            stmts.push(self.mk_stmt(f, last));
+        }
+        stmts
+    }
+
+    fn mk_stmt(&self, first: usize, last: usize) -> Stmt {
+        Stmt {
+            span: (self.tokens[first].start, self.tokens[last].end),
+            first,
+            last,
+            is_let: self.is_ident(first, "let"),
+        }
+    }
+
+    /// The innermost brace-open token whose block contains byte `offset`.
+    pub fn enclosing_brace(&self, offset: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut best_len = usize::MAX;
+        for &i in &self.code {
+            if !self.is_punct(i, b'{') {
+                continue;
+            }
+            let Some(c) = self.matching(i) else { continue };
+            let (s, e) = (self.tokens[i].start, self.tokens[c].end);
+            if offset > s && offset < e && e - s < best_len {
+                best = Some(i);
+                best_len = e - s;
+            }
+        }
+        best
+    }
+
+    /// The statement (within the innermost enclosing block) containing
+    /// byte `offset`.
+    pub fn enclosing_statement(&self, offset: usize) -> Option<Stmt> {
+        let open = self.enclosing_brace(offset)?;
+        self.statements_in(open).into_iter().find(|s| offset >= s.span.0 && offset < s.span.1)
+    }
+}
+
+/// Whether `offset` falls inside any of `spans` (half-open).
+pub fn in_any(spans: &[(usize, usize)], offset: usize) -> bool {
+    spans.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_cover_cfg_all_and_multiline_attrs() {
+        let src =
+            "#[cfg(all(test, feature = \"x\"))]\nmod tests {\n    fn f() {}\n}\nfn live() {}\n";
+        let f = SourceFile::parse(src);
+        let spans = f.test_spans();
+        assert_eq!(spans.len(), 1);
+        let inner = src.find("fn f").expect("fixture");
+        let live = src.find("fn live").expect("fixture");
+        assert!(in_any(&spans, inner));
+        assert!(!in_any(&spans, live));
+
+        let multiline = "#[cfg(\n    test\n)]\nmod tests { fn g() {} }\n";
+        let f = SourceFile::parse(multiline);
+        assert!(in_any(&f.test_spans(), multiline.find("fn g").expect("fixture")));
+    }
+
+    #[test]
+    fn fn_defs_find_names_params_and_bodies() {
+        let src = "pub fn add(a: u32, b: u32) -> Result<u32, String> { a.checked_add(b).ok_or_else(|| \"overflow\".to_string()) }\ntrait T { fn decl(&self); }\n";
+        let f = SourceFile::parse(src);
+        let defs = f.fn_defs();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(f.text(defs[0].name.expect("named")), "add");
+        assert!(defs[0].body.is_some());
+        assert_eq!(f.text(defs[1].name.expect("named")), "decl");
+        assert!(defs[1].body.is_none(), "trait declarations have no body");
+    }
+
+    #[test]
+    fn loop_spans_exclude_impl_for_and_hrtb() {
+        let src = "impl Clone for Foo { fn clone(&self) -> Self { Foo } }\nfn f<F>(g: F) where F: for<'a> Fn(&'a u8) { for x in 0..3 { g(&x); } }\n";
+        let f = SourceFile::parse(src);
+        let spans = f.loop_body_spans();
+        assert_eq!(spans.len(), 1, "only the real for loop: {spans:?}");
+        assert!(in_any(&spans, src.find("g(&x)").expect("fixture")));
+    }
+
+    #[test]
+    fn statements_split_on_semicolon_and_blocks() {
+        let src = "fn f() { let a = 1; if a > 0 { noop(); } a + 1 }\n";
+        let f = SourceFile::parse(src);
+        let open = f.code.iter().copied().find(|&i| f.is_punct(i, b'{')).expect("body");
+        let stmts = f.statements_in(open);
+        assert_eq!(stmts.len(), 3, "{stmts:?}");
+        assert!(stmts[0].is_let);
+        assert!(!stmts[1].is_let);
+    }
+
+    #[test]
+    fn match_seq_ignores_trivia() {
+        let src = "x\n    .lock()\n    .unwrap();\n";
+        let f = SourceFile::parse(src);
+        let hits = f.find_seq(&[".", "lock", "(", ")", ".", "unwrap", "(", ")"]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn call_arg_spans_match_paths() {
+        let src = "let b = Box::new(|g| panic!(\"{g}\"));\nlet v = Vec::new();\n";
+        let f = SourceFile::parse(src);
+        let spans = f.call_arg_spans(&["Box", "new"]);
+        assert_eq!(spans.len(), 1);
+        assert!(in_any(&spans, src.find("panic!").expect("fixture")));
+    }
+}

@@ -1,0 +1,38 @@
+//! Corpus fixture: `unguarded-ln` in model/loss scope, both the log form
+//! and the division-by-tape-value form.
+
+/// A probe type standing in for `Var` reads.
+pub struct Probe(f64);
+
+impl Probe {
+    /// The tape-value read the divisor needles match.
+    pub fn scalar(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Unguarded `.ln()` on a probability: flagged.
+pub fn nll(p: f64) -> f64 {
+    -p.ln()
+}
+
+/// Division by a tape-derived value with no floor: flagged.
+pub fn normed(x: &Probe, t: &Probe) -> f64 {
+    x.scalar() / t.scalar()
+}
+
+/// A floored divisor is fine.
+pub fn normed_safe(x: &Probe, t: &Probe) -> f64 {
+    x.scalar() / t.scalar().max(1e-12)
+}
+
+/// Division by a plain count is fine.
+pub fn mean(sum: f64, n: usize) -> f64 {
+    sum / n as f64
+}
+
+/// An escape on the line above suppresses the log rule.
+pub fn nll_escaped(p: f64) -> f64 {
+    // pup-lint: allow(unguarded-ln) — corpus: argument is pre-floored.
+    -p.ln()
+}

@@ -1,0 +1,68 @@
+//! Losslessness gate for the lexer: the token stream must tile every
+//! workspace source file exactly. If this test fails, span arithmetic in
+//! every downstream rule is suspect, so it runs over the *real* tree —
+//! including this file — rather than synthetic snippets.
+
+use std::fs;
+use std::path::Path;
+
+use pup_analysis::lex::{lex, TokenKind};
+use pup_analysis::lint::workspace_rs_files;
+
+#[test]
+fn every_workspace_file_lexes_losslessly() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_rs_files(&root).expect("workspace is readable");
+    assert!(files.len() > 40, "walk found too few files: {}", files.len());
+    for file in files {
+        let src = fs::read_to_string(&file).expect("source is readable");
+        let tokens = lex(&src);
+        // Tokens tile the file: contiguous, in order, covering every byte.
+        let mut pos = 0usize;
+        for tok in &tokens {
+            assert_eq!(
+                tok.start,
+                pos,
+                "{}: gap or overlap at byte {pos} ({:?})",
+                file.display(),
+                tok.kind
+            );
+            assert!(tok.end > tok.start, "{}: empty token at {pos}", file.display());
+            pos = tok.end;
+        }
+        assert_eq!(pos, src.len(), "{}: tokens do not reach EOF", file.display());
+        // Re-concatenating token texts reproduces the file byte for byte.
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        assert_eq!(rebuilt, src, "{}: reassembly differs", file.display());
+        // No lexer bail-outs on real code.
+        for tok in &tokens {
+            assert!(
+                tok.kind != TokenKind::Unknown,
+                "{}: unknown token {:?} at byte {}",
+                file.display(),
+                tok.text(&src),
+                tok.start
+            );
+        }
+    }
+}
+
+#[test]
+fn punct_tokens_are_single_bytes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for file in workspace_rs_files(&root).expect("workspace is readable") {
+        let src = fs::read_to_string(&file).expect("source is readable");
+        for tok in lex(&src) {
+            if tok.kind == TokenKind::Punct {
+                assert_eq!(
+                    tok.end - tok.start,
+                    1,
+                    "{}: glued punct {:?} at byte {}",
+                    file.display(),
+                    tok.text(&src),
+                    tok.start
+                );
+            }
+        }
+    }
+}

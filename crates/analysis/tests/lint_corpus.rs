@@ -1,0 +1,42 @@
+//! Corpus regression gate for the token-based engine: linting the frozen
+//! tree under `tests/corpus_root` must reproduce `expected_findings.txt`
+//! exactly — same files, same lines, same rules, nothing extra. The corpus
+//! was captured from the regex engine this one replaced, so this test is
+//! the proof that the migration changed the implementation, not the
+//! verdicts.
+
+use std::path::Path;
+
+use pup_analysis::lint::lint_workspace;
+
+#[test]
+fn corpus_findings_match_the_golden_file() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_root");
+    let report = lint_workspace(&corpus).expect("corpus is readable");
+    assert_eq!(report.files_checked, 3, "corpus shape changed");
+
+    let mut got: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let rel = d.file.strip_prefix(&corpus).unwrap_or(&d.file);
+            format!("{}:{}:{}", rel.display(), d.line, d.rule.name())
+        })
+        .collect();
+    got.sort();
+
+    let golden = corpus.join("expected_findings.txt");
+    let mut want: Vec<String> = std::fs::read_to_string(&golden)
+        .expect("golden file is readable")
+        .lines()
+        .map(str::to_string)
+        .filter(|l| !l.is_empty())
+        .collect();
+    want.sort();
+
+    assert_eq!(
+        got, want,
+        "corpus findings diverged from the golden file; if the change is \
+         intentional, update tests/corpus_root/expected_findings.txt"
+    );
+}

@@ -54,18 +54,23 @@ pub use telemetry::{
     SCHEMA_VERSION,
 };
 
+// pup-audit: allow(non-send): telemetry collectors are per-thread by design; nothing crosses threads
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::time::Instant;
 
 use metrics::{GaugeStat, Histogram};
 
+// pup-audit: allow(non-send): per-thread collector storage keeps the disabled path contention-free
 thread_local! {
     /// Fast-path flag: `true` iff a collector is installed on this thread.
+    // pup-audit: allow(non-send): only touched through LocalKey::with on the owning thread
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
     /// Bumped on every `start()` so stale guards can detect that their
     /// collection is gone.
+    // pup-audit: allow(non-send): only touched through LocalKey::with on the owning thread
     static GENERATION: Cell<u64> = const { Cell::new(0) };
+    // pup-audit: allow(non-send): only touched through LocalKey::with on the owning thread
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
 }
 

@@ -2,7 +2,7 @@
 # The full local gate — identical to what CI runs (.github/workflows/ci.yml).
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh --fast     # skip the test suite (fmt + clippy + lint + audit-graph only)
+#   scripts/check.sh --fast     # skip the test suite (fmt + clippy + lint + audits only)
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -20,6 +20,7 @@ step() {
 step cargo fmt --all --check
 step cargo clippy --workspace --all-targets -- -D warnings
 step cargo run -p pup-analysis --quiet -- lint --strict
+step cargo run -p pup-analysis --quiet -- audit-concurrency
 step cargo run -p pup-analysis --quiet -- audit-graph
 if [[ $fast -eq 0 ]]; then
     step cargo test --workspace -q
