@@ -41,6 +41,16 @@ use crate::syntax::{in_any, FnDef, SourceFile};
 /// Relative path of the committed ratchet file.
 pub const RATCHET_PATH: &str = "results/concurrency_ratchet.json";
 
+/// Escape kinds this audit owns (reason + staleness are checked here).
+pub const CONCURRENCY_KINDS: &[&str] =
+    &["non-send", "lock-order", "guard-across-scoring", "relaxed-handoff"];
+
+/// Every valid `// pup-audit: allow(<kind>)` across all audits. This audit
+/// owns unknown-kind detection for the whole family; kinds owned by other
+/// audits (`hotpath-panic` → `audit-hotpath`) are hygiene-checked there.
+pub const ALL_ESCAPE_KINDS: &[&str] =
+    &["non-send", "lock-order", "guard-across-scoring", "relaxed-handoff", "hotpath-panic"];
+
 /// The audit pass a finding came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pass {
@@ -117,6 +127,9 @@ pub struct AuditReport {
     pub ratchet_recorded: Option<usize>,
     /// Number of `.rs` files scanned.
     pub files_checked: usize,
+    /// Stale escapes (a `lint --fix` run may delete them): file, 1-based
+    /// line of the marker, escape kind.
+    pub stale_escapes: Vec<(PathBuf, usize, String)>,
 }
 
 /// Per-crate shareability policy.
@@ -242,6 +255,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
         lock_edges: Vec::new(),
         ratchet_recorded: None,
         files_checked: files.len(),
+        stale_escapes: Vec::new(),
     };
 
     let mut escapes: Vec<AuditEscape> = facts
@@ -264,14 +278,15 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
     ratchet_pass(root, &mut report);
 
     // Escape hygiene: every escape must name a known pass, carry a reason,
-    // and still suppress something.
+    // and still suppress something. Kinds owned by other audits are left
+    // to them (only unknown-kind detection is centralised here).
     for esc in &escapes {
-        let known = matches!(
-            esc.kind.as_str(),
-            "non-send" | "lock-order" | "guard-across-scoring" | "relaxed-handoff"
-        );
+        let known = ALL_ESCAPE_KINDS.contains(&esc.kind.as_str());
+        let owned = CONCURRENCY_KINDS.contains(&esc.kind.as_str());
         let message = if !known {
             format!("audit escape names unknown pass `{}`", esc.kind)
+        } else if !owned {
+            continue;
         } else if !esc.has_reason {
             format!(
                 "audit escape `allow({})` has no reason; write \
@@ -279,6 +294,11 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
                 esc.kind, esc.kind
             )
         } else if !esc.used {
+            report.stale_escapes.push((
+                facts[esc.file].path.to_path_buf(),
+                esc.line,
+                esc.kind.to_string(),
+            ));
             format!("stale audit escape: `allow({})` suppresses nothing; delete it", esc.kind)
         } else {
             continue;
@@ -1068,6 +1088,7 @@ pub fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
+            // pup-lint: allow(as-cast-truncation) — char to u32 is lossless
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }

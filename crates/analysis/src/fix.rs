@@ -2,20 +2,28 @@
 //!
 //! The only fix the driver applies is deleting **stale** allow escapes:
 //! `// pup-lint: allow(<rule>)` comments whose names no longer suppress
-//! any finding (including names of rules that do not exist). Removing a
-//! stale escape can never introduce a violation — the escape was
-//! suppressing nothing — so the pass is safe to run unattended and is
-//! idempotent: the second run finds nothing left to delete.
+//! any finding (including names of rules that do not exist), plus
+//! `// pup-audit: allow(<kind>)` escapes the concurrency and hot-path
+//! audits report as stale. Removing a stale escape can never introduce a
+//! violation — the escape was suppressing nothing — so the pass is safe
+//! to run unattended and is idempotent: the second run finds nothing
+//! left to delete.
+//!
+//! Ordering matters: the lint pass rewrites files first, then both
+//! audits run against the updated tree so the stale lines they report
+//! match what is on disk.
 //!
 //! Edits rewrite files in place, so the CLI refuses to run on a dirty git
 //! tree unless `--force` is given (a non-git tree is treated as consent).
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use crate::lint;
+use crate::syntax::SourceFile;
+use crate::{concurrency, hotpath, lint};
 
 /// What a workspace fix pass did.
 #[derive(Debug, Default)]
@@ -50,7 +58,57 @@ pub fn fix_workspace(root: &Path) -> io::Result<FixOutcome> {
             outcome.escapes_removed += removed;
         }
     }
+    fix_audit_escapes(root, &mut outcome)?;
     Ok(outcome)
+}
+
+/// Deletes `// pup-audit: allow(…)` escapes that the concurrency and
+/// hot-path audits report as stale. Runs after the lint pass so the line
+/// numbers in the audit reports match the tree on disk.
+fn fix_audit_escapes(root: &Path, outcome: &mut FixOutcome) -> io::Result<()> {
+    let mut stale: BTreeMap<PathBuf, BTreeSet<(usize, String)>> = BTreeMap::new();
+    for (file, line, kind) in concurrency::audit_workspace(root)?.stale_escapes {
+        stale.entry(file).or_default().insert((line, kind));
+    }
+    for s in hotpath::audit_workspace(root)?.stale_escapes {
+        stale.entry(s.file).or_default().insert((s.line, s.kind));
+    }
+    for (file, lines) in stale {
+        let source = fs::read_to_string(&file)?;
+        if let Some((fixed, removed)) = delete_audit_escapes(&source, &lines) {
+            write_atomic(&file, &fixed)?;
+            if !outcome.files_changed.contains(&file) {
+                outcome.files_changed.push(file);
+            }
+            outcome.escapes_removed += removed;
+        }
+    }
+    Ok(())
+}
+
+/// Computes the text of `source` with the audit escape comments at the
+/// given `(line, kind)` positions deleted, or `None` when none match.
+pub fn delete_audit_escapes(
+    source: &str,
+    stale: &BTreeSet<(usize, String)>,
+) -> Option<(String, usize)> {
+    let file = SourceFile::parse(source);
+    let mut edits: Vec<(usize, usize, String)> = Vec::new();
+    for esc in hotpath::escape_comments(&file) {
+        if stale.iter().any(|(line, kind)| *line == esc.line && *kind == esc.kind) {
+            edits.push(comment_deletion(source, esc.span));
+        }
+    }
+    if edits.is_empty() {
+        return None;
+    }
+    let removed = edits.len();
+    edits.sort_by_key(|&(s, _, _)| s);
+    let mut fixed = source.to_string();
+    for (start, end, replacement) in edits.into_iter().rev() {
+        fixed.replace_range(start..end, &replacement);
+    }
+    Some((fixed, removed))
 }
 
 fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
@@ -172,6 +230,43 @@ mod tests {
         let src = "fn f() -> u32 {\n    // pup-lint: allow(unwrap-in-lib)\n    42 // pup-lint: allow(float-eq)\n}\n";
         let (once, _) = fix_source(Path::new("lib.rs"), src).expect("stale escapes");
         assert!(fix_source(Path::new("lib.rs"), &once).is_none(), "second pass must be a no-op");
+    }
+
+    #[test]
+    fn stale_audit_escape_is_deleted_by_line_and_kind() {
+        let src =
+            "fn f() {\n    // pup-audit: allow(hotpath-panic): old reason\n    let _x = 1;\n}\n";
+        let stale: BTreeSet<(usize, String)> =
+            [(2, "hotpath-panic".to_string())].into_iter().collect();
+        let (fixed, removed) = delete_audit_escapes(src, &stale).expect("stale escape");
+        assert_eq!(fixed, "fn f() {\n    let _x = 1;\n}\n");
+        assert_eq!(removed, 1);
+    }
+
+    #[test]
+    fn live_audit_escapes_with_other_kinds_survive() {
+        let src = "fn f() {\n    // pup-audit: allow(non-send): still live\n    let _x = 1;\n}\n";
+        let stale: BTreeSet<(usize, String)> =
+            [(2, "hotpath-panic".to_string())].into_iter().collect();
+        assert!(delete_audit_escapes(src, &stale).is_none());
+    }
+
+    #[test]
+    fn trailing_audit_escape_keeps_the_code() {
+        let src = "fn f() {\n    let _x = 1; // pup-audit: allow(hotpath-panic): gone\n}\n";
+        let stale: BTreeSet<(usize, String)> =
+            [(2, "hotpath-panic".to_string())].into_iter().collect();
+        let (fixed, _) = delete_audit_escapes(src, &stale).expect("stale escape");
+        assert_eq!(fixed, "fn f() {\n    let _x = 1;\n}\n");
+    }
+
+    #[test]
+    fn audit_escape_deletion_is_idempotent() {
+        let src = "fn f() {\n    // pup-audit: allow(hotpath-panic): old\n    let _x = 1;\n}\n";
+        let stale: BTreeSet<(usize, String)> =
+            [(2, "hotpath-panic".to_string())].into_iter().collect();
+        let (once, _) = delete_audit_escapes(src, &stale).expect("stale escape");
+        assert!(delete_audit_escapes(&once, &stale).is_none(), "second pass must be a no-op");
     }
 
     #[test]

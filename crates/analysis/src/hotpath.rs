@@ -1,0 +1,753 @@
+//! Hot-path certifier: panic-reachability and allocation/lock budgets over
+//! the [`crate::callgraph`] call graph.
+//!
+//! A fn annotated `// pup-hot: <label>` is a **hot root** — an entry point
+//! whose transitive callees form a serving- or training-critical inner
+//! loop. This module runs two reachability-fixpoint passes over the graph:
+//!
+//! 1. **Panic-reachability.** Per-fn summaries record every syntactic
+//!    panic source in the body: `panic!`-family macros (`panic!`,
+//!    `unreachable!`, `todo!`, `unimplemented!`), `assert!`-family macros
+//!    (`debug_assert*` is *not* a source — it compiles out of release
+//!    builds), `.unwrap()` / `.expect(…)`, index/range expressions
+//!    `x[…]`, and integer `/` `%` (with float-arithmetic excluded by
+//!    heuristic). Facts propagate caller-ward: a root certifies only when
+//!    zero unescaped sources are reachable from it. A legitimate site is
+//!    acknowledged with a mandatory-reason escape on or directly above it:
+//!    `// pup-audit: allow(hotpath-panic): <why this cannot fire>`.
+//! 2. **Allocation/lock budget.** The same reachable set is scanned for
+//!    heap allocation (`Vec::new` / `Vec::with_capacity` inside loop
+//!    bodies, `.clone()`, `.to_vec()`, `.collect()`, `format!`, `vec!`,
+//!    `Box::new`) and lock acquisition (`.lock()` / `.read()` /
+//!    `.write()`). Budgets are not zero — they are **ratcheted**: current
+//!    per-root counts live in `results/hotpath_ratchet.json`; growth fails
+//!    the audit, shrinkage prompts `--update-ratchet`, so perf refactors
+//!    can only drive the numbers down.
+//!
+//! Soundness caveats (see DESIGN.md §13): calls through fn-pointer /
+//! closure *values* are invisible to the graph, and bare-name fan-out can
+//! add edges no execution takes. The first is why closures are attributed
+//! to their enclosing fn (a closure defined on the hot path is audited
+//! there, wherever it is later invoked from); the second only ever makes
+//! the certifier stricter.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::callgraph::CallGraph;
+use crate::lex::TokenKind;
+use crate::lint::workspace_rs_files;
+use crate::syntax::{in_any, SourceFile};
+
+/// Repo-relative path of the committed hot-path budget ratchet.
+pub const RATCHET_PATH: &str = "results/hotpath_ratchet.json";
+
+/// The escape kind this audit owns.
+pub const ESCAPE_KIND: &str = "hotpath-panic";
+
+/// Which pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// An unescaped panic source reachable from a hot root.
+    PanicReach,
+    /// A malformed or stale `// pup-audit: allow(hotpath-panic)` escape.
+    Escape,
+    /// Budget ratchet violations and bookkeeping prompts.
+    Ratchet,
+    /// Workspace-shape problems (e.g. no hot roots annotated at all).
+    Roots,
+}
+
+impl Pass {
+    /// Stable machine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::PanicReach => "hotpath-panic",
+            Pass::Escape => "escape",
+            Pass::Ratchet => "ratchet",
+            Pass::Roots => "roots",
+        }
+    }
+}
+
+/// One certifier finding.
+#[derive(Debug)]
+pub struct Finding {
+    /// File the finding is anchored to.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Producing pass.
+    pub pass: Pass,
+    /// Human-readable message (includes the call chain for panic findings).
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.pass.name(), self.message)
+    }
+}
+
+/// Per-root budget summary.
+#[derive(Debug)]
+pub struct RootReport {
+    /// The `// pup-hot:` label.
+    pub label: String,
+    /// Qualified name of the root fn.
+    pub qual: String,
+    /// Number of workspace fns reachable from the root (root included).
+    pub reachable: usize,
+    /// Allocation sites reachable from the root.
+    pub allocs: usize,
+    /// Lock-acquisition sites reachable from the root.
+    pub locks: usize,
+}
+
+/// One allocation/lock site on some root's hot path (for the worklist
+/// print and the JSON report). A site reachable from several roots is
+/// attributed to the first (label-sorted) root that reaches it.
+#[derive(Debug)]
+pub struct SiteItem {
+    /// File of the site.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// What allocates or locks (`.clone()`, `Vec::new in loop`, …).
+    pub construct: String,
+    /// Label of the root this site is attributed to.
+    pub root: String,
+}
+
+/// A stale escape comment the fixer may delete: file, 1-based line, kind.
+#[derive(Debug, Clone)]
+pub struct StaleEscape {
+    /// File containing the comment.
+    pub file: PathBuf,
+    /// 1-based line of the marker.
+    pub line: usize,
+    /// The escape kind named in `allow(…)`.
+    pub kind: String,
+}
+
+/// The full certifier report.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// All findings, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Per-root budgets, sorted by label.
+    pub roots: Vec<RootReport>,
+    /// Alloc/lock worklist, sorted by (file, line).
+    pub sites: Vec<SiteItem>,
+    /// The committed ratchet, if present: label -> (allocs, locks).
+    pub ratchet: Option<BTreeMap<String, (usize, usize)>>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+    /// Number of fn nodes in the call graph.
+    pub fn_count: usize,
+    /// Stale `allow(hotpath-panic)` escapes, for `lint --fix`.
+    pub stale_escapes: Vec<StaleEscape>,
+}
+
+/// One audit escape comment found in a file (any kind).
+#[derive(Debug)]
+pub struct EscapeComment {
+    /// Byte span of the whole comment token.
+    pub span: (usize, usize),
+    /// 1-based line of the marker.
+    pub line: usize,
+    /// The kind inside `allow(…)`.
+    pub kind: String,
+    /// Whether a non-empty `: <reason>` follows.
+    pub has_reason: bool,
+}
+
+/// Parses every `// pup-audit: allow(<kind>)[: reason]` comment in a file.
+/// Shared with the fixer, which needs the comment's byte span to delete it.
+pub fn escape_comments(file: &SourceFile<'_>) -> Vec<EscapeComment> {
+    const MARKER: &str = "pup-audit: allow(";
+    let mut out = Vec::new();
+    for t in &file.tokens {
+        let plain = matches!(
+            t.kind,
+            TokenKind::LineComment { doc: false } | TokenKind::BlockComment { doc: false }
+        );
+        if !plain {
+            continue;
+        }
+        let text = t.text(file.src);
+        let Some(at) = text.find(MARKER) else { continue };
+        let rest = &text[at + MARKER.len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let after = rest[close + 1..].trim_start();
+        out.push(EscapeComment {
+            span: (t.start, t.end),
+            line: file.line_of(t.start + at),
+            kind: rest[..close].trim().to_string(),
+            has_reason: after.strip_prefix(':').map(str::trim).is_some_and(|r| !r.is_empty()),
+        });
+    }
+    out
+}
+
+/// A local panic/alloc/lock site before fn attribution.
+struct RawSite {
+    offset: usize,
+    line: usize,
+    construct: String,
+}
+
+/// Per-file local facts: panic sources, alloc/lock sites, escapes.
+struct FileSites {
+    panics: Vec<RawSite>,
+    allocs: Vec<RawSite>,
+    locks: Vec<RawSite>,
+    escapes: Vec<EscapeComment>,
+}
+
+/// Macros that unconditionally may panic. `debug_assert*` is absent on
+/// purpose: it compiles out of release builds, which is what serves.
+const PANIC_MACROS: &[&str] =
+    &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+/// Idents that must not precede a `[` for it to be an index expression.
+const NON_INDEX_KEYWORDS: &[&str] =
+    &["let", "in", "return", "else", "match", "if", "while", "mut", "ref", "move", "box", "as"];
+
+/// Extracts all local sites from one parsed file (non-test code only).
+fn extract_sites(file: &SourceFile<'_>) -> FileSites {
+    let test_spans = file.test_spans();
+    let loop_spans = file.loop_body_spans();
+    let mut sites = FileSites {
+        panics: Vec::new(),
+        allocs: Vec::new(),
+        locks: Vec::new(),
+        escapes: Vec::new(),
+    };
+    sites.escapes = escape_comments(file);
+
+    for p in 0..file.code.len() {
+        let ti = file.code[p];
+        let at = file.tokens[ti].start;
+        if in_any(&test_spans, at) {
+            continue;
+        }
+        let panic_site = |construct: String, sites: &mut FileSites| {
+            sites.panics.push(RawSite { offset: at, line: file.line_of(at), construct });
+        };
+        match file.tokens[ti].kind {
+            TokenKind::Ident => {
+                let word = file.text(ti);
+                let bang = file.code.get(p + 1).is_some_and(|&n| file.is_punct(n, b'!'));
+                if bang && PANIC_MACROS.contains(&word) {
+                    panic_site(format!("{word}!"), &mut sites);
+                } else if bang && (word == "format" || word == "vec") {
+                    sites.allocs.push(RawSite {
+                        offset: at,
+                        line: file.line_of(at),
+                        construct: format!("{word}!"),
+                    });
+                }
+            }
+            TokenKind::Punct if file.is_punct(ti, b'.') => {
+                let Some(&name) = file.code.get(p + 1) else { continue };
+                if file.tokens[name].kind != TokenKind::Ident {
+                    continue;
+                }
+                match file.text(name) {
+                    "unwrap" if file.match_seq(p, &[".", "unwrap", "(", ")"]) => {
+                        panic_site(".unwrap()".to_string(), &mut sites);
+                    }
+                    "expect" if file.match_seq(p, &[".", "expect", "("]) => {
+                        panic_site(".expect(…)".to_string(), &mut sites);
+                    }
+                    w @ ("clone" | "to_vec" | "collect")
+                        if file
+                            .code
+                            .get(p + 2)
+                            .is_some_and(|&n| file.is_punct(n, b'(') || file.is_punct(n, b':')) =>
+                    {
+                        sites.allocs.push(RawSite {
+                            offset: at,
+                            line: file.line_of(at),
+                            construct: format!(".{w}()"),
+                        });
+                    }
+                    w @ ("lock" | "read" | "write")
+                        if file.code.get(p + 2).is_some_and(|&n| file.is_punct(n, b'(')) =>
+                    {
+                        sites.locks.push(RawSite {
+                            offset: at,
+                            line: file.line_of(at),
+                            construct: format!(".{w}()"),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            TokenKind::Punct if file.is_punct(ti, b'[') && is_index_expr(file, p) => {
+                panic_site("index `[…]`".to_string(), &mut sites);
+            }
+            TokenKind::Punct if file.is_punct(ti, b'/') || file.is_punct(ti, b'%') => {
+                let op = if file.is_punct(ti, b'/') { '/' } else { '%' };
+                if is_integer_div(file, p, at) {
+                    panic_site(format!("integer `{op}`"), &mut sites);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // `Vec::new(` / `Vec::with_capacity(` count only inside loop bodies
+    // (a one-time buffer is fine; per-iteration allocation is the smell);
+    // `Box::new(` counts anywhere.
+    for (head, member, loops_only) in
+        [("Vec", "new", true), ("Vec", "with_capacity", true), ("Box", "new", false)]
+    {
+        for p in file.find_seq(&[head, ":", ":", member, "("]) {
+            let at = file.tokens[file.code[p]].start;
+            if in_any(&test_spans, at) {
+                continue;
+            }
+            if loops_only && !in_any(&loop_spans, at) {
+                continue;
+            }
+            let construct = if loops_only {
+                format!("{head}::{member} in loop")
+            } else {
+                format!("{head}::{member}")
+            };
+            sites.allocs.push(RawSite { offset: at, line: file.line_of(at), construct });
+        }
+    }
+    sites
+}
+
+/// Whether the `[` at code position `p` starts an index (or range-index)
+/// expression: it must directly follow a value — an ident that is not a
+/// keyword, a closing `)` / `]`, or a string literal. Attributes (`#[`),
+/// macro brackets (`name![`), array types/literals and slice patterns all
+/// fail that test.
+fn is_index_expr(file: &SourceFile<'_>, p: usize) -> bool {
+    let Some(prev) = p.checked_sub(1).map(|q| file.code[q]) else { return false };
+    match file.tokens[prev].kind {
+        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&file.text(prev)),
+        TokenKind::Punct => file.is_punct(prev, b')') || file.is_punct(prev, b']'),
+        TokenKind::Str | TokenKind::RawStr => true,
+        _ => false,
+    }
+}
+
+/// Whether the `/` or `%` at code position `p` (byte `at`) is integer
+/// arithmetic that may panic (divide by zero / overflow). Float
+/// arithmetic is excluded by heuristic: a float literal, an `f32`/`f64`
+/// ident, or a float-only method (`sqrt`, `exp`, `ln`, `powi`, `powf`)
+/// anywhere in the innermost enclosing fn body marks the whole fn floaty
+/// — local float bindings (`let m_hat = mi / bc1`) carry no per-statement
+/// type marker, so per-statement scanning is not enough. The cost is a
+/// missed integer division inside float-heavy fns; the heuristic trades
+/// that for not drowning the report in float false positives. A nonzero
+/// integer literal divisor cannot divide by zero and is skipped too.
+fn is_integer_div(file: &SourceFile<'_>, p: usize, at: usize) -> bool {
+    // `/=`? The lexer never glues puncts, so compound assignment shows up
+    // as `/` followed by `=` — still a division, still audited.
+    let Some(&next) = file.code.get(p + 1) else { return false };
+    match file.tokens[next].kind {
+        TokenKind::Float => return false,
+        TokenKind::Int => {
+            let text = file.text(next);
+            let nonzero = text.trim_start_matches('0').chars().any(|c| c.is_ascii_hexdigit());
+            if nonzero {
+                return false;
+            }
+        }
+        _ => {}
+    }
+    if let Some(prev) = p.checked_sub(1).map(|q| file.code[q]) {
+        if file.tokens[prev].kind == TokenKind::Float {
+            return false;
+        }
+        // A `/` directly after `(`/`,`/`=` etc. is not a binary operator
+        // position we understand; be quiet rather than noisy.
+        if file.tokens[prev].kind == TokenKind::Punct
+            && !(file.is_punct(prev, b')') || file.is_punct(prev, b']'))
+        {
+            return false;
+        }
+    }
+    // Enclosing-fn float heuristic: innermost fn body containing `at`.
+    let span = file
+        .fn_defs()
+        .iter()
+        .filter_map(|d| d.body)
+        .map(|(open, close)| (file.tokens[open].start, file.tokens[close].end))
+        .filter(|&(lo, hi)| lo <= at && at < hi)
+        .min_by_key(|&(lo, hi)| hi - lo);
+    if let Some((lo, hi)) = span {
+        let floaty = file.code.iter().any(|&ti| {
+            let t = &file.tokens[ti];
+            if t.start < lo || t.start >= hi {
+                return false;
+            }
+            t.kind == TokenKind::Float
+                || (t.kind == TokenKind::Ident
+                    && matches!(
+                        file.text(ti),
+                        "f32" | "f64" | "sqrt" | "exp" | "ln" | "powi" | "powf"
+                    ))
+        });
+        if floaty {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs the certifier over `<root>/crates/*/src`.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let files = workspace_rs_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for file in files {
+        let text = fs::read_to_string(&file)?;
+        sources.push((file, text));
+    }
+    Ok(audit_sources(root, &sources))
+}
+
+/// A panic/alloc/lock site attributed to a fn node.
+struct FnSites {
+    /// Unescaped panic sources: (line, construct).
+    panics: Vec<(usize, String)>,
+    /// Alloc sites: (offset, line, construct).
+    allocs: Vec<(usize, usize, String)>,
+    /// Lock sites: (offset, line, construct).
+    locks: Vec<(usize, usize, String)>,
+}
+
+/// Runs the certifier over in-memory sources. `root` is only used to read
+/// the committed ratchet; pass a directory without one to skip the check.
+pub fn audit_sources(root: &Path, sources: &[(PathBuf, String)]) -> AuditReport {
+    let mut graph = CallGraph::build_from_sources(sources);
+    graph.attach_crate_deps(root);
+    let mut report = AuditReport {
+        findings: Vec::new(),
+        roots: Vec::new(),
+        sites: Vec::new(),
+        ratchet: read_ratchet(root),
+        files_checked: sources.len(),
+        fn_count: graph.fns.len(),
+        stale_escapes: Vec::new(),
+    };
+
+    // Group fn indices by file for site attribution.
+    let mut fns_by_file: BTreeMap<&Path, Vec<usize>> = BTreeMap::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        fns_by_file.entry(f.file.as_path()).or_default().push(i);
+    }
+
+    // Extract local sites per file, attribute each to the innermost
+    // enclosing fn, and apply escapes to panic sites.
+    let mut per_fn: Vec<FnSites> = (0..graph.fns.len())
+        .map(|_| FnSites { panics: Vec::new(), allocs: Vec::new(), locks: Vec::new() })
+        .collect();
+    // Each escape remembers the owner fns of the sites it suppressed, so
+    // hygiene can check the suppressed code is actually hot.
+    let mut escapes: Vec<(PathBuf, EscapeComment, Vec<usize>)> = Vec::new();
+    for (path, text) in sources {
+        let file = SourceFile::parse(text);
+        let sites = extract_sites(&file);
+        let owners = fns_by_file.get(path.as_path()).map_or(&[][..], |v| &v[..]);
+        let owner_of = |offset: usize| -> Option<usize> {
+            owners
+                .iter()
+                .copied()
+                .filter_map(|i| graph.fns[i].body.map(|span| (i, span)))
+                .filter(|&(_, span)| offset > span.0 && offset < span.1)
+                .min_by_key(|&(_, span)| span.1 - span.0)
+                .map(|(i, _)| i)
+        };
+        let escape_base = escapes.len();
+        for esc in sites.escapes {
+            if esc.kind == ESCAPE_KIND {
+                escapes.push((path.to_path_buf(), esc, Vec::new()));
+            }
+        }
+        for s in sites.panics {
+            let Some(owner) = owner_of(s.offset) else { continue };
+            let mut suppressed = false;
+            for (_, esc, suppressed_in) in &mut escapes[escape_base..] {
+                if esc.has_reason && (esc.line == s.line || esc.line + 1 == s.line) {
+                    suppressed_in.push(owner);
+                    suppressed = true;
+                }
+            }
+            if !suppressed {
+                per_fn[owner].panics.push((s.line, s.construct));
+            }
+        }
+        for s in sites.allocs {
+            if let Some(owner) = owner_of(s.offset) {
+                per_fn[owner].allocs.push((s.offset, s.line, s.construct));
+            }
+        }
+        for s in sites.locks {
+            if let Some(owner) = owner_of(s.offset) {
+                per_fn[owner].locks.push((s.offset, s.line, s.construct));
+            }
+        }
+    }
+
+    // Per-root reachability fixpoint: BFS with parent pointers so every
+    // finding names its call chain.
+    let roots = graph.hot_roots();
+    if roots.is_empty() {
+        report.findings.push(Finding {
+            file: PathBuf::from("crates"),
+            line: 1,
+            pass: Pass::Roots,
+            message: "no `// pup-hot: <label>` roots annotated anywhere in the workspace; \
+                      the hot-path certifier has nothing to certify"
+                .to_string(),
+        });
+    }
+    let mut hot_reach: Vec<bool> = vec![false; graph.fns.len()];
+    let mut claimed_sites: BTreeSet<(PathBuf, usize)> = BTreeSet::new();
+    for (label, start) in &roots {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(*start);
+        queue.push_back(*start);
+        while let Some(i) = queue.pop_front() {
+            for call in &graph.fns[i].calls {
+                for j in graph.callees(i, call) {
+                    if seen.insert(j) {
+                        parent.insert(j, i);
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        let chain = |mut i: usize| -> String {
+            let mut names = vec![graph.fns[i].qual.as_str()];
+            while let Some(&p) = parent.get(&i) {
+                names.push(graph.fns[p].qual.as_str());
+                i = p;
+            }
+            names.reverse();
+            names.join(" -> ")
+        };
+        let mut allocs = 0usize;
+        let mut locks = 0usize;
+        for &i in &seen {
+            hot_reach[i] = true;
+            let f = &graph.fns[i];
+            for (line, construct) in &per_fn[i].panics {
+                if claimed_sites.insert((f.file.to_path_buf(), *line)) {
+                    report.findings.push(Finding {
+                        file: f.file.to_path_buf(),
+                        line: *line,
+                        pass: Pass::PanicReach,
+                        message: format!(
+                            "{construct} reachable from hot root `{label}` via {}; make it \
+                             infallible or annotate \
+                             `// pup-audit: allow(hotpath-panic): <why this cannot fire>`",
+                            chain(i)
+                        ),
+                    });
+                }
+            }
+            for (offset, line, construct) in &per_fn[i].allocs {
+                if claimed_sites.insert((f.file.to_path_buf(), *offset)) {
+                    allocs += 1;
+                    report.sites.push(SiteItem {
+                        file: f.file.to_path_buf(),
+                        line: *line,
+                        construct: construct.to_string(),
+                        root: label.to_string(),
+                    });
+                }
+            }
+            for (offset, line, construct) in &per_fn[i].locks {
+                if claimed_sites.insert((f.file.to_path_buf(), *offset)) {
+                    locks += 1;
+                    report.sites.push(SiteItem {
+                        file: f.file.to_path_buf(),
+                        line: *line,
+                        construct: format!("lock {construct}"),
+                        root: label.to_string(),
+                    });
+                }
+            }
+        }
+        report.roots.push(RootReport {
+            label: label.to_string(),
+            qual: graph.fns[*start].qual.to_string(),
+            reachable: seen.len(),
+            allocs,
+            locks,
+        });
+    }
+
+    // Escape hygiene: every `allow(hotpath-panic)` must carry a reason and
+    // suppress a site inside a hot-reachable fn; anything else is stale.
+    // (Unknown kinds are audit-concurrency's to report — it owns the
+    // shared registry.)
+    for (path, esc, suppressed_in) in &escapes {
+        let on_hot_path = suppressed_in.iter().any(|&i| hot_reach[i]);
+        let message = if !esc.has_reason {
+            format!(
+                "audit escape `allow({ESCAPE_KIND})` has no reason; write \
+                 `// pup-audit: allow({ESCAPE_KIND}): <why this cannot fire>`"
+            )
+        } else if !on_hot_path {
+            report.stale_escapes.push(StaleEscape {
+                file: path.to_path_buf(),
+                line: esc.line,
+                kind: esc.kind.to_string(),
+            });
+            format!("stale audit escape: `allow({ESCAPE_KIND})` suppresses nothing; delete it")
+        } else {
+            continue;
+        };
+        report.findings.push(Finding {
+            file: path.to_path_buf(),
+            line: esc.line,
+            pass: Pass::Escape,
+            message,
+        });
+    }
+
+    ratchet_pass(&mut report);
+    report.findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Compares per-root budgets against the committed ratchet.
+fn ratchet_pass(report: &mut AuditReport) {
+    let path = PathBuf::from(RATCHET_PATH);
+    let Some(ratchet) = &report.ratchet else {
+        if report.roots.iter().any(|r| r.allocs > 0 || r.locks > 0) {
+            report.findings.push(Finding {
+                file: path,
+                line: 1,
+                pass: Pass::Ratchet,
+                message: "no hot-path ratchet recorded but hot roots have alloc/lock \
+                          budgets; run `audit-hotpath --update-ratchet` and commit the result"
+                    .to_string(),
+            });
+        }
+        return;
+    };
+    for r in &report.roots {
+        match ratchet.get(&r.label) {
+            None => report.findings.push(Finding {
+                file: path.to_path_buf(),
+                line: 1,
+                pass: Pass::Ratchet,
+                message: format!(
+                    "hot root `{}` has no recorded budget; run \
+                     `audit-hotpath --update-ratchet` and commit the result",
+                    r.label
+                ),
+            }),
+            Some(&(allocs, locks)) => {
+                for (metric, now, rec) in [("alloc", r.allocs, allocs), ("lock", r.locks, locks)] {
+                    if now > rec {
+                        report.findings.push(Finding {
+                            file: path.to_path_buf(),
+                            line: 1,
+                            pass: Pass::Ratchet,
+                            message: format!(
+                                "hot root `{}` {metric} budget grew: {now} site(s) vs \
+                                 ratchet {rec}; hot loops only get leaner — remove the \
+                                 new {metric} sites instead",
+                                r.label
+                            ),
+                        });
+                    } else if now < rec {
+                        report.findings.push(Finding {
+                            file: path.to_path_buf(),
+                            line: 1,
+                            pass: Pass::Ratchet,
+                            message: format!(
+                                "hot root `{}` {metric} budget shrank: {now} site(s) vs \
+                                 ratchet {rec}; lock in the progress with \
+                                 `audit-hotpath --update-ratchet`",
+                                r.label
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for label in ratchet.keys() {
+        if !report.roots.iter().any(|r| &r.label == label) {
+            report.findings.push(Finding {
+                file: path.to_path_buf(),
+                line: 1,
+                pass: Pass::Ratchet,
+                message: format!(
+                    "ratchet records root `{label}` but no fn is annotated \
+                     `// pup-hot: {label}`; run `audit-hotpath --update-ratchet`"
+                ),
+            });
+        }
+    }
+}
+
+/// Rewrites the committed ratchet to the current per-root budgets.
+pub fn update_ratchet(root: &Path, roots: &[RootReport]) -> io::Result<()> {
+    let path = root.join(RATCHET_PATH);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut body = String::from("{\n  \"schema\": \"pup-hotpath-ratchet/1\",\n  \"roots\": {\n");
+    let mut sorted: Vec<&RootReport> = roots.iter().collect();
+    sorted.sort_by(|a, b| a.label.cmp(&b.label));
+    for (i, r) in sorted.iter().enumerate() {
+        let comma = if i + 1 < sorted.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    \"{}\": {{\"allocs\": {}, \"locks\": {}}}{comma}\n",
+            r.label, r.allocs, r.locks
+        ));
+    }
+    body.push_str("  }\n}\n");
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads the committed ratchet: label -> (allocs, locks).
+pub fn read_ratchet(root: &Path) -> Option<BTreeMap<String, (usize, usize)>> {
+    let text = fs::read_to_string(root.join(RATCHET_PATH)).ok()?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('"') || !line.contains("\"allocs\"") {
+            continue;
+        }
+        let mut quotes = line.split('"');
+        quotes.next()?; // before the first quote
+        let label = quotes.next()?.to_string();
+        let allocs = field_value(line, "\"allocs\"")?;
+        let locks = field_value(line, "\"locks\"")?;
+        out.insert(label, (allocs, locks));
+    }
+    Some(out)
+}
+
+/// Parses the integer after `"field":` in `line`.
+fn field_value(line: &str, field: &str) -> Option<usize> {
+    let at = line.find(field)?;
+    let rest = &line[at + field.len()..];
+    let colon = rest.find(':')?;
+    let digits: String =
+        rest[colon + 1..].trim_start().chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}

@@ -31,13 +31,24 @@
 //!   Mutex/RwLock acquisition-order pass over the serving path, and an
 //!   atomic-ordering lint. Run it with
 //!   `cargo run -p pup-analysis -- audit-concurrency`.
+//! - [`callgraph`] / [`hotpath`] — the workspace-wide interprocedural call
+//!   graph (free fns, methods with conservative trait fan-out, closures
+//!   attributed to their enclosing fn) and the hot-path certifier built on
+//!   it: a panic-reachability fixpoint that proves every `// pup-hot:`
+//!   root panic-free modulo reasoned `// pup-audit: allow(hotpath-panic)`
+//!   escapes, plus a ratcheted per-root allocation/lock budget
+//!   (`results/hotpath_ratchet.json`). Run it with
+//!   `cargo run -p pup-analysis -- audit-hotpath`.
 //! - [`fix`] — mechanical cleanup for `lint --fix`: deletes stale
-//!   `// pup-lint: allow(…)` escapes in place, idempotently.
+//!   `// pup-lint: allow(…)` escapes and stale `// pup-audit: allow(…)`
+//!   audit escapes in place, idempotently.
 
+pub mod callgraph;
 pub mod concurrency;
 pub mod fix;
 pub mod gradcheck;
 pub mod graph;
+pub mod hotpath;
 pub mod lex;
 pub mod lint;
 pub mod syntax;

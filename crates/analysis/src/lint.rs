@@ -67,6 +67,9 @@ pub enum Rule {
     /// `println!` / `eprintln!` in crate library code (bins/tests exempt):
     /// structured output belongs in `pup-obs` telemetry or return values.
     RawPrintInLib,
+    /// A lossy `as` cast (`as u32`, `as f32`, float `as usize`) in
+    /// non-test code.
+    AsCastTruncation,
     /// An allow escape that no longer suppresses any finding (strict mode).
     StaleAllow,
 }
@@ -83,6 +86,7 @@ impl Rule {
         Rule::FloatEq,
         Rule::CrashUnsafeIo,
         Rule::RawPrintInLib,
+        Rule::AsCastTruncation,
     ];
 
     /// The rule's name as used in `// pup-lint: allow(<name>)` comments.
@@ -97,6 +101,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::CrashUnsafeIo => "crash-unsafe-io",
             Rule::RawPrintInLib => "raw-print-in-lib",
+            Rule::AsCastTruncation => "as-cast-truncation",
             Rule::StaleAllow => "stale-allow",
         }
     }
@@ -276,6 +281,7 @@ pub fn analyze_source(path: &Path, source: &str, strict: bool) -> Analysis {
     }
     float_eq(&file, &test_spans, &mut candidates);
     crash_unsafe_io(&file, &test_spans, &mut candidates);
+    as_cast_truncation(&file, &test_spans, &mut candidates);
 
     // Filter candidates through the allow escapes, tracking which escape
     // actually earned its keep.
@@ -667,6 +673,78 @@ fn floaty(file: &SourceFile<'_>, tokens: &[usize]) -> bool {
     })
 }
 
+/// `as-cast-truncation`: lossy `as` casts in non-test code. Casting to
+/// `u8`/`u16`/`u32`/`i8`/`i16`/`i32` silently drops high bits; `as f32`
+/// drops mantissa precision; `as usize` truncates toward zero when the
+/// source operand chain looks like a float. Widening or same-width casts
+/// (`as f64`, `as u64`, `as i64`, integer `as usize`) stay quiet —
+/// the rule targets silent value corruption, not representation changes.
+fn as_cast_truncation(
+    file: &SourceFile<'_>,
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Candidate>,
+) {
+    const LOSSY: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+    for p in 0..file.code.len() {
+        let kw = file.code[p];
+        if !file.is_ident(kw, "as") {
+            continue;
+        }
+        let Some(&ty) = file.code.get(p + 1) else { continue };
+        if file.tokens[ty].kind != TokenKind::Ident {
+            continue;
+        }
+        let at = file.tokens[kw].start;
+        if in_any(test_spans, at) {
+            continue;
+        }
+        let target = file.text(ty);
+        let lossy = if LOSSY.contains(&target) {
+            true
+        } else if target == "usize" {
+            // Walk the source operand's postfix chain backward, entering
+            // matched `(…)` groups whole (same walk as `float-eq`).
+            let mut left = Vec::new();
+            let mut q = p;
+            while q > 0 {
+                let ti = file.code[q - 1];
+                if file.is_punct(ti, b')') {
+                    match file.matching(ti).and_then(|o| file.code_pos(o)) {
+                        Some(op) => {
+                            for r in op..q {
+                                left.push(file.code[r]);
+                            }
+                            q = op;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                if operand_token(file, ti) {
+                    left.push(ti);
+                    q -= 1;
+                } else {
+                    break;
+                }
+            }
+            floaty(file, &left)
+        } else {
+            false
+        };
+        if lossy {
+            out.push(Candidate {
+                offset: at,
+                end: file.tokens[ty].end,
+                rule: Rule::AsCastTruncation,
+                message: format!(
+                    "`as {target}` may lose value bits silently; use `try_from` (or round \
+                     explicitly) or annotate with `// pup-lint: allow(as-cast-truncation)`"
+                ),
+            });
+        }
+    }
+}
+
 /// `float-eq`: `==` / `!=` where either operand's postfix chain looks like
 /// an `f64` expression. Exact float comparison is almost always a bug
 /// outside tests; legitimate exact sentinels (`p == 0.0` fast paths) opt
@@ -833,6 +911,47 @@ mod tests {
 
     fn lint_strict(name: &str, src: &str) -> Vec<Diagnostic> {
         lint_source_with(Path::new(name), src, true)
+    }
+
+    #[test]
+    fn narrowing_int_cast_is_flagged() {
+        let src = "pub fn f(x: u64) -> u32 {\n    x as u32\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::AsCastTruncation);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn f32_cast_is_flagged_but_f64_is_not() {
+        let d = lint_str("lib.rs", "pub fn f(x: f64) -> f32 {\n    x as f32\n}\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::AsCastTruncation);
+        assert!(lint_str("lib.rs", "pub fn f(x: u32) -> f64 {\n    x as f64\n}\n").is_empty());
+    }
+
+    #[test]
+    fn float_to_usize_cast_is_flagged_but_int_to_usize_is_not() {
+        let src = "pub fn f(x: f64) -> usize {\n    (x * 0.5) as usize\n}\n";
+        let d = lint_str("lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::AsCastTruncation);
+        assert!(lint_str("lib.rs", "pub fn f(x: u32) -> usize {\n    x as usize\n}\n").is_empty());
+    }
+
+    #[test]
+    fn as_cast_in_tests_and_with_escape_is_quiet() {
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(x: u64) -> u32 {\n        x as u32\n    }\n}\n";
+        assert!(lint_str("lib.rs", test_src).is_empty());
+        let escaped =
+            "pub fn f(x: u64) -> u32 {\n    // pup-lint: allow(as-cast-truncation)\n    x as u32\n}\n";
+        assert!(lint_str("lib.rs", escaped).is_empty());
+    }
+
+    #[test]
+    fn use_as_alias_is_not_a_cast() {
+        assert!(lint_str("lib.rs", "use std::io::Result as IoResult;\npub fn f() {}\n").is_empty());
     }
 
     #[test]

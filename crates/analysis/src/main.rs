@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p pup-analysis -- lint [--strict] [--fix [--force]] [--format json] [ROOT]
 //! cargo run -p pup-analysis -- audit-concurrency [--format json] [--update-ratchet] [ROOT]
+//! cargo run -p pup-analysis -- audit-hotpath [--format json] [--update-ratchet] [ROOT]
 //! cargo run -p pup-analysis -- audit-graph [ROOT]
 //! ```
 //!
@@ -11,8 +12,10 @@
 //! exits 1 when anything is found, 0 on a clean tree, 2 on usage or I/O
 //! errors. With `--strict`, stale `// pup-lint: allow(...)` escapes (ones
 //! that no longer suppress any finding) are violations too. With `--fix`,
-//! stale escapes are deleted in place first; that rewrites files, so a
-//! dirty git tree is refused unless `--force` is given.
+//! stale escapes are deleted in place first — `// pup-lint: allow(...)`
+//! names that suppress nothing plus `// pup-audit: allow(...)` escapes
+//! the concurrency and hot-path audits report stale; that rewrites
+//! files, so a dirty git tree is refused unless `--force` is given.
 //!
 //! `audit-concurrency` runs the Send/Sync shareability manifest, the
 //! lock-discipline pass and the atomic-ordering lint (see
@@ -21,9 +24,15 @@
 //! and exits with the same 0/1/2 protocol. `--update-ratchet` rewrites the
 //! ratchet to the current worklist size.
 //!
-//! `--format json` (for `lint` and `audit-concurrency`) emits a single
-//! machine-readable JSON object on stdout instead of text; CI uploads it
-//! as an artifact.
+//! `audit-hotpath` builds the workspace call graph, certifies every
+//! `// pup-hot: <label>` root panic-free (modulo reasoned
+//! `// pup-audit: allow(hotpath-panic)` escapes), and checks per-root
+//! allocation/lock budgets against `results/hotpath_ratchet.json` with
+//! the same grow-fails / shrink-prompts semantics.
+//!
+//! `--format json` (for `lint`, `audit-concurrency` and `audit-hotpath`)
+//! emits a single machine-readable JSON object on stdout instead of text;
+//! CI uploads it as an artifact.
 //!
 //! `audit-graph` instantiates all seven model types on a tiny synthetic
 //! dataset, records their training-loss graphs as tape IR, and runs the
@@ -35,7 +44,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use pup_analysis::concurrency::{self, json_escape};
-use pup_analysis::{fix, graph, lint};
+use pup_analysis::{fix, graph, hotpath, lint};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -90,6 +99,26 @@ fn main() -> ExitCode {
             }
             run_audit_concurrency(&root, json, update)
         }
+        Some("audit-hotpath") => {
+            let mut json = false;
+            let mut update = false;
+            let mut root = PathBuf::from(".");
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--update-ratchet" => update = true,
+                    "--format" => match args.next().as_deref() {
+                        Some("json") => json = true,
+                        Some("text") => json = false,
+                        other => {
+                            eprintln!("pup-analysis: unknown format {other:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => root = PathBuf::from(arg),
+                }
+            }
+            run_audit_hotpath(&root, json, update)
+        }
         Some("audit-graph") => {
             let root = PathBuf::from(args.next().unwrap_or_else(|| ".".to_string()));
             run_audit_graph(&root)
@@ -101,6 +130,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "       pup-analysis audit-concurrency [--format json] [--update-ratchet] [ROOT]"
             );
+            eprintln!(
+                "       pup-analysis audit-hotpath [--format json] [--update-ratchet] [ROOT]"
+            );
             eprintln!("       pup-analysis audit-graph [ROOT]");
             eprintln!();
             eprintln!("lint walks ROOT/crates/*/src and enforces the workspace lint rules:");
@@ -110,11 +142,17 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("Suppress a site with `// pup-lint: allow(<rule>)` on or above it;");
             eprintln!("--strict additionally reports escapes that suppress nothing, and");
-            eprintln!("--fix deletes those stale escapes in place.");
+            eprintln!("--fix deletes those stale escapes in place (pup-lint and stale");
+            eprintln!("pup-audit escapes from both audits).");
             eprintln!();
             eprintln!("audit-concurrency runs the Send/Sync manifest, lock-discipline and");
             eprintln!("atomic-ordering passes, and checks the tensor migration worklist");
             eprintln!("against results/concurrency_ratchet.json.");
+            eprintln!();
+            eprintln!("audit-hotpath builds the workspace call graph and certifies every");
+            eprintln!("`// pup-hot: <label>` root panic-free (escapes:");
+            eprintln!("`// pup-audit: allow(hotpath-panic): <why>`), ratcheting per-root");
+            eprintln!("allocation/lock budgets in results/hotpath_ratchet.json.");
             eprintln!();
             eprintln!("audit-graph records every model's training-loss graph as tape IR");
             eprintln!("and runs the static passes: dead-parameter, dead-subgraph, shape,");
@@ -300,6 +338,113 @@ fn print_audit_json(report: &concurrency::AuditReport) {
             json_escape(a),
             json_escape(b),
             json_escape(&file.to_string_lossy()),
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+}
+
+fn run_audit_hotpath(root: &std::path::Path, json: bool, update: bool) -> ExitCode {
+    let report = match hotpath::audit_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pup-analysis: cannot audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if update {
+        if let Err(e) = hotpath::update_ratchet(root, &report.roots) {
+            eprintln!("pup-analysis: cannot update ratchet: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("audit-hotpath: ratchet set for {} hot root(s)", report.roots.len());
+        // Re-run so ratchet findings (if any) reflect the new budgets.
+        return run_audit_hotpath(root, json, false);
+    }
+    if json {
+        print_hotpath_json(&report);
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for r in &report.roots {
+            let recorded = report
+                .ratchet
+                .as_ref()
+                .and_then(|m| m.get(&r.label))
+                .map_or_else(|| "unset".to_string(), |&(a, l)| format!("{a}/{l}"));
+            println!(
+                "audit-hotpath: root `{}` ({}): {} fn(s) reachable, {} alloc site(s), \
+                 {} lock site(s) (ratchet: {recorded})",
+                r.label, r.qual, r.reachable, r.allocs, r.locks
+            );
+        }
+        for s in &report.sites {
+            println!(
+                "audit-hotpath: budget {}:{}: {} via `{}`",
+                s.file.display(),
+                s.line,
+                s.construct,
+                s.root
+            );
+        }
+        if report.findings.is_empty() {
+            println!(
+                "audit-hotpath: certified ({} fn(s) in {} files)",
+                report.fn_count, report.files_checked
+            );
+        } else {
+            println!(
+                "audit-hotpath: {} finding(s) in {} files checked",
+                report.findings.len(),
+                report.files_checked
+            );
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_hotpath_json(report: &hotpath::AuditReport) {
+    let mut out = String::from("{\n  \"schema\": \"pup-hotpath/1\",\n");
+    out.push_str(&format!("  \"files_checked\": {},\n", report.files_checked));
+    out.push_str(&format!("  \"fn_count\": {},\n", report.fn_count));
+    out.push_str("  \"roots\": [\n");
+    for (i, r) in report.roots.iter().enumerate() {
+        let comma = if i + 1 < report.roots.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"fn\": \"{}\", \"reachable\": {}, \"allocs\": {}, \
+             \"locks\": {}}}{comma}\n",
+            json_escape(&r.label),
+            json_escape(&r.qual),
+            r.reachable,
+            r.allocs,
+            r.locks,
+        ));
+    }
+    out.push_str("  ],\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let comma = if i + 1 < report.findings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"pass\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+            json_escape(&f.file.to_string_lossy()),
+            f.line,
+            f.pass.name(),
+            json_escape(&f.message),
+        ));
+    }
+    out.push_str("  ],\n  \"sites\": [\n");
+    for (i, s) in report.sites.iter().enumerate() {
+        let comma = if i + 1 < report.sites.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"construct\": \"{}\", \"root\": \"{}\"}}{comma}\n",
+            json_escape(&s.file.to_string_lossy()),
+            s.line,
+            json_escape(&s.construct),
+            json_escape(&s.root),
         ));
     }
     out.push_str("  ]\n}");

@@ -1,0 +1,36 @@
+//! Corpus fixtures for the `as-cast-truncation` rule.
+
+/// Narrowing integer cast: flagged.
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+/// Precision-losing float cast: flagged.
+pub fn shrink(x: f64) -> f32 {
+    x as f32
+}
+
+/// Float-to-usize truncation: flagged.
+pub fn bucket(x: f64) -> usize {
+    (x * 10.0) as usize
+}
+
+/// Escaped lossy cast: quiet.
+pub fn escaped(x: u64) -> u32 {
+    // pup-lint: allow(as-cast-truncation) — ids are dense and small
+    x as u32
+}
+
+/// Integer-to-usize widening: quiet.
+pub fn widen(x: u32) -> usize {
+    x as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: u64 = 5;
+        assert_eq!(x as u32, 5);
+    }
+}

@@ -6,7 +6,7 @@
 //! ops and a graph propagation, so they use the 1e-3 bar directly.
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,7 +57,7 @@ fn sweep_matmul_dense_and_sparse() {
         |i| ops::sum(&ops::square(&ops::matmul(&i[0], &i[1]))),
         &[param(2, 3, 7), param(3, 2, 8)],
     );
-    let a = Rc::new(CsrMatrix::from_triplets(
+    let a = Arc::new(CsrMatrix::from_triplets(
         3,
         4,
         &[(0, 0, 0.5), (0, 2, -0.5), (1, 1, 1.0), (2, 3, 0.25), (2, 0, 0.75)],
@@ -225,7 +225,7 @@ fn swept_ops_registry_matches_recorded_reality() {
     use pup_tensor::tape;
 
     let mut rng = StdRng::seed_from_u64(99);
-    let sp = Rc::new(CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 2, 0.5), (2, 1, -1.0)]));
+    let sp = Arc::new(CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 2, 0.5), (2, 1, -1.0)]));
 
     tape::start_recording();
     let a = param(3, 3, 90);

@@ -10,12 +10,17 @@
 //!   ten rules over every `crates/*/src` file).
 //! - `audit` — full-workspace `audit_workspace` (send-sync manifest,
 //!   lock-discipline fixpoint, atomic-ordering pass, ratchet check).
+//! - `callgraph` — interprocedural call-graph construction alone, the
+//!   shared foundation under `audit-hotpath`.
+//! - `hotpath` — the full hot-path certifier (graph build + panic
+//!   reachability + allocation/lock budgets + ratchet check).
 
 use std::path::{Path, PathBuf};
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
+use pup_analysis::callgraph::CallGraph;
 use pup_analysis::concurrency::audit_workspace;
 use pup_analysis::lex::lex;
 use pup_analysis::lint::{lint_workspace, workspace_rs_files};
@@ -79,7 +84,38 @@ fn bench_audit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lex, bench_lint, bench_audit);
+/// Call-graph construction alone: read + lex + fn extraction + call-site
+/// resolution scaffolding for the whole workspace.
+fn bench_callgraph(c: &mut Criterion) {
+    let root = workspace_root();
+    let mut group = c.benchmark_group("callgraph");
+    group.sample_size(20);
+    group.bench_function("build", |b| {
+        b.iter(|| {
+            let graph = CallGraph::build(black_box(&root)).expect("graph builds");
+            black_box((graph.fns.len(), graph.files_scanned))
+        })
+    });
+    group.finish();
+}
+
+/// The full hot-path certifier as CI runs it: call graph, panic
+/// reachability, allocation/lock budgets, escape hygiene, ratchet.
+fn bench_hotpath(c: &mut Criterion) {
+    let root = workspace_root();
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(20);
+    group.bench_function("workspace", |b| {
+        b.iter(|| {
+            let report =
+                pup_analysis::hotpath::audit_workspace(black_box(&root)).expect("audit runs");
+            black_box((report.fn_count, report.sites.len(), report.findings.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lex, bench_lint, bench_audit, bench_callgraph, bench_hotpath);
 
 fn main() {
     benches();

@@ -4,14 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pup_data::synthetic::{generate, GeneratorConfig};
 use pup_graph::normalize::row_normalized;
 use pup_graph::{build_pup_graph, GraphSpec};
 use pup_tensor::{init, ops, CsrMatrix, Var};
 
-fn pup_a_hat(scale: usize) -> Rc<CsrMatrix> {
+fn pup_a_hat(scale: usize) -> Arc<CsrMatrix> {
     let d = generate(&GeneratorConfig {
         n_users: 200 * scale,
         n_items: 150 * scale,
@@ -34,7 +34,7 @@ fn pup_a_hat(scale: usize) -> Rc<CsrMatrix> {
         &pairs,
         GraphSpec::FULL,
     );
-    Rc::new(row_normalized(g.adjacency(), true))
+    Arc::new(row_normalized(g.adjacency(), true))
 }
 
 fn bench_spmm(c: &mut Criterion) {

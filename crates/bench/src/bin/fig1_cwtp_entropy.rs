@@ -22,6 +22,7 @@ fn main() {
     println!("{:>10} {:>10}  density", "entropy", "p(x)");
     let max_density = hist.iter().map(|&(_, d)| d).fold(0.0f64, f64::max).max(1e-9);
     for (center, density) in &hist {
+        // pup-lint: allow(as-cast-truncation) — bar width in [0, 50] after rounding
         let bar = "#".repeat((density / max_density * 50.0).round() as usize);
         println!("{center:>10.3} {density:>10.4}  {bar}");
     }

@@ -37,6 +37,7 @@ fn main() {
                 .iter()
                 .map(|&v| {
                     let idx =
+                        // pup-lint: allow(as-cast-truncation) — shade index clamped to the palette size
                         ((v * (shades.len() - 1) as f64).ceil() as usize).min(shades.len() - 1);
                     shades[idx]
                 })

@@ -28,6 +28,7 @@ fn main() {
     println!("{:>12} {:>12}", "#levels", "Recall@100");
     let max = results.iter().map(|&(_, r)| r).fold(0.0f64, f64::max).max(1e-9);
     for (l, r) in &results {
+        // pup-lint: allow(as-cast-truncation) — bar width in [0, 40] after rounding
         let bar = "#".repeat((r / max * 40.0).round() as usize);
         println!("{l:>12} {r:>12.4}  {bar}");
     }

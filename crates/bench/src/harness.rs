@@ -26,6 +26,7 @@ impl ExperimentEnv {
     pub fn from_env() -> Self {
         Self {
             scale: read_env("PUP_SCALE", 0.04),
+            // pup-lint: allow(as-cast-truncation) — epoch count env knob; small by construction
             epochs: read_env("PUP_EPOCHS", 30.0) as usize,
             seed: read_env("PUP_SEED", 2020.0) as u64,
         }

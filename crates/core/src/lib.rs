@@ -446,6 +446,7 @@ impl Pipeline {
             if valid_truth[u].is_empty() {
                 continue;
             }
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             let pool: Vec<u32> = (0..self.split.n_items as u32)
                 .filter(|i| train_items[u].binary_search(i).is_err())
                 .collect();

@@ -195,6 +195,7 @@ pub fn parse_dataset(
             maps.users.push(user.to_string());
             maps.users.len() - 1
         });
+        // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
         if !seen_events.insert((user_id as u32, item_id as u32, ts)) {
             return Err(LoadError::DuplicateInteraction {
                 line: lineno + 1,
@@ -203,7 +204,9 @@ pub fn parse_dataset(
             });
         }
         interactions.push(Interaction {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             user: user_id as u32,
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             item: item_id as u32,
             timestamp: ts,
         });

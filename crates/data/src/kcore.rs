@@ -77,7 +77,9 @@ pub fn kcore_filter(dataset: &Dataset, k: usize) -> KcoreResult {
         .iter()
         .filter(|it| user_alive[it.user as usize] && item_alive[it.item as usize])
         .map(|it| Interaction {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             user: user_new[it.user as usize] as u32,
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             item: item_new[it.item as usize] as u32,
             timestamp: it.timestamp,
         })

@@ -63,6 +63,7 @@ pub fn uniform_quantize(
                 // Single-price category: everything lands on level 0.
                 return 0;
             }
+            // pup-lint: allow(as-cast-truncation) — level in [0, levels) after the floor and clamp
             let level = ((p - min[c]) / range * levels as f64).floor() as usize;
             // The max-priced item would otherwise land on `levels`.
             level.min(levels - 1)
@@ -103,6 +104,7 @@ pub fn rank_quantize(
             // Average 0-based rank of the block, converted to a percentile.
             let avg_rank = (i + j - 1) as f64 / 2.0;
             let percentile = avg_rank / n;
+            // pup-lint: allow(as-cast-truncation) — level clamped to levels - 1 on the same line
             let level = ((percentile * levels as f64) as usize).min(levels - 1);
             for &item in &sorted[i..j] {
                 out[item] = level;

@@ -48,6 +48,7 @@ impl Split {
     pub fn train_items_by_user(&self) -> Vec<Vec<u32>> {
         let mut lists = vec![Vec::new(); self.n_users];
         for &(u, i) in &self.train {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             lists[u].push(i as u32);
         }
         for l in &mut lists {
@@ -60,6 +61,7 @@ impl Split {
     pub fn test_items_by_user(&self) -> Vec<Vec<u32>> {
         let mut lists = vec![Vec::new(); self.n_users];
         for &(u, i) in &self.test {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             lists[u].push(i as u32);
         }
         for l in &mut lists {
@@ -72,6 +74,7 @@ impl Split {
     pub fn valid_items_by_user(&self) -> Vec<Vec<u32>> {
         let mut lists = vec![Vec::new(); self.n_users];
         for &(u, i) in &self.valid {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             lists[u].push(i as u32);
         }
         for l in &mut lists {
@@ -90,7 +93,9 @@ pub fn temporal_split(dataset: &Dataset, ratios: SplitRatios) -> Split {
     assert!(ratios.train + ratios.valid < 1.0, "train + valid must leave room for test");
     // `Dataset::validate` guarantees timestamp order.
     let n = dataset.interactions.len();
+    // pup-lint: allow(as-cast-truncation) — split boundary in [0, n] by the ratio contract
     let train_end = (n as f64 * ratios.train).floor() as usize;
+    // pup-lint: allow(as-cast-truncation) — split boundary in [0, n] by the ratio contract
     let valid_end = (n as f64 * (ratios.train + ratios.valid)).floor() as usize;
 
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(n);

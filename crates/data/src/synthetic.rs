@@ -237,6 +237,7 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
     }
 
     // --- Users -----------------------------------------------------------
+    // pup-lint: allow(as-cast-truncation) — fraction of n_users; fits usize
     let n_consistent = (config.n_users as f64 * config.consistent_user_frac).round() as usize;
     let mut user_wtp = Vec::with_capacity(config.n_users);
     let mut user_consistent = Vec::with_capacity(config.n_users);
@@ -372,6 +373,7 @@ pub fn generate(config: &GeneratorConfig) -> SyntheticDataset {
 
         user_history[u].push(item);
         item_buyers[item].push(u);
+        // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
         interactions.push(Interaction { user: u as u32, item: item as u32, timestamp: t as u64 });
     }
 
@@ -517,6 +519,7 @@ pub fn amazon_like_with(
 }
 
 fn scaled(paper_size: usize, scale: f64, floor: usize) -> usize {
+    // pup-lint: allow(as-cast-truncation) — scaled size floored at a small constant
     ((paper_size as f64 * scale) as usize).max(floor)
 }
 

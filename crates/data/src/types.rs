@@ -99,6 +99,7 @@ impl Dataset {
     pub fn category_item_lists(&self) -> Vec<Vec<u32>> {
         let mut lists = vec![Vec::new(); self.n_categories];
         for (i, &c) in self.item_category.iter().enumerate() {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             lists[c].push(i as u32);
         }
         lists

@@ -56,6 +56,7 @@ pub fn rank_candidates(scores: &[f64], candidates: &[u32], top: usize) -> Vec<u3
 /// Bounds-checked [`rank_candidates`]: a candidate id outside `scores`
 /// surfaces as a typed [`ScoreError`] instead of an indexing panic, so a
 /// serving path fed a malformed candidate pool can reject the request.
+// pup-hot: eval-rank
 pub fn try_rank_candidates(
     scores: &[f64],
     candidates: &[u32],
@@ -66,6 +67,7 @@ pub fn try_rank_candidates(
     }
     let mut idx: Vec<u32> = candidates.to_vec();
     let top = top.min(idx.len());
+    // pup-audit: allow(hotpath-panic): candidate ids are validated against scores.len() at entry
     idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b)));
     idx.truncate(top);
     Ok(idx)
@@ -97,6 +99,7 @@ pub fn evaluate_users(
         }
         let exclude =
             |i: &u32| train[u].binary_search(i).is_ok() || valid[u].binary_search(i).is_ok();
+        // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
         let pool: Vec<u32> = (0..split.n_items as u32).filter(|i| !exclude(i)).collect();
         pools.push(pool);
         // pup-lint: allow(clone-in-loop) — per-user ground-truth copy, once per evaluation.
@@ -223,6 +226,7 @@ pub fn evaluate_per_user(model: &dyn Recommender, split: &Split, ks: &[usize]) -
         }
         let exclude =
             |i: &u32| train[u].binary_search(i).is_ok() || valid[u].binary_search(i).is_ok();
+        // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
         pools.push((0..split.n_items as u32).filter(|i| !exclude(i)).collect());
         // pup-lint: allow(clone-in-loop) — per-user ground-truth copy, once per evaluation.
         truths.push(test[u].clone());

@@ -72,6 +72,7 @@ pub fn evaluate_revenue(
         }
         let exclude =
             |i: &u32| train[u].binary_search(i).is_ok() || valid[u].binary_search(i).is_ok();
+        // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
         let pool: Vec<u32> = (0..split.n_items as u32).filter(|i| !exclude(i)).collect();
         let scores = model.score_items(u);
         let ranked = rank_candidates(&scores, &pool, max_k);

@@ -99,25 +99,33 @@ impl Layout {
     pub fn index(&self, node: NodeRef) -> usize {
         match node {
             NodeRef::User(u) => {
+                // pup-audit: allow(hotpath-panic): fail-fast bounds precondition; dataset load registers every node id
                 assert!(u < self.n_users, "user {u} out of {} users", self.n_users);
                 u
             }
             NodeRef::Item(i) => {
+                // pup-audit: allow(hotpath-panic): fail-fast bounds precondition; dataset load registers every node id
                 assert!(i < self.n_items, "item {i} out of {} items", self.n_items);
                 self.n_users + i
             }
             NodeRef::Price(p) => {
+                // pup-audit: allow(hotpath-panic): fail-fast bounds precondition; dataset load registers every node id
                 assert!(p < self.n_prices, "price {p} out of {} price levels", self.n_prices);
                 self.n_users + self.n_items + p
             }
             NodeRef::Category(c) => {
+                // pup-audit: allow(hotpath-panic): fail-fast bounds precondition; dataset load registers every node id
                 assert!(c < self.n_categories, "category {c} out of {}", self.n_categories);
                 self.n_users + self.n_items + self.n_prices + c
             }
             NodeRef::Extra { family, index } => {
+                // pup-audit: allow(hotpath-panic): fail-fast bounds precondition; extra families are registered at build
                 assert!(family < self.extras.len(), "extra family {family} not registered");
+                // pup-audit: allow(hotpath-panic): family bounds asserted above
                 let offset: usize = self.extras[..family].iter().map(|(_, c)| c).sum();
+                // pup-audit: allow(hotpath-panic): family bounds asserted above
                 let count = self.extras[family].1;
+                // pup-audit: allow(hotpath-panic): fail-fast bounds precondition; extra ids are registered at build
                 assert!(index < count, "extra node {index} out of {count}");
                 self.n_users + self.n_items + self.n_prices + self.n_categories + offset + index
             }

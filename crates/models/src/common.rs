@@ -162,13 +162,18 @@ pub trait ParamRegistry {
 ///
 /// Each input is a `(batch, d)` embedding; the result is `(batch, 1)`.
 pub fn pairwise_interactions(features: &[Var]) -> Var {
+    // pup-audit: allow(hotpath-panic): fail-fast arity precondition: interactions need at least two features
     assert!(features.len() >= 2, "need at least two features to interact");
+    // pup-audit: allow(hotpath-panic): in-bounds after the two-features assert above
     let mut total = features[0].clone();
+    // pup-audit: allow(hotpath-panic): in-bounds after the two-features assert above
     for f in &features[1..] {
         total = ops::add(&total, f);
     }
     let sum_sq = ops::rowwise_dot(&total, &total);
+    // pup-audit: allow(hotpath-panic): in-bounds after the two-features assert
     let mut sq_sum = ops::rowwise_dot(&features[0], &features[0]);
+    // pup-audit: allow(hotpath-panic): in-bounds after the two-features assert
     for f in &features[1..] {
         sq_sum = ops::add(&sq_sum, &ops::rowwise_dot(f, f));
     }

@@ -39,7 +39,9 @@ impl DeepFm {
     }
 
     fn deep_component(&self, fields: &[Var; 4]) -> Var {
+        // pup-audit: allow(hotpath-panic): forward always receives the model's fixed non-empty field set
         let mut x = fields[0].clone();
+        // pup-audit: allow(hotpath-panic): forward always receives the model's fixed non-empty field set
         for f in &fields[1..] {
             x = ops::concat_cols(&x, f);
         }
@@ -113,6 +115,7 @@ impl Recommender for DeepFm {
         let fm_part = self.fm.dense_scores(user);
         let deep = self.deep_component(&fields);
         let deep_v = deep.value();
+        // pup-audit: allow(hotpath-panic): k < n_items bounds both fm_part and deep_v rows
         (0..n_items).map(|k| fm_part[k] + deep_v.get(k, 0)).collect()
     }
 

@@ -60,7 +60,9 @@ impl Fm {
     /// The four field embeddings for a batch, in (user, item, cat, price)
     /// order. Shared with DeepFM.
     pub(crate) fn field_embeddings(&self, users: &[usize], items: &[usize]) -> [Var; 4] {
+        // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
         let cats: Vec<usize> = items.iter().map(|&i| self.item_category[i]).collect();
+        // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
         let prices: Vec<usize> = items.iter().map(|&i| self.item_price_level[i]).collect();
         [
             ops::gather_rows(&self.user_emb, users),
@@ -72,7 +74,9 @@ impl Fm {
 
     /// Linear-term sum for a batch.
     pub(crate) fn linear_terms(&self, users: &[usize], items: &[usize]) -> Var {
+        // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
         let cats: Vec<usize> = items.iter().map(|&i| self.item_category[i]).collect();
+        // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
         let prices: Vec<usize> = items.iter().map(|&i| self.item_price_level[i]).collect();
         let mut s = ops::gather_rows(&self.user_w, users);
         s = ops::add(&s, &ops::gather_rows(&self.item_w, items));
@@ -105,13 +109,16 @@ impl Fm {
         let u_row = ue.row(0);
         let uw = self.user_w.value().get(user, 0);
         for i in 0..n_items {
+            // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
             let c = self.item_category[i];
+            // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
             let p = self.item_price_level[i];
             let i_row = items.row(i);
             let c_row = cats.row(c);
             let p_row = prices.row(p);
             let mut pair = 0.0;
             for k in 0..u_row.len() {
+                // pup-audit: allow(hotpath-panic): k ranges over the embedding dim shared by all four factor rows
                 let (eu, ei, ec, ep) = (u_row[k], i_row[k], c_row[k], p_row[k]);
                 let s = eu + ei + ec + ep;
                 pair += s * s - (eu * eu + ei * ei + ec * ec + ep * ep);

@@ -6,7 +6,7 @@
 //! type, so the per-rating-type weight matrices of the original collapse to
 //! one propagation; the paper itself feeds only one-hot IDs (§V-A2).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,7 +22,7 @@ use crate::trainer::BprModel;
 pub struct GcMc {
     emb: Var,
     w: Var,
-    a_hat: Rc<CsrMatrix>,
+    a_hat: Arc<CsrMatrix>,
     n_users: usize,
     n_items: usize,
     dropout: f64,
@@ -48,7 +48,7 @@ impl GcMc {
             data.train,
             GraphSpec::BIPARTITE,
         );
-        let a_hat = Rc::new(sym_normalized(graph.adjacency(), true));
+        let a_hat = Arc::new(sym_normalized(graph.adjacency(), true));
         let mut rng = StdRng::seed_from_u64(seed);
         let n = data.n_users + data.n_items;
         Self {
@@ -79,7 +79,7 @@ impl BprModel for GcMc {
     }
 
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
-        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.
+        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.; pup-audit: allow(hotpath-panic): lifecycle invariant: run_epoch calls begin_step before any scoring
         let repr = self.step_repr.as_ref().expect("begin_step must run first");
         let item_idx: Vec<usize> = items.iter().map(|&i| self.n_users + i).collect();
         let u = ops::gather_rows(repr, users);
@@ -111,7 +111,7 @@ impl Recommender for GcMc {
     }
 
     fn score_items(&self, user: usize) -> Vec<f64> {
-        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug; covered by a should_panic test.
+        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug; covered by a should_panic test.; pup-audit: allow(hotpath-panic): lifecycle invariant: serve only loads models after finalize
         let repr = self.final_repr.as_ref().expect("finalize must run before inference");
         let u = repr.gather_rows(&[user]);
         let items_idx: Vec<usize> = (0..self.n_items).map(|i| self.n_users + i).collect();

@@ -13,7 +13,7 @@
 //!
 //! and the final representation concatenates all layers' outputs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,7 +32,7 @@ pub struct Ngcf {
     price_emb: Var,
     w1: Vec<Var>,
     w2: Vec<Var>,
-    l_hat: Rc<CsrMatrix>,
+    l_hat: Arc<CsrMatrix>,
     item_price_level: Vec<usize>,
     n_users: usize,
     n_items: usize,
@@ -56,7 +56,7 @@ impl Ngcf {
             data.train,
             GraphSpec::BIPARTITE,
         );
-        let l_hat = Rc::new(sym_normalized(graph.adjacency(), false));
+        let l_hat = Arc::new(sym_normalized(graph.adjacency(), false));
         let mut rng = StdRng::seed_from_u64(seed);
         let w1 = (0..n_layers).map(|_| Var::param(init::xavier(dim, dim, &mut rng))).collect();
         let w2 = (0..n_layers).map(|_| Var::param(init::xavier(dim, dim, &mut rng))).collect();
@@ -100,7 +100,9 @@ impl Ngcf {
             layers.push(next.clone());
             e = next;
         }
+        // pup-audit: allow(hotpath-panic): layers is non-empty: config always builds at least one propagation layer
         let mut out = layers[0].clone();
+        // pup-audit: allow(hotpath-panic): layers is non-empty: config always builds at least one propagation layer
         for l in &layers[1..] {
             out = ops::concat_cols(&out, l);
         }
@@ -114,7 +116,7 @@ impl BprModel for Ngcf {
     }
 
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
-        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.
+        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.; pup-audit: allow(hotpath-panic): lifecycle invariant: run_epoch calls begin_step before any scoring
         let repr = self.step_repr.as_ref().expect("begin_step must run first");
         let item_idx: Vec<usize> = items.iter().map(|&i| self.n_users + i).collect();
         let u = ops::gather_rows(repr, users);
@@ -156,7 +158,7 @@ impl Recommender for Ngcf {
     }
 
     fn score_items(&self, user: usize) -> Vec<f64> {
-        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug.
+        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug.; pup-audit: allow(hotpath-panic): lifecycle invariant: serve only loads models after finalize
         let repr = self.final_repr.as_ref().expect("finalize must run before inference");
         let u = repr.gather_rows(&[user]);
         let items_idx: Vec<usize> = (0..self.n_items).map(|i| self.n_users + i).collect();

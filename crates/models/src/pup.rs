@@ -15,7 +15,7 @@
 //! Final score `s = s_g + α·s_c`. The ablation variants of Table III and
 //! Fig. 6 are expressed through [`PupVariant`].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,7 +108,7 @@ pub struct ExtraAttribute {
 /// adjacency.
 struct Branch {
     emb: Var,
-    a_hat: Rc<CsrMatrix>,
+    a_hat: Arc<CsrMatrix>,
     layout: Layout,
 }
 
@@ -174,7 +174,7 @@ impl Branch {
             }
             b.build()
         };
-        let a_hat = Rc::new(row_normalized(graph.adjacency(), self_loops));
+        let a_hat = Arc::new(row_normalized(graph.adjacency(), self_loops));
         let layout = graph.layout().clone();
         let emb = Var::param(init::normal(layout.total(), dim, 0.1, rng));
         Self { emb, a_hat, layout }
@@ -292,6 +292,7 @@ impl Pup {
             PupVariant::CategoryOnly => {
                 let c_idx: Vec<usize> = items
                     .iter()
+                    // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
                     .map(|&i| lay.index(NodeRef::Category(self.item_category[i])))
                     .collect();
                 let ec = ops::gather_rows(repr_g, &c_idx);
@@ -300,6 +301,7 @@ impl Pup {
             PupVariant::Full | PupVariant::PriceOnly => {
                 let p_idx: Vec<usize> = items
                     .iter()
+                    // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
                     .map(|&i| lay.index(NodeRef::Price(self.item_price_level[i])))
                     .collect();
                 let ep = ops::gather_rows(repr_g, &p_idx);
@@ -310,13 +312,15 @@ impl Pup {
         let Some(repr_c) = repr_c else {
             return s_global;
         };
-        // pup-lint: allow(unwrap-in-lib) — repr_c is only Some when the category branch exists.
+        // pup-lint: allow(unwrap-in-lib) — repr_c is only Some when the category branch exists.; pup-audit: allow(hotpath-panic): repr_c is only Some when the category branch exists
         let branch = self.category.as_ref().expect("category branch present");
         let clay = &branch.layout;
         let cu_idx: Vec<usize> = users.iter().map(|&u| clay.index(NodeRef::User(u))).collect();
         let cp_idx: Vec<usize> =
+            // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
             items.iter().map(|&i| clay.index(NodeRef::Price(self.item_price_level[i]))).collect();
         let cc_idx: Vec<usize> =
+            // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
             items.iter().map(|&i| clay.index(NodeRef::Category(self.item_category[i]))).collect();
         let eu_c = ops::gather_rows(repr_c, &cu_idx);
         let ep_c = ops::gather_rows(repr_c, &cp_idx);
@@ -328,7 +332,7 @@ impl Pup {
 
     /// Inference scores over all items from the finalized representations.
     fn dense_scores(&self, user: usize) -> Vec<f64> {
-        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug.
+        // pup-lint: allow(unwrap-in-lib) — inference-before-finalize is a caller bug.; pup-audit: allow(hotpath-panic): lifecycle invariant: serve only loads models after finalize
         let repr_g = self.final_global.as_ref().expect("finalize must run before inference");
         let lay = &self.global.layout;
         let u = repr_g.gather_rows(&[lay.index(NodeRef::User(user))]);
@@ -339,10 +343,12 @@ impl Pup {
             let mut s = match self.config.variant {
                 PupVariant::Bipartite => dot(u_row, ei),
                 PupVariant::CategoryOnly => {
+                    // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
                     let ec = repr_g.row(lay.index(NodeRef::Category(self.item_category[i])));
                     dot(u_row, ei) + dot(u_row, ec) + dot(ei, ec)
                 }
                 PupVariant::Full | PupVariant::PriceOnly => {
+                    // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
                     let ep = repr_g.row(lay.index(NodeRef::Price(self.item_price_level[i])));
                     dot(u_row, ei) + dot(u_row, ep) + dot(ei, ep)
                 }
@@ -350,7 +356,9 @@ impl Pup {
             if let (Some(repr_c), Some(branch)) = (&self.final_category, &self.category) {
                 let clay = &branch.layout;
                 let cu = repr_c.row(clay.index(NodeRef::User(user)));
+                // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
                 let cp = repr_c.row(clay.index(NodeRef::Price(self.item_price_level[i])));
+                // pup-audit: allow(hotpath-panic): item ids bounds-checked by try_score_items; metadata arrays are catalog-sized
                 let cc = repr_c.row(clay.index(NodeRef::Category(self.item_category[i])));
                 s += self.config.alpha * (dot(cu, cc) + dot(cu, cp) + dot(cc, cp));
             }
@@ -472,7 +480,7 @@ impl BprModel for Pup {
     }
 
     fn score_batch(&mut self, users: &[usize], items: &[usize]) -> Var {
-        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.
+        // pup-lint: allow(unwrap-in-lib) — BprModel state machine: trainer calls begin_step first.; pup-audit: allow(hotpath-panic): lifecycle invariant: run_epoch calls begin_step before any scoring
         let repr_g = self.step_global.clone().expect("begin_step must run first");
         let repr_c = self.step_category.clone();
         let scores = self.branch_scores(&repr_g, repr_c.as_ref(), users, items);

@@ -122,6 +122,7 @@ pub fn train_bpr_resilient_with_faults<M: BprModel + ParamRegistry>(
                 let latest = store::load_latest(ckpt_dir)?;
                 let mut rolled =
                     BprTrainer::resume(model, n_users, n_items, train, cfg, &latest.checkpoint)?;
+                // pup-lint: allow(as-cast-truncation) — exponent is a small bounded counter
                 let lr_factor = policy.lr_backoff.powi(retry as i32);
                 rolled.set_recovery(lr_factor, retry);
                 if let Some(plan) = plan {

@@ -202,6 +202,7 @@ impl TrainStats {
         if run.is_empty() {
             return None;
         }
+        // pup-lint: allow(as-cast-truncation) — run.len() is a small window size
         Some(run.iter().copied().sum::<Duration>() / run.len() as u32)
     }
 }
@@ -223,6 +224,7 @@ impl NegativeSampler {
     pub fn new(n_users: usize, n_items: usize, train: &[(usize, usize)]) -> Self {
         let mut positives = vec![Vec::new(); n_users];
         for &(u, i) in train {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             positives[u].push(i as u32);
         }
         for l in &mut positives {
@@ -243,10 +245,13 @@ impl NegativeSampler {
     /// Panics when the user has interacted with every item (no negative
     /// exists at all).
     pub fn sample(&self, user: usize, rng: &mut impl Rng) -> usize {
+        // pup-audit: allow(hotpath-panic): user < n_users: the sampler draws from the dataset's user range
         let pos = &self.positives[user];
+        // pup-audit: allow(hotpath-panic): fail-fast dataset invariant: a user owning every item cannot be sampled
         assert!(pos.len() < self.n_items, "user {user} has no negative items");
         pup_obs::counter_add("sampler.draws", 1);
         for attempt in 0..MAX_REJECTIONS {
+            // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
             let cand = rng.gen_range(0..self.n_items) as u32;
             if pos.binary_search(&cand).is_err() {
                 pup_obs::counter_add("sampler.rejections", attempt as u64);
@@ -390,6 +395,7 @@ impl BprTrainer {
     /// [`TrainError::Diverged`] — the offending batch's gradients are never
     /// applied, the epoch counter does not advance, and the caller decides
     /// whether to roll back (see `crate::resilient`).
+    // pup-hot: train-epoch
     pub fn run_epoch<M: BprModel>(&mut self, model: &mut M) -> Result<f64, TrainError> {
         let epoch_start = Instant::now();
         let _span = pup_obs::span("epoch");
@@ -405,6 +411,7 @@ impl BprTrainer {
             let mut pos = Vec::with_capacity(users.capacity());
             let mut neg = Vec::with_capacity(users.capacity());
             for &k in chunk {
+                // pup-audit: allow(hotpath-panic): k is drawn from 0..train.len() by the shuffled visit order
                 let (u, i) = self.train[k];
                 for _ in 0..npp {
                     users.push(u);

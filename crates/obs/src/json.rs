@@ -127,7 +127,7 @@ impl Value {
     pub fn parse(text: &str) -> Result<Value, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         p.skip_ws();
-        let v = p.value()?;
+        let v = p.parse_value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
             return Err(format!("trailing data at byte {}", p.pos));
@@ -145,7 +145,9 @@ fn write_escaped(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // pup-lint: allow(as-cast-truncation) — char to u32 is lossless
             c if (c as u32) < 0x20 => {
+                // pup-lint: allow(as-cast-truncation) — char to u32 is lossless
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -192,7 +194,7 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    fn parse_value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'n') => self.literal("null", Value::Null),
             Some(b't') => self.literal("true", Value::Bool(true)),
@@ -280,7 +282,7 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value()?);
+            items.push(self.parse_value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -307,7 +309,7 @@ impl Parser<'_> {
             self.skip_ws();
             self.require(b':')?;
             self.skip_ws();
-            let value = self.value()?;
+            let value = self.parse_value()?;
             fields.push((key, value));
             self.skip_ws();
             match self.peek() {

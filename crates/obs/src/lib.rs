@@ -115,6 +115,7 @@ impl Collector {
     }
 
     fn open_span(&mut self, name: &'static str) -> u32 {
+        // pup-lint: allow(as-cast-truncation) — span ids are per-run sequence numbers
         let id = self.spans.len() as u32;
         let span = OpenSpan {
             name,
@@ -148,6 +149,7 @@ impl Collector {
 
     fn counter_add(&mut self, name: &'static str, delta: u64) {
         match self.counter_idx.get(name) {
+            // pup-audit: allow(hotpath-panic): slot index comes from the name map, which is kept in sync with the vec
             Some(&i) => self.counters[i].1 += delta,
             None => {
                 self.counter_idx.insert(name, self.counters.len());
@@ -158,6 +160,7 @@ impl Collector {
 
     fn gauge_set(&mut self, name: &'static str, value: f64) {
         match self.gauge_idx.get(name) {
+            // pup-audit: allow(hotpath-panic): slot index comes from the name map, which is kept in sync with the vec
             Some(&i) => self.gauges[i].1.set(value),
             None => {
                 self.gauge_idx.insert(name, self.gauges.len());
@@ -169,6 +172,7 @@ impl Collector {
     fn observe(&mut self, kind: &'static str, name: &'static str, value: f64) {
         let key = (kind, name);
         match self.hist_idx.get(&key) {
+            // pup-audit: allow(hotpath-panic): slot index comes from the name map, which is kept in sync with the vec
             Some(&i) => self.hists[i].1.observe(value),
             None => {
                 let mut h = Histogram::new();
@@ -189,6 +193,7 @@ impl Collector {
             .iter()
             .enumerate()
             .map(|(id, s)| SpanRecord {
+                // pup-lint: allow(as-cast-truncation) — span ids are per-run sequence numbers
                 id: id as u32,
                 parent: s.parent,
                 name: s.name.to_string(),

@@ -86,6 +86,7 @@ impl Histogram {
         let v = if value.is_nan() { 0.0 } else { value };
         let bounds = bucket_bounds();
         let idx = bounds.partition_point(|&b| b < v);
+        // pup-audit: allow(hotpath-panic): partition_point over bounds is at most bounds.len(); counts has one overflow slot
         self.counts[idx] += 1;
         self.count += 1;
         self.sum += v;

@@ -335,9 +335,11 @@ impl Telemetry {
                         Some(p) => Some(p.as_u64().ok_or_else(|| ObsError::Parse {
                             line: line_no,
                             msg: "bad parent id".to_string(),
+                            // pup-lint: allow(as-cast-truncation) — trace ids round-trip from u32 writes
                         })? as u32),
                     };
                     out.spans.push(SpanRecord {
+                        // pup-lint: allow(as-cast-truncation) — trace ids round-trip from u32 writes
                         id: field_u64("id")? as u32,
                         parent,
                         name: field_str("name")?,

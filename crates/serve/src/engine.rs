@@ -72,6 +72,7 @@ enum Degraded {
 
 /// Runs one admitted request through the pipeline. `deadline` was started
 /// at submission, so time spent queued is already charged.
+// pup-hot: serve-request
 pub fn process(
     shared: &ServiceShared,
     scorer: &dyn Scorer,
@@ -234,6 +235,7 @@ fn rank_unseen(
 ) -> Result<Vec<u32>, ScoreError> {
     let seen = shared.fallback.seen_items(req.user);
     let candidates: Vec<u32> =
+        // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
         (0..scorer.n_items() as u32).filter(|i| seen.binary_search(i).is_err()).collect();
     try_rank_candidates(scores, &candidates, req.k)
 }

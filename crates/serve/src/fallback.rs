@@ -35,6 +35,7 @@ impl Fallback {
                 None => return Err(ScoreError::ItemOutOfRange { item: i, n_items }),
             }
             match seen.get_mut(u) {
+                // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
                 Some(s) => s.push(i as u32),
                 None => return Err(ScoreError::UserOutOfRange { user: u, n_users }),
             }
@@ -43,6 +44,7 @@ impl Fallback {
             s.sort_unstable();
             s.dedup();
         }
+        // pup-lint: allow(as-cast-truncation) — dataset ids are dense and bounded well below u32::MAX
         let mut order: Vec<u32> = (0..n_items as u32).collect();
         order.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
         Ok(Self { order, seen, n_items })

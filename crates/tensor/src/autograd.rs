@@ -198,6 +198,7 @@ impl Var {
     /// Panics when the node is not 1x1.
     pub fn scalar(&self) -> f64 {
         let inner = self.inner.borrow();
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition for scalar loss extraction
         assert_eq!(inner.value.shape(), (1, 1), "scalar() called on non-scalar Var");
         inner.value.get(0, 0)
     }
@@ -244,6 +245,7 @@ impl Var {
         if checks::ENABLED {
             checks::assert_same_shape(inner.op, inner.value.shape(), g.shape());
             checks::assert_finite(inner.op, "accumulated gradient", g);
+            // pup-audit: allow(hotpath-panic): tape auditor fails fast on out-of-walk gradient writes by design
             assert!(
                 inner.backward.is_none() || checks::in_backward(),
                 "tape auditor: gradient accumulated into non-leaf node \
@@ -264,6 +266,7 @@ impl Var {
     /// # Panics
     /// Panics when called on a non-scalar node.
     pub fn backward(&self) {
+        // pup-audit: allow(hotpath-panic): fail-fast precondition: backward starts from the scalar loss
         assert!(
             self.shape() == (1, 1),
             "backward() must start from a scalar loss, got a {}x{} `{}` node",

