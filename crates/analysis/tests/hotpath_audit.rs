@@ -218,7 +218,12 @@ fn escape_without_a_reason_is_rejected() {
 fn real_workspace_certifies_clean_against_the_committed_ratchet() {
     let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = audit_workspace(&repo).expect("workspace is readable");
-    assert_eq!(report.roots.len(), 3, "serve-request, train-epoch, eval-rank: {:?}", report.roots);
+    assert_eq!(
+        report.roots.len(),
+        4,
+        "serve-request, train-epoch, eval-rank, swap-request: {:?}",
+        report.roots
+    );
     assert!(
         report.findings.is_empty(),
         "the workspace must certify clean; new panic sites on the hot path need a reviewed \

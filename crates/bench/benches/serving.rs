@@ -2,15 +2,23 @@
 //! path through the resilience pipeline vs. the degraded popularity
 //! fallback it falls back to, plus the raw fallback answer. The gap between
 //! primary and degraded is the price of a breaker trip as seen by one user.
+//! The swap group measures the model-lifecycle overhead: the worker fast
+//! path (one atomic version check per request) and a request served while
+//! a candidate generation is shadow-scored alongside the primary.
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
+use pup_ckpt::chaos::FaultPlan;
 use pup_data::synthetic::{generate, GeneratorConfig};
 use pup_data::SplitRatios;
 use pup_models::{train_bpr, BprMf, TrainConfig, TrainData};
 use pup_serve::engine::handle_now;
-use pup_serve::{Fallback, RecommenderScorer, Request, Scorer, ServeConfig, ServiceShared, Source};
+use pup_serve::{
+    Deadline, Fallback, GenScorerFactory, RecommenderScorer, Request, Scorer, ServeConfig,
+    ServiceShared, Source, SwapConfig, SwapController, WorkerModel,
+};
 
 struct Fixture {
     shared: ServiceShared,
@@ -83,7 +91,76 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serving);
+fn bench_swap(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig {
+        n_users: 300,
+        n_items: 250,
+        n_categories: 12,
+        n_price_levels: 8,
+        n_interactions: 8_000,
+        kcore: 0,
+        seed: 5,
+        ..Default::default()
+    })
+    .dataset;
+    let split = pup_data::split::temporal_split(&dataset, SplitRatios::PAPER);
+    let n_users = split.n_users;
+    let n_items = split.n_items;
+    let fallback = Fallback::from_train(n_users, n_items, &split.train).expect("fallback");
+    // Replicas are trained on demand (setup cost only: one primary build
+    // plus one shadow build across the whole group).
+    let factory: GenScorerFactory = Arc::new(move |_gen| {
+        let data = TrainData::new(&dataset, &split);
+        let cfg = TrainConfig { epochs: 2, batch_size: 1024, ..Default::default() };
+        let mut model = BprMf::new(&data, 64, 7);
+        train_bpr(&mut model, data.n_users, data.n_items, data.train, &cfg)
+            .map_err(|e| e.to_string())?;
+        Ok(Box::new(RecommenderScorer::new(Box::new(model), n_items)) as Box<dyn Scorer>)
+    });
+    // An effectively unbounded shadow window: the swap never resolves, so
+    // every iteration pays the full shadow-compare cost.
+    let swap_cfg = SwapConfig { shadow_requests: u64::MAX, min_overlap: 0.0, probe_users: 0 };
+    let shared = ServiceShared::with_swap(
+        ServeConfig::default(),
+        fallback,
+        n_users,
+        FaultPlan::none(),
+        SwapController::new(0, swap_cfg),
+    );
+    let mut model = WorkerModel::build(&shared, factory).expect("worker build");
+
+    let mut group = c.benchmark_group("serving_swap");
+    group.sample_size(30);
+
+    let mut user = 0usize;
+    group.bench_function("swap_fastpath_request", |b| {
+        b.iter(|| {
+            user = (user + 1) % n_users;
+            let mut deadline = Deadline::new(shared.cfg.deadline_ns);
+            let resp = model
+                .handle(&shared, Request { user, k: 10 }, &mut deadline)
+                .expect("fast-path request answered");
+            assert_eq!(resp.source, Source::Primary);
+            black_box(resp)
+        })
+    });
+
+    shared.swap.begin_shadow(&shared.faults, 0, 1, false).expect("shadow window opens");
+    group.bench_function("shadowed_request", |b| {
+        b.iter(|| {
+            user = (user + 1) % n_users;
+            let mut deadline = Deadline::new(shared.cfg.deadline_ns);
+            let resp = model
+                .handle(&shared, Request { user, k: 10 }, &mut deadline)
+                .expect("shadowed request answered");
+            assert_eq!(resp.source, Source::Primary);
+            black_box(resp)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_swap);
 
 fn main() {
     benches();

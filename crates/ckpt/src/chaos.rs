@@ -34,6 +34,20 @@ use crate::CkptError;
 ///   — a scoring attempt is charged extra virtual nanoseconds against its
 ///   deadline budget, as if a GC pause or page fault stalled the scorer. No
 ///   real sleeping happens, so tests stay fast and deterministic.
+/// - **Swap corruption** (`with_swap_corruption` / [`fire_swap_corrupt`](Self::fire_swap_corrupt))
+///   — the candidate generation's checkpoint file is damaged on disk right
+///   before a hot-swap attempt validates it, as if the publishing trainer
+///   crashed mid-upload or the media failed between publish and promote.
+/// - **Kill mid pointer flip** (`with_swap_kill_flips` /
+///   [`fire_swap_kill_flip`](Self::fire_swap_kill_flip)) — the process dies
+///   after writing the `CURRENT` pointer's temporary file but before the
+///   rename, leaving the old pointer in place (the exact window the atomic
+///   protocol is designed to survive).
+/// - **Shadow divergence** (`with_shadow_divergence` /
+///   [`fire_shadow_divergence`](Self::fire_shadow_divergence)) — the
+///   candidate generation's shadow rankings are forced to diverge from the
+///   serving generation, as if the new model regressed, so promotion must
+///   be refused.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     /// Global step indices (across the whole run, 0-based) still waiting to
@@ -45,6 +59,14 @@ pub struct FaultPlan {
     /// `(attempt, extra_ns)` pairs, sorted by attempt: scoring attempts still
     /// waiting to be charged `extra_ns` virtual nanoseconds of latency.
     latency_spikes: Vec<(u64, u64)>,
+    /// Swap-attempt indices (0-based) still waiting to corrupt the candidate
+    /// generation's checkpoint before validation.
+    swap_corrupt_steps: Vec<u64>,
+    /// Swap-attempt indices still waiting to kill the process mid
+    /// pointer-flip.
+    swap_kill_flip_steps: Vec<u64>,
+    /// Swap-attempt indices still waiting to force shadow divergence.
+    shadow_divergence_steps: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -95,6 +117,33 @@ impl FaultPlan {
         self
     }
 
+    /// Adds corrupt-new-checkpoint faults at the listed swap-attempt
+    /// indices (builder style).
+    pub fn with_swap_corruption(mut self, attempts: impl IntoIterator<Item = u64>) -> Self {
+        self.swap_corrupt_steps.extend(attempts);
+        self.swap_corrupt_steps.sort_unstable();
+        self.swap_corrupt_steps.dedup();
+        self
+    }
+
+    /// Adds kill-mid-pointer-flip faults at the listed swap-attempt indices
+    /// (builder style).
+    pub fn with_swap_kill_flips(mut self, attempts: impl IntoIterator<Item = u64>) -> Self {
+        self.swap_kill_flip_steps.extend(attempts);
+        self.swap_kill_flip_steps.sort_unstable();
+        self.swap_kill_flip_steps.dedup();
+        self
+    }
+
+    /// Adds forced shadow-divergence faults at the listed swap-attempt
+    /// indices (builder style).
+    pub fn with_shadow_divergence(mut self, attempts: impl IntoIterator<Item = u64>) -> Self {
+        self.shadow_divergence_steps.extend(attempts);
+        self.shadow_divergence_steps.sort_unstable();
+        self.shadow_divergence_steps.dedup();
+        self
+    }
+
     /// Consults the plan at global `step`; returns `true` (and consumes the
     /// fault) when a NaN should be injected there.
     pub fn fire_nan(&mut self, step: u64) -> bool {
@@ -126,9 +175,46 @@ impl FaultPlan {
         None
     }
 
+    /// Consults the plan at hot-swap `attempt`; returns `true` (and
+    /// consumes the fault) when the candidate checkpoint should be
+    /// corrupted before validation.
+    pub fn fire_swap_corrupt(&mut self, attempt: u64) -> bool {
+        if let Ok(idx) = self.swap_corrupt_steps.binary_search(&attempt) {
+            self.swap_corrupt_steps.remove(idx);
+            return true;
+        }
+        false
+    }
+
+    /// Consults the plan at hot-swap `attempt`; returns `true` (and
+    /// consumes the fault) when the process should die mid pointer-flip.
+    pub fn fire_swap_kill_flip(&mut self, attempt: u64) -> bool {
+        if let Ok(idx) = self.swap_kill_flip_steps.binary_search(&attempt) {
+            self.swap_kill_flip_steps.remove(idx);
+            return true;
+        }
+        false
+    }
+
+    /// Consults the plan at hot-swap `attempt`; returns `true` (and
+    /// consumes the fault) when the shadow comparison should be forced to
+    /// diverge.
+    pub fn fire_shadow_divergence(&mut self, attempt: u64) -> bool {
+        if let Ok(idx) = self.shadow_divergence_steps.binary_search(&attempt) {
+            self.shadow_divergence_steps.remove(idx);
+            return true;
+        }
+        false
+    }
+
     /// Number of faults (of any kind) that have not fired yet.
     pub fn pending(&self) -> usize {
-        self.nan_steps.len() + self.scorer_error_steps.len() + self.latency_spikes.len()
+        self.nan_steps.len()
+            + self.scorer_error_steps.len()
+            + self.latency_spikes.len()
+            + self.swap_corrupt_steps.len()
+            + self.swap_kill_flip_steps.len()
+            + self.shadow_divergence_steps.len()
     }
 }
 
@@ -199,6 +285,22 @@ mod tests {
         assert!(plan.fire_nan(1));
         assert!(plan.fire_scorer_error(2));
         assert_eq!(plan.fire_latency_spike(3), Some(10));
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn swap_faults_fire_once_per_attempt() {
+        let mut plan = FaultPlan::none()
+            .with_swap_corruption([0])
+            .with_swap_kill_flips([1])
+            .with_shadow_divergence([2, 2]);
+        assert_eq!(plan.pending(), 3);
+        assert!(plan.fire_swap_corrupt(0));
+        assert!(!plan.fire_swap_corrupt(0), "one-shot: must not re-fire");
+        assert!(!plan.fire_swap_kill_flip(0));
+        assert!(plan.fire_swap_kill_flip(1));
+        assert!(plan.fire_shadow_divergence(2));
+        assert!(!plan.fire_shadow_divergence(2));
         assert_eq!(plan.pending(), 0);
     }
 }

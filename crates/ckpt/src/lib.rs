@@ -33,6 +33,7 @@
 
 pub mod chaos;
 mod format;
+pub mod registry;
 pub mod store;
 
 use std::fmt;
@@ -184,6 +185,11 @@ pub enum CkptError {
     },
     /// No (valid) checkpoint exists in the requested directory.
     NoCheckpoint,
+    /// The model registry holds no generation with this id.
+    UnknownGeneration {
+        /// The generation that was requested.
+        gen: u64,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -219,6 +225,9 @@ impl fmt::Display for CkptError {
             }
             Self::StateMismatch { what } => write!(f, "checkpoint does not match trainer: {what}"),
             Self::NoCheckpoint => write!(f, "no valid checkpoint found"),
+            Self::UnknownGeneration { gen } => {
+                write!(f, "model registry holds no generation {gen}")
+            }
         }
     }
 }

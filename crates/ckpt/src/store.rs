@@ -35,11 +35,19 @@ pub fn save_atomic(ckpt: &Checkpoint, path: &Path) -> Result<(), CkptError> {
     let _t = pup_obs::time("io", "ckpt_save");
     let bytes = ckpt.to_bytes();
     pup_obs::counter_add("ckpt.bytes_written", bytes.len() as u64);
+    write_atomic(path, &bytes)
+}
+
+/// Writes `bytes` to `path` with the tmp + fsync + rename + dir-fsync
+/// protocol. The temporary file lives next to the target as
+/// `<name>.tmp`; a crash at any point leaves either the old file or the
+/// new one, plus at worst a stale tmp that [`clean_stale_tmps`] removes.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-    let tmp = path.with_extension(format!("{EXTENSION}.tmp"));
+    let tmp = tmp_path(path);
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
@@ -51,6 +59,41 @@ pub fn save_atomic(ckpt: &Checkpoint, path: &Path) -> Result<(), CkptError> {
         }
     }
     Ok(())
+}
+
+/// The temporary sibling an atomic write of `path` stages into.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Removes stale `*.tmp` files left behind by interrupted atomic writes.
+///
+/// By protocol a `.tmp` sibling only exists *during* a [`write_atomic`]
+/// call; any that survive belong to a process that died mid-write and are
+/// garbage — the renamed final files are the only source of truth. Only
+/// names this crate stages are touched (`ckpt-*`, `gen-*`, `CURRENT`, all
+/// with the `.tmp` suffix); foreign files are left alone. Returns the
+/// paths removed. A missing directory removes nothing.
+pub fn clean_stale_tmps(dir: &Path) -> Result<Vec<PathBuf>, CkptError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut removed = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let ours = name.ends_with(".tmp")
+            && (name.starts_with("ckpt-") || name.starts_with("gen-") || name == "CURRENT.tmp");
+        if ours && fs::remove_file(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    removed.sort();
+    Ok(removed)
 }
 
 /// Loads and validates the checkpoint at `path`.
@@ -103,10 +146,14 @@ pub struct LatestCheckpoint {
 /// truncated files.
 ///
 /// Files are tried newest-first; every rejection is recorded (path + typed
-/// error) so callers can report what was skipped. Returns
-/// [`CkptError::NoCheckpoint`] when the directory holds no loadable
-/// checkpoint at all.
+/// error) so callers can report what was skipped. Stale `.tmp` droppings
+/// from interrupted atomic writes are removed best-effort on the way in.
+/// Returns [`CkptError::NoCheckpoint`] when the directory holds no
+/// loadable checkpoint at all.
 pub fn load_latest(dir: &Path) -> Result<LatestCheckpoint, CkptError> {
+    if let Ok(removed) = clean_stale_tmps(dir) {
+        pup_obs::counter_add("ckpt.stale_tmps_removed", removed.len() as u64);
+    }
     let mut rejected = Vec::new();
     for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
         match load(&path) {

@@ -225,6 +225,49 @@ fn load_latest_falls_back_past_corrupt_files() {
 }
 
 #[test]
+fn load_latest_falls_back_past_truncated_files() {
+    let dir = scratch_dir("truncfallback");
+    let mut older = sample_checkpoint();
+    older.epoch = 2;
+    older.epoch_losses = vec![0.7, 0.6];
+    let mut newer = sample_checkpoint();
+    newer.epoch = 4;
+    newer.epoch_losses = vec![0.7, 0.6, 0.5, 0.4];
+    save_atomic(&older, &checkpoint_path(&dir, 2)).expect("save older");
+    save_atomic(&newer, &checkpoint_path(&dir, 4)).expect("save newer");
+
+    // A crash mid-write would normally only hurt the tmp file, but a torn
+    // download or failing disk can truncate the final name too.
+    chaos::truncate_to(&checkpoint_path(&dir, 4), 25).expect("truncate");
+    let latest = load_latest(&dir).expect("fallback");
+    assert_eq!(latest.checkpoint.epoch, 2);
+    assert_eq!(latest.rejected.len(), 1);
+    assert!(matches!(latest.rejected[0].1, CkptError::Truncated { .. }));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_latest_ignores_and_cleans_stale_tmps() {
+    let dir = scratch_dir("staletmp");
+    save_atomic(&sample_checkpoint(), &checkpoint_path(&dir, 2)).expect("save");
+    // A killed save_atomic leaves a half-written tmp next to the real file.
+    fs::write(dir.join("ckpt-000003.pupckpt.tmp"), b"half-written").expect("stage tmp");
+    fs::write(dir.join("notes.tmp"), b"foreign").expect("stranger");
+
+    // Discovery never even considers the tmp (wrong suffix)...
+    let listed = list_checkpoints(&dir).expect("list");
+    assert_eq!(listed.len(), 1);
+    // ...and load_latest removes it as a best-effort cleanup pass, leaving
+    // files it did not stage alone.
+    let latest = load_latest(&dir).expect("load");
+    assert_eq!(latest.checkpoint.epoch, sample_checkpoint().epoch);
+    assert!(latest.rejected.is_empty(), "a tmp dropping is not a rejected checkpoint");
+    assert!(!dir.join("ckpt-000003.pupckpt.tmp").exists(), "stale tmp cleaned");
+    assert!(dir.join("notes.tmp").exists(), "foreign tmp spared");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn fault_plan_fires_each_step_once() {
     let mut plan = chaos::FaultPlan::nan_at_steps([5, 2, 5, 9]);
     assert_eq!(plan.pending(), 3, "duplicates collapse");

@@ -10,9 +10,13 @@
 //!               --user USER_ID [-k 10] [--epochs 30] [--levels 10]
 //!               [--checkpoint-dir DIR] [--model NAME]
 //! pup serve-bench --items items.csv --interactions interactions.csv
-//!               --checkpoint-dir DIR [--model NAME] [--requests N]
-//!               [--clients N] [--workers N] [--fault-errors SPEC]
-//!               [--fault-spikes SPEC] [--min-availability F]
+//!               (--checkpoint-dir DIR | --registry DIR) [--model NAME]
+//!               [--requests N] [--clients N] [--workers N]
+//!               [--fault-errors SPEC] [--fault-spikes SPEC]
+//!               [--swap-at N] [--shadow K] [--swap-fault KIND]
+//!               [--min-availability F]
+//! pup registry  ls|publish|promote|rollback --registry DIR
+//!               [--gen N] [--checkpoint-dir DIR]
 //! pup report-telemetry run.jsonl [--top 10]
 //! ```
 //!
@@ -48,6 +52,22 @@ fn main() -> ExitCode {
     // rejects by design; handle it before the flag parser runs.
     if cmd == "report-telemetry" {
         return match cmd_report_telemetry(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // `registry` takes a positional ACTION before its flags.
+    if cmd == "registry" {
+        let result = match rest.split_first() {
+            None => Err("usage: pup registry <ls|publish|promote|rollback> --registry DIR".into()),
+            Some((action, rest)) => {
+                parse_flags(rest).and_then(|flags| cmd_registry(action, &flags))
+            }
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -91,11 +111,18 @@ USAGE:
                 [--checkpoint-dir DIR] [--resume] [--telemetry FILE]
   pup recommend --items FILE --interactions FILE --user ID [-k N | --top N]
                 [--epochs N] [--levels N] [--checkpoint-dir DIR] [--model NAME]
-  pup serve-bench --items FILE --interactions FILE --checkpoint-dir DIR
+  pup serve-bench --items FILE --interactions FILE
+                (--checkpoint-dir DIR | --registry DIR)
                 [--model NAME] [--requests N] [--clients N] [--workers N]
                 [--queue N] [--deadline-ms F] [--retries N] [--seed N]
                 [-k N] [--fault-errors A,B,C-D] [--fault-spikes SEQ:MS,...]
+                [--swap-at N] [--swap-to GEN] [--shadow K] [--min-overlap F]
+                [--swap-fault corrupt-new|kill-flip|shadow-div]
                 [--min-availability F] [--telemetry FILE]
+  pup registry  ls       --registry DIR
+  pup registry  publish  --registry DIR --checkpoint-dir DIR
+  pup registry  promote  --registry DIR --gen N
+  pup registry  rollback --registry DIR
   pup report-telemetry FILE [--top N]
 
 MODELS: pup (default), itempop, bprmf, padq, fm, deepfm, gcmc, ngcf
@@ -114,7 +141,20 @@ closed-loop clients, and prints a report (availability, shed/degraded
 counts, latency percentiles, breaker transitions). `--fault-errors 3,4,5`
 makes scoring attempts 3-5 fail; `--fault-spikes 8:40` charges attempt 8 a
 40ms latency spike. With `--min-availability 0.99` the exit code fails when
-availability over admitted requests drops below the floor.";
+availability over admitted requests drops below the floor.
+
+`pup registry` manages a versioned model registry: `publish` copies the
+newest valid checkpoint of --checkpoint-dir in as the next generation
+(the first publish auto-promotes), `promote`/`rollback` atomically move
+the CURRENT pointer, `ls` lists generations. `serve-bench --registry DIR`
+serves from the registry's CURRENT generation; adding `--swap-at N` hot-
+swaps to `--swap-to GEN` (default: newest) once the N-th request has been
+submitted, shadow-scoring it for `--shadow K` requests (overlap floor
+`--min-overlap F`) before promotion — without dropping a request.
+`--swap-fault` injects a lifecycle fault into that swap: `corrupt-new`
+damages the candidate on disk (validation must roll back), `kill-flip`
+kills the promotion mid pointer-flip (old generation keeps serving), and
+`shadow-div` forces shadow divergence (window must roll back).";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -377,10 +417,73 @@ fn bad_fault(part: &str) -> String {
     format!("bad fault spec element {part:?} (use `A,B,C-D` or `SEQ:MS,...`)")
 }
 
+fn open_registry(
+    flags: &HashMap<String, String>,
+) -> Result<pup_ckpt::registry::ModelRegistry, String> {
+    let dir = flags.get("registry").ok_or("--registry is required")?;
+    pup_ckpt::registry::ModelRegistry::open(Path::new(dir))
+        .map_err(|e| format!("--registry {dir}: {e}"))
+}
+
+fn cmd_registry(action: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let reg = open_registry(flags)?;
+    match action {
+        "ls" => {
+            let current = reg.current().map_err(|e| e.to_string())?;
+            let listed = reg.list().map_err(|e| e.to_string())?;
+            if listed.is_empty() {
+                println!("registry {} holds no valid generations", reg.dir().display());
+                return Ok(());
+            }
+            println!("{:<9} {:>7} {:>12} {:>18}", "gen", "epoch", "bytes", "checksum");
+            for m in &listed {
+                let marker = if current == Some(m.gen) { " <- CURRENT" } else { "" };
+                println!(
+                    "{:<9} {:>7} {:>12} {:>18}{marker}",
+                    m.gen,
+                    m.epoch,
+                    m.ckpt_len,
+                    format!("{:016x}", m.ckpt_checksum)
+                );
+            }
+            Ok(())
+        }
+        "publish" => {
+            let dir = flags.get("checkpoint-dir").ok_or("--checkpoint-dir is required")?;
+            let latest =
+                pup_ckpt::store::load_latest(Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+            let m = reg.publish(&latest.checkpoint).map_err(|e| e.to_string())?;
+            println!("published generation {} (epoch {}, {} bytes)", m.gen, m.epoch, m.ckpt_len);
+            Ok(())
+        }
+        "promote" => {
+            let gen: u64 = get_parsed(flags, "gen", u64::MAX)?;
+            if gen == u64::MAX {
+                return Err("--gen is required for promote".into());
+            }
+            reg.promote(gen).map_err(|e| e.to_string())?;
+            println!("promoted generation {gen} to CURRENT");
+            Ok(())
+        }
+        "rollback" => {
+            let gen = reg.rollback().map_err(|e| e.to_string())?;
+            println!("rolled CURRENT back to generation {gen}");
+            Ok(())
+        }
+        other => Err(format!("unknown registry action {other:?} (ls|publish|promote|rollback)")),
+    }
+}
+
 fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let (pipeline, _maps) = load(flags)?;
-    let ckpt_dir =
-        PathBuf::from(flags.get("checkpoint-dir").ok_or("--checkpoint-dir is required")?);
+    let registry = if flags.contains_key("registry") { Some(open_registry(flags)?) } else { None };
+    let ckpt_dir = match flags.get("checkpoint-dir") {
+        Some(d) => Some(PathBuf::from(d)),
+        None if registry.is_none() => {
+            return Err("either --checkpoint-dir or --registry is required".into())
+        }
+        None => None,
+    };
     let cfg = fit_config(flags)?;
     let kind = model_kind(flags)?;
 
@@ -405,6 +508,24 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(spec) = flags.get("fault-spikes") {
         plan = plan.with_latency_spikes(parse_fault_spikes(spec)?);
     }
+    // A bench run makes at most one swap attempt, so lifecycle faults are
+    // keyed to swap attempt 0.
+    if let Some(fault) = flags.get("swap-fault") {
+        plan = match fault.as_str() {
+            "corrupt-new" => plan.with_swap_corruption([0]),
+            "kill-flip" => plan.with_swap_kill_flips([0]),
+            "shadow-div" => plan.with_shadow_divergence([0]),
+            other => {
+                return Err(format!(
+                    "unknown swap fault {other:?} (corrupt-new|kill-flip|shadow-div)"
+                ))
+            }
+        };
+    }
+    let swap_at: Option<u64> = match flags.get("swap-at") {
+        Some(v) => Some(v.parse().map_err(|_| format!("--swap-at: cannot parse {v:?}"))?),
+        None => None,
+    };
 
     let telemetry_out = flags.get("telemetry").map(PathBuf::from);
     if telemetry_out.is_some() {
@@ -416,32 +537,95 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let n_items = split.n_items;
     let fallback = pup_serve::Fallback::from_train(n_users, n_items, &split.train)
         .map_err(|e| e.to_string())?;
-    let shared =
-        Arc::new(pup_serve::ServiceShared::with_faults(serve_cfg, fallback, n_users, plan));
-
-    // Each worker restores its own replica from the checkpoint (models are
-    // not Send); validate the checkpoint once up front for a clear error.
-    eprintln!("restoring {} from checkpoints in {} ...", kind.name(), ckpt_dir.display());
-    pipeline
-        .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
-        .map_err(|e| format!("--checkpoint-dir {}: {e}", ckpt_dir.display()))?;
-    let pipeline = Arc::new(pipeline);
-    let factory: pup_serve::ScorerFactory = {
-        let pipeline = Arc::clone(&pipeline);
-        Arc::new(move || {
-            let model = pipeline
-                .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
-                .map_err(|e| e.to_string())?;
-            Ok(Box::new(pup_serve::RecommenderScorer::new(model, n_items)))
-        })
+    let shared = match &registry {
+        Some(reg) => {
+            let serving = reg.serving_generation().map_err(|e| e.to_string())?.gen;
+            let swap_cfg = pup_serve::SwapConfig {
+                shadow_requests: get_parsed(flags, "shadow", 32)?,
+                min_overlap: get_parsed(flags, "min-overlap", 0.5)?,
+                probe_users: 4,
+            };
+            Arc::new(pup_serve::ServiceShared::with_swap(
+                serve_cfg,
+                fallback,
+                n_users,
+                plan,
+                pup_serve::SwapController::new(serving, swap_cfg),
+            ))
+        }
+        None => Arc::new(pup_serve::ServiceShared::with_faults(serve_cfg, fallback, n_users, plan)),
     };
 
+    let pipeline = Arc::new(pipeline);
     eprintln!(
         "serving {} requests from {} closed-loop clients ({} workers, queue {}, deadline {deadline_ms}ms) ...",
         bench.requests, bench.clients, shared.cfg.workers, shared.cfg.queue_capacity
     );
-    let report = pup_serve::run_closed_loop(Arc::clone(&shared), factory, bench)
-        .map_err(|e| e.to_string())?;
+    let report = match registry {
+        Some(reg) => {
+            // Validate the serving generation once up front for a clear error.
+            let serving = shared.swap.active_gen();
+            eprintln!(
+                "restoring {} from registry generation {serving} in {} ...",
+                kind.name(),
+                reg.dir().display()
+            );
+            reg.load(serving).map_err(|e| format!("generation {serving}: {e}"))?;
+            let factory: pup_serve::GenScorerFactory = {
+                let pipeline = Arc::clone(&pipeline);
+                let reg = reg.clone();
+                Arc::new(move |gen| {
+                    let ckpt = reg.load(gen).map_err(|e| e.to_string())?;
+                    let model = pipeline
+                        .restore_from_checkpoint(kind.clone(), &cfg, &ckpt)
+                        .map_err(|e| e.to_string())?;
+                    Ok(Box::new(pup_serve::RecommenderScorer::new(model, n_items))
+                        as Box<dyn pup_serve::Scorer>)
+                })
+            };
+            let swap = match swap_at {
+                Some(at) => {
+                    let to_gen: u64 = match flags.get("swap-to") {
+                        Some(v) => {
+                            v.parse().map_err(|_| format!("--swap-to: cannot parse {v:?}"))?
+                        }
+                        None => reg
+                            .list()
+                            .map_err(|e| e.to_string())?
+                            .last()
+                            .map(|m| m.gen)
+                            .ok_or("registry holds no valid generations to swap to")?,
+                    };
+                    eprintln!("hot swap to generation {to_gen} scheduled at request {at}");
+                    Some((pup_serve::SwapPlan { at_request: at, to_gen }, reg))
+                }
+                None => None,
+            };
+            pup_serve::run_closed_loop_with_swap(Arc::clone(&shared), factory, bench, swap)
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            // Checked above: --checkpoint-dir is present when --registry is not.
+            let ckpt_dir = ckpt_dir.ok_or("either --checkpoint-dir or --registry is required")?;
+            // Each worker restores its own replica from the checkpoint (models
+            // are not Send); validate once up front for a clear error.
+            eprintln!("restoring {} from checkpoints in {} ...", kind.name(), ckpt_dir.display());
+            pipeline
+                .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
+                .map_err(|e| format!("--checkpoint-dir {}: {e}", ckpt_dir.display()))?;
+            let factory: pup_serve::ScorerFactory = {
+                let pipeline = Arc::clone(&pipeline);
+                Arc::new(move || {
+                    let model = pipeline
+                        .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
+                        .map_err(|e| e.to_string())?;
+                    Ok(Box::new(pup_serve::RecommenderScorer::new(model, n_items)))
+                })
+            };
+            pup_serve::run_closed_loop(Arc::clone(&shared), factory, bench)
+                .map_err(|e| e.to_string())?
+        }
+    };
     println!("{}", report.render());
 
     if let Some(path) = &telemetry_out {

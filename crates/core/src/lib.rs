@@ -371,13 +371,28 @@ impl Pipeline {
         ckpt_dir: &Path,
     ) -> Result<Box<dyn Recommender>, pup_ckpt::CkptError> {
         let _span = pup_obs::span("load_checkpointed");
+        let latest = pup_ckpt::store::load_latest(ckpt_dir)?;
+        self.restore_from_checkpoint(kind, cfg, &latest.checkpoint)
+    }
+
+    /// Rebuilds a trained model from an already-decoded [`pup_ckpt::Checkpoint`]
+    /// — the registry-based path (`pup_ckpt::registry::ModelRegistry::load`)
+    /// and [`Pipeline::load_checkpointed`] share this restore logic.
+    pub fn restore_from_checkpoint(
+        &self,
+        kind: ModelKind,
+        cfg: &FitConfig,
+        ckpt: &pup_ckpt::Checkpoint,
+    ) -> Result<Box<dyn Recommender>, pup_ckpt::CkptError> {
         let data = self.train_data();
-        fn restore<M>(mut m: M, dir: &Path) -> Result<Box<dyn Recommender>, pup_ckpt::CkptError>
+        fn restore<M>(
+            mut m: M,
+            ckpt: &pup_ckpt::Checkpoint,
+        ) -> Result<Box<dyn Recommender>, pup_ckpt::CkptError>
         where
             M: ParamRegistry + BprModel + Recommender + 'static,
         {
-            let latest = pup_ckpt::store::load_latest(dir)?;
-            pup_models::restore_params(&m, &latest.checkpoint)?;
+            pup_models::restore_params(&m, ckpt)?;
             m.finalize();
             Ok(Box::new(m))
         }
@@ -387,19 +402,19 @@ impl Pipeline {
                 what: "PaDQ's sampled factorization state is not checkpointable; re-fit it"
                     .to_string(),
             }),
-            ModelKind::BprMf => restore(BprMf::new(&data, cfg.dim, cfg.seed), ckpt_dir),
-            ModelKind::Fm => restore(Fm::new(&data, cfg.dim, cfg.seed), ckpt_dir),
+            ModelKind::BprMf => restore(BprMf::new(&data, cfg.dim, cfg.seed), ckpt),
+            ModelKind::Fm => restore(Fm::new(&data, cfg.dim, cfg.seed), ckpt),
             ModelKind::DeepFm => {
-                restore(DeepFm::new(&data, cfg.dim, cfg.deepfm_hidden, cfg.seed), ckpt_dir)
+                restore(DeepFm::new(&data, cfg.dim, cfg.deepfm_hidden, cfg.seed), ckpt)
             }
-            ModelKind::GcMc => restore(GcMc::new(&data, cfg.dim, cfg.dropout, cfg.seed), ckpt_dir),
+            ModelKind::GcMc => restore(GcMc::new(&data, cfg.dim, cfg.dropout, cfg.seed), ckpt),
             ModelKind::Ngcf => {
-                restore(Ngcf::new(&data, cfg.dim, cfg.ngcf_layers, cfg.dropout, cfg.seed), ckpt_dir)
+                restore(Ngcf::new(&data, cfg.dim, cfg.ngcf_layers, cfg.dropout, cfg.seed), ckpt)
             }
             ModelKind::Pup(mut pup_cfg) => {
                 pup_cfg.dropout = cfg.dropout;
                 pup_cfg.seed = cfg.seed;
-                restore(Pup::new(&data, pup_cfg), ckpt_dir)
+                restore(Pup::new(&data, pup_cfg), ckpt)
             }
         }
     }

@@ -50,6 +50,18 @@ pub struct HistSummary {
     pub p99: f64,
 }
 
+impl HistSummary {
+    /// Arithmetic mean of the observations (exact: `sum / count`, unlike
+    /// the bucket-estimated quantiles).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
 /// A fixed-bucket histogram over the shared 1-2-5 log layout.
 #[derive(Debug, Clone)]
 pub struct Histogram {

@@ -17,7 +17,8 @@ use crate::deadline::Deadline;
 use crate::fallback::Fallback;
 use crate::faults::FaultInjector;
 use crate::scorer::Scorer;
-use crate::stats::ServeStats;
+use crate::stats::{ServeReport, ServeStats};
+use crate::swap::{SwapConfig, SwapController};
 use crate::{Request, Response, ServeConfig, ServeError, Source, Stage};
 
 /// Everything the pipeline shares across requests and worker threads.
@@ -36,6 +37,9 @@ pub struct ServiceShared {
     pub fallback: Fallback,
     /// Users the primary model can score (`usize::MAX` = any user).
     pub n_users: usize,
+    /// The model-lifecycle controller (inert at generation 0 unless a
+    /// swap is initiated).
+    pub swap: SwapController,
 }
 
 impl ServiceShared {
@@ -51,6 +55,18 @@ impl ServiceShared {
         n_users: usize,
         plan: FaultPlan,
     ) -> Self {
+        Self::with_swap(cfg, fallback, n_users, plan, SwapController::new(0, SwapConfig::default()))
+    }
+
+    /// Assembles shared state with a scripted fault plan and an explicit
+    /// swap controller (serving generation + shadow tunables).
+    pub fn with_swap(
+        cfg: ServeConfig,
+        fallback: Fallback,
+        n_users: usize,
+        plan: FaultPlan,
+        swap: SwapController,
+    ) -> Self {
         let breaker = CircuitBreaker::new(cfg.breaker);
         Self {
             cfg,
@@ -59,7 +75,17 @@ impl ServiceShared {
             faults: FaultInjector::new(plan),
             fallback,
             n_users,
+            swap,
         }
+    }
+
+    /// Snapshots the full service report: stats + breaker trace + fault
+    /// counters + the swap transition trace and serving generation.
+    pub fn report(&self) -> ServeReport {
+        let mut report = self.stats.report(&self.breaker, &self.faults);
+        report.active_gen = self.swap.active_gen();
+        report.swap_transitions = self.swap.transitions();
+        report
     }
 }
 
@@ -226,8 +252,10 @@ fn primary_attempts(
     Ok(PrimaryOutcome::Degraded(Degraded::ScorerFailed { retries }))
 }
 
-/// Ranks the user's unseen items by the primary scores, top `k`.
-fn rank_unseen(
+/// Ranks the user's unseen items by the given scores, top `k`. Shared by
+/// the primary path and shadow scoring so both rankings apply the same
+/// seen-item policy.
+pub(crate) fn rank_unseen(
     shared: &ServiceShared,
     scorer: &dyn Scorer,
     scores: &[f64],

@@ -28,6 +28,7 @@ pub struct AttemptFaults {
 pub struct FaultInjector {
     plan: Mutex<FaultPlan>,
     attempts: AtomicU64,
+    swap_attempts: AtomicU64,
 }
 
 /// Poisoned-lock recovery: the plan is a plain list of pending faults;
@@ -39,7 +40,11 @@ fn locked(m: &Mutex<FaultPlan>) -> MutexGuard<'_, FaultPlan> {
 impl FaultInjector {
     /// Wraps a scripted plan.
     pub fn new(plan: FaultPlan) -> Self {
-        Self { plan: Mutex::new(plan), attempts: AtomicU64::new(0) }
+        Self {
+            plan: Mutex::new(plan),
+            attempts: AtomicU64::new(0),
+            swap_attempts: AtomicU64::new(0),
+        }
     }
 
     /// An injector that never fires.
@@ -61,6 +66,33 @@ impl FaultInjector {
     /// Scoring attempts drawn so far.
     pub fn attempts(&self) -> u64 {
         self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Draws the next hot-swap attempt's sequence number. Swap faults
+    /// (corruption, kill-mid-flip, forced divergence) are keyed by this
+    /// counter, separate from scoring attempts.
+    pub fn next_swap_attempt(&self) -> u64 {
+        self.swap_attempts.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Hot-swap attempts drawn so far.
+    pub fn swap_attempts(&self) -> u64 {
+        self.swap_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the corrupt-new-checkpoint fault for swap `attempt`.
+    pub fn fire_swap_corrupt(&self, attempt: u64) -> bool {
+        locked(&self.plan).fire_swap_corrupt(attempt)
+    }
+
+    /// Consumes the kill-mid-pointer-flip fault for swap `attempt`.
+    pub fn fire_swap_kill_flip(&self, attempt: u64) -> bool {
+        locked(&self.plan).fire_swap_kill_flip(attempt)
+    }
+
+    /// Consumes the forced shadow-divergence fault for swap `attempt`.
+    pub fn fire_shadow_divergence(&self, attempt: u64) -> bool {
+        locked(&self.plan).fire_shadow_divergence(attempt)
     }
 
     /// Scheduled faults that have not fired yet.

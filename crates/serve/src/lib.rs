@@ -48,6 +48,7 @@ pub mod queue;
 pub mod scorer;
 pub mod server;
 pub mod stats;
+pub mod swap;
 
 use std::fmt;
 
@@ -56,12 +57,16 @@ pub use deadline::Deadline;
 pub use engine::ServiceShared;
 pub use fallback::Fallback;
 pub use faults::{AttemptFaults, FaultInjector};
-pub use loadgen::{run_closed_loop, BenchConfig};
+pub use loadgen::{run_closed_loop, run_closed_loop_with_swap, BenchConfig, SwapPlan};
 pub use pup_models::ScoreError;
 pub use queue::AdmissionQueue;
 pub use scorer::{RecommenderScorer, Scorer, ScorerFactory};
 pub use server::{ResponseHandle, Server};
 pub use stats::{ServeReport, ServeStats};
+pub use swap::{
+    initiate_swap, wire_registry_promotion, GenScorerFactory, RollbackReason, SwapConfig,
+    SwapController, SwapError, SwapOutcome, SwapTransition, WorkerModel,
+};
 
 /// Pipeline stage at which a deadline was found exhausted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -7,14 +7,17 @@
 //! `(seed, clients, requests)` triple replays the identical request
 //! stream every run.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pup_ckpt::registry::ModelRegistry;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::ServiceShared;
 use crate::scorer::ScorerFactory;
 use crate::server::Server;
 use crate::stats::ServeReport;
+use crate::swap::{initiate_swap, wire_registry_promotion, GenScorerFactory};
 use crate::{Request, ServeError};
 
 /// Shape of one benchmark run.
@@ -36,6 +39,16 @@ impl Default for BenchConfig {
     }
 }
 
+/// A hot swap to trigger mid-load: once the `at_request`-th submission
+/// goes out, one client initiates adoption of generation `to_gen`.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapPlan {
+    /// Global submission index at which the swap is initiated.
+    pub at_request: u64,
+    /// Candidate generation to adopt.
+    pub to_gen: u64,
+}
+
 /// Runs the closed loop against a freshly started server and returns the
 /// aggregated report. Every request ends in exactly one bucket: answered
 /// (primary or degraded) or typed-rejected — a panic or hang anywhere in
@@ -45,19 +58,53 @@ pub fn run_closed_loop(
     factory: ScorerFactory,
     bench: BenchConfig,
 ) -> Result<ServeReport, ServeError> {
-    let server = Arc::new(Server::start(Arc::clone(&shared), factory)?);
+    let gen_factory: GenScorerFactory = Arc::new(move |_gen| factory());
+    run_closed_loop_with_swap(shared, gen_factory, bench, None)
+}
+
+/// [`run_closed_loop`] with a generation-aware factory and an optional
+/// mid-load hot swap: when `swap` is set, promotion is wired into the
+/// registry's `CURRENT` pointer, and the client whose submission counter
+/// hits `at_request` initiates the swap while traffic keeps flowing.
+pub fn run_closed_loop_with_swap(
+    shared: Arc<ServiceShared>,
+    factory: GenScorerFactory,
+    bench: BenchConfig,
+    swap: Option<(SwapPlan, ModelRegistry)>,
+) -> Result<ServeReport, ServeError> {
+    if let Some((_, registry)) = &swap {
+        wire_registry_promotion(&shared, registry.clone());
+    }
+    let server = Arc::new(Server::start_with_generations(Arc::clone(&shared), factory.clone())?);
     let clients = bench.clients.max(1);
     let per_client = bench.requests / clients;
     let remainder = bench.requests % clients;
     let n_users = shared.n_users;
+    let submitted = Arc::new(AtomicU64::new(0));
+    let swap = swap.map(Arc::new);
     let mut handles = Vec::with_capacity(clients);
     for client in 0..clients {
         let server = Arc::clone(&server);
+        let shared = Arc::clone(&shared);
+        // pup-lint: allow(clone-in-loop) — one Arc bump per client thread, at startup only.
+        let factory = factory.clone();
+        let submitted = Arc::clone(&submitted);
+        // pup-lint: allow(clone-in-loop) — one Arc bump per client thread, at startup only.
+        let swap = swap.clone();
         let quota = per_client + usize::from(client < remainder);
         let mut rng = rand::rngs::StdRng::seed_from_u64(bench.seed + client as u64);
         let k = bench.k;
         handles.push(std::thread::spawn(move || {
             for _ in 0..quota {
+                let seq = submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(plan) = &swap {
+                    if seq == plan.0.at_request {
+                        // Initiation failures (validation, NaN probe) are
+                        // already recorded as rolled-back transitions; the
+                        // bench keeps serving the old generation.
+                        let _ = initiate_swap(&shared, &plan.1, &factory, plan.0.to_gen);
+                    }
+                }
                 let user = if n_users == usize::MAX || n_users == 0 {
                     rng.gen_range(0..1024usize)
                 } else {
@@ -78,7 +125,10 @@ pub fn run_closed_loop(
     if let Ok(server) = Arc::try_unwrap(server) {
         server.shutdown();
     }
-    Ok(shared.stats.report(&shared.breaker, &shared.faults))
+    // A swap whose shadow window outlived the traffic resolves now, on
+    // whatever evidence the window gathered.
+    shared.swap.resolve_now(&shared.faults);
+    Ok(shared.report())
 }
 
 #[cfg(test)]

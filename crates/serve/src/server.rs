@@ -13,9 +13,10 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::deadline::Deadline;
-use crate::engine::{process, ServiceShared};
+use crate::engine::ServiceShared;
 use crate::queue::{AdmissionQueue, PushRefused};
 use crate::scorer::ScorerFactory;
+use crate::swap::{GenScorerFactory, WorkerModel};
 use crate::{Request, Response, ServeError};
 
 /// One queued unit of work.
@@ -53,6 +54,19 @@ impl Server {
     /// scorer via `factory`. Fails (and tears everything down) if any
     /// worker cannot construct its replica.
     pub fn start(shared: Arc<ServiceShared>, factory: ScorerFactory) -> Result<Self, ServeError> {
+        // A generation-agnostic factory: every generation scores on the
+        // same replica, which makes the swap controller inert.
+        let gen_factory: GenScorerFactory = Arc::new(move |_gen| factory());
+        Self::start_with_generations(shared, gen_factory)
+    }
+
+    /// Starts the server with a generation-aware factory: each worker owns
+    /// a [`WorkerModel`] that follows the swap controller, scoring on the
+    /// active generation and shadow-scoring candidates during a swap.
+    pub fn start_with_generations(
+        shared: Arc<ServiceShared>,
+        factory: GenScorerFactory,
+    ) -> Result<Self, ServeError> {
         let n_workers = shared.cfg.workers.max(1);
         let queue = Arc::new(AdmissionQueue::<Job>::new(shared.cfg.queue_capacity));
         let (init_tx, init_rx) = mpsc::channel::<Result<(), String>>();
@@ -64,11 +78,11 @@ impl Server {
             // pup-lint: allow(clone-in-loop) — one sender handle per worker, at startup only.
             let init_tx = init_tx.clone();
             workers.push(std::thread::spawn(move || {
-                // The scorer must be built on this thread: it is not Send.
-                let scorer = match factory() {
-                    Ok(s) => {
+                // The replicas must be built on this thread: not Send.
+                let mut model = match WorkerModel::build(&shared, factory) {
+                    Ok(m) => {
                         let _ = init_tx.send(Ok(()));
-                        s
+                        m
                     }
                     Err(e) => {
                         let _ = init_tx.send(Err(e));
@@ -80,7 +94,7 @@ impl Server {
                     let wait_ns =
                         u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     shared.stats.observe_queue_wait_ns(wait_ns);
-                    let result = process(&shared, scorer.as_ref(), job.req, &mut job.deadline);
+                    let result = model.handle(&shared, job.req, &mut job.deadline);
                     // A dropped receiver means the client stopped waiting;
                     // the work is complete either way.
                     let _ = job.reply.send(result);

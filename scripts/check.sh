@@ -66,6 +66,46 @@ if [[ $fast -eq 0 ]]; then
         recommend --items "$serve_smoke/data/items.csv" \
         --interactions "$serve_smoke/data/interactions.csv" \
         --checkpoint-dir "$serve_smoke/ckpts" --model bprmf --user 54 -k 5
+    # Swap-chaos gate: publish the trained checkpoint as generations of a
+    # model registry, then hot-swap mid-load — clean, with the candidate
+    # corrupted on disk, and with the process killed mid pointer-flip. All
+    # three runs must hold >= 99% availability (a swap never drops a
+    # request) and end with a registry whose CURRENT pointer is valid.
+    registry="$serve_smoke/registry"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        registry publish --registry "$registry" --checkpoint-dir "$serve_smoke/ckpts"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        registry publish --registry "$registry" --checkpoint-dir "$serve_smoke/ckpts"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        serve-bench --items "$serve_smoke/data/items.csv" \
+        --interactions "$serve_smoke/data/interactions.csv" \
+        --registry "$registry" --model bprmf \
+        --requests 200 --clients 4 --workers 2 \
+        --swap-at 40 --swap-to 1 --shadow 16 \
+        --min-availability 0.99
+    # Corrupt-new-checkpoint: validation must roll back without serving it.
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        registry publish --registry "$registry" --checkpoint-dir "$serve_smoke/ckpts"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        serve-bench --items "$serve_smoke/data/items.csv" \
+        --interactions "$serve_smoke/data/interactions.csv" \
+        --registry "$registry" --model bprmf \
+        --requests 200 --clients 4 --workers 2 \
+        --swap-at 40 --swap-to 2 --shadow 16 --swap-fault corrupt-new \
+        --min-availability 0.99
+    # Kill-mid-pointer-flip: the old generation keeps serving; the next run
+    # (a fresh process = the restart) must still come up on a valid CURRENT.
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        registry publish --registry "$registry" --checkpoint-dir "$serve_smoke/ckpts"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        serve-bench --items "$serve_smoke/data/items.csv" \
+        --interactions "$serve_smoke/data/interactions.csv" \
+        --registry "$registry" --model bprmf \
+        --requests 200 --clients 4 --workers 2 \
+        --swap-at 40 --swap-to 3 --shadow 16 --swap-fault kill-flip \
+        --min-availability 0.99
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        registry ls --registry "$registry"
 fi
 
 echo
