@@ -459,7 +459,7 @@ fn extract_fns(path: &Path, source: &str, out: &mut Vec<FnNode>) {
 /// Reads a `// pup-hot: <label>` annotation from the plain comments
 /// directly above the `fn` keyword (attributes and doc comments may sit in
 /// between).
-fn hot_annotation(file: &SourceFile<'_>, fn_kw: usize) -> Option<String> {
+pub(crate) fn hot_annotation(file: &SourceFile<'_>, fn_kw: usize) -> Option<String> {
     const MARKER: &str = "pup-hot:";
     let mut ti = fn_kw;
     // Walk raw tokens backwards over trivia, doc comments, attributes and

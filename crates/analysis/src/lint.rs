@@ -15,6 +15,7 @@
 //! | `float-eq` | no `==`/`!=` between `f64` expressions outside tests |
 //! | `crash-unsafe-io` | no `fs::write`/`File::create` in a function that never calls `rename` (write-temp-then-rename keeps saves atomic) |
 //! | `raw-print-in-lib` | no `println!`/`eprintln!` in library code (bins and tests exempt); telemetry goes through `pup-obs`, data through return values |
+//! | `untraced-hot-root` | every `// pup-hot:` root fn must open a telemetry span (`pup_obs::span(..)` or a trace-context `.span(..)`) so hot-path work is visible in traces |
 //! | `stale-allow` | (`--strict` only) an allow escape that suppresses nothing |
 //!
 //! Every rule matches **code tokens** from the [`crate::lex`] lexer inside
@@ -70,6 +71,9 @@ pub enum Rule {
     /// A lossy `as` cast (`as u32`, `as f32`, float `as usize`) in
     /// non-test code.
     AsCastTruncation,
+    /// A `// pup-hot:` root fn that never opens a telemetry span: the
+    /// hottest paths are exactly the ones a trace must not go dark on.
+    UntracedHotRoot,
     /// An allow escape that no longer suppresses any finding (strict mode).
     StaleAllow,
 }
@@ -87,6 +91,7 @@ impl Rule {
         Rule::CrashUnsafeIo,
         Rule::RawPrintInLib,
         Rule::AsCastTruncation,
+        Rule::UntracedHotRoot,
     ];
 
     /// The rule's name as used in `// pup-lint: allow(<name>)` comments.
@@ -102,6 +107,7 @@ impl Rule {
             Rule::CrashUnsafeIo => "crash-unsafe-io",
             Rule::RawPrintInLib => "raw-print-in-lib",
             Rule::AsCastTruncation => "as-cast-truncation",
+            Rule::UntracedHotRoot => "untraced-hot-root",
             Rule::StaleAllow => "stale-allow",
         }
     }
@@ -282,6 +288,7 @@ pub fn analyze_source(path: &Path, source: &str, strict: bool) -> Analysis {
     float_eq(&file, &test_spans, &mut candidates);
     crash_unsafe_io(&file, &test_spans, &mut candidates);
     as_cast_truncation(&file, &test_spans, &mut candidates);
+    untraced_hot_root(&file, &test_spans, &mut candidates);
 
     // Filter candidates through the allow escapes, tracking which escape
     // actually earned its keep.
@@ -901,6 +908,54 @@ fn crash_unsafe_io(file: &SourceFile<'_>, test_spans: &[(usize, usize)], out: &m
     }
 }
 
+/// `untraced-hot-root`: a `// pup-hot: <label>` root fn whose body never
+/// opens a telemetry span. The annotation promises the fn is a certified
+/// hot path; the span is what makes that path visible in request traces
+/// and flame reports — a dark hot root is the first place a latency
+/// investigation dead-ends. Counts both `pup_obs::span(..)` thread-local
+/// spans and `.span(..)` calls on a carried trace context.
+fn untraced_hot_root(
+    file: &SourceFile<'_>,
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Candidate>,
+) {
+    // Byte offsets of every `::span(` / `.span(` call in the file.
+    let span_opens: Vec<usize> = file
+        .find_seq(&["span", "("])
+        .into_iter()
+        .filter(|&p| {
+            p > 0 && {
+                let prev = file.code[p - 1];
+                file.is_punct(prev, b'.')
+                    || (file.is_punct(prev, b':') && p > 1 && file.is_punct(file.code[p - 2], b':'))
+            }
+        })
+        .map(|p| file.tokens[file.code[p]].start)
+        .collect();
+    for d in file.fn_defs() {
+        let Some(label) = crate::callgraph::hot_annotation(file, d.kw) else { continue };
+        let at = file.tokens[d.kw].start;
+        if in_any(test_spans, at) {
+            continue;
+        }
+        let Some((open, close)) = d.body else { continue };
+        let (b0, b1) = (file.tokens[open].start, file.tokens[close].end);
+        if span_opens.iter().any(|&s| s > b0 && s < b1) {
+            continue;
+        }
+        out.push(Candidate {
+            offset: at,
+            end: file.tokens[d.kw].end,
+            rule: Rule::UntracedHotRoot,
+            message: format!(
+                "`// pup-hot: {label}` root opens no telemetry span; open \
+                 `pup_obs::span(..)` or a trace-context `.span(..)` in its body, \
+                 or annotate with `// pup-lint: allow(untraced-hot-root)`"
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1248,6 +1303,50 @@ mod tests {
         let d = lint_str("io.rs", src);
         assert_eq!(d.len(), 1, "the rename lives in an unrelated fn: {d:?}");
         assert_eq!(d[0].rule, Rule::CrashUnsafeIo);
+    }
+
+    // --- untraced-hot-root ----------------------------------------------
+
+    #[test]
+    fn untraced_hot_root_flags_spanless_roots() {
+        let src = "// pup-hot: serve-request\npub fn process(x: u32) -> u32 {\n    x + 1\n}\n";
+        let d = lint_str("crates/serve/src/engine.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::UntracedHotRoot);
+        assert_eq!(d[0].line, 2, "anchored at the fn keyword");
+        assert!(d[0].message.contains("serve-request"));
+    }
+
+    #[test]
+    fn untraced_hot_root_accepts_obs_and_context_spans() {
+        let obs = "// pup-hot: train-epoch\npub fn run_epoch(x: u32) -> u32 {\n    \
+                   let _span = pup_obs::span(\"epoch\");\n    x + 1\n}\n";
+        assert!(lint_str("crates/models/src/trainer.rs", obs).is_empty());
+        let ctx = "// pup-hot: swap-request\npub fn handle(ctx: &TraceContext) -> u32 {\n    \
+                   let _shadow = ctx.span(\"shadow\");\n    1\n}\n";
+        assert!(lint_str("crates/serve/src/swap.rs", ctx).is_empty());
+    }
+
+    #[test]
+    fn untraced_hot_root_ignores_span_mentions_that_are_not_calls() {
+        // A bare `span(` call (local fn), a span in a *different* fn, and
+        // prose in strings/comments are not this fn's telemetry span.
+        let src = "// pup-hot: eval-rank\npub fn rank(x: u32) -> u32 {\n    \
+                   // pup_obs::span(\"prose\")\n    span(x)\n}\n\n\
+                   fn other() {\n    let _s = pup_obs::span(\"elsewhere\");\n}\n";
+        let d = lint_str("crates/eval/src/ranking.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::UntracedHotRoot);
+    }
+
+    #[test]
+    fn untraced_hot_root_escape_and_tests_are_exempt() {
+        let escaped = "// pup-hot: eval-rank\n// pup-lint: allow(untraced-hot-root)\n\
+                       pub fn rank(x: u32) -> u32 {\n    x\n}\n";
+        assert!(lint_str("crates/eval/src/ranking.rs", escaped).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    // pup-hot: fake\n    \
+                        fn hot(x: u32) -> u32 {\n        x\n    }\n}\n";
+        assert!(lint_str("crates/eval/src/ranking.rs", test_src).is_empty());
     }
 
     // --- raw-print-in-lib -----------------------------------------------

@@ -71,6 +71,17 @@ pub fn needles_in_prose() -> &'static str {
     "x.unwrap(); m.lock().unwrap(); println!(); fs::write(p, s)"
 }
 
+// pup-hot: dark-root
+pub fn untraced_hot(x: u32) -> u32 {
+    x + 1
+}
+
+// pup-hot: lit-root
+pub fn traced_hot(x: u32) -> u32 {
+    let _span = pup_obs::span("hot");
+    x + 1
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -137,8 +137,9 @@ fn bench_swap(c: &mut Criterion) {
         b.iter(|| {
             user = (user + 1) % n_users;
             let mut deadline = Deadline::new(shared.cfg.deadline_ns);
+            let ctx = pup_obs::trace::TraceContext::disabled();
             let resp = model
-                .handle(&shared, Request { user, k: 10 }, &mut deadline)
+                .handle(&shared, Request { user, k: 10 }, &mut deadline, &ctx)
                 .expect("fast-path request answered");
             assert_eq!(resp.source, Source::Primary);
             black_box(resp)
@@ -150,8 +151,9 @@ fn bench_swap(c: &mut Criterion) {
         b.iter(|| {
             user = (user + 1) % n_users;
             let mut deadline = Deadline::new(shared.cfg.deadline_ns);
+            let ctx = pup_obs::trace::TraceContext::disabled();
             let resp = model
-                .handle(&shared, Request { user, k: 10 }, &mut deadline)
+                .handle(&shared, Request { user, k: 10 }, &mut deadline, &ctx)
                 .expect("shadowed request answered");
             assert_eq!(resp.source, Source::Primary);
             black_box(resp)

@@ -88,28 +88,37 @@ pub fn banner(title: &str, env: &ExperimentEnv) {
     println!();
 }
 
-/// Serializes finished benchmark cases as `BENCH_<target>.json`.
+pub use pup_obs::bench::{
+    diff_last_two, read_bench_trajectory, read_bench_trajectory_str, BenchCase, BenchEntry,
+    BenchTrajectory, CaseDiff,
+};
+
+/// Appends finished benchmark cases to `BENCH_<target>.json`.
 ///
-/// Schema (`pup-bench/1`), one object per file:
+/// The file holds an append-only trajectory (`pup-bench/2`): one entry per
+/// bench run, newest last, so regressions are visible as history rather
+/// than silently overwritten.
 ///
 /// ```json
 /// {
-///   "schema": "pup-bench/1",
+///   "schema": "pup-bench/2",
 ///   "target": "training",
-///   "cases": [
-///     {"group": "bpr_epoch", "name": "bpr_mf",
-///      "median_ns": 12345678, "min_ns": 11111111, "max_ns": 14444444,
-///      "samples": 10}
+///   "entries": [
+///     {"seq": 0,
+///      "cases": [{"group": "bpr_epoch", "name": "bpr_mf",
+///                 "median_ns": 12345678, "min_ns": 11111111,
+///                 "max_ns": 14444444, "samples": 10}]}
 ///   ]
 /// }
 /// ```
 ///
-/// Cases appear in run order. All times are wall-clock nanoseconds for one
-/// invocation of the bench routine (median / min / max over `samples` timed
-/// runs, warm-up excluded). The file lands in `$PUP_BENCH_OUT` if set,
-/// otherwise the current directory, and is written atomically (tmp +
-/// rename) so a crashed bench run never leaves a truncated report.
-/// Returns the path written.
+/// An existing single-run `pup-bench/1` file is absorbed as entry 0 on the
+/// first append. Cases appear in run order; all times are wall-clock
+/// nanoseconds for one invocation of the bench routine (median / min / max
+/// over `samples` timed runs, warm-up excluded). The file lands in
+/// `$PUP_BENCH_OUT` if set, otherwise the current directory, and is written
+/// atomically (tmp + rename) so a crashed bench run never leaves a
+/// truncated report. Returns the path written.
 pub fn write_bench_json(
     target: &str,
     cases: &[criterion::CaseResult],
@@ -117,29 +126,62 @@ pub fn write_bench_json(
     use pup_obs::json::Value;
     use std::io::Write;
 
-    let case_objs: Vec<Value> = cases
-        .iter()
-        .map(|c| {
-            Value::Obj(vec![
-                ("group".to_string(), Value::Str(c.group.clone())),
-                ("name".to_string(), Value::Str(c.label.clone())),
-                ("median_ns".to_string(), Value::num(c.median_ns as f64)),
-                ("min_ns".to_string(), Value::num(c.min_ns as f64)),
-                ("max_ns".to_string(), Value::num(c.max_ns as f64)),
-                ("samples".to_string(), Value::num(c.samples as f64)),
-            ])
-        })
-        .collect();
-    let doc = Value::Obj(vec![
-        ("schema".to_string(), Value::Str("pup-bench/1".to_string())),
-        ("target".to_string(), Value::Str(target.to_string())),
-        ("cases".to_string(), Value::Arr(case_objs)),
-    ]);
-
     let dir = std::env::var("PUP_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
     let dir = std::path::PathBuf::from(dir);
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{target}.json"));
+
+    // Prior history (v1 or v2) stays; this run appends. An unreadable or
+    // foreign file is replaced rather than corrupted further.
+    let mut entries = match std::fs::read_to_string(&path) {
+        Ok(text) => read_bench_trajectory_str(&text).map(|t| t.entries).unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    let seq = entries.len() as u64;
+    entries.push(BenchEntry {
+        seq,
+        cases: cases
+            .iter()
+            .map(|c| BenchCase {
+                group: c.group.clone(),
+                name: c.label.clone(),
+                median_ns: u64::try_from(c.median_ns).unwrap_or(u64::MAX),
+                min_ns: u64::try_from(c.min_ns).unwrap_or(u64::MAX),
+                max_ns: u64::try_from(c.max_ns).unwrap_or(u64::MAX),
+                samples: c.samples as u64,
+            })
+            .collect(),
+    });
+
+    let entry_objs: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            let case_objs: Vec<Value> = e
+                .cases
+                .iter()
+                .map(|c| {
+                    Value::Obj(vec![
+                        ("group".to_string(), Value::Str(c.group.clone())),
+                        ("name".to_string(), Value::Str(c.name.clone())),
+                        ("median_ns".to_string(), Value::num(c.median_ns as f64)),
+                        ("min_ns".to_string(), Value::num(c.min_ns as f64)),
+                        ("max_ns".to_string(), Value::num(c.max_ns as f64)),
+                        ("samples".to_string(), Value::num(c.samples as f64)),
+                    ])
+                })
+                .collect();
+            Value::Obj(vec![
+                ("seq".to_string(), Value::num(e.seq as f64)),
+                ("cases".to_string(), Value::Arr(case_objs)),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("schema".to_string(), Value::Str("pup-bench/2".to_string())),
+        ("target".to_string(), Value::Str(target.to_string())),
+        ("entries".to_string(), Value::Arr(entry_objs)),
+    ]);
+
     let tmp = dir.join(format!("BENCH_{target}.json.tmp"));
     let mut f = std::fs::File::create(&tmp)?;
     f.write_all(doc.render().as_bytes())?;
@@ -153,37 +195,65 @@ pub fn write_bench_json(
 mod tests {
     use super::*;
 
+    fn case(median_ns: u128) -> criterion::CaseResult {
+        criterion::CaseResult {
+            group: "g".to_string(),
+            label: "case_a".to_string(),
+            median_ns,
+            min_ns: median_ns - 500,
+            max_ns: median_ns + 500,
+            samples: 10,
+        }
+    }
+
     #[test]
-    fn bench_json_round_trips_through_obs_parser() {
+    fn bench_json_appends_a_trajectory_entry_per_run() {
         let dir = std::env::temp_dir().join(format!("pup-bench-json-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("scratch dir");
         // No other test in this binary touches PUP_BENCH_OUT, so setting it
         // here is safe even under the parallel test runner.
         std::env::set_var("PUP_BENCH_OUT", &dir);
-        let cases = vec![criterion::CaseResult {
-            group: "g".to_string(),
-            label: "case_a".to_string(),
-            median_ns: 1_500,
-            min_ns: 1_000,
-            max_ns: 2_000,
-            samples: 10,
-        }];
-        let path = write_bench_json("harness_test", &cases).expect("write");
+        let path = write_bench_json("harness_test", &[case(1_500)]).expect("first write");
+        let path2 = write_bench_json("harness_test", &[case(1_800)]).expect("second write");
         std::env::remove_var("PUP_BENCH_OUT");
+        assert_eq!(path, path2, "both runs land in the same trajectory file");
         assert_eq!(path.file_name().and_then(|n| n.to_str()), Some("BENCH_harness_test.json"));
 
         let text = std::fs::read_to_string(&path).expect("read back");
         let doc = pup_obs::json::Value::parse(&text).expect("valid json");
-        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("pup-bench/1"));
-        assert_eq!(doc.get("target").and_then(|v| v.as_str()), Some("harness_test"));
-        let cases_v = match doc.get("cases") {
-            Some(pup_obs::json::Value::Arr(a)) => a,
-            other => panic!("cases should be an array, got {other:?}"),
-        };
-        assert_eq!(cases_v.len(), 1);
-        assert_eq!(cases_v[0].get("name").and_then(|v| v.as_str()), Some("case_a"));
-        assert_eq!(cases_v[0].get("median_ns").and_then(|v| v.as_u64()), Some(1_500));
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("pup-bench/2"));
+
+        let traj = read_bench_trajectory(&path).expect("trajectory parses");
+        assert_eq!(traj.target, "harness_test");
+        assert_eq!(traj.entries.len(), 2, "second run appended, not overwrote");
+        assert_eq!(traj.entries[0].seq, 0);
+        assert_eq!(traj.entries[1].seq, 1);
+        assert_eq!(traj.entries[0].cases[0].median_ns, 1_500);
+        assert_eq!(traj.entries[1].cases[0].median_ns, 1_800);
+
+        let diffs = diff_last_two(&traj).expect("two entries diff");
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].before_ns, Some(1_500));
+        assert_eq!(diffs[0].after_ns, Some(1_800));
+        assert!(diffs[0].regressed(0.10), "20% slower must trip a 10% threshold");
+        assert!(!diffs[0].regressed(0.25), "20% slower passes a 25% threshold");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_bench_json_is_absorbed_as_entry_zero() {
+        let text = r#"{"schema": "pup-bench/1", "target": "legacy", "cases": [
+            {"group": "g", "name": "case_a", "median_ns": 1000,
+             "min_ns": 900, "max_ns": 1100, "samples": 5}]}"#;
+        let traj = read_bench_trajectory_str(text).expect("v1 parses");
+        assert_eq!(traj.target, "legacy");
+        assert_eq!(traj.entries.len(), 1);
+        assert_eq!(traj.entries[0].seq, 0);
+        assert_eq!(traj.entries[0].cases[0].median_ns, 1_000);
+        assert!(
+            diff_last_two(&traj).is_err(),
+            "one entry has nothing to diff against; the error says to re-run"
+        );
     }
 
     #[test]

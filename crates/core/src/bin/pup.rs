@@ -48,10 +48,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `report-telemetry` takes a positional FILE argument, which `parse_flags`
-    // rejects by design; handle it before the flag parser runs.
-    if cmd == "report-telemetry" {
-        return match cmd_report_telemetry(rest) {
+    // `report-telemetry`, `slo-report` and `bench-diff` take a positional
+    // FILE argument, which `parse_flags` rejects by design; handle them
+    // before the flag parser runs.
+    if cmd == "report-telemetry" || cmd == "slo-report" || cmd == "bench-diff" {
+        let result = match cmd.as_str() {
+            "report-telemetry" => cmd_report_telemetry(rest),
+            "slo-report" => cmd_slo_report(rest),
+            _ => cmd_bench_diff(rest),
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -119,11 +125,14 @@ USAGE:
                 [--swap-at N] [--swap-to GEN] [--shadow K] [--min-overlap F]
                 [--swap-fault corrupt-new|kill-flip|shadow-div]
                 [--min-availability F] [--telemetry FILE]
+                [--slo SPEC] [--flight-dir DIR]
   pup registry  ls       --registry DIR
   pup registry  publish  --registry DIR --checkpoint-dir DIR
   pup registry  promote  --registry DIR --gen N
   pup registry  rollback --registry DIR
   pup report-telemetry FILE [--top N]
+  pup slo-report FILE
+  pup bench-diff FILE [--threshold F]
 
 MODELS: pup (default), itempop, bprmf, padq, fm, deepfm, gcmc, ngcf
 
@@ -154,7 +163,23 @@ submitted, shadow-scoring it for `--shadow K` requests (overlap floor
 `--swap-fault` injects a lifecycle fault into that swap: `corrupt-new`
 damages the candidate on disk (validation must roll back), `kill-flip`
 kills the promotion mid pointer-flip (old generation keeps serving), and
-`shadow-div` forces shadow divergence (window must roll back).";
+`shadow-div` forces shadow divergence (window must roll back).
+
+`serve-bench --slo SPEC` turns on the live observability layer: every
+admitted request carries a trace id through queue, scoring, ranking and
+response; multi-window burn-rate monitors watch availability and latency;
+and a flight recorder of recent requests dumps to `--flight-dir` (default
+target/flight-recorder) the moment an SLO pages, the breaker trips, or a
+swap rolls back. SPEC is `default` or comma-separated keys, e.g.
+`avail=0.999,p99-ms=50,fast=100,slow=400,warn=2,page=10,min=100`. The exit
+code fails when any page-level SLO event is still un-recovered at the end
+of the run. `slo-report FILE` renders the SLO events, the un-recovered
+monitors, and the slowest tail exemplars of a `--telemetry` JSONL file —
+each exemplar resolves to its full stitched trace tree.
+
+`bench-diff FILE` compares the last two runs recorded in an appended
+`BENCH_<target>.json` trajectory and fails on any case whose median
+slowed down more than `--threshold` (default 0.10 = 10%).";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -332,6 +357,124 @@ fn cmd_report_telemetry(args: &[String]) -> Result<(), String> {
     let telemetry =
         pup_obs::Telemetry::read_jsonl(Path::new(file)).map_err(|e| format!("{file}: {e}"))?;
     println!("{}", pup_obs::report::render_with_top_k(&telemetry, top_k));
+    Ok(())
+}
+
+/// Renders the SLO side of a telemetry JSONL file: every burn-rate event,
+/// the monitors still paging at the end of the run, and the slowest tail
+/// exemplars resolved to their stitched trace trees.
+fn cmd_slo_report(args: &[String]) -> Result<(), String> {
+    let file = match args {
+        [f] if !f.starts_with("--") => f,
+        _ => return Err("usage: pup slo-report FILE".into()),
+    };
+    let telemetry =
+        pup_obs::Telemetry::read_jsonl(Path::new(file)).map_err(|e| format!("{file}: {e}"))?;
+
+    println!("SLO report: {file}");
+    if telemetry.slo_events.is_empty() {
+        println!("  no SLO events recorded (all monitors stayed inside budget)");
+    }
+    for e in &telemetry.slo_events {
+        println!(
+            "  @outcome {:>5}  {:<12} {:<9} burn fast {:>7.2} / slow {:>7.2}",
+            e.seq,
+            e.monitor.label(),
+            e.level.label(),
+            e.fast_burn,
+            e.slow_burn
+        );
+    }
+    let unrecovered = pup_obs::slo::unrecovered_from_events(&telemetry.slo_events);
+    if unrecovered.is_empty() {
+        println!("  every page recovered by end of run");
+    } else {
+        for m in &unrecovered {
+            println!("  UNRECOVERED PAGE: {}", m.label());
+        }
+    }
+
+    let mut exemplars = telemetry.exemplars.clone();
+    exemplars.sort_by(|a, b| b.value.total_cmp(&a.value));
+    if !exemplars.is_empty() {
+        println!("\nslowest tail exemplars:");
+    }
+    for ex in exemplars.iter().take(3) {
+        let bucket = match ex.le {
+            Some(le) => format!("le {le}"),
+            None => "overflow".to_string(),
+        };
+        println!("  {} bucket {bucket}: {:.3}ms -> trace {}", ex.hist, ex.value / 1e6, ex.trace);
+        let tree = pup_obs::trace::tree_shape(&telemetry.traces, ex.trace);
+        if tree.is_empty() {
+            println!("    (trace not present in this file)");
+        } else {
+            for line in tree.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    if !unrecovered.is_empty() {
+        return Err(format!("{} monitor(s) ended the run paging", unrecovered.len()));
+    }
+    Ok(())
+}
+
+/// Compares the last two entries of an appended `BENCH_<target>.json`
+/// trajectory and fails on any case whose median regressed past the
+/// threshold.
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    let mut file: Option<&str> = None;
+    let mut threshold = 0.10f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().ok_or("--threshold needs a value")?;
+            threshold = v.parse().map_err(|_| format!("--threshold: cannot parse {v:?}"))?;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a:?} for bench-diff"));
+        } else if file.is_none() {
+            file = Some(a);
+        } else {
+            return Err(format!("unexpected extra argument {a:?}"));
+        }
+    }
+    let file = file.ok_or("usage: pup bench-diff FILE [--threshold F]")?;
+    let traj = pup_obs::bench::read_bench_trajectory(Path::new(file))?;
+    let diffs = pup_obs::bench::diff_last_two(&traj)?;
+    let (prev, last) =
+        (traj.entries[traj.entries.len() - 2].seq, traj.entries[traj.entries.len() - 1].seq);
+    println!(
+        "bench-diff {}: entry {prev} -> entry {last} ({} case(s), threshold {:.0}%)",
+        traj.target,
+        diffs.len(),
+        threshold * 100.0
+    );
+    let mut regressions = 0usize;
+    for d in &diffs {
+        let verdict = match (d.before_ns, d.after_ns, d.ratio) {
+            (_, _, Some(r)) if d.regressed(threshold) => {
+                regressions += 1;
+                format!("{:+.1}%  REGRESSED", (r - 1.0) * 100.0)
+            }
+            (_, _, Some(r)) => format!("{:+.1}%", (r - 1.0) * 100.0),
+            (None, Some(_), _) => "new case".to_string(),
+            _ => "removed".to_string(),
+        };
+        println!(
+            "  {:<16} {:<28} {:>12} -> {:>12}  {verdict}",
+            d.group,
+            d.name,
+            d.before_ns.map_or("-".to_string(), |ns| format!("{ns}ns")),
+            d.after_ns.map_or("-".to_string(), |ns| format!("{ns}ns")),
+        );
+    }
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} case(s) regressed more than {:.0}% between the last two runs",
+            threshold * 100.0
+        ));
+    }
     Ok(())
 }
 
@@ -531,13 +674,18 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     if telemetry_out.is_some() {
         pup_obs::start();
     }
+    let slo_spec = match flags.get("slo").map(String::as_str) {
+        None => None,
+        Some("default") => Some(pup_obs::slo::SloSpec::default()),
+        Some(spec) => Some(pup_obs::slo::SloSpec::parse(spec).map_err(|e| format!("--slo: {e}"))?),
+    };
 
     let split = pipeline.split();
     let n_users = split.n_users;
     let n_items = split.n_items;
     let fallback = pup_serve::Fallback::from_train(n_users, n_items, &split.train)
         .map_err(|e| e.to_string())?;
-    let shared = match &registry {
+    let mut shared = match &registry {
         Some(reg) => {
             let serving = reg.serving_generation().map_err(|e| e.to_string())?.gen;
             let swap_cfg = pup_serve::SwapConfig {
@@ -545,16 +693,28 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 min_overlap: get_parsed(flags, "min-overlap", 0.5)?,
                 probe_users: 4,
             };
-            Arc::new(pup_serve::ServiceShared::with_swap(
+            pup_serve::ServiceShared::with_swap(
                 serve_cfg,
                 fallback,
                 n_users,
                 plan,
                 pup_serve::SwapController::new(serving, swap_cfg),
-            ))
+            )
         }
-        None => Arc::new(pup_serve::ServiceShared::with_faults(serve_cfg, fallback, n_users, plan)),
+        None => pup_serve::ServiceShared::with_faults(serve_cfg, fallback, n_users, plan),
     };
+    if slo_spec.is_some() || telemetry_out.is_some() {
+        shared.enable_tracing(pup_obs::trace::TraceSink::new());
+    }
+    if let Some(spec) = slo_spec {
+        shared.enable_slo(pup_obs::slo::SloEngine::new(spec));
+        let flight_dir = flags
+            .get("flight-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/flight-recorder"));
+        shared.enable_flight_recorder(pup_serve::PostMortem::new(flight_dir, 256));
+    }
+    let shared = Arc::new(shared);
 
     let pipeline = Arc::new(pipeline);
     eprintln!(
@@ -627,9 +787,14 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     println!("{}", report.render());
+    if let Some(postmortem) = &shared.postmortem {
+        for path in postmortem.dumped_paths() {
+            eprintln!("flight-recorder dump: {}", path.display());
+        }
+    }
 
     if let Some(path) = &telemetry_out {
-        shared.stats.publish_obs(&shared.breaker, &shared.faults);
+        shared.publish_obs();
         let telemetry = pup_obs::finish();
         telemetry.write_jsonl(path).map_err(|e| format!("--telemetry {}: {e}", path.display()))?;
         eprintln!("telemetry written to {}", path.display());
@@ -638,6 +803,12 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!(
             "availability {:.4} fell below the required {min_availability:.4}",
             report.availability
+        ));
+    }
+    if report.slo_unrecovered_pages > 0 {
+        return Err(format!(
+            "SLO gate: {} page-level event(s) still un-recovered at end of run",
+            report.slo_unrecovered_pages
         ));
     }
     Ok(())

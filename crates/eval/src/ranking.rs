@@ -62,6 +62,7 @@ pub fn try_rank_candidates(
     candidates: &[u32],
     top: usize,
 ) -> Result<Vec<u32>, ScoreError> {
+    let _span = pup_obs::span("rank.topk");
     if let Some(&bad) = candidates.iter().find(|&&c| (c as usize) >= scores.len()) {
         return Err(ScoreError::ItemOutOfRange { item: bad as usize, n_items: scores.len() });
     }

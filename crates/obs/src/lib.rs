@@ -16,6 +16,12 @@
 //!   writer ([`Telemetry::write_jsonl`]), and a human-readable tree
 //!   report ([`report::render`]).
 //!
+//! Three cross-thread companions complement the thread-local core:
+//! request-scoped tracing with carried contexts ([`trace`]), live
+//! multi-window SLO monitors ([`slo`]), and a lock-free flight-recorder
+//! ring ([`recorder`]). Their outputs merge into the same [`Telemetry`]
+//! via [`record_trace_span`] / [`record_slo_event`] / [`record_exemplar`].
+//!
 //! # Zero-cost-when-off contract
 //!
 //! Collection is **off** by default. Every public recording function
@@ -44,14 +50,18 @@
 //! opened in (or leak into a later one) are ignored via a generation
 //! check rather than corrupting the new collection.
 
+pub mod bench;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
+pub mod slo;
 mod telemetry;
+pub mod trace;
 
 pub use telemetry::{
-    CounterRecord, GaugeRecord, HistRecord, ObsError, SeriesRecord, SpanRecord, Telemetry,
-    SCHEMA_VERSION,
+    CounterRecord, ExemplarRecord, GaugeRecord, HistRecord, ObsError, SeriesRecord, SpanRecord,
+    Telemetry, SCHEMA_VERSION,
 };
 
 // pup-audit: allow(non-send): telemetry collectors are per-thread by design; nothing crosses threads
@@ -92,6 +102,9 @@ struct Collector {
     hists: Vec<((&'static str, &'static str), Histogram)>,
     hist_idx: HashMap<(&'static str, &'static str), usize>,
     series: Vec<(&'static str, f64)>,
+    traces: Vec<trace::TraceSpanRecord>,
+    slos: Vec<slo::SloEvent>,
+    exemplars: Vec<ExemplarRecord>,
 }
 
 impl Collector {
@@ -107,6 +120,9 @@ impl Collector {
             hists: Vec::new(),
             hist_idx: HashMap::new(),
             series: Vec::new(),
+            traces: Vec::new(),
+            slos: Vec::new(),
+            exemplars: Vec::new(),
         }
     }
 
@@ -232,7 +248,16 @@ impl Collector {
                 rec
             })
             .collect();
-        Telemetry { spans, counters, gauges, hists, series }
+        Telemetry {
+            spans,
+            counters,
+            gauges,
+            hists,
+            series,
+            traces: self.traces,
+            slo_events: self.slos,
+            exemplars: self.exemplars,
+        }
     }
 }
 
@@ -393,6 +418,45 @@ pub fn record(name: &'static str, value: f64) {
     COLLECTOR.with(|c| {
         if let Some(col) = c.borrow_mut().as_mut() {
             col.series.push((name, value));
+        }
+    });
+}
+
+/// Append a completed cross-thread trace span (drained from a
+/// [`trace::TraceSink`]) to this thread's collection. No-op when off.
+pub fn record_trace_span(span: trace::TraceSpanRecord) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.traces.push(span);
+        }
+    });
+}
+
+/// Append an SLO event (from an [`slo::SloEngine`] log) to this thread's
+/// collection. No-op when off.
+pub fn record_slo_event(event: slo::SloEvent) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.slos.push(event);
+        }
+    });
+}
+
+/// Append a histogram tail exemplar to this thread's collection. No-op
+/// when off.
+pub fn record_exemplar(exemplar: ExemplarRecord) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.exemplars.push(exemplar);
         }
     });
 }

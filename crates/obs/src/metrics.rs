@@ -3,9 +3,18 @@
 //! Histograms use a fixed log-spaced bucket layout (a 1-2-5 series spanning
 //! `1e-9 ..= 1e12`) so that a single scheme covers both nanosecond timings
 //! and unit-scale training metrics without per-histogram configuration.
-//! Quantiles are answered from bucket upper bounds clamped to the observed
-//! `[min, max]` range, which makes the empty / single-sample / saturating
-//! edge cases exact (see the unit tests at the bottom of this file).
+//! Quantiles are answered by linear interpolation *within* the bucket the
+//! rank falls in, with the interpolation range clamped to the observed
+//! `[min, max]` — that keeps the empty / single-sample / saturating edge
+//! cases exact (see the unit tests at the bottom of this file) while
+//! avoiding the up-to-2.5× error of snapping to a 1-2-5 bucket bound,
+//! which matters at serve-latency scale where p99 gates a CI check.
+//!
+//! Histograms can also carry **tail exemplars**: when an observation is
+//! tagged with a trace id ([`Histogram::observe_traced`]), each bucket
+//! remembers the slowest observation that landed in it, so a report can
+//! jump from a p99 bucket straight to the stitched trace of the request
+//! that produced it.
 
 use std::sync::OnceLock;
 
@@ -62,6 +71,17 @@ impl HistSummary {
     }
 }
 
+/// The slowest traced observation that landed in one bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Upper bound of the bucket, or `None` for the overflow bucket.
+    pub le: Option<f64>,
+    /// The observed value.
+    pub value: f64,
+    /// Trace id the observation was tagged with.
+    pub trace: u64,
+}
+
 /// A fixed-bucket histogram over the shared 1-2-5 log layout.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -70,6 +90,10 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    /// Per-bucket `(value, trace)` of the largest traced observation;
+    /// empty until the first [`Histogram::observe_traced`] call so
+    /// untraced histograms pay nothing.
+    exemplars: Vec<Option<(f64, u64)>>,
 }
 
 impl Default for Histogram {
@@ -87,6 +111,7 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            exemplars: Vec::new(),
         }
     }
 
@@ -96,14 +121,48 @@ impl Histogram {
     /// `NaN` is treated as `0.0` so a poisoned metric cannot poison the sink.
     pub fn observe(&mut self, value: f64) {
         let v = if value.is_nan() { 0.0 } else { value };
-        let bounds = bucket_bounds();
-        let idx = bounds.partition_point(|&b| b < v);
+        let idx = Self::bucket_index(v);
         // pup-audit: allow(hotpath-panic): partition_point over bounds is at most bounds.len(); counts has one overflow slot
         self.counts[idx] += 1;
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// [`Histogram::observe`], additionally tagging the observation with a
+    /// trace id so its bucket can retain it as a tail exemplar. Each bucket
+    /// keeps the largest traced value seen.
+    pub fn observe_traced(&mut self, value: f64, trace: u64) {
+        self.observe(value);
+        let v = if value.is_nan() { 0.0 } else { value };
+        let idx = Self::bucket_index(v);
+        if self.exemplars.is_empty() {
+            self.exemplars = vec![None; self.counts.len()];
+        }
+        // pup-audit: allow(hotpath-panic): bucket_index is bounded by the layout; exemplars was just sized to match counts
+        let slot = &mut self.exemplars[idx];
+        if slot.is_none_or(|(existing, _)| v > existing) {
+            *slot = Some((v, trace));
+        }
+    }
+
+    /// Tail exemplars in bucket order: the slowest traced observation per
+    /// bucket. Empty unless [`Histogram::observe_traced`] was used.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let bounds = bucket_bounds();
+        self.exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                slot.map(|(value, trace)| Exemplar { le: bounds.get(idx).copied(), value, trace })
+            })
+            .collect()
+    }
+
+    /// Bucket index for a (NaN-sanitized) value.
+    fn bucket_index(v: f64) -> usize {
+        bucket_bounds().partition_point(|&b| b < v)
     }
 
     /// Number of observations.
@@ -117,9 +176,12 @@ impl Histogram {
     }
 
     /// Quantile estimate for `q` in `[0, 1]`, or `None` for an empty
-    /// histogram. Answers are bucket upper bounds clamped to the observed
-    /// `[min, max]`, so a single-sample histogram reports that sample
-    /// exactly and an overflow-saturated histogram reports the true max.
+    /// histogram. The rank is located in its bucket and the answer is
+    /// linearly interpolated within that bucket, with the interpolation
+    /// range clamped to the observed `[min, max]` — so a single-sample
+    /// histogram reports that sample exactly, an overflow-saturated
+    /// histogram reports the true max, and a rank deep inside a wide
+    /// 1-2-5 bucket no longer snaps to the bucket's upper bound.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -129,9 +191,13 @@ impl Histogram {
         let mut cumulative = 0u64;
         for (idx, n) in self.counts.iter().enumerate() {
             cumulative += n;
-            if cumulative >= target {
-                let upper = bounds.get(idx).copied().unwrap_or(f64::INFINITY);
-                return Some(upper.clamp(self.min, self.max));
+            if cumulative >= target && *n > 0 {
+                let upper = bounds.get(idx).copied().unwrap_or(f64::INFINITY).min(self.max);
+                let lower = if idx == 0 { self.min } else { bounds[idx - 1].max(self.min) };
+                let lower = lower.min(upper);
+                let before = cumulative - n;
+                let frac = (target - before) as f64 / *n as f64;
+                return Some((lower + frac * (upper - lower)).clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -258,6 +324,55 @@ mod tests {
         assert!(s.p50 >= 400.0 && s.p50 <= 600.0, "p50 {}", s.p50);
         assert!(s.p99 >= 900.0, "p99 {}", s.p99);
         assert_eq!(s.count, 1000);
+    }
+
+    #[test]
+    fn interpolated_quantiles_beat_bucket_bound_snapping() {
+        // Uniform 1..=1000: the exact k-th percentile is k*10. The old
+        // estimator snapped to the bucket upper bound (1000 for any rank
+        // inside the (500, 1000] bucket — a 10-unit error at p99 and a
+        // 300-unit error at p70); interpolation pins them near-exactly.
+        let mut h = Histogram::new();
+        for i in 1..=1000u32 {
+            h.observe(f64::from(i));
+        }
+        let cases = [(0.50, 500.0), (0.70, 700.0), (0.95, 950.0), (0.99, 990.0)];
+        for (q, exact) in cases {
+            let est = h.quantile(q).unwrap();
+            let err = (est - exact).abs();
+            assert!(err <= 5.0, "q={q}: estimate {est} vs exact {exact} (err {err})");
+        }
+        // Regression pin: bucket-bound snapping would report 1000.0 at
+        // p70 (error 300); interpolation must stay under 1% of range.
+        assert!((h.quantile(0.70).unwrap() - 700.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn traced_observations_retain_tail_exemplars() {
+        let mut h = Histogram::new();
+        h.observe(3.0); // untraced: no exemplar
+        h.observe_traced(30.0, 7);
+        h.observe_traced(45.0, 8); // same bucket (20, 50], slower — wins
+        h.observe_traced(0.4, 9);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        let slow = ex.iter().find(|e| e.value == 45.0).expect("slow exemplar");
+        assert_eq!(slow.trace, 8);
+        assert_eq!(slow.le, Some(50.0));
+        let fast = ex.iter().find(|e| e.value == 0.4).expect("fast exemplar");
+        assert_eq!(fast.trace, 9);
+        assert_eq!(fast.le, Some(0.5));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn overflow_exemplar_has_no_upper_bound() {
+        let mut h = Histogram::new();
+        h.observe_traced(9.0e30, 3);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].le, None);
+        assert_eq!(ex[0].trace, 3);
     }
 
     #[test]

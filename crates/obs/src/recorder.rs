@@ -1,0 +1,205 @@
+//! Flight recorder: a fixed-capacity, lock-free ring of recent
+//! per-request records.
+//!
+//! The black box of the serving stack. Every finished request writes one
+//! fixed-size record (all-`u64` fields, no heap) into a slot claimed by a
+//! monotonically increasing ticket; when something goes wrong — an SLO
+//! page, a breaker trip, a swap rollback — the last `capacity` records
+//! are snapshotted and dumped for post-mortem analysis.
+//!
+//! Writers never block: a slot claim is one `fetch_add`, and the record
+//! body is stored through per-field atomics guarded by a seqlock-style
+//! version stamp (odd = write in progress, even = stable, and the stable
+//! value encodes the ticket so a reader can tell "this slot still holds
+//! the generation I started reading"). A snapshot taken concurrently with
+//! writes skips torn slots instead of waiting. The one accepted
+//! approximation: if two writers whose tickets are exactly `capacity`
+//! apart race on the same slot, the loser's record is dropped — with the
+//! ring sized far above worker concurrency that interleaving cannot
+//! happen in practice, and a lost record is the correct failure mode for
+//! a diagnostic buffer anyway.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One per-request record. Every field is a plain `u64` so the slot can
+/// be written and read field-atomically; the serving layer owns the
+/// encoding of `source` and `breaker` codes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Admission sequence number of the request.
+    pub seq: u64,
+    /// Trace id (equal to `seq` in the serving layer).
+    pub trace: u64,
+    /// Outcome code: which source answered, or which rejection fired.
+    pub source: u64,
+    /// Nanoseconds spent in the admission queue.
+    pub queue_ns: u64,
+    /// Total request latency in nanoseconds.
+    pub total_ns: u64,
+    /// Circuit-breaker state code at completion.
+    pub breaker: u64,
+    /// Model generation that served (or would have served) the request.
+    pub generation: u64,
+}
+
+const FIELDS: usize = 7;
+
+struct Slot {
+    /// Seqlock stamp: `0` = never written, `2*ticket + 1` = write in
+    /// progress, `2*ticket + 2` = stable record for `ticket`.
+    version: AtomicU64,
+    fields: [AtomicU64; FIELDS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self { version: AtomicU64::new(0), fields: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+fn pack(rec: &FlightRecord) -> [u64; FIELDS] {
+    [rec.seq, rec.trace, rec.source, rec.queue_ns, rec.total_ns, rec.breaker, rec.generation]
+}
+
+fn unpack(fields: [u64; FIELDS]) -> FlightRecord {
+    FlightRecord {
+        seq: fields[0],
+        trace: fields[1],
+        source: fields[2],
+        queue_ns: fields[3],
+        total_ns: fields[4],
+        breaker: fields[5],
+        generation: fields[6],
+    }
+}
+
+/// The ring itself. Sharable by reference across worker threads; all
+/// methods are lock-free.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring holding the most recent `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { slots: (0..capacity).map(|_| Slot::empty()).collect(), head: AtomicU64::new(0) }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records written so far (including overwritten ones).
+    pub fn written(&self) -> u64 {
+        AtomicU64::load(&self.head, Ordering::Acquire)
+    }
+
+    /// Appends one record, overwriting the oldest once the ring is full.
+    pub fn record(&self, rec: FlightRecord) {
+        let ticket = AtomicU64::fetch_add(&self.head, 1, Ordering::AcqRel);
+        // pup-audit: allow(hotpath-panic): capacity is clamped to at least 1 at construction.
+        let idx = (ticket % self.slots.len() as u64) as usize;
+        // pup-audit: allow(hotpath-panic): idx is reduced modulo the slot count.
+        let slot = &self.slots[idx];
+        AtomicU64::store(&slot.version, ticket * 2 + 1, Ordering::Release);
+        for (field, value) in slot.fields.iter().zip(pack(&rec)) {
+            AtomicU64::store(field, value, Ordering::Relaxed);
+        }
+        AtomicU64::store(&slot.version, ticket * 2 + 2, Ordering::Release);
+    }
+
+    /// The current contents, oldest first. Slots mid-write or overwritten
+    /// during the scan are skipped rather than waited on.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let head = AtomicU64::load(&self.head, Ordering::Acquire);
+        let capacity = self.slots.len() as u64;
+        let start = head.saturating_sub(capacity);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for ticket in start..head {
+            let idx = (ticket % capacity) as usize;
+            let slot = &self.slots[idx];
+            let stable = ticket * 2 + 2;
+            if AtomicU64::load(&slot.version, Ordering::Acquire) != stable {
+                continue;
+            }
+            let mut fields = [0u64; FIELDS];
+            for (value, field) in fields.iter_mut().zip(slot.fields.iter()) {
+                *value = AtomicU64::load(field, Ordering::Relaxed);
+            }
+            if AtomicU64::load(&slot.version, Ordering::Acquire) == stable {
+                out.push(unpack(fields));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rec(seq: u64) -> FlightRecord {
+        FlightRecord {
+            seq,
+            trace: seq,
+            source: seq % 3,
+            queue_ns: seq * 10,
+            total_ns: seq * 100,
+            breaker: 0,
+            generation: 1,
+        }
+    }
+
+    #[test]
+    fn keeps_the_last_capacity_records_in_order() {
+        let ring = FlightRecorder::new(4);
+        assert!(ring.snapshot().is_empty());
+        for seq in 0..10 {
+            ring.record(rec(seq));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(snap[0], rec(6));
+        assert_eq!(ring.written(), 10);
+    }
+
+    #[test]
+    fn partial_ring_returns_only_written_slots() {
+        let ring = FlightRecorder::new(8);
+        ring.record(rec(0));
+        ring.record(rec(1));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1].total_ns, 100);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_records() {
+        let ring = Arc::new(FlightRecorder::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let seq = t * 1_000 + i;
+                    // Self-consistent record: trace == seq, total == 100*seq.
+                    ring.record(rec(seq));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("writer");
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 64);
+        for r in snap {
+            assert_eq!(r.trace, r.seq, "torn record: {r:?}");
+            assert_eq!(r.total_ns, r.seq * 100, "torn record: {r:?}");
+        }
+    }
+}

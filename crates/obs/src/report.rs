@@ -38,6 +38,9 @@ pub fn render_with_top_k(t: &Telemetry, k: usize) -> String {
     render_top_ops(t, k, &mut out);
     render_metrics(t, &mut out);
     render_series(t, &mut out);
+    render_slo_events(t, &mut out);
+    render_exemplars(t, &mut out);
+    render_traces(t, &mut out);
     out
 }
 
@@ -242,6 +245,90 @@ fn render_series(t: &Telemetry, out: &mut String) {
     }
 }
 
+fn render_slo_events(t: &Telemetry, out: &mut String) {
+    if t.slo_events.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nslo events (seq / monitor / level / fast / slow burn):");
+    for e in &t.slo_events {
+        let _ = writeln!(
+            out,
+            "  #{:<8} {:<14} {:<10} {:>7.2} / {:>7.2}",
+            e.seq,
+            e.monitor.label(),
+            e.level.label(),
+            e.fast_burn,
+            e.slow_burn
+        );
+    }
+}
+
+fn render_exemplars(t: &Telemetry, out: &mut String) {
+    if t.exemplars.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\ntail exemplars (bucket -> slowest trace):");
+    for e in &t.exemplars {
+        let bucket = match e.le {
+            Some(le) => format!("<= {}", fmt_ns(le as u64)),
+            None => "overflow".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<32} {:<12} trace {:<8} at {}",
+            e.hist,
+            bucket,
+            e.trace,
+            fmt_ns(e.value as u64)
+        );
+    }
+}
+
+/// Renders the stitched trees of the traces named by tail exemplars (the
+/// interesting ones: each is the slowest request of its latency bucket),
+/// slowest first, capped at three trees.
+fn render_traces(t: &Telemetry, out: &mut String) {
+    if t.traces.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\nstitched request traces: {} total", t.trace_ids().len());
+    let mut picks: Vec<(f64, u64)> = t.exemplars.iter().map(|e| (e.value, e.trace)).collect();
+    picks.sort_by(|a, b| b.0.total_cmp(&a.0));
+    picks.dedup_by_key(|p| p.1);
+    if picks.is_empty() {
+        // No exemplars: show the trace with the longest root span.
+        if let Some(root) = t.traces.iter().filter(|s| s.parent.is_none()).max_by_key(|s| s.dur_ns)
+        {
+            picks.push((root.dur_ns as f64, root.trace));
+        }
+    }
+    for (_, trace) in picks.iter().take(3) {
+        let _ = writeln!(out, "  trace {trace}:");
+        let mut roots: Vec<&crate::trace::TraceSpanRecord> =
+            t.traces.iter().filter(|s| s.trace == *trace && s.parent.is_none()).collect();
+        roots.sort_by_key(|s| s.id);
+        for root in roots {
+            render_trace_node(&t.traces, root, 2, out);
+        }
+    }
+}
+
+fn render_trace_node(
+    spans: &[crate::trace::TraceSpanRecord],
+    node: &crate::trace::TraceSpanRecord,
+    depth: usize,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let _ = writeln!(out, "{indent}{:<24} {:>9}", node.name, fmt_ns(node.dur_ns));
+    let mut children: Vec<&crate::trace::TraceSpanRecord> =
+        spans.iter().filter(|s| s.trace == node.trace && s.parent == Some(node.id)).collect();
+    children.sort_by_key(|s| s.id);
+    for child in children {
+        render_trace_node(spans, child, depth + 1, out);
+    }
+}
+
 /// Format nanoseconds with an adaptive unit.
 fn fmt_ns(ns: u64) -> String {
     let v = ns as f64;
@@ -308,6 +395,45 @@ mod tests {
         let text = render(&Telemetry::default());
         assert!(text.contains("no spans recorded"));
         assert!(text.contains("no op timings recorded"));
+    }
+
+    #[test]
+    fn slo_exemplar_and_trace_sections_render() {
+        use crate::slo::{SloEvent, SloLevel, SloMonitor};
+        use crate::telemetry::ExemplarRecord;
+        use crate::trace::TraceSpanRecord;
+        let tspan = |id: u32, parent: Option<u32>, name: &str, dur: u64| TraceSpanRecord {
+            trace: 5,
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns: 0,
+            dur_ns: dur,
+        };
+        let t = Telemetry {
+            traces: vec![tspan(0, None, "request", 900), tspan(1, Some(0), "score", 700)],
+            slo_events: vec![SloEvent {
+                seq: 12,
+                monitor: SloMonitor::Availability,
+                level: SloLevel::Page,
+                fast_burn: 14.0,
+                slow_burn: 6.0,
+            }],
+            exemplars: vec![ExemplarRecord {
+                hist: "metric.serve.request.latency_ns".to_string(),
+                le: Some(1000.0),
+                value: 900.0,
+                trace: 5,
+            }],
+            ..Telemetry::default()
+        };
+        let text = render(&t);
+        assert!(text.contains("slo events"), "{text}");
+        assert!(text.contains("page"), "{text}");
+        assert!(text.contains("tail exemplars"), "{text}");
+        assert!(text.contains("trace 5"), "{text}");
+        assert!(text.contains("score"), "{text}");
+        assert!(text.contains("stitched request traces: 1 total"), "{text}");
     }
 
     #[test]

@@ -16,7 +16,15 @@
 //! {"t":"hist","name":"fwd.spmm","count":64,"sum":1.2e7,"min":1e5,"max":3e5,
 //!  "p50":2e5,"p95":2.9e5,"p99":3e5}
 //! {"t":"series","name":"train.epoch_loss","idx":0,"value":0.6931}
+//! {"t":"tspan","trace":42,"id":3,"parent":null,"name":"request","start_ns":100,"dur_ns":900}
+//! {"t":"slo","seq":512,"monitor":"availability","level":"page","fast_burn":14.2,"slow_burn":6.1}
+//! {"t":"exemplar","hist":"metric.serve.request.latency_ns","le":50000.0,"value":49313.0,"trace":42}
 //! ```
+//!
+//! The `tspan` / `slo` / `exemplar` records are additive extensions for
+//! cross-thread request tracing, live SLO events, and histogram tail
+//! exemplars; the schema version stays 1 because v1 readers skip record
+//! tags they do not know.
 //!
 //! Durations and timestamps are integer nanoseconds relative to the start
 //! of collection. Histogram lines carry the summary (count/sum/min/max and
@@ -32,6 +40,8 @@ use std::path::Path;
 
 use crate::json::Value;
 use crate::metrics::{GaugeStat, HistSummary};
+use crate::slo::{SloEvent, SloLevel, SloMonitor};
+use crate::trace::TraceSpanRecord;
 
 /// Schema version written to / expected from the `meta` line.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -78,6 +88,20 @@ pub struct HistRecord {
     pub summary: HistSummary,
 }
 
+/// A histogram tail exemplar: the slowest traced observation of one
+/// bucket, pointing back at its stitched trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExemplarRecord {
+    /// Histogram the exemplar belongs to (e.g. `"metric.serve.request.latency_ns"`).
+    pub hist: String,
+    /// Bucket upper bound; `None` for the overflow bucket.
+    pub le: Option<f64>,
+    /// The observed value.
+    pub value: f64,
+    /// Trace id of the request that produced it.
+    pub trace: u64,
+}
+
 /// One point of an append-only named series (e.g. per-epoch loss).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeriesRecord {
@@ -103,6 +127,12 @@ pub struct Telemetry {
     pub hists: Vec<HistRecord>,
     /// Series points in record order.
     pub series: Vec<SeriesRecord>,
+    /// Cross-thread trace spans in completion order.
+    pub traces: Vec<TraceSpanRecord>,
+    /// SLO events in emission order.
+    pub slo_events: Vec<SloEvent>,
+    /// Histogram tail exemplars.
+    pub exemplars: Vec<ExemplarRecord>,
 }
 
 /// Errors from the JSONL sink and parser.
@@ -144,13 +174,25 @@ impl From<io::Error> for ObsError {
 }
 
 impl Telemetry {
-    /// Total number of exported records (spans + metrics + series).
+    /// Total number of exported records (spans + metrics + series +
+    /// traces + SLO events + exemplars).
     pub fn record_count(&self) -> usize {
         self.spans.len()
             + self.counters.len()
             + self.gauges.len()
             + self.hists.len()
             + self.series.len()
+            + self.traces.len()
+            + self.slo_events.len()
+            + self.exemplars.len()
+    }
+
+    /// Distinct trace ids present, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.traces.iter().map(|t| t.trace).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// Look up a counter value by name.
@@ -244,6 +286,50 @@ impl Telemetry {
                 ("name".to_string(), Value::str(&s.name)),
                 ("idx".to_string(), Value::num(s.idx as f64)),
                 ("value".to_string(), Value::num(s.value)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for t in &self.traces {
+            let parent = match t.parent {
+                Some(p) => Value::num(f64::from(p)),
+                None => Value::Null,
+            };
+            let line = Value::Obj(vec![
+                ("t".to_string(), Value::str("tspan")),
+                ("trace".to_string(), Value::num(t.trace as f64)),
+                ("id".to_string(), Value::num(f64::from(t.id))),
+                ("parent".to_string(), parent),
+                ("name".to_string(), Value::str(&t.name)),
+                ("start_ns".to_string(), Value::num(t.start_ns as f64)),
+                ("dur_ns".to_string(), Value::num(t.dur_ns as f64)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for e in &self.slo_events {
+            let line = Value::Obj(vec![
+                ("t".to_string(), Value::str("slo")),
+                ("seq".to_string(), Value::num(e.seq as f64)),
+                ("monitor".to_string(), Value::str(e.monitor.label())),
+                ("level".to_string(), Value::str(e.level.label())),
+                ("fast_burn".to_string(), Value::num(e.fast_burn)),
+                ("slow_burn".to_string(), Value::num(e.slow_burn)),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        for e in &self.exemplars {
+            let le = match e.le {
+                Some(le) => Value::num(le),
+                None => Value::Null,
+            };
+            let line = Value::Obj(vec![
+                ("t".to_string(), Value::str("exemplar")),
+                ("hist".to_string(), Value::str(&e.hist)),
+                ("le".to_string(), le),
+                ("value".to_string(), Value::num(e.value)),
+                ("trace".to_string(), Value::num(e.trace as f64)),
             ]);
             out.push_str(&line.render());
             out.push('\n');
@@ -376,6 +462,59 @@ impl Telemetry {
                     idx: field_u64("idx")?,
                     value: field_f64("value")?,
                 }),
+                "tspan" => {
+                    let parent = match v.get("parent") {
+                        Some(Value::Null) | None => None,
+                        Some(p) => Some(p.as_u64().ok_or_else(|| ObsError::Parse {
+                            line: line_no,
+                            msg: "bad parent id".to_string(),
+                            // pup-lint: allow(as-cast-truncation) — trace span ids round-trip from u32 writes
+                        })? as u32),
+                    };
+                    out.traces.push(TraceSpanRecord {
+                        trace: field_u64("trace")?,
+                        // pup-lint: allow(as-cast-truncation) — trace span ids round-trip from u32 writes
+                        id: field_u64("id")? as u32,
+                        parent,
+                        name: field_str("name")?,
+                        start_ns: field_u64("start_ns")?,
+                        dur_ns: field_u64("dur_ns")?,
+                    });
+                }
+                "slo" => {
+                    let monitor = field_str("monitor")?;
+                    let monitor = SloMonitor::parse(&monitor).ok_or_else(|| ObsError::Parse {
+                        line: line_no,
+                        msg: format!("unknown slo monitor \"{monitor}\""),
+                    })?;
+                    let level = field_str("level")?;
+                    let level = SloLevel::parse(&level).ok_or_else(|| ObsError::Parse {
+                        line: line_no,
+                        msg: format!("unknown slo level \"{level}\""),
+                    })?;
+                    out.slo_events.push(SloEvent {
+                        seq: field_u64("seq")?,
+                        monitor,
+                        level,
+                        fast_burn: field_f64("fast_burn")?,
+                        slow_burn: field_f64("slow_burn")?,
+                    });
+                }
+                "exemplar" => {
+                    let le = match v.get("le") {
+                        Some(Value::Null) | None => None,
+                        Some(le) => Some(le.as_f64().ok_or_else(|| ObsError::Parse {
+                            line: line_no,
+                            msg: "bad exemplar bound".to_string(),
+                        })?),
+                    };
+                    out.exemplars.push(ExemplarRecord {
+                        hist: field_str("hist")?,
+                        le,
+                        value: field_f64("value")?,
+                        trace: field_u64("trace")?,
+                    });
+                }
                 // Unknown tags (including later meta lines) are tolerated.
                 _ => {}
             }

@@ -1,0 +1,319 @@
+//! Request-scoped distributed tracing: explicit trace contexts that can
+//! cross threads.
+//!
+//! The collector in [`crate`] is deliberately thread-local: spans nest by
+//! the call stack of the thread that opened them. That is the right model
+//! for a training loop, and exactly the wrong one for a served request,
+//! whose lifecycle hops from the submitting client thread through the
+//! admission queue into a worker. This module adds the missing half: a
+//! [`TraceSink`] shared across threads, and a [`TraceContext`] carried
+//! *with the request* so every span it opens is parented by the context it
+//! arrived with, not by whatever the current thread happens to be doing.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when off.** A disabled context is a `None`; opening a
+//!    span against it touches no clock, no lock, no allocation.
+//! 2. **Deterministic trees.** A span's parent comes from the carried
+//!    context, so the *shape* of one request's tree is a pure function of
+//!    the request's control flow — same-seed chaos schedules replay the
+//!    identical tree even though timings differ.
+//! 3. **No new schema.** Completed spans drain into the ordinary
+//!    [`Telemetry`](crate::telemetry::Telemetry) JSONL as additive
+//!    `tspan` records; v1 readers skip tags they do not know.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Identifier of one traced request, stable across every thread the
+/// request touches. The serving layer assigns these from its admission
+/// sequence, so a trace id doubles as "the N-th submitted request".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// One completed span of one trace: the cross-thread analogue of
+/// [`SpanRecord`](crate::telemetry::SpanRecord), tagged with the trace it
+/// belongs to. Span ids are unique per sink; parent links stay within the
+/// same trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpanRecord {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// Sink-unique span id.
+    pub id: u32,
+    /// Parent span id within the same trace; `None` for the trace root.
+    pub parent: Option<u32>,
+    /// Operation label.
+    pub name: String,
+    /// Nanoseconds since the sink's epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct SinkShared {
+    epoch: Instant,
+    next_id: AtomicU32,
+    spans: Mutex<Vec<TraceSpanRecord>>,
+}
+
+/// Poisoned-lock recovery: the span buffer is append-only with no
+/// cross-entry invariants; losing telemetry beats wedging the request
+/// path that produces it.
+fn locked(spans: &Mutex<Vec<TraceSpanRecord>>) -> MutexGuard<'_, Vec<TraceSpanRecord>> {
+    spans.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shared, thread-safe destination for completed trace spans. Clone it
+/// freely — clones share one buffer and one span-id sequence.
+#[derive(Clone)]
+pub struct TraceSink {
+    shared: Arc<SinkShared>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// An empty sink; its epoch is the moment of creation.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(SinkShared {
+                epoch: Instant::now(),
+                next_id: AtomicU32::new(0),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A root context for a new trace: spans opened on it have no parent.
+    pub fn root(&self, trace: TraceId) -> TraceContext {
+        TraceContext {
+            inner: Some(Ctx { shared: Arc::clone(&self.shared), trace: trace.0, parent: None }),
+        }
+    }
+
+    /// Removes and returns every completed span recorded so far, ordered
+    /// by completion time.
+    pub fn drain_spans(&self) -> Vec<TraceSpanRecord> {
+        std::mem::take(&mut *locked(&self.shared.spans))
+    }
+
+    /// A copy of the completed spans, leaving the sink untouched.
+    pub fn snapshot_spans(&self) -> Vec<TraceSpanRecord> {
+        locked(&self.shared.spans).clone()
+    }
+}
+
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<SinkShared>,
+    trace: u64,
+    parent: Option<u32>,
+}
+
+/// A carried trace context: "this work belongs to trace T, under parent
+/// span P". Cheap to clone (one `Arc` bump when enabled, nothing when
+/// disabled) and `Send`, so it rides inside queued jobs across threads.
+#[derive(Clone)]
+pub struct TraceContext {
+    inner: Option<Ctx>,
+}
+
+impl TraceContext {
+    /// The no-op context: every span opened on it is free and recorded
+    /// nowhere. This is the serve fast path when tracing is off.
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether spans opened here are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The trace this context belongs to, when enabled.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.inner.as_ref().map(|c| TraceId(c.trace))
+    }
+
+    /// Opens a span parented by this context. The span closes (and is
+    /// recorded) when the guard drops; `TraceSpan::ctx` derives a child
+    /// context for work nested under it.
+    pub fn span(&self, name: &'static str) -> TraceSpan {
+        match &self.inner {
+            None => TraceSpan { inner: None },
+            Some(ctx) => {
+                let id = AtomicU32::fetch_add(&ctx.shared.next_id, 1, Ordering::Relaxed);
+                let start_ns = ctx.shared.epoch.elapsed().as_nanos() as u64;
+                TraceSpan {
+                    inner: Some(OpenTraceSpan {
+                        shared: Arc::clone(&ctx.shared),
+                        trace: ctx.trace,
+                        parent: ctx.parent,
+                        id,
+                        name,
+                        start_ns,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+struct OpenTraceSpan {
+    shared: Arc<SinkShared>,
+    trace: u64,
+    parent: Option<u32>,
+    id: u32,
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// RAII guard for one open trace span. Unlike the thread-local
+/// [`SpanGuard`](crate::SpanGuard) this is `Send`: a root span can be
+/// opened on the submitting thread, carried through a queue, and closed
+/// by the worker that finishes the request.
+pub struct TraceSpan {
+    inner: Option<OpenTraceSpan>,
+}
+
+impl TraceSpan {
+    /// A child context parented by this span; disabled if the span is.
+    pub fn ctx(&self) -> TraceContext {
+        match &self.inner {
+            None => TraceContext::disabled(),
+            Some(open) => TraceContext {
+                inner: Some(Ctx {
+                    shared: Arc::clone(&open.shared),
+                    trace: open.trace,
+                    parent: Some(open.id),
+                }),
+            },
+        }
+    }
+
+    /// The trace this span belongs to, when enabled.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.inner.as_ref().map(|open| TraceId(open.trace))
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some(open) = Option::take(&mut self.inner) {
+            let end_ns = open.shared.epoch.elapsed().as_nanos() as u64;
+            let record = TraceSpanRecord {
+                trace: open.trace,
+                id: open.id,
+                parent: open.parent,
+                name: open.name.to_string(),
+                start_ns: open.start_ns,
+                dur_ns: end_ns.saturating_sub(open.start_ns),
+            };
+            locked(&open.shared.spans).push(record);
+        }
+    }
+}
+
+/// Renders the spans of one trace as an indented tree keyed by span
+/// names, children in id order — the canonical form the chaos tests
+/// compare across same-seed runs (ids and timings vary, shape must not).
+pub fn tree_shape(spans: &[TraceSpanRecord], trace: u64) -> String {
+    let mut mine: Vec<&TraceSpanRecord> = spans.iter().filter(|s| s.trace == trace).collect();
+    mine.sort_by_key(|s| s.id);
+    let mut out = String::new();
+    let roots: Vec<u32> = mine.iter().filter(|s| s.parent.is_none()).map(|s| s.id).collect();
+    for root in roots {
+        render_shape(&mine, root, 0, &mut out);
+    }
+    out
+}
+
+fn render_shape(spans: &[&TraceSpanRecord], id: u32, depth: usize, out: &mut String) {
+    if let Some(span) = spans.iter().find(|s| s.id == id) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&span.name);
+        out.push('\n');
+        let children: Vec<u32> =
+            spans.iter().filter(|s| s.parent == Some(id)).map(|s| s.id).collect();
+        for child in children {
+            render_shape(spans, child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_records_nothing() {
+        let ctx = TraceContext::disabled();
+        assert!(!ctx.is_enabled());
+        assert!(ctx.trace_id().is_none());
+        let span = ctx.span("noop");
+        assert!(!span.ctx().is_enabled());
+        drop(span);
+    }
+
+    #[test]
+    fn spans_parent_from_carried_context_across_threads() {
+        let sink = TraceSink::new();
+        let ctx = sink.root(TraceId(7));
+        let root = ctx.span("request");
+        let child_ctx = root.ctx();
+        let handle = std::thread::spawn(move || {
+            let score = child_ctx.span("score");
+            let rank = score.ctx().span("rank");
+            drop(rank);
+            drop(score);
+        });
+        handle.join().expect("worker thread");
+        drop(root);
+
+        let spans = sink.drain_spans();
+        assert_eq!(spans.len(), 3);
+        let shape = tree_shape(&spans, 7);
+        assert_eq!(shape, "request\n  score\n    rank\n");
+        assert!(spans.iter().all(|s| s.trace == 7));
+    }
+
+    #[test]
+    fn sibling_traces_stay_separate() {
+        let sink = TraceSink::new();
+        let a = sink.root(TraceId(1));
+        let b = sink.root(TraceId(2));
+        drop(a.span("one"));
+        drop(b.span("two"));
+        let spans = sink.snapshot_spans();
+        assert_eq!(tree_shape(&spans, 1), "one\n");
+        assert_eq!(tree_shape(&spans, 2), "two\n");
+        // drain empties the sink
+        assert_eq!(sink.drain_spans().len(), 2);
+        assert!(sink.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn durations_are_monotone_and_parented() {
+        let sink = TraceSink::new();
+        let ctx = sink.root(TraceId(0));
+        let root = ctx.span("outer");
+        let inner = root.ctx().span("inner");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(inner);
+        drop(root);
+        let spans = sink.drain_spans();
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        let inner = spans.iter().find(|s| s.name == "inner").expect("inner");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert!(inner.dur_ns >= 1_000_000);
+    }
+}

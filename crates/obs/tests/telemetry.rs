@@ -122,6 +122,69 @@ fn jsonl_round_trip_preserves_every_record() {
 }
 
 #[test]
+fn trace_slo_and_exemplar_records_round_trip_through_jsonl() {
+    use pup_obs::slo::{SloEvent, SloLevel, SloMonitor};
+    use pup_obs::trace::{TraceId, TraceSink};
+    use pup_obs::ExemplarRecord;
+
+    // Produce real cross-thread trace spans through the sink API.
+    let sink = TraceSink::new();
+    let root = sink.root(TraceId(9)).span("request");
+    let worker_ctx = root.ctx();
+    std::thread::spawn(move || {
+        let _score = worker_ctx.span("score");
+    })
+    .join()
+    .unwrap();
+    drop(root);
+
+    pup_obs::start();
+    for span in sink.drain_spans() {
+        pup_obs::record_trace_span(span);
+    }
+    pup_obs::record_slo_event(SloEvent {
+        seq: 17,
+        monitor: SloMonitor::Latency,
+        level: SloLevel::Warn,
+        fast_burn: 2.5,
+        slow_burn: 2.25,
+    });
+    pup_obs::record_exemplar(ExemplarRecord {
+        hist: "metric.serve.request.latency_ns".to_string(),
+        le: Some(50_000.0),
+        value: 43_750.0,
+        trace: 9,
+    });
+    pup_obs::record_exemplar(ExemplarRecord {
+        hist: "metric.serve.request.latency_ns".to_string(),
+        le: None, // overflow bucket
+        value: 9.0e30,
+        trace: 9,
+    });
+    let t = pup_obs::finish();
+    assert_eq!(t.traces.len(), 2);
+    assert_eq!(t.trace_ids(), vec![9]);
+
+    let text = t.to_jsonl_string();
+    let back = Telemetry::from_jsonl_str(&text).unwrap();
+    assert_eq!(back, t, "tspan/slo/exemplar records must round-trip losslessly");
+
+    // The stitched tree survives: "score" is parented under "request"
+    // even though it was closed on another thread.
+    let req = back.traces.iter().find(|s| s.name == "request").unwrap();
+    let score = back.traces.iter().find(|s| s.name == "score").unwrap();
+    assert_eq!(score.parent, Some(req.id));
+    assert_eq!(pup_obs::trace::tree_shape(&back.traces, 9), "request\n  score\n");
+
+    // And a v1 reader that predates these tags would simply skip them:
+    // the schema version in the meta line is unchanged.
+    assert!(text.starts_with("{\"t\":\"meta\",\"version\":1}"));
+    let render = report::render(&back);
+    assert!(render.contains("slo events"), "{render}");
+    assert!(render.contains("tail exemplars"), "{render}");
+}
+
+#[test]
 fn parser_rejects_corrupt_input() {
     assert!(Telemetry::from_jsonl_str("").is_err(), "empty file");
     assert!(Telemetry::from_jsonl_str("{\"t\":\"span\"}").is_err(), "missing meta");

@@ -8,6 +8,7 @@
 //! function of the request/fault sequence, which is what lets the chaos
 //! tests assert bit-identical traces across same-seed runs.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Breaker thresholds.
@@ -88,6 +89,10 @@ impl Inner {
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
     inner: Mutex<Inner>,
+    /// Trip count mirrored outside the lock so the flight recorder can
+    /// poll "did the breaker trip since I last looked" without contending
+    /// with the routing path.
+    trips: AtomicU64,
 }
 
 /// Poisoned-lock recovery: breaker state is a few integers with no
@@ -114,6 +119,7 @@ impl CircuitBreaker {
                 decisions: 0,
                 trace: Vec::new(),
             }),
+            trips: AtomicU64::new(0),
         }
     }
 
@@ -167,12 +173,14 @@ impl CircuitBreaker {
                 if inner.consecutive_failures >= self.cfg.failure_threshold {
                     inner.cooldown_left = self.cfg.cooldown_requests;
                     inner.transition(BreakerState::Open);
+                    AtomicU64::fetch_add(&self.trips, 1, Ordering::Release);
                 }
             }
             BreakerState::HalfOpen => {
                 inner.consecutive_failures = 0;
                 inner.cooldown_left = self.cfg.cooldown_requests;
                 inner.transition(BreakerState::Open);
+                AtomicU64::fetch_add(&self.trips, 1, Ordering::Release);
             }
             BreakerState::Open => {}
         }
@@ -188,9 +196,12 @@ impl CircuitBreaker {
         locked(&self.inner).trace.clone()
     }
 
-    /// Number of times the breaker tripped open.
+    /// Number of times the breaker tripped open. Lock-free: reads the
+    /// mirrored counter, safe to poll per request.
     pub fn trips(&self) -> u64 {
-        locked(&self.inner).trace.iter().filter(|t| t.to == BreakerState::Open).count() as u64
+        // Qualified call: the token-based call-graph audit would alias a
+        // bare `.load(…)` to the workspace's checkpoint-loading fns.
+        AtomicU64::load(&self.trips, Ordering::Acquire)
     }
 }
 

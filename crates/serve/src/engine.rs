@@ -11,11 +11,15 @@ use std::time::Instant;
 use pup_ckpt::chaos::FaultPlan;
 use pup_eval::try_rank_candidates;
 use pup_models::ScoreError;
+use pup_obs::recorder::FlightRecord;
+use pup_obs::slo::SloEngine;
+use pup_obs::trace::{TraceContext, TraceId, TraceSink};
 
 use crate::breaker::CircuitBreaker;
 use crate::deadline::Deadline;
 use crate::fallback::Fallback;
 use crate::faults::FaultInjector;
+use crate::flight::PostMortem;
 use crate::scorer::Scorer;
 use crate::stats::{ServeReport, ServeStats};
 use crate::swap::{SwapConfig, SwapController};
@@ -40,6 +44,13 @@ pub struct ServiceShared {
     /// The model-lifecycle controller (inert at generation 0 unless a
     /// swap is initiated).
     pub swap: SwapController,
+    /// Cross-thread trace sink; `None` = tracing off (the default), and
+    /// every per-request trace context degenerates to a free no-op.
+    pub tracer: Option<TraceSink>,
+    /// Live SLO engine; `None` = no objectives configured.
+    pub slo: Option<SloEngine>,
+    /// Flight recorder + dump policy; `None` = no black box.
+    pub postmortem: Option<PostMortem>,
 }
 
 impl ServiceShared {
@@ -76,6 +87,72 @@ impl ServiceShared {
             fallback,
             n_users,
             swap,
+            tracer: None,
+            slo: None,
+            postmortem: None,
+        }
+    }
+
+    /// Attaches a trace sink: every admitted request from here on gets a
+    /// stitched cross-thread trace. Call before the service starts.
+    pub fn enable_tracing(&mut self, sink: TraceSink) {
+        self.tracer = Some(sink);
+    }
+
+    /// Attaches a live SLO engine fed one outcome per admitted request.
+    pub fn enable_slo(&mut self, engine: SloEngine) {
+        self.slo = Some(engine);
+    }
+
+    /// Attaches a flight recorder with its dump policy.
+    pub fn enable_flight_recorder(&mut self, postmortem: PostMortem) {
+        self.postmortem = Some(postmortem);
+    }
+
+    /// A root trace context for request `trace`: real when a tracer is
+    /// attached, the free disabled context otherwise.
+    pub fn root_ctx(&self, trace: TraceId) -> TraceContext {
+        match &self.tracer {
+            Some(sink) => sink.root(trace),
+            None => TraceContext::disabled(),
+        }
+    }
+
+    /// Feeds one terminal request outcome to the SLO engine, if attached.
+    /// Page-triggered flight dumps are handled by the worker-loop poll,
+    /// not here — the hot path never does file I/O.
+    fn note_outcome(&self, answered: bool, latency_ns: Option<u64>) {
+        if let Some(slo) = &self.slo {
+            let _ = slo.record_outcome(answered, latency_ns);
+        }
+    }
+
+    /// Publishes the aggregate stats plus the observability extras —
+    /// stitched trace spans, SLO events, tail exemplars — into the
+    /// calling thread's `pup-obs` collector (no-op when telemetry is
+    /// off), so one JSONL file carries the whole story of a run.
+    pub fn publish_obs(&self) {
+        self.stats.publish_obs(&self.breaker, &self.faults);
+        if !pup_obs::enabled() {
+            return;
+        }
+        if let Some(sink) = &self.tracer {
+            for span in sink.snapshot_spans() {
+                pup_obs::record_trace_span(span);
+            }
+        }
+        if let Some(slo) = &self.slo {
+            for event in slo.events() {
+                pup_obs::record_slo_event(event);
+            }
+        }
+        for ex in self.stats.total_exemplars() {
+            pup_obs::record_exemplar(pup_obs::ExemplarRecord {
+                hist: "serve.latency.total_ns".to_string(),
+                le: ex.le,
+                value: ex.value,
+                trace: ex.trace,
+            });
         }
     }
 
@@ -85,6 +162,10 @@ impl ServiceShared {
         let mut report = self.stats.report(&self.breaker, &self.faults);
         report.active_gen = self.swap.active_gen();
         report.swap_transitions = self.swap.transitions();
+        if let Some(slo) = &self.slo {
+            report.slo_events = slo.events();
+            report.slo_unrecovered_pages = slo.unrecovered_pages();
+        }
         report
     }
 }
@@ -97,15 +178,37 @@ enum Degraded {
 }
 
 /// Runs one admitted request through the pipeline. `deadline` was started
-/// at submission, so time spent queued is already charged.
+/// at submission, so time spent queued is already charged. `ctx` is the
+/// request's carried trace context (parented by the `request` root span
+/// the submitter opened); every stage span lands in the same stitched
+/// tree no matter which thread runs it. The request's terminal outcome —
+/// answered or rejected — is fed to the SLO engine exactly once, here.
 // pup-hot: serve-request
 pub fn process(
     shared: &ServiceShared,
     scorer: &dyn Scorer,
     req: Request,
     deadline: &mut Deadline,
+    ctx: &TraceContext,
 ) -> Result<Response, ServeError> {
     let _span = pup_obs::span("serve.request");
+    let result = pipeline(shared, scorer, req, deadline, ctx);
+    match &result {
+        Ok(resp) => shared.note_outcome(true, Some(resp.latency_ns)),
+        Err(_) => shared.note_outcome(false, None),
+    }
+    result
+}
+
+/// The pipeline body: every return path below is a terminal outcome that
+/// [`process`] reports to the SLO engine.
+fn pipeline(
+    shared: &ServiceShared,
+    scorer: &dyn Scorer,
+    req: Request,
+    deadline: &mut Deadline,
+    ctx: &TraceContext,
+) -> Result<Response, ServeError> {
     // Stage: post-queue deadline check. A request whose budget died while
     // it waited can no longer be answered in time at all — typed rejection.
     if deadline.exceeded() {
@@ -130,7 +233,7 @@ pub fn process(
     } else if !shared.breaker.allow() {
         Degraded::BreakerOpen
     } else {
-        match primary_attempts(shared, scorer, req, deadline)? {
+        match primary_attempts(shared, scorer, req, deadline, ctx)? {
             PrimaryOutcome::Answered(resp) => return Ok(resp),
             PrimaryOutcome::Degraded(d) => d,
         }
@@ -138,7 +241,9 @@ pub fn process(
 
     // Stage: graceful degradation — the popularity fallback always answers.
     let t0 = Instant::now();
+    let fallback_span = ctx.span("fallback");
     let items = shared.fallback.answer(req.user, req.k);
+    drop(fallback_span);
     let fallback_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     shared.stats.observe_fallback_ns(fallback_ns);
     let (source, retries) = match degraded {
@@ -155,7 +260,7 @@ pub fn process(
             (Source::DegradedScorerFailed, retries)
         }
     };
-    Ok(finish(shared, req, items, source, retries, deadline))
+    Ok(finish(shared, req, items, source, retries, deadline, ctx))
 }
 
 /// Outcome of the primary attempt loop.
@@ -164,13 +269,17 @@ enum PrimaryOutcome {
     Degraded(Degraded),
 }
 
-/// Primary scoring with retry-and-backoff under the deadline budget.
+/// Primary scoring with retry-and-backoff under the deadline budget. The
+/// `score` span covers the whole attempt loop (retries included); the
+/// `rank` span nests under it.
 fn primary_attempts(
     shared: &ServiceShared,
     scorer: &dyn Scorer,
     req: Request,
     deadline: &mut Deadline,
+    ctx: &TraceContext,
 ) -> Result<PrimaryOutcome, ServeError> {
+    let score_span = ctx.span("score");
     let cfg = &shared.cfg;
     let mut retries = 0u32;
     for attempt in 0..=cfg.max_retries {
@@ -218,10 +327,12 @@ fn primary_attempts(
                         budget_ns: deadline.budget_ns(),
                     });
                 }
+                let rank_span = score_span.ctx().span("rank");
                 let ranked = rank_unseen(shared, scorer, &scores, req).map_err(|e| {
                     shared.stats.note_rejected_invalid();
                     ServeError::Score(e)
                 })?;
+                drop(rank_span);
                 if deadline.exceeded() {
                     shared.stats.note_rejected_deadline();
                     return Err(ServeError::DeadlineExceeded {
@@ -230,6 +341,9 @@ fn primary_attempts(
                     });
                 }
                 shared.stats.note_primary();
+                // Close the score span before `respond` opens so the two
+                // stages read as siblings in the stitched tree.
+                drop(score_span);
                 return Ok(PrimaryOutcome::Answered(finish(
                     shared,
                     req,
@@ -237,6 +351,7 @@ fn primary_attempts(
                     Source::Primary,
                     retries,
                     deadline,
+                    ctx,
                 )));
             }
             Err(e) => {
@@ -268,7 +383,9 @@ pub(crate) fn rank_unseen(
     try_rank_candidates(scores, &candidates, req.k)
 }
 
-/// Stamps latency and assembles the response.
+/// Stamps latency and assembles the response. The total-latency histogram
+/// keeps the trace id of its slowest traced request per bucket, so a p99
+/// bucket in a report resolves to a concrete stitched trace.
 fn finish(
     shared: &ServiceShared,
     req: Request,
@@ -276,9 +393,11 @@ fn finish(
     source: Source,
     retries: u32,
     deadline: &Deadline,
+    ctx: &TraceContext,
 ) -> Response {
+    let _respond = ctx.span("respond");
     let latency_ns = deadline.elapsed_ns();
-    shared.stats.observe_total_ns(latency_ns);
+    shared.stats.observe_total_traced(latency_ns, ctx.trace_id());
     pup_obs::observe("serve.request.latency_ns", latency_ns as f64);
     Response { user: req.user, items, source, latency_ns, retries }
 }
@@ -291,10 +410,30 @@ pub fn handle_now(
     scorer: &dyn Scorer,
     req: Request,
 ) -> Result<Response, ServeError> {
-    shared.stats.note_submitted();
+    let trace = shared.stats.note_submitted();
     shared.stats.note_admitted();
     let mut deadline = Deadline::new(shared.cfg.deadline_ns);
-    process(shared, scorer, req, &mut deadline)
+    let request_span = shared.root_ctx(trace).span("request");
+    let ctx = request_span.ctx();
+    let result = process(shared, scorer, req, &mut deadline, &ctx);
+    drop(request_span);
+    if let Some(postmortem) = &shared.postmortem {
+        let total_ns = match &result {
+            Ok(resp) => resp.latency_ns,
+            Err(_) => deadline.elapsed_ns(),
+        };
+        postmortem.record(FlightRecord {
+            seq: trace.0,
+            trace: trace.0,
+            source: crate::flight::source_code(&result),
+            queue_ns: 0,
+            total_ns,
+            breaker: crate::flight::breaker_code(shared.breaker.state()),
+            generation: shared.swap.active_gen(),
+        });
+        postmortem.poll(shared);
+    }
+    result
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ pub mod deadline;
 pub mod engine;
 pub mod fallback;
 pub mod faults;
+pub mod flight;
 pub mod loadgen;
 pub mod queue;
 pub mod scorer;
@@ -57,6 +58,7 @@ pub use deadline::Deadline;
 pub use engine::ServiceShared;
 pub use fallback::Fallback;
 pub use faults::{AttemptFaults, FaultInjector};
+pub use flight::PostMortem;
 pub use loadgen::{run_closed_loop, run_closed_loop_with_swap, BenchConfig, SwapPlan};
 pub use pup_models::ScoreError;
 pub use queue::AdmissionQueue;

@@ -128,6 +128,11 @@ pub fn run_closed_loop_with_swap(
     // A swap whose shadow window outlived the traffic resolves now, on
     // whatever evidence the window gathered.
     shared.swap.resolve_now(&shared.faults);
+    // One last trigger poll: a rollback resolved just above (or a page /
+    // trip on the final request) must still produce its post-mortem dump.
+    if let Some(postmortem) = &shared.postmortem {
+        postmortem.poll(&shared);
+    }
     Ok(shared.report())
 }
 

@@ -12,6 +12,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use pup_obs::recorder::FlightRecord;
+use pup_obs::trace::{TraceId, TraceSpan};
+
 use crate::deadline::Deadline;
 use crate::engine::ServiceShared;
 use crate::queue::{AdmissionQueue, PushRefused};
@@ -19,11 +22,18 @@ use crate::scorer::ScorerFactory;
 use crate::swap::{GenScorerFactory, WorkerModel};
 use crate::{Request, Response, ServeError};
 
-/// One queued unit of work.
+/// One queued unit of work. The job carries its trace with it: the root
+/// `request` span opened at submission (closed by whichever worker
+/// finishes the request) and the `queue` child span the worker drops the
+/// moment it picks the job up — so queue time is a first-class span in
+/// the stitched tree, not an annotation.
 struct Job {
     req: Request,
     deadline: Deadline,
     enqueued: Instant,
+    trace: TraceId,
+    request_span: TraceSpan,
+    queue_span: TraceSpan,
     reply: mpsc::Sender<Result<Response, ServeError>>,
 }
 
@@ -90,14 +100,36 @@ impl Server {
                     }
                 };
                 drop(init_tx);
-                while let Some(mut job) = queue.pop() {
-                    let wait_ns =
-                        u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                while let Some(job) = queue.pop() {
+                    let Job { req, mut deadline, enqueued, trace, request_span, queue_span, reply } =
+                        job;
+                    // Picked up: the queue span ends here, on this thread,
+                    // parented by the root opened on the submitter's.
+                    drop(queue_span);
+                    let wait_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     shared.stats.observe_queue_wait_ns(wait_ns);
-                    let result = model.handle(&shared, job.req, &mut job.deadline);
+                    let ctx = request_span.ctx();
+                    let result = model.handle(&shared, req, &mut deadline, &ctx);
+                    drop(request_span);
+                    if let Some(postmortem) = &shared.postmortem {
+                        let total_ns = match &result {
+                            Ok(resp) => resp.latency_ns,
+                            Err(_) => deadline.elapsed_ns(),
+                        };
+                        postmortem.record(FlightRecord {
+                            seq: trace.0,
+                            trace: trace.0,
+                            source: crate::flight::source_code(&result),
+                            queue_ns: wait_ns,
+                            total_ns,
+                            breaker: crate::flight::breaker_code(shared.breaker.state()),
+                            generation: shared.swap.active_gen(),
+                        });
+                        postmortem.poll(&shared);
+                    }
                     // A dropped receiver means the client stopped waiting;
                     // the work is complete either way.
-                    let _ = job.reply.send(result);
+                    let _ = reply.send(result);
                 }
             }));
         }
@@ -133,7 +165,7 @@ impl Server {
     /// handle to wait on, or a typed rejection (shed / invalid / shutdown)
     /// without ever queuing unboundedly.
     pub fn submit(&self, req: Request) -> Result<ResponseHandle, ServeError> {
-        self.shared.stats.note_submitted();
+        let trace = self.shared.stats.note_submitted();
         // Reject malformed user ids before they consume a queue slot.
         if self.shared.n_users != usize::MAX && req.user >= self.shared.n_users {
             self.shared.stats.note_rejected_invalid();
@@ -143,10 +175,18 @@ impl Server {
             }));
         }
         let (reply, rx) = mpsc::channel();
+        // The root span opens here on the submitting thread and rides the
+        // queue inside the job; a shed job drops both guards, so even a
+        // rejected request leaves a (queue-only) trace.
+        let request_span = self.shared.root_ctx(trace).span("request");
+        let queue_span = request_span.ctx().span("queue");
         let job = Job {
             req,
             deadline: Deadline::new(self.shared.cfg.deadline_ns),
             enqueued: Instant::now(),
+            trace,
+            request_span,
+            queue_span,
             reply,
         };
         match self.queue.try_push(job) {

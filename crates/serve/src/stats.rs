@@ -9,7 +9,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use pup_obs::metrics::{HistSummary, Histogram};
+use pup_obs::metrics::{Exemplar, HistSummary, Histogram};
+use pup_obs::slo::SloEvent;
+use pup_obs::trace::TraceId;
 
 use crate::breaker::{BreakerState, CircuitBreaker, Transition};
 use crate::faults::FaultInjector;
@@ -66,8 +68,14 @@ impl ServeStats {
         Self::default()
     }
 
+    /// Increments the `submitted` counter and returns this request's
+    /// admission sequence number, which doubles as its [`TraceId`]: the
+    /// N-th submitted request is trace N, on every thread it touches.
+    pub fn note_submitted(&self) -> TraceId {
+        TraceId(self.submitted.fetch_add(1, Ordering::Relaxed))
+    }
+
     bump! {
-        note_submitted => submitted,
         note_admitted => admitted,
         note_shed => shed,
         note_rejected_deadline => rejected_deadline,
@@ -93,6 +101,23 @@ impl ServeStats {
     /// Records a request's total latency (real + virtual nanoseconds).
     pub fn observe_total_ns(&self, ns: u64) {
         locked(&self.total_ns).observe(ns as f64);
+    }
+
+    /// Records a traced request's total latency: like
+    /// [`observe_total_ns`](Self::observe_total_ns), but the histogram
+    /// bucket also retains the trace id if this is the slowest traced
+    /// observation the bucket has seen — the tail exemplar that lets a
+    /// report jump from a p99 bucket to the offending stitched trace.
+    pub fn observe_total_traced(&self, ns: u64, trace: Option<TraceId>) {
+        match trace {
+            Some(id) => locked(&self.total_ns).observe_traced(ns as f64, id.0),
+            None => locked(&self.total_ns).observe(ns as f64),
+        }
+    }
+
+    /// The tail exemplars retained by the total-latency histogram.
+    pub fn total_exemplars(&self) -> Vec<Exemplar> {
+        locked(&self.total_ns).exemplars()
     }
 
     /// Records time a request spent queued before a worker picked it up.
@@ -173,6 +198,8 @@ impl ServeStats {
             // treated as live for the rest of the fn by the lock-discipline
             // audit, and a call named `new` aliases to scoring constructors.
             swap_transitions: vec![],
+            slo_events: vec![],
+            slo_unrecovered_pages: 0,
         }
     }
 
@@ -284,6 +311,13 @@ pub struct ServeReport {
     /// The resolved swap transition trace (filled by
     /// [`crate::engine::ServiceShared::report`]).
     pub swap_transitions: Vec<SwapTransition>,
+    /// The live SLO event log (filled by
+    /// [`crate::engine::ServiceShared::report`] when an SLO engine is
+    /// attached; empty otherwise).
+    pub slo_events: Vec<SloEvent>,
+    /// Monitors still at page severity when the report was taken — the CI
+    /// gate requires zero.
+    pub slo_unrecovered_pages: u64,
 }
 
 impl ServeReport {
@@ -355,6 +389,26 @@ impl ServeReport {
             self.score_attempts,
             self.faults_pending
         ));
+        if !self.slo_events.is_empty() || self.slo_unrecovered_pages > 0 {
+            let pages =
+                self.slo_events.iter().filter(|e| e.level == pup_obs::slo::SloLevel::Page).count();
+            out.push_str(&format!(
+                "slo:          {} events | {} pages | {} unrecovered\n",
+                self.slo_events.len(),
+                pages,
+                self.slo_unrecovered_pages
+            ));
+            for e in &self.slo_events {
+                out.push_str(&format!(
+                    "  slo @outcome {}: {} {} (burn fast {:.2} / slow {:.2})\n",
+                    e.seq,
+                    e.monitor.label(),
+                    e.level.label(),
+                    e.fast_burn,
+                    e.slow_burn
+                ));
+            }
+        }
         if self.swaps_started > 0 || !self.swap_transitions.is_empty() {
             let promoted = self
                 .swap_transitions

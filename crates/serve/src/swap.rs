@@ -215,6 +215,10 @@ pub struct SwapController {
     cfg: SwapConfig,
     active: AtomicU64,
     version: AtomicU64,
+    /// Rollback count mirrored outside the lock so the flight recorder
+    /// can poll "did a swap roll back since I last looked" without
+    /// contending with the scoring path.
+    rollbacks: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -232,6 +236,7 @@ impl SwapController {
             cfg,
             active: AtomicU64::new(active_gen),
             version: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
             inner: Mutex::new(Inner { pending: None, transitions: Vec::new(), promote_hook: None }),
         }
     }
@@ -252,6 +257,12 @@ impl SwapController {
     /// The swap tunables.
     pub fn config(&self) -> SwapConfig {
         self.cfg
+    }
+
+    /// Number of resolved swap attempts that ended in a rollback.
+    /// Lock-free: reads the mirrored counter, safe to poll per request.
+    pub fn rollbacks(&self) -> u64 {
+        AtomicU64::load(&self.rollbacks, Ordering::Acquire)
     }
 
     /// Installs the durable promotion hook (registry pointer flip).
@@ -281,6 +292,7 @@ impl SwapController {
             to_gen,
             outcome: SwapOutcome::RolledBack(reason),
         });
+        AtomicU64::fetch_add(&self.rollbacks, 1, Ordering::Release);
     }
 
     /// Opens the shadow window for `to_gen`. With a zero shadow budget the
@@ -398,6 +410,8 @@ impl SwapController {
         };
         if outcome == SwapOutcome::Promoted {
             self.active.store(p.to_gen, Ordering::Release);
+        } else {
+            AtomicU64::fetch_add(&self.rollbacks, 1, Ordering::Release);
         }
         inner.transitions.push(SwapTransition { seq: p.seq, from_gen, to_gen: p.to_gen, outcome });
         self.version.fetch_add(1, Ordering::Release);
@@ -439,22 +453,27 @@ impl WorkerModel {
     /// Runs one admitted request: resyncs replicas if the swap version
     /// moved, scores on the primary, and (while shadowing) scores the
     /// candidate alongside — outside the request's deadline, so shadowing
-    /// can never reject or slow the caller's answer.
+    /// can never reject or slow the caller's answer. `ctx` is the
+    /// request's carried trace context; the shadow pass shows up in the
+    /// stitched tree as a `shadow` span so its (off-deadline) cost stays
+    /// visible.
     // pup-hot: swap-request
     pub fn handle(
         &mut self,
         shared: &ServiceShared,
         req: Request,
         deadline: &mut crate::deadline::Deadline,
+        ctx: &pup_obs::trace::TraceContext,
     ) -> Result<Response, crate::ServeError> {
         let version = shared.swap.version();
         if version != self.version {
             self.resync(shared, version);
         }
-        let result = crate::engine::process(shared, self.primary.as_ref(), req, deadline);
+        let result = crate::engine::process(shared, self.primary.as_ref(), req, deadline, ctx);
         if self.shadow.is_some() {
             if let Ok(resp) = &result {
                 if resp.source == crate::Source::Primary {
+                    let _shadow = ctx.span("shadow");
                     self.shadow_observe(shared, req, resp);
                 }
             }

@@ -106,7 +106,8 @@ fn swap_cfg(shadow_requests: u64) -> SwapConfig {
 
 fn serve(model: &mut WorkerModel, shared: &ServiceShared, user: usize) -> Response {
     let mut deadline = Deadline::new(shared.cfg.deadline_ns);
-    model.handle(shared, Request { user, k: 4 }, &mut deadline).expect("request answered")
+    let ctx = pup_obs::trace::TraceContext::disabled();
+    model.handle(shared, Request { user, k: 4 }, &mut deadline, &ctx).expect("request answered")
 }
 
 /// Publishes `n` generations built from the same ranking (epochs differ,
@@ -263,6 +264,47 @@ fn forced_shadow_divergence_rolls_back_with_identical_rankings() {
         let after = serve(&mut model, &shared, user);
         assert_eq!(after.items, before.items, "user {user} ranking changed across rollback");
     }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_mid_swap_dump_names_the_rolled_back_generation() {
+    let dir = scratch_dir("killflip-dump");
+    let flight_dir = dir.join("flight");
+    let reg = seeded_registry(&dir, 2);
+    let mut shared = make_shared(FaultPlan::none().with_swap_kill_flips([0]), swap_cfg(2));
+    shared.enable_flight_recorder(pup_serve::PostMortem::new(flight_dir, 16));
+    wire_registry_promotion(&shared, reg.clone());
+    let factory = registry_factory(&reg);
+    let mut model = WorkerModel::build(&shared, factory.clone()).expect("worker build");
+
+    initiate_swap(&shared, &reg, &factory, 1).expect("swap initiates");
+    for user in 0..2 {
+        serve(&mut model, &shared, user);
+    }
+    assert_eq!(
+        shared.swap.transitions()[0].outcome,
+        SwapOutcome::RolledBack(RollbackReason::KilledMidFlip)
+    );
+
+    // The trigger poll a worker loop runs after each completed request.
+    let postmortem = shared.postmortem.as_ref().expect("recorder attached");
+    postmortem.poll(&shared);
+
+    let dumps = postmortem.dumped_paths();
+    assert_eq!(dumps.len(), 1, "exactly one rollback, exactly one dump: {dumps:?}");
+    assert!(dumps[0].ends_with("flight-0-swap-rollback.jsonl"), "got {:?}", dumps[0]);
+    let text = fs::read_to_string(&dumps[0]).expect("dump readable");
+    let meta = text.lines().next().expect("meta line");
+    assert!(meta.contains("\"reason\":\"swap-rollback\""), "meta: {meta}");
+    assert!(
+        meta.contains("gen 1 rolled back (killed-mid-flip); gen 0 keeps serving"),
+        "the dump must name the rolled-back generation: {meta}"
+    );
+
+    // Polling again without a new rollback must not dump again.
+    postmortem.poll(&shared);
+    assert_eq!(postmortem.dump_count(), 1);
     fs::remove_dir_all(&dir).ok();
 }
 

@@ -44,9 +44,13 @@ if [[ $fast -eq 0 ]]; then
         report-telemetry "$smoke/run.jsonl"
     # Serving smoke: train with checkpoints, restore into the fault-tolerant
     # scoring service, and drive it with an injected fault schedule. The
-    # serve-bench exit code enforces zero panics/hangs and >= 99%
-    # availability of admitted requests; recommend proves the checkpoint
-    # answers a real top-K query.
+    # serve-bench exit code enforces zero panics/hangs, >= 99% availability
+    # of admitted requests, and — via --slo — that no SLO monitor is still
+    # paging at the end of the run. Any flight-recorder dump the run
+    # produces lands in $serve_smoke/flight (CI archives it as an
+    # artifact); slo-report must then parse the telemetry back and render
+    # the event log + tail exemplars (exit 0 = trace/SLO schema intact end
+    # to end). recommend proves the checkpoint answers a real top-K query.
     serve_smoke=target/serve-smoke
     rm -rf "$serve_smoke" && mkdir -p "$serve_smoke"
     step cargo run --release -q -p pup-recsys --bin pup -- \
@@ -61,7 +65,11 @@ if [[ $fast -eq 0 ]]; then
         --checkpoint-dir "$serve_smoke/ckpts" --model bprmf \
         --requests 200 --clients 4 --workers 2 \
         --fault-errors 5,6,7,20-24 --fault-spikes 40:10,80:10 \
-        --min-availability 0.99
+        --min-availability 0.99 \
+        --slo "avail=0.95,p99-ms=50,fast=20,slow=60,warn=3,page=10,min=10" \
+        --flight-dir "$serve_smoke/flight" --telemetry "$serve_smoke/serve.jsonl"
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        slo-report "$serve_smoke/serve.jsonl"
     step cargo run --release -q -p pup-recsys --bin pup -- \
         recommend --items "$serve_smoke/data/items.csv" \
         --interactions "$serve_smoke/data/interactions.csv" \
