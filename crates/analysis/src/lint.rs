@@ -16,6 +16,7 @@
 //! | `crash-unsafe-io` | no `fs::write`/`File::create` in a function that never calls `rename` (write-temp-then-rename keeps saves atomic) |
 //! | `raw-print-in-lib` | no `println!`/`eprintln!` in library code (bins and tests exempt); telemetry goes through `pup-obs`, data through return values |
 //! | `untraced-hot-root` | every `// pup-hot:` root fn must open a telemetry span (`pup_obs::span(..)` or a trace-context `.span(..)`) so hot-path work is visible in traces |
+//! | `blocking-io-without-timeout` | no socket reads/writes in a function that never arms a timeout or deadline (bins and tests exempt); one dead peer must not park a thread forever |
 //! | `stale-allow` | (`--strict` only) an allow escape that suppresses nothing |
 //!
 //! Every rule matches **code tokens** from the [`crate::lex`] lexer inside
@@ -74,6 +75,9 @@ pub enum Rule {
     /// A `// pup-hot:` root fn that never opens a telemetry span: the
     /// hottest paths are exactly the ones a trace must not go dark on.
     UntracedHotRoot,
+    /// Socket reads/writes in a function that never arms a timeout or
+    /// deadline: one dead peer can park the thread forever.
+    BlockingIoNoTimeout,
     /// An allow escape that no longer suppresses any finding (strict mode).
     StaleAllow,
 }
@@ -92,6 +96,7 @@ impl Rule {
         Rule::RawPrintInLib,
         Rule::AsCastTruncation,
         Rule::UntracedHotRoot,
+        Rule::BlockingIoNoTimeout,
     ];
 
     /// The rule's name as used in `// pup-lint: allow(<name>)` comments.
@@ -108,6 +113,7 @@ impl Rule {
             Rule::RawPrintInLib => "raw-print-in-lib",
             Rule::AsCastTruncation => "as-cast-truncation",
             Rule::UntracedHotRoot => "untraced-hot-root",
+            Rule::BlockingIoNoTimeout => "blocking-io-without-timeout",
             Rule::StaleAllow => "stale-allow",
         }
     }
@@ -289,6 +295,9 @@ pub fn analyze_source(path: &Path, source: &str, strict: bool) -> Analysis {
     crash_unsafe_io(&file, &test_spans, &mut candidates);
     as_cast_truncation(&file, &test_spans, &mut candidates);
     untraced_hot_root(&file, &test_spans, &mut candidates);
+    if !scope.is_bin {
+        blocking_io_without_timeout(&file, &test_spans, &mut candidates);
+    }
 
     // Filter candidates through the allow escapes, tracking which escape
     // actually earned its keep.
@@ -956,6 +965,75 @@ fn untraced_hot_root(
     }
 }
 
+/// `blocking-io-without-timeout`: a function that touches a socket type
+/// (`TcpStream` / `UnixStream`) and performs blocking reads or writes,
+/// yet never mentions a timeout or deadline anywhere in its span. Such a
+/// function parks its thread indefinitely behind one dead peer — the
+/// exact hang class the serving gateway's typed-failure contract forbids.
+/// Arming the socket elsewhere is expressible by threading a
+/// `*_timeout`-named value through, or by the allow escape.
+fn blocking_io_without_timeout(
+    file: &SourceFile<'_>,
+    test_spans: &[(usize, usize)],
+    out: &mut Vec<Candidate>,
+) {
+    const SOCKET_TYPES: &[&str] = &["TcpStream", "UnixStream", "UdpSocket"];
+    const SINKS: &[&str] =
+        &["read", "read_exact", "read_to_end", "read_to_string", "write", "write_all"];
+    // Byte offsets of every `.sink(` method call in the file.
+    let mut sink_calls: Vec<(usize, &str)> = Vec::new();
+    for sink in SINKS {
+        for p in file.find_seq(&[".", sink, "("]) {
+            sink_calls.push((file.tokens[file.code[p]].start, *sink));
+        }
+    }
+    for d in file.fn_defs() {
+        let at = file.tokens[d.kw].start;
+        if in_any(test_spans, at) {
+            continue;
+        }
+        let Some((_, body_close)) = d.body else { continue };
+        // The fn's whole span, params included: a deadline passed as an
+        // argument counts as the caller owning the budget.
+        let (f0, f1) = (file.tokens[d.kw].start, file.tokens[body_close].end);
+        let mut touches_socket = false;
+        let mut guarded = false;
+        for &ti in &file.code {
+            let t = &file.tokens[ti];
+            if t.start < f0 || t.end > f1 || t.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text(ti);
+            if SOCKET_TYPES.contains(&text) {
+                touches_socket = true;
+            }
+            let lower = text.to_ascii_lowercase();
+            if lower.contains("timeout") || lower.contains("deadline") {
+                guarded = true;
+            }
+        }
+        if !touches_socket || guarded {
+            continue;
+        }
+        let Some(&(call_at, sink)) = sink_calls.iter().find(|(s, _)| *s > f0 && *s < f1) else {
+            continue;
+        };
+        let name = d.name.map(|n| file.text(n)).unwrap_or("<fn>");
+        out.push(Candidate {
+            offset: call_at,
+            end: call_at + sink.len() + 1,
+            rule: Rule::BlockingIoNoTimeout,
+            message: format!(
+                "`{name}` calls `.{sink}(` on a socket but never arms a \
+                 timeout: one dead peer parks this thread forever; call \
+                 `set_read_timeout`/`set_write_timeout` (or charge a deadline) \
+                 in this function, or annotate with \
+                 `// pup-lint: allow(blocking-io-without-timeout)`"
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1347,6 +1425,57 @@ mod tests {
         let test_src = "#[cfg(test)]\nmod tests {\n    // pup-hot: fake\n    \
                         fn hot(x: u32) -> u32 {\n        x\n    }\n}\n";
         assert!(lint_str("crates/eval/src/ranking.rs", test_src).is_empty());
+    }
+
+    // --- blocking-io-without-timeout -------------------------------------
+
+    #[test]
+    fn blocking_io_flagged_without_any_timeout_in_scope() {
+        let src = "use std::io::Read;\nuse std::net::TcpStream;\n\n\
+                   fn fetch(mut s: TcpStream) -> Vec<u8> {\n    \
+                   let mut buf = Vec::new();\n    \
+                   let _ = s.read_to_end(&mut buf);\n    buf\n}\n";
+        let d = lint_str("crates/serve/src/netio.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::BlockingIoNoTimeout);
+        assert_eq!(d[0].line, 6, "anchored at the blocking call");
+        assert!(d[0].message.contains("fetch") && d[0].message.contains("read_to_end"));
+    }
+
+    #[test]
+    fn blocking_io_quiet_when_a_timeout_or_deadline_is_armed() {
+        let armed = "fn fetch(mut s: std::net::TcpStream) -> Vec<u8> {\n    \
+                     s.set_read_timeout(Some(std::time::Duration::from_secs(1))).ok();\n    \
+                     let mut buf = Vec::new();\n    let _ = s.read_to_end(&mut buf);\n    buf\n}\n";
+        assert!(lint_str("crates/serve/src/netio.rs", armed).is_empty());
+        // A deadline parameter counts: the caller owns the budget.
+        let budgeted = "fn pump(s: &mut TcpStream, deadline_ns: u64) {\n    \
+                        let mut b = [0u8; 8];\n    let _ = s.read(&mut b);\n}\n";
+        assert!(lint_str("crates/serve/src/netio.rs", budgeted).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_ignores_functions_without_socket_types() {
+        // Plain `Read`/`Write` plumbing (files, in-memory buffers) is not
+        // this rule's business.
+        let src = "fn copy(mut r: impl std::io::Read) -> Vec<u8> {\n    \
+                   let mut buf = Vec::new();\n    let _ = r.read_to_end(&mut buf);\n    buf\n}\n";
+        assert!(lint_str("crates/serve/src/netio.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_exempts_bins_tests_and_escapes() {
+        let src = "fn fetch(mut s: std::net::TcpStream) {\n    \
+                   let mut b = [0u8; 8];\n    let _ = s.read(&mut b);\n}\n";
+        assert!(lint_str("crates/core/src/bin/pup.rs", src).is_empty(), "bins exempt");
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(mut s: std::net::TcpStream) {\n        \
+                        let mut b = [0u8; 8];\n        let _ = s.read(&mut b);\n    }\n}\n";
+        assert!(lint_str("crates/serve/src/netio.rs", test_src).is_empty(), "tests exempt");
+        let escaped = "fn fetch(mut s: std::net::TcpStream) {\n    let mut b = [0u8; 8];\n    \
+                       // pup-lint: allow(blocking-io-without-timeout)\n    \
+                       let _ = s.read(&mut b);\n}\n";
+        assert!(lint_str("crates/serve/src/netio.rs", escaped).is_empty(), "escape honored");
     }
 
     // --- raw-print-in-lib -----------------------------------------------

@@ -1,0 +1,34 @@
+//! Corpus fixture for `blocking-io-without-timeout`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn fetch_unguarded(mut s: TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf);
+    buf
+}
+
+fn push_unguarded(mut s: TcpStream, payload: &[u8]) {
+    let _ = s.write_all(payload);
+}
+
+fn fetch_armed(mut s: TcpStream) -> Vec<u8> {
+    let _ = s.set_read_timeout(Some(Duration::from_secs(1)));
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf);
+    buf
+}
+
+fn pump_with_budget(s: &mut TcpStream, deadline_ns: u64) -> u64 {
+    let mut b = [0u8; 8];
+    let _ = s.read(&mut b);
+    deadline_ns
+}
+
+fn fetch_escaped(mut s: TcpStream) -> usize {
+    let mut b = [0u8; 8];
+    // pup-lint: allow(blocking-io-without-timeout)
+    s.read(&mut b).unwrap_or(0)
+}

@@ -220,8 +220,8 @@ fn real_workspace_certifies_clean_against_the_committed_ratchet() {
     let report = audit_workspace(&repo).expect("workspace is readable");
     assert_eq!(
         report.roots.len(),
-        4,
-        "serve-request, train-epoch, eval-rank, swap-request: {:?}",
+        5,
+        "serve-request, train-epoch, eval-rank, swap-request, net-conn: {:?}",
         report.roots
     );
     assert!(

@@ -13,7 +13,7 @@ use pup_analysis::lint::lint_workspace;
 fn corpus_findings_match_the_golden_file() {
     let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus_root");
     let report = lint_workspace(&corpus).expect("corpus is readable");
-    assert_eq!(report.files_checked, 4, "corpus shape changed");
+    assert_eq!(report.files_checked, 5, "corpus shape changed");
 
     let mut got: Vec<String> = report
         .diagnostics

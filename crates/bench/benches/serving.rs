@@ -5,6 +5,10 @@
 //! The swap group measures the model-lifecycle overhead: the worker fast
 //! path (one atomic version check per request) and a request served while
 //! a candidate generation is shadow-scored alongside the primary.
+//! The net group prices the network front door: one keep-alive HTTP
+//! request over real loopback TCP (parse + auth + rate-limit + queue +
+//! score + rank + write, vs. the in-process `primary_request` baseline)
+//! and the rate limiter's per-request admission decision alone.
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
@@ -162,7 +166,81 @@ fn bench_swap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serving, bench_swap);
+fn bench_net(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig {
+        n_users: 300,
+        n_items: 250,
+        n_categories: 12,
+        n_price_levels: 8,
+        n_interactions: 8_000,
+        kcore: 0,
+        seed: 5,
+        ..Default::default()
+    })
+    .dataset;
+    let split = pup_data::split::temporal_split(&dataset, SplitRatios::PAPER);
+    let n_users = split.n_users;
+    let n_items = split.n_items;
+    let fallback = Fallback::from_train(n_users, n_items, &split.train).expect("fallback");
+    let shared = Arc::new(ServiceShared::new(
+        ServeConfig { workers: 1, ..Default::default() },
+        fallback,
+        n_users,
+    ));
+    let factory: pup_serve::ScorerFactory = Arc::new(move || {
+        let data = TrainData::new(&dataset, &split);
+        let cfg = TrainConfig { epochs: 2, batch_size: 1024, ..Default::default() };
+        let mut model = BprMf::new(&data, 64, 7);
+        train_bpr(&mut model, data.n_users, data.n_items, data.train, &cfg)
+            .map_err(|e| e.to_string())?;
+        Ok(Box::new(RecommenderScorer::new(Box::new(model), n_items)))
+    });
+    let server = pup_serve::Server::start(shared, factory).expect("server starts");
+    let tenants = pup_serve::net::TenantConfig::parse_list("bench:bench-key:1000000000:1000000000")
+        .expect("tenant spec");
+    // One connection serves every iteration: keep-alive must outlast the
+    // sample count or the server recycles the socket mid-benchmark.
+    let net_cfg = pup_serve::NetConfig {
+        tenants: tenants.clone(),
+        keep_alive_max: usize::MAX,
+        ..Default::default()
+    };
+    let gateway = pup_serve::Gateway::start(net_cfg, server).expect("gateway binds");
+    let addr = gateway.local_addr();
+    let mut client =
+        pup_serve::net::HttpClient::connect(addr, 2_000_000_000).expect("client connects");
+
+    let mut group = c.benchmark_group("serving_net");
+    group.sample_size(30);
+
+    let mut user = 0usize;
+    group.bench_function("loopback_request", |b| {
+        b.iter(|| {
+            user = (user + 1) % n_users;
+            let (status, body) = client
+                .get(&format!("/recommend?user={user}&k=10"), Some("bench-key"))
+                .expect("loopback request answered");
+            assert_eq!(status, 200, "{body}");
+            black_box(body)
+        })
+    });
+
+    // The admission decision alone: key lookup + bucket refill + debit,
+    // on an explicit virtual clock (no sockets, no syscalls).
+    let limiter = pup_serve::net::RateLimiter::new(tenants);
+    let mut now_ns = 0u64;
+    group.bench_function("rate_limit_decision", |b| {
+        b.iter(|| {
+            now_ns += 1_000;
+            black_box(limiter.check(black_box(Some("bench-key")), now_ns))
+        })
+    });
+    group.finish();
+    drop(client);
+    gateway.shutdown();
+}
+
+criterion_group!(benches, bench_serving, bench_swap, bench_net);
 
 fn main() {
     benches();

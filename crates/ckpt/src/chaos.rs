@@ -48,6 +48,18 @@ use crate::CkptError;
 ///   candidate generation's shadow rankings are forced to diverge from the
 ///   serving generation, as if the new model regressed, so promotion must
 ///   be refused.
+/// - **Torn read** (`with_torn_reads` / [`fire_torn_read`](Self::fire_torn_read))
+///   — the listed network connection delivers its request bytes one byte per
+///   read, as if the client's TCP segments arrived maximally fragmented.
+/// - **Client stall** (`with_client_stalls` /
+///   [`fire_client_stall`](Self::fire_client_stall)) — the listed connection
+///   stalls for the given *virtual* nanoseconds mid-request (a slowloris
+///   client); the gateway charges the stall against its idle/deadline
+///   budgets without any real sleeping.
+/// - **Disconnect** (`with_disconnects` /
+///   [`fire_disconnect`](Self::fire_disconnect)) — the listed connection is
+///   torn down by the client mid-request (or mid-response), as if the peer
+///   crashed or the network partitioned.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     /// Global step indices (across the whole run, 0-based) still waiting to
@@ -67,6 +79,15 @@ pub struct FaultPlan {
     swap_kill_flip_steps: Vec<u64>,
     /// Swap-attempt indices still waiting to force shadow divergence.
     shadow_divergence_steps: Vec<u64>,
+    /// Connection indices (0-based, across the run) still waiting to have
+    /// their request bytes delivered one byte per read.
+    torn_read_conns: Vec<u64>,
+    /// `(conn, stall_ns)` pairs, sorted by conn: connection indices still
+    /// waiting to stall for `stall_ns` virtual nanoseconds mid-request.
+    client_stalls: Vec<(u64, u64)>,
+    /// Connection indices still waiting to be disconnected by the client
+    /// mid-request.
+    disconnect_conns: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -144,6 +165,33 @@ impl FaultPlan {
         self
     }
 
+    /// Adds torn-read faults at the listed connection indices (builder
+    /// style).
+    pub fn with_torn_reads(mut self, conns: impl IntoIterator<Item = u64>) -> Self {
+        self.torn_read_conns.extend(conns);
+        self.torn_read_conns.sort_unstable();
+        self.torn_read_conns.dedup();
+        self
+    }
+
+    /// Adds client-stall faults at the listed `(conn, stall_ns)` pairs
+    /// (builder style). Duplicate connection indices keep the first entry.
+    pub fn with_client_stalls(mut self, stalls: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        self.client_stalls.extend(stalls);
+        self.client_stalls.sort_unstable_by_key(|&(conn, _)| conn);
+        self.client_stalls.dedup_by_key(|&mut (conn, _)| conn);
+        self
+    }
+
+    /// Adds client-disconnect faults at the listed connection indices
+    /// (builder style).
+    pub fn with_disconnects(mut self, conns: impl IntoIterator<Item = u64>) -> Self {
+        self.disconnect_conns.extend(conns);
+        self.disconnect_conns.sort_unstable();
+        self.disconnect_conns.dedup();
+        self
+    }
+
     /// Consults the plan at global `step`; returns `true` (and consumes the
     /// fault) when a NaN should be injected there.
     pub fn fire_nan(&mut self, step: u64) -> bool {
@@ -207,6 +255,38 @@ impl FaultPlan {
         false
     }
 
+    /// Consults the plan at network connection `conn`; returns `true` (and
+    /// consumes the fault) when that connection's bytes should arrive one
+    /// byte per read.
+    pub fn fire_torn_read(&mut self, conn: u64) -> bool {
+        if let Ok(idx) = self.torn_read_conns.binary_search(&conn) {
+            self.torn_read_conns.remove(idx);
+            return true;
+        }
+        false
+    }
+
+    /// Consults the plan at network connection `conn`; returns the virtual
+    /// nanoseconds the client should stall mid-request (and consumes the
+    /// fault) when a slowloris stall is scheduled there.
+    pub fn fire_client_stall(&mut self, conn: u64) -> Option<u64> {
+        if let Ok(idx) = self.client_stalls.binary_search_by_key(&conn, |&(c, _)| c) {
+            let (_, stall_ns) = self.client_stalls.remove(idx);
+            return Some(stall_ns);
+        }
+        None
+    }
+
+    /// Consults the plan at network connection `conn`; returns `true` (and
+    /// consumes the fault) when the client should disconnect mid-request.
+    pub fn fire_disconnect(&mut self, conn: u64) -> bool {
+        if let Ok(idx) = self.disconnect_conns.binary_search(&conn) {
+            self.disconnect_conns.remove(idx);
+            return true;
+        }
+        false
+    }
+
     /// Number of faults (of any kind) that have not fired yet.
     pub fn pending(&self) -> usize {
         self.nan_steps.len()
@@ -215,6 +295,9 @@ impl FaultPlan {
             + self.swap_corrupt_steps.len()
             + self.swap_kill_flip_steps.len()
             + self.shadow_divergence_steps.len()
+            + self.torn_read_conns.len()
+            + self.client_stalls.len()
+            + self.disconnect_conns.len()
     }
 }
 
@@ -301,6 +384,23 @@ mod tests {
         assert!(plan.fire_swap_kill_flip(1));
         assert!(plan.fire_shadow_divergence(2));
         assert!(!plan.fire_shadow_divergence(2));
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn network_faults_fire_once_per_connection() {
+        let mut plan = FaultPlan::none()
+            .with_torn_reads([0, 0, 4])
+            .with_client_stalls([(1, 9_000), (1, 5)])
+            .with_disconnects([2]);
+        assert_eq!(plan.pending(), 4);
+        assert!(plan.fire_torn_read(0));
+        assert!(!plan.fire_torn_read(0), "one-shot: must not re-fire");
+        assert_eq!(plan.fire_client_stall(1), Some(9_000), "first stall magnitude wins");
+        assert_eq!(plan.fire_client_stall(1), None);
+        assert!(!plan.fire_disconnect(1));
+        assert!(plan.fire_disconnect(2));
+        assert!(plan.fire_torn_read(4));
         assert_eq!(plan.pending(), 0);
     }
 }

@@ -15,6 +15,16 @@
 //!               [--fault-errors SPEC] [--fault-spikes SPEC]
 //!               [--swap-at N] [--shadow K] [--swap-fault KIND]
 //!               [--min-availability F]
+//! pup serve     --items items.csv --interactions interactions.csv
+//!               (--checkpoint-dir DIR | --registry DIR) [--model NAME]
+//!               [--addr 127.0.0.1:0] [--addr-file PATH] [--api-keys SPEC]
+//!               [--max-conns N] [--net-backlog N] [--idle-ms F]
+//!               [--keep-alive N] [--max-requests N]
+//! pup net-bench --items items.csv --interactions interactions.csv
+//!               (--checkpoint-dir DIR | --registry DIR) [--model NAME]
+//!               [--requests N] [--clients N] [--mean-gap-us F] [--burst N]
+//!               [--zipf F] [--slow-every N] [--abort-every N]
+//!               [--api-keys SPEC] [--api-key KEY] [--min-availability F]
 //! pup registry  ls|publish|promote|rollback --registry DIR
 //!               [--gen N] [--checkpoint-dir DIR]
 //! pup report-telemetry run.jsonl [--top 10]
@@ -93,6 +103,8 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&flags),
         "recommend" => cmd_recommend(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
+        "serve" => cmd_serve(&flags),
+        "net-bench" => cmd_net_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -126,6 +138,22 @@ USAGE:
                 [--swap-fault corrupt-new|kill-flip|shadow-div]
                 [--min-availability F] [--telemetry FILE]
                 [--slo SPEC] [--flight-dir DIR]
+  pup serve     --items FILE --interactions FILE
+                (--checkpoint-dir DIR | --registry DIR) [--model NAME]
+                [--workers N] [--queue N] [--deadline-ms F]
+                [--addr HOST:PORT] [--addr-file PATH] [--api-keys SPEC]
+                [--max-conns N] [--net-backlog N] [--idle-ms F] [--write-ms F]
+                [--keep-alive N] [--max-requests N] [--min-availability F]
+                [--slo SPEC] [--flight-dir DIR] [--telemetry FILE]
+  pup net-bench --items FILE --interactions FILE
+                (--checkpoint-dir DIR | --registry DIR) [--model NAME]
+                [--requests N] [--clients N] [--seed N] [-k N]
+                [--mean-gap-us F] [--burst N] [--zipf F]
+                [--slow-every N] [--abort-every N]
+                [--api-keys SPEC] [--api-key KEY] [--min-availability F]
+                [--slo SPEC] [--flight-dir DIR] [--telemetry FILE]
+  pup net-bench --addr HOST:PORT [--api-key KEY] [--users N] [--requests N]
+                [--clients N] [--seed N] [-k N] [--min-availability F]
   pup registry  ls       --registry DIR
   pup registry  publish  --registry DIR --checkpoint-dir DIR
   pup registry  promote  --registry DIR --gen N
@@ -176,6 +204,24 @@ code fails when any page-level SLO event is still un-recovered at the end
 of the run. `slo-report FILE` renders the SLO events, the un-recovered
 monitors, and the slowest tail exemplars of a `--telemetry` JSONL file —
 each exemplar resolves to its full stitched trace tree.
+
+`pup serve` puts the scoring service behind a real HTTP/1.1-over-TCP front
+door: bounded accept backlog (overflow shed with 503), per-tenant API keys
+and token-bucket rate limits (`--api-keys name:key:rate:burst,...`), armed
+read/write timeouts on every socket, and keep-alive connections. It prints
+the bound address (`--addr 127.0.0.1:0` picks a free port; `--addr-file`
+writes it for scripts), then serves until `GET /admin/drain` (authenticated)
+or `--max-requests N` responses, drains gracefully — in-flight requests
+finish, nothing is dropped — and prints the network + engine reports.
+
+`net-bench` drives that front door with a seeded open-loop client schedule
+(Poisson arrivals by default, `--burst N` for bursty; `--zipf F` skews user
+popularity). `--slow-every N` sends every N-th request in two halves with a
+pause; `--abort-every N` disconnects every N-th client before the response.
+Self-hosted mode (with `--items`) starts the gateway in-process on loopback,
+drives it, drains, and applies `--min-availability` to the server's own
+delivered/owed ratio; `--addr` mode targets an already-running `pup serve`
+and gates on the client-observed ratio instead.
 
 `bench-diff FILE` compares the last two runs recorded in an appended
 `BENCH_<target>.json` trajectory and fails on any case whose median
@@ -814,6 +860,401 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a [`pup_serve::NetConfig`] from the network flags; unset flags
+/// keep the library defaults.
+fn build_net_config(flags: &HashMap<String, String>) -> Result<pup_serve::NetConfig, String> {
+    let mut net = pup_serve::NetConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        net.addr = addr.to_string();
+    }
+    net.max_conns = get_parsed(flags, "max-conns", net.max_conns)?;
+    net.backlog = get_parsed(flags, "net-backlog", net.backlog)?;
+    let idle_ms: f64 = get_parsed(flags, "idle-ms", net.idle_timeout_ns as f64 / 1e6)?;
+    net.idle_timeout_ns = (idle_ms * 1e6) as u64;
+    let write_ms: f64 = get_parsed(flags, "write-ms", net.write_timeout_ns as f64 / 1e6)?;
+    net.write_timeout_ns = (write_ms * 1e6) as u64;
+    net.keep_alive_max = get_parsed(flags, "keep-alive", net.keep_alive_max)?;
+    if let Some(spec) = flags.get("api-keys") {
+        net.tenants =
+            pup_serve::TenantConfig::parse_list(spec).map_err(|e| format!("--api-keys: {e}"))?;
+    }
+    Ok(net)
+}
+
+/// Restores the model (from `--checkpoint-dir` or the registry's CURRENT
+/// generation), starts the scoring engine, and wraps it in a TCP gateway
+/// configured from the network flags. Returns the gateway and the
+/// dataset's user count (for synthesizing load against it).
+fn start_gateway(flags: &HashMap<String, String>) -> Result<(pup_serve::Gateway, usize), String> {
+    let (pipeline, _maps) = load(flags)?;
+    let registry = if flags.contains_key("registry") { Some(open_registry(flags)?) } else { None };
+    let cfg = fit_config(flags)?;
+    let kind = model_kind(flags)?;
+
+    let mut serve_cfg = pup_serve::ServeConfig::default();
+    serve_cfg.queue_capacity = get_parsed(flags, "queue", serve_cfg.queue_capacity)?;
+    serve_cfg.workers = get_parsed(flags, "workers", serve_cfg.workers)?;
+    let deadline_ms: f64 = get_parsed(flags, "deadline-ms", 50.0)?;
+    serve_cfg.deadline_ns = (deadline_ms * 1e6) as u64;
+    serve_cfg.max_retries = get_parsed(flags, "retries", serve_cfg.max_retries)?;
+
+    let telemetry_on = flags.contains_key("telemetry");
+    if telemetry_on {
+        pup_obs::start();
+    }
+    let slo_spec = match flags.get("slo").map(String::as_str) {
+        None => None,
+        Some("default") => Some(pup_obs::slo::SloSpec::default()),
+        Some(spec) => Some(pup_obs::slo::SloSpec::parse(spec).map_err(|e| format!("--slo: {e}"))?),
+    };
+
+    let split = pipeline.split();
+    let n_users = split.n_users;
+    let n_items = split.n_items;
+    let fallback = pup_serve::Fallback::from_train(n_users, n_items, &split.train)
+        .map_err(|e| e.to_string())?;
+    let plan = pup_ckpt::chaos::FaultPlan::none();
+    let mut shared = match &registry {
+        Some(reg) => {
+            let serving = reg.serving_generation().map_err(|e| e.to_string())?.gen;
+            let swap_cfg =
+                pup_serve::SwapConfig { shadow_requests: 32, min_overlap: 0.5, probe_users: 4 };
+            pup_serve::ServiceShared::with_swap(
+                serve_cfg,
+                fallback,
+                n_users,
+                plan,
+                pup_serve::SwapController::new(serving, swap_cfg),
+            )
+        }
+        None => pup_serve::ServiceShared::with_faults(serve_cfg, fallback, n_users, plan),
+    };
+    if slo_spec.is_some() || telemetry_on {
+        shared.enable_tracing(pup_obs::trace::TraceSink::new());
+    }
+    if let Some(spec) = slo_spec {
+        shared.enable_slo(pup_obs::slo::SloEngine::new(spec));
+        let flight_dir = flags
+            .get("flight-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/flight-recorder"));
+        shared.enable_flight_recorder(pup_serve::PostMortem::new(flight_dir, 256));
+    }
+    let shared = Arc::new(shared);
+    let pipeline = Arc::new(pipeline);
+
+    let server = match registry {
+        Some(reg) => {
+            let serving = shared.swap.active_gen();
+            eprintln!(
+                "restoring {} from registry generation {serving} in {} ...",
+                kind.name(),
+                reg.dir().display()
+            );
+            reg.load(serving).map_err(|e| format!("generation {serving}: {e}"))?;
+            let factory: pup_serve::GenScorerFactory = Arc::new(move |gen| {
+                let ckpt = reg.load(gen).map_err(|e| e.to_string())?;
+                let model = pipeline
+                    .restore_from_checkpoint(kind.clone(), &cfg, &ckpt)
+                    .map_err(|e| e.to_string())?;
+                Ok(Box::new(pup_serve::RecommenderScorer::new(model, n_items))
+                    as Box<dyn pup_serve::Scorer>)
+            });
+            pup_serve::Server::start_with_generations(Arc::clone(&shared), factory)
+                .map_err(|e| e.to_string())?
+        }
+        None => {
+            let ckpt_dir = PathBuf::from(
+                flags
+                    .get("checkpoint-dir")
+                    .ok_or("either --checkpoint-dir or --registry is required")?,
+            );
+            eprintln!("restoring {} from checkpoints in {} ...", kind.name(), ckpt_dir.display());
+            pipeline
+                .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
+                .map_err(|e| format!("--checkpoint-dir {}: {e}", ckpt_dir.display()))?;
+            let factory: pup_serve::ScorerFactory = Arc::new(move || {
+                let model = pipeline
+                    .load_checkpointed(kind.clone(), &cfg, &ckpt_dir)
+                    .map_err(|e| e.to_string())?;
+                Ok(Box::new(pup_serve::RecommenderScorer::new(model, n_items)))
+            });
+            pup_serve::Server::start(Arc::clone(&shared), factory).map_err(|e| e.to_string())?
+        }
+    };
+    let net = build_net_config(flags)?;
+    let gateway = pup_serve::Gateway::start(net, server).map_err(|e| e.to_string())?;
+    Ok((gateway, n_users))
+}
+
+/// Prints flight-recorder dump paths and writes the telemetry file, if
+/// either observability hook was enabled.
+fn finish_net_obs(
+    flags: &HashMap<String, String>,
+    engine: &pup_serve::ServiceShared,
+) -> Result<(), String> {
+    if let Some(postmortem) = &engine.postmortem {
+        for path in postmortem.dumped_paths() {
+            eprintln!("flight-recorder dump: {}", path.display());
+        }
+    }
+    if let Some(path) = flags.get("telemetry") {
+        engine.publish_obs();
+        let telemetry = pup_obs::finish();
+        telemetry.write_jsonl(Path::new(path)).map_err(|e| format!("--telemetry {path}: {e}"))?;
+        eprintln!("telemetry written to {path}");
+    }
+    Ok(())
+}
+
+/// Applies the availability and SLO exit-code gates shared by `serve` and
+/// `net-bench`.
+fn net_exit_gates(
+    availability: f64,
+    min_availability: f64,
+    report: &pup_serve::ServeReport,
+) -> Result<(), String> {
+    if availability < min_availability {
+        return Err(format!(
+            "availability {availability:.4} fell below the required {min_availability:.4}"
+        ));
+    }
+    if report.slo_unrecovered_pages > 0 {
+        return Err(format!(
+            "SLO gate: {} page-level event(s) still un-recovered at end of run",
+            report.slo_unrecovered_pages
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (gateway, _n_users) = start_gateway(flags)?;
+    let addr = gateway.local_addr();
+    println!("listening on {addr}");
+    if let Some(path) = flags.get("addr-file") {
+        // Temp + rename: scripts poll for this file, and a torn write
+        // would hand them half an address.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| format!("--addr-file {path}: {e}"))?;
+    }
+    let max_requests: u64 = get_parsed(flags, "max-requests", 0)?;
+    let min_availability: f64 = get_parsed(flags, "min-availability", 0.0)?;
+    let net_shared = gateway.shared();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        if gateway.is_draining() {
+            break;
+        }
+        if max_requests > 0 && net_shared.stats.report().responded() >= max_requests {
+            break;
+        }
+    }
+    let (net, engine_report) = gateway.shutdown();
+    println!("{}", net.render());
+    println!("{}", engine_report.render());
+    finish_net_obs(flags, net_shared.engine.as_ref())?;
+    net_exit_gates(net.availability(), min_availability, &engine_report)
+}
+
+/// Client-side tallies of one open-loop drive. `sent` excludes injected
+/// aborts — those clients never wait for an answer.
+#[derive(Clone, Copy, Debug, Default)]
+struct ClientSummary {
+    sent: u64,
+    delivered: u64,
+    ok_2xx: u64,
+    non_2xx: u64,
+    errors: u64,
+    aborted: u64,
+}
+
+impl ClientSummary {
+    fn add(&mut self, other: ClientSummary) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.ok_2xx += other.ok_2xx;
+        self.non_2xx += other.non_2xx;
+        self.errors += other.errors;
+        self.aborted += other.aborted;
+    }
+
+    /// Responses received over requests a response was waited for.
+    fn availability(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "== client report ==\nsent:      {} ({} aborted on purpose)\ndelivered: {} \
+             ({} 2xx | {} non-2xx) | {} transport errors\navailability (client-observed): {:.4}",
+            self.sent,
+            self.aborted,
+            self.delivered,
+            self.ok_2xx,
+            self.non_2xx,
+            self.errors,
+            self.availability()
+        )
+    }
+}
+
+/// Replays an open-loop arrival plan against a live gateway over real
+/// sockets: `clients` threads share the schedule round-robin, each pacing
+/// its arrivals against the wall clock, reusing one keep-alive connection
+/// until an error forces a reconnect.
+fn drive_open_loop(
+    addr: &str,
+    plan: &[pup_serve::loadgen::Arrival],
+    k: usize,
+    api_key: Option<&str>,
+    clients: usize,
+    abort_every: usize,
+) -> ClientSummary {
+    use pup_serve::net::HttpClient;
+    const CONNECT_TIMEOUT_NS: u64 = 2_000_000_000;
+    let clients = clients.max(1);
+    let start = std::time::Instant::now();
+    let mut total = ClientSummary::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut sum = ClientSummary::default();
+                    let mut conn: Option<HttpClient> = None;
+                    for (i, a) in plan.iter().enumerate() {
+                        if i % clients != c {
+                            continue;
+                        }
+                        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        if a.at_ns > elapsed {
+                            std::thread::sleep(std::time::Duration::from_nanos(a.at_ns - elapsed));
+                        }
+                        let target = format!("/recommend?user={}&k={k}", a.user);
+                        if abort_every > 0 && i % abort_every == abort_every - 1 {
+                            if let Ok(one_shot) = HttpClient::connect(addr, CONNECT_TIMEOUT_NS) {
+                                let _ = one_shot.send_and_abort(&target, api_key);
+                            }
+                            sum.aborted += 1;
+                            continue;
+                        }
+                        sum.sent += 1;
+                        let outcome = (|| -> std::io::Result<(u16, String)> {
+                            let mut cl = match conn.take() {
+                                Some(cl) => cl,
+                                None => HttpClient::connect(addr, CONNECT_TIMEOUT_NS)?,
+                            };
+                            let res = if a.slow {
+                                cl.send_request_slowly(
+                                    &target,
+                                    api_key,
+                                    std::time::Duration::from_millis(5),
+                                )
+                                .and_then(|()| cl.read_response())
+                            } else {
+                                cl.get(&target, api_key)
+                            };
+                            if res.is_ok() {
+                                conn = Some(cl);
+                            }
+                            res
+                        })();
+                        match outcome {
+                            Ok((status, _)) => {
+                                sum.delivered += 1;
+                                if status < 400 {
+                                    sum.ok_2xx += 1;
+                                } else {
+                                    sum.non_2xx += 1;
+                                }
+                            }
+                            Err(_) => sum.errors += 1,
+                        }
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for h in handles {
+            total.add(h.join().unwrap_or_default());
+        }
+    });
+    total
+}
+
+fn cmd_net_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let requests: usize = get_parsed(flags, "requests", 200)?;
+    let k: usize = get_parsed(flags, "top", 10)?;
+    let seed: u64 = get_parsed(flags, "seed", 7)?;
+    let clients: usize = get_parsed(flags, "clients", 4)?;
+    let abort_every: usize = get_parsed(flags, "abort-every", 0)?;
+    let slow_every: usize = get_parsed(flags, "slow-every", 0)?;
+    let mean_gap_us: f64 = get_parsed(flags, "mean-gap-us", 200.0)?;
+    let burst: usize = get_parsed(flags, "burst", 0)?;
+    let zipf_exponent: f64 = get_parsed(flags, "zipf", 1.0)?;
+    let min_availability: f64 = get_parsed(flags, "min-availability", 0.0)?;
+    let api_key = flags.get("api-key").cloned();
+
+    let mean_gap_ns = (mean_gap_us * 1e3) as u64;
+    let arrivals = if burst > 0 {
+        pup_serve::loadgen::Arrivals::Bursty {
+            burst,
+            gap_ns: mean_gap_ns,
+            idle_ns: mean_gap_ns.saturating_mul(10),
+        }
+    } else {
+        pup_serve::loadgen::Arrivals::Poisson { mean_gap_ns }
+    };
+    let open_cfg = pup_serve::loadgen::OpenLoopConfig {
+        requests,
+        k,
+        seed,
+        arrivals,
+        zipf_exponent,
+        slow_every,
+    };
+
+    // `--addr` without `--items` targets an already-running server; with
+    // `--items` the bench hosts its own gateway on loopback.
+    if let (Some(addr), false) = (flags.get("addr"), flags.contains_key("items")) {
+        let n_users: usize = get_parsed(flags, "users", 64)?;
+        let plan = pup_serve::loadgen::open_loop_plan(&open_cfg, n_users);
+        eprintln!("driving {} open-loop requests at {addr} ...", plan.len());
+        let summary = drive_open_loop(addr, &plan, k, api_key.as_deref(), clients, abort_every);
+        println!("{}", summary.render());
+        if summary.availability() < min_availability {
+            return Err(format!(
+                "availability {:.4} fell below the required {min_availability:.4}",
+                summary.availability()
+            ));
+        }
+        return Ok(());
+    }
+
+    let (gateway, n_users) = start_gateway(flags)?;
+    let addr = gateway.local_addr().to_string();
+    let plan = pup_serve::loadgen::open_loop_plan(&open_cfg, n_users);
+    eprintln!(
+        "driving {} open-loop requests from {} clients at {addr} ...",
+        plan.len(),
+        clients.max(1)
+    );
+    let summary = drive_open_loop(&addr, &plan, k, api_key.as_deref(), clients, abort_every);
+    let net_shared = gateway.shared();
+    let (net, engine_report) = gateway.shutdown();
+    println!("{}", summary.render());
+    println!("{}", net.render());
+    println!("{}", engine_report.render());
+    finish_net_obs(flags, net_shared.engine.as_ref())?;
+    net_exit_gates(net.availability(), min_availability, &engine_report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -881,6 +1322,51 @@ mod tests {
         );
         assert!(parse_fault_spikes("8").is_err());
         assert!(parse_fault_spikes("8:ms").is_err());
+    }
+
+    #[test]
+    fn net_config_flags_override_defaults() {
+        let f = flags(&[
+            "--addr",
+            "0.0.0.0:8088",
+            "--max-conns",
+            "8",
+            "--net-backlog",
+            "32",
+            "--idle-ms",
+            "250",
+            "--keep-alive",
+            "16",
+            "--api-keys",
+            "bench:bench-key:200:50,limited:lim-key:2:2",
+        ])
+        .unwrap();
+        let net = build_net_config(&f).unwrap();
+        assert_eq!(net.addr, "0.0.0.0:8088");
+        assert_eq!(net.max_conns, 8);
+        assert_eq!(net.backlog, 32);
+        assert_eq!(net.idle_timeout_ns, 250_000_000);
+        assert_eq!(net.keep_alive_max, 16);
+        assert_eq!(net.tenants.len(), 2);
+        assert_eq!(net.tenants[0].key, "bench-key");
+        assert_eq!(net.tenants[1].rate_per_sec, 2);
+    }
+
+    #[test]
+    fn net_config_rejects_malformed_tenants() {
+        let f = flags(&["--api-keys", "missing-fields"]).unwrap();
+        assert!(build_net_config(&f).unwrap_err().contains("--api-keys"));
+    }
+
+    #[test]
+    fn net_config_defaults_match_the_library() {
+        let f = flags(&[]).unwrap();
+        let net = build_net_config(&f).unwrap();
+        let defaults = pup_serve::NetConfig::default();
+        assert_eq!(net.addr, defaults.addr);
+        assert_eq!(net.max_conns, defaults.max_conns);
+        assert_eq!(net.idle_timeout_ns, defaults.idle_timeout_ns);
+        assert!(net.tenants.is_empty());
     }
 
     #[test]

@@ -24,11 +24,26 @@ pub struct AttemptFaults {
     pub spike_ns: Option<u64>,
 }
 
+/// The faults drawn for one inbound network connection.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnFaults {
+    /// Global connection index this draw consumed.
+    pub seq: u64,
+    /// Whether the connection's request bytes arrive one byte per read.
+    pub torn_read: bool,
+    /// Virtual nanoseconds the client stalls mid-request (slowloris), if a
+    /// stall is scheduled here.
+    pub stall_ns: Option<u64>,
+    /// Whether the client disconnects mid-request.
+    pub disconnect: bool,
+}
+
 /// Shared fault source for all workers of one service.
 pub struct FaultInjector {
     plan: Mutex<FaultPlan>,
     attempts: AtomicU64,
     swap_attempts: AtomicU64,
+    conns: AtomicU64,
 }
 
 /// Poisoned-lock recovery: the plan is a plain list of pending faults;
@@ -44,6 +59,7 @@ impl FaultInjector {
             plan: Mutex::new(plan),
             attempts: AtomicU64::new(0),
             swap_attempts: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
         }
     }
 
@@ -95,6 +111,26 @@ impl FaultInjector {
         locked(&self.plan).fire_shadow_divergence(attempt)
     }
 
+    /// Draws the faults for the next inbound network connection, consuming
+    /// them. Network faults (torn reads, client stalls, disconnects) are
+    /// keyed by this counter, separate from scoring and swap attempts, so a
+    /// seeded schedule replays identically for the same arrival order.
+    pub fn next_conn(&self) -> ConnFaults {
+        let seq = self.conns.fetch_add(1, Ordering::Relaxed);
+        let mut plan = locked(&self.plan);
+        ConnFaults {
+            seq,
+            torn_read: plan.fire_torn_read(seq),
+            stall_ns: plan.fire_client_stall(seq),
+            disconnect: plan.fire_disconnect(seq),
+        }
+    }
+
+    /// Network connections drawn so far.
+    pub fn conns(&self) -> u64 {
+        self.conns.load(Ordering::Relaxed)
+    }
+
     /// Scheduled faults that have not fired yet.
     pub fn pending(&self) -> usize {
         locked(&self.plan).pending()
@@ -117,5 +153,21 @@ mod tests {
         assert_eq!(a2.spike_ns, Some(700));
         assert_eq!(inj.pending(), 0);
         assert_eq!(inj.attempts(), 3);
+    }
+
+    #[test]
+    fn draws_connection_faults_in_arrival_order_once() {
+        let inj = FaultInjector::new(
+            FaultPlan::none()
+                .with_torn_reads([0])
+                .with_client_stalls([(1, 40)])
+                .with_disconnects([1]),
+        );
+        let c0 = inj.next_conn();
+        assert!(c0.torn_read && c0.stall_ns.is_none() && !c0.disconnect);
+        let c1 = inj.next_conn();
+        assert!(!c1.torn_read && c1.stall_ns == Some(40) && c1.disconnect);
+        assert_eq!(inj.conns(), 2);
+        assert_eq!(inj.pending(), 0);
     }
 }

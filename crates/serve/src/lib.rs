@@ -45,6 +45,7 @@ pub mod fallback;
 pub mod faults;
 pub mod flight;
 pub mod loadgen;
+pub mod net;
 pub mod queue;
 pub mod scorer;
 pub mod server;
@@ -60,6 +61,7 @@ pub use fallback::Fallback;
 pub use faults::{AttemptFaults, FaultInjector};
 pub use flight::PostMortem;
 pub use loadgen::{run_closed_loop, run_closed_loop_with_swap, BenchConfig, SwapPlan};
+pub use net::{Gateway, NetConfig, NetError, NetReport, TenantConfig};
 pub use pup_models::ScoreError;
 pub use queue::AdmissionQueue;
 pub use scorer::{RecommenderScorer, Scorer, ScorerFactory};

@@ -1,0 +1,142 @@
+//! A minimal keep-alive HTTP/1.1 client for smoke tests and the open-loop
+//! load generator. Like the server it is dependency-free, parses only
+//! what it needs (status line + `content-length`), and arms timeouts on
+//! every socket it opens — a hung server fails a test, it does not hang
+//! one.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A keep-alive connection to one gateway.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects and arms read/write timeouts (`timeout_ns` each way).
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout_ns: u64) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let t = Duration::from_nanos(timeout_ns.max(1));
+        stream.set_read_timeout(Some(t))?;
+        stream.set_write_timeout(Some(t))?;
+        // Requests are small and latency-bound: leaving Nagle on costs a
+        // delayed-ACK round trip (~40ms) per keep-alive exchange.
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends a keep-alive `GET` and reads the full response. Returns the
+    /// status code and body.
+    pub fn get(&mut self, target: &str, api_key: Option<&str>) -> io::Result<(u16, String)> {
+        self.send_request(target, api_key, false)?;
+        self.read_response()
+    }
+
+    /// Sends the request bytes for `GET target`, optionally asking the
+    /// server to close afterwards.
+    pub fn send_request(
+        &mut self,
+        target: &str,
+        api_key: Option<&str>,
+        close: bool,
+    ) -> io::Result<()> {
+        let mut req = format!("GET {target} HTTP/1.1\r\nhost: pup\r\n");
+        if let Some(key) = api_key {
+            req.push_str(&format!("x-api-key: {key}\r\n"));
+        }
+        if close {
+            req.push_str("connection: close\r\n");
+        }
+        req.push_str("\r\n");
+        self.stream.write_all(req.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Writes raw bytes verbatim — for driving malformed or oversized
+    /// frames at the server.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Sends a request in two halves with a real pause between them — a
+    /// cooperative slow client, used to exercise the server's progress
+    /// budget over real sockets.
+    pub fn send_request_slowly(
+        &mut self,
+        target: &str,
+        api_key: Option<&str>,
+        pause: Duration,
+    ) -> io::Result<()> {
+        let mut req = format!("GET {target} HTTP/1.1\r\nhost: pup\r\n");
+        if let Some(key) = api_key {
+            req.push_str(&format!("x-api-key: {key}\r\n"));
+        }
+        req.push_str("\r\n");
+        let bytes = req.as_bytes();
+        let mid = bytes.len() / 2;
+        self.stream.write_all(bytes.get(..mid).unwrap_or_default())?;
+        self.stream.flush()?;
+        std::thread::sleep(pause);
+        self.stream.write_all(bytes.get(mid..).unwrap_or_default())?;
+        self.stream.flush()
+    }
+
+    /// Sends a request and immediately drops the connection without
+    /// reading the response — a client that disconnects mid-exchange.
+    pub fn send_and_abort(mut self, target: &str, api_key: Option<&str>) -> io::Result<()> {
+        self.send_request(target, api_key, false)?;
+        // Dropping the stream closes the socket with the response unread.
+        Ok(())
+    }
+
+    /// Reads one `HTTP/1.1` response (status line, headers,
+    /// `content-length`-delimited body).
+    pub fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut buf = Vec::with_capacity(512);
+        let mut chunk = [0u8; 512];
+        let head_end = loop {
+            if let Some(pos) = find_terminator(&buf) {
+                break pos;
+            }
+            if buf.len() > 64 * 1024 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "response head too large"));
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::from(io::ErrorKind::UnexpectedEof));
+            }
+            buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        };
+        let head = String::from_utf8_lossy(buf.get(..head_end).unwrap_or_default()).into_owned();
+        let status = head
+            .lines()
+            .next()
+            .and_then(|line| line.split(' ').nth(1))
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let content_length = head
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_once(':'))
+            .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body: Vec<u8> = buf.get(head_end + 4..).unwrap_or_default().to_vec();
+        while body.len() < content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::from(io::ErrorKind::UnexpectedEof));
+            }
+            body.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        }
+        body.truncate(content_length);
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}

@@ -1,0 +1,241 @@
+//! The TCP gateway: bind, accept, shed, serve, drain.
+//!
+//! The gateway is deliberately thin — all protocol and policy logic lives
+//! in [`conn::handle_connection`](super::conn::handle_connection), which
+//! is transport-generic and chaos-tested in memory. What the gateway adds
+//! is the real-socket plumbing with the same bounded-everything
+//! discipline the engine already has:
+//!
+//! - accepted connections enter a **bounded backlog**
+//!   ([`AdmissionQueue`]); when it is full the acceptor writes a minimal
+//!   `503` and closes — load is shed at the door, never buffered
+//!   unboundedly;
+//! - a fixed pool of connection workers drains the backlog, so at most
+//!   `max_conns` connections are ever being served;
+//! - **graceful drain**: the listener stops accepting, queued and
+//!   in-flight connections finish, workers join, and only then does the
+//!   engine shut down. Zero in-flight requests are dropped.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::queue::AdmissionQueue;
+use crate::server::Server;
+use crate::ServeReport;
+
+use super::conn::{handle_connection, NetShared};
+use super::http::HttpLimits;
+use super::ratelimit::TenantConfig;
+use super::transport::TcpTransport;
+use super::{NetError, NetReport};
+
+/// Tunables for the network front door.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 picks a free port).
+    pub addr: String,
+    /// Connection worker threads: at most this many connections are
+    /// served concurrently.
+    pub max_conns: usize,
+    /// Pending-connection backlog capacity; accepts beyond it are shed
+    /// with `503`.
+    pub backlog: usize,
+    /// Idle budget between a connection's requests, and the stall budget
+    /// within one (the slowloris bound).
+    pub idle_timeout_ns: u64,
+    /// Budget for writing a response to a slow-reading peer.
+    pub write_timeout_ns: u64,
+    /// Requests served per connection before it is closed (keep-alive
+    /// recycling bound).
+    pub keep_alive_max: usize,
+    /// HTTP parser size limits.
+    pub limits: HttpLimits,
+    /// Tenant keys and rate contracts; empty runs the service open.
+    pub tenants: Vec<TenantConfig>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_conns: 4,
+            backlog: 16,
+            idle_timeout_ns: 2_000_000_000,
+            write_timeout_ns: 2_000_000_000,
+            keep_alive_max: 64,
+            limits: HttpLimits::default(),
+            tenants: Vec::new(),
+        }
+    }
+}
+
+/// A running network front door: listener + acceptor thread + connection
+/// worker pool, wrapped around a [`Server`].
+pub struct Gateway {
+    shared: Arc<NetShared>,
+    server: Arc<Server>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<AdmissionQueue<(TcpStream, u64, u64)>>,
+}
+
+impl Gateway {
+    /// Binds the listener and starts the acceptor and worker threads.
+    /// The engine's clock (for rate limiting) starts at bind time.
+    pub fn start(cfg: NetConfig, server: Server) -> Result<Gateway, NetError> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| NetError::Io(e.kind()))?;
+        let local_addr = listener.local_addr().map_err(|e| NetError::Io(e.kind()))?;
+        let max_conns = cfg.max_conns.max(1);
+        let backlog = cfg.backlog.max(1);
+        let write_timeout_ns = cfg.write_timeout_ns;
+        let shared = Arc::new(NetShared::new(cfg, Arc::clone(server.shared())));
+        let server = Arc::new(server);
+        let pending: Arc<AdmissionQueue<(TcpStream, u64, u64)>> =
+            Arc::new(AdmissionQueue::new(backlog));
+        let epoch = Instant::now();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let pending = Arc::clone(&pending);
+            std::thread::Builder::new()
+                .name("pup-net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &pending, epoch, write_timeout_ns))
+                .map_err(|e| NetError::Io(e.kind()))?
+        };
+
+        let mut workers = Vec::with_capacity(max_conns);
+        for i in 0..max_conns {
+            let shared = Arc::clone(&shared);
+            let server = Arc::clone(&server);
+            let pending = Arc::clone(&pending);
+            let handle = std::thread::Builder::new()
+                .name(format!("pup-net-conn-{i}"))
+                .spawn(move || {
+                    while let Some((stream, seq, arrival_ns)) = pending.pop() {
+                        match TcpTransport::new(stream, shared.cfg.write_timeout_ns) {
+                            Ok(mut t) => {
+                                handle_connection(&shared, &server, &mut t, seq, arrival_ns);
+                            }
+                            Err(_) => shared.stats.note_client_gone(),
+                        }
+                    }
+                })
+                .map_err(|e| NetError::Io(e.kind()))?;
+            workers.push(handle);
+        }
+
+        Ok(Gateway { shared, server, local_addr, acceptor: Some(acceptor), workers, pending })
+    }
+
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The gateway's shared state (drain flag, stats, limiter).
+    pub fn shared(&self) -> Arc<NetShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Whether a drain has been requested (locally or via
+    /// `POST /admin/drain`).
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Requests a graceful drain: the acceptor stops (a self-connection
+    /// wakes it from `accept`), queued connections still get served, and
+    /// new arrivals are refused at the socket level once the listener
+    /// closes.
+    pub fn drain(&self) {
+        self.shared.request_drain();
+        // Poke the blocking accept() so the acceptor observes the flag.
+        // The poked connection itself is cheap: the acceptor drops it.
+        // Always poke, even when the flag was already set: a drain
+        // requested over HTTP (`/admin/drain`) raises the flag without
+        // waking the acceptor, which is still parked in `accept()`.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Drains, joins every thread, shuts the engine down, and returns the
+    /// final wire-level and engine-level reports. In-flight connections
+    /// finish first — this is the zero-drop guarantee the drain test
+    /// pins.
+    pub fn shutdown(mut self) -> (NetReport, ServeReport) {
+        self.drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor has exited, so nothing pushes anymore. Closing the
+        // queue lets workers drain the remaining connections, then stop.
+        self.pending.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let net_report = self.shared.stats.report();
+        match Arc::try_unwrap(self.server) {
+            // All worker clones are joined: we hold the last Arc.
+            Ok(server) => server.shutdown(),
+            // Unreachable after joins; Server::drop still joins workers.
+            Err(arc) => drop(arc),
+        }
+        let serve_report = self.shared.engine.report();
+        (net_report, serve_report)
+    }
+}
+
+/// Accept loop: stamp, shed or enqueue. Runs until drain is requested.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &NetShared,
+    pending: &AdmissionQueue<(TcpStream, u64, u64)>,
+    epoch: Instant,
+    write_timeout_ns: u64,
+) {
+    loop {
+        if shared.is_draining() {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => continue,
+        };
+        if shared.is_draining() {
+            return; // the drain poke lands here
+        }
+        let mut stream = stream;
+        let seq = shared.stats.note_conn_accepted();
+        let arrival_ns = epoch.elapsed().as_nanos() as u64;
+        // `try_push` consumes the stream even on refusal, so the shed
+        // decision is taken on queue depth first. The check races with
+        // workers popping, but the race is benign: worst case a
+        // connection is shed one slot early, or (rarely) dropped without
+        // the courtesy 503 when the queue fills between check and push.
+        if pending.depth() >= shared.cfg.backlog.max(1) {
+            shed(&mut stream, write_timeout_ns);
+            shared.stats.note_conn_shed();
+            continue;
+        }
+        if pending.try_push((stream, seq, arrival_ns)).is_err() {
+            shared.stats.note_conn_shed();
+        }
+    }
+}
+
+/// Best-effort minimal `503` for a shed connection.
+fn shed(stream: &mut TcpStream, write_timeout_ns: u64) {
+    use std::time::Duration;
+    let _ = stream.set_write_timeout(Some(Duration::from_nanos(write_timeout_ns.max(1))));
+    let body = "{\"error\":\"shed-over-capacity\",\"status\":503}";
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,367 @@
+//! Bounded, incremental HTTP/1.1 request parsing.
+//!
+//! The parser is push-based: the connection loop feeds it whatever bytes
+//! the transport produced (a whole request, one byte of a torn read, or
+//! pipelined garbage) and asks for the next complete request. Every limit
+//! is enforced *while* bytes accumulate, so a hostile or broken client can
+//! never grow the buffer past [`HttpLimits`] — the parse either completes,
+//! needs more bytes, or fails with a typed [`NetError`] that maps to a
+//! status code. The parser itself never panics: no indexing, no unwraps,
+//! no recursion.
+
+use super::NetError;
+
+/// Hard bounds on one HTTP request. Exceeding any of them is a typed
+/// protocol error, not an allocation.
+#[derive(Clone, Debug)]
+pub struct HttpLimits {
+    /// Maximum request-line length in bytes (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum total header-section bytes after the request line.
+    pub max_header_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum declared `content-length` in bytes.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self { max_request_line: 1024, max_header_bytes: 4096, max_headers: 32, max_body: 4096 }
+    }
+}
+
+impl HttpLimits {
+    /// Upper bound on bytes the parser retains between requests: a
+    /// complete head plus a complete body. [`HttpParser::buffered`] never
+    /// exceeds this plus the size of the last fed chunk.
+    pub fn max_buffered(&self) -> usize {
+        self.max_request_line + self.max_header_bytes + 4 + self.max_body
+    }
+}
+
+/// Request method. Anything else is [`NetError::UnsupportedMethod`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// An HTTP GET.
+    Get,
+    /// An HTTP POST.
+    Post,
+}
+
+/// One complete, validated HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Parsed method.
+    pub method: Method,
+    /// Raw request target (path plus optional `?query`).
+    pub target: String,
+    /// Whether the request was HTTP/1.1 (HTTP/1.0 closes by default).
+    pub http11: bool,
+    /// Header fields with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `content-length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The target's path component (everything before `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.target,
+        }
+    }
+
+    /// The raw value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// The value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            None => !self.http11,
+        }
+    }
+}
+
+/// Incremental request parser for one connection. Feed bytes as they
+/// arrive; pull complete requests out. Leftover bytes stay buffered so
+/// pipelined requests parse without another read. After the first error
+/// the parser is poisoned: every later call returns the same error, and
+/// the connection must close.
+#[derive(Debug, Default)]
+pub struct HttpParser {
+    limits: HttpLimits,
+    buf: Vec<u8>,
+    failed: Option<NetError>,
+}
+
+fn find_subslice(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return None;
+    }
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+impl HttpParser {
+    /// A fresh parser with the given limits.
+    pub fn new(limits: HttpLimits) -> Self {
+        Self { limits, buf: Vec::new(), failed: None }
+    }
+
+    /// Bytes currently buffered (incomplete request plus any pipelined
+    /// surplus). Bounded by [`HttpLimits::max_buffered`] plus the last fed
+    /// chunk.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends newly read bytes and attempts to complete one request —
+    /// equivalent to `append` followed by [`next_request`](Self::next_request).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<HttpRequest>, NetError> {
+        if self.failed.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+        self.next_request()
+    }
+
+    /// Attempts to parse the next complete request out of the buffer.
+    /// `Ok(None)` means more bytes are needed; errors are sticky.
+    pub fn next_request(&mut self) -> Result<Option<HttpRequest>, NetError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        match self.try_parse() {
+            Ok(done) => Ok(done),
+            Err(e) => {
+                self.failed = Some(e.clone());
+                self.buf.clear();
+                Err(e)
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<HttpRequest>, NetError> {
+        let limits = self.limits.clone();
+        let Some(head_end) = find_subslice(&self.buf, b"\r\n\r\n") else {
+            return self.check_incomplete_head();
+        };
+        let head_bytes = self.buf.get(..head_end).unwrap_or_default();
+        let head = std::str::from_utf8(head_bytes)
+            .map_err(|_| NetError::MalformedRequestLine)?
+            .to_string();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        if request_line.len() > limits.max_request_line {
+            return Err(NetError::RequestLineTooLong { limit: limits.max_request_line });
+        }
+        if head_end.saturating_sub(request_line.len()) > limits.max_header_bytes {
+            return Err(NetError::HeadersTooLarge { limit: limits.max_header_bytes });
+        }
+        let (method, target, http11) = parse_request_line(request_line)?;
+        let mut headers: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            if headers.len() >= limits.max_headers {
+                return Err(NetError::TooManyHeaders { limit: limits.max_headers });
+            }
+            let (name, value) = line.split_once(':').ok_or(NetError::MalformedHeader)?;
+            if name.is_empty() || name.contains(' ') || name.contains('\t') {
+                return Err(NetError::MalformedHeader);
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+            return Err(NetError::UnsupportedEncoding);
+        }
+        let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+            Some((_, v)) => v.parse::<usize>().map_err(|_| NetError::BadContentLength)?,
+            None => 0,
+        };
+        if content_length > limits.max_body {
+            return Err(NetError::BodyTooLarge { limit: limits.max_body });
+        }
+        let body_start = head_end + 4;
+        let need = body_start + content_length;
+        if self.buf.len() < need {
+            return Ok(None);
+        }
+        let body = self.buf.get(body_start..need).unwrap_or_default().to_vec();
+        self.buf.drain(..need);
+        Ok(Some(HttpRequest { method, target, http11, headers, body }))
+    }
+
+    /// Bounds enforcement while the head is still incomplete: the buffer
+    /// must never outgrow the request-line + header limits waiting for a
+    /// terminator that may never come.
+    fn check_incomplete_head(&self) -> Result<Option<HttpRequest>, NetError> {
+        match find_subslice(&self.buf, b"\r\n") {
+            None => {
+                if self.buf.len() > self.limits.max_request_line {
+                    return Err(NetError::RequestLineTooLong {
+                        limit: self.limits.max_request_line,
+                    });
+                }
+            }
+            Some(line_end) => {
+                if line_end > self.limits.max_request_line {
+                    return Err(NetError::RequestLineTooLong {
+                        limit: self.limits.max_request_line,
+                    });
+                }
+                if self.buf.len().saturating_sub(line_end) > self.limits.max_header_bytes {
+                    return Err(NetError::HeadersTooLarge { limit: self.limits.max_header_bytes });
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<(Method, String, bool), NetError> {
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(NetError::MalformedRequestLine),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(NetError::UnsupportedVersion),
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => return Err(NetError::UnsupportedMethod),
+    };
+    Ok((method, target.to_string(), http11))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<HttpRequest>, NetError> {
+        HttpParser::new(HttpLimits::default()).feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_one(b"GET /recommend?user=3&k=5 HTTP/1.1\r\nhost: x\r\n\r\n")
+            .expect("parse")
+            .expect("complete");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path(), "/recommend");
+        assert_eq!(req.query_param("user"), Some("3"));
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.http11 && !req.wants_close());
+    }
+
+    #[test]
+    fn split_feeds_reassemble() {
+        let raw = b"GET /health HTTP/1.1\r\nx-api-key: k1\r\n\r\n";
+        let mut p = HttpParser::new(HttpLimits::default());
+        for chunk in raw.chunks(3) {
+            if let Some(req) = p.feed(chunk).expect("no error on torn reads") {
+                assert_eq!(req.path(), "/health");
+                assert_eq!(req.header("x-api-key"), Some("k1"));
+                return;
+            }
+        }
+        panic!("request never completed");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let mut p = HttpParser::new(HttpLimits::default());
+        let a = p.feed(raw).expect("ok").expect("first");
+        assert_eq!(a.path(), "/a");
+        let b = p.next_request().expect("ok").expect("second buffered");
+        assert_eq!(b.path(), "/b");
+        assert!(b.wants_close());
+        assert!(p.next_request().expect("ok").is_none());
+    }
+
+    #[test]
+    fn body_respects_content_length() {
+        let req = parse_one(b"POST /x HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
+            .expect("parse")
+            .expect("complete");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn oversized_request_line_is_typed() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 5000));
+        let err = parse_one(&raw).expect_err("no terminator, over limit");
+        assert!(matches!(err, NetError::RequestLineTooLong { .. }));
+    }
+
+    #[test]
+    fn oversized_headers_are_typed() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..500 {
+            raw.extend_from_slice(format!("x-h{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse_one(&raw).expect_err("headers over limit");
+        assert!(matches!(err, NetError::HeadersTooLarge { .. }));
+    }
+
+    #[test]
+    fn too_many_small_headers_are_typed() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..40 {
+            raw.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse_one(&raw).expect_err("too many headers");
+        assert!(matches!(err, NetError::TooManyHeaders { .. }));
+    }
+
+    #[test]
+    fn oversized_body_is_typed_before_buffering() {
+        let err = parse_one(b"POST /x HTTP/1.1\r\ncontent-length: 999999\r\n\r\n")
+            .expect_err("declared body over limit");
+        assert!(matches!(err, NetError::BodyTooLarge { .. }));
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        for raw in [
+            &b"\x00\x01\x02\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / HTTP/9.9\r\n\r\n",
+            b"DELETE / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ] {
+            assert!(parse_one(raw).is_err(), "{raw:?} must be a typed error");
+        }
+    }
+
+    #[test]
+    fn errors_are_sticky() {
+        let mut p = HttpParser::new(HttpLimits::default());
+        let first = p.feed(b"BAD\r\n\r\n").expect_err("malformed");
+        let again = p.feed(b"GET / HTTP/1.1\r\n\r\n").expect_err("poisoned");
+        assert_eq!(first, again);
+        assert_eq!(p.buffered(), 0, "poisoned parser buffers nothing");
+    }
+}

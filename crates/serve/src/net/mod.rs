@@ -1,0 +1,395 @@
+//! The network front door: a dependency-free HTTP/1.1-over-TCP gateway.
+//!
+//! Everything the in-process pipeline guarantees — bounded queues, typed
+//! rejections, deterministic chaos — holds at the wire too. Every
+//! connection is bounded (request-line/header/body limits, progress-based
+//! idle timeout, read/write deadlines charged against the per-request
+//! [`Deadline`](crate::Deadline) budget) and every failure is a typed
+//! [`NetError`] mapped to a status code: never a panic, never a hang,
+//! never an unbounded buffer.
+//!
+//! Layering, outside in:
+//!
+//! ```text
+//!   TCP accept ──▶ bounded backlog (over → 503 shed, connection closed)
+//!        │
+//!        ▼  conn worker pops
+//!   [conn::handle_connection]  // pup-hot: net-conn
+//!        │  parse (bounded, incremental)     → 4xx on protocol errors
+//!        │  authenticate (x-api-key)         → 401 unknown tenant
+//!        │  rate-limit (token bucket)        → 429 over-limit tenant
+//!        │  admit (Server::submit_traced)    → 503 queue full
+//!        │  wait + respond                   → 200 / 404 / 504
+//!        ▼
+//!   stitched trace: accept → parse / request(queue, score(rank)) / write
+//! ```
+//!
+//! The connection state machine is generic over a [`Transport`] trait, so
+//! the whole path runs deterministically against in-memory transports
+//! scripted by `pup_ckpt::chaos::FaultPlan` network faults (torn reads,
+//! slowloris stalls, disconnect-mid-response) — the same consume-once
+//! schedule machinery the scorer chaos uses — with real-TCP loopback
+//! smoke on top.
+
+pub mod client;
+pub mod conn;
+pub mod gateway;
+pub mod http;
+pub mod ratelimit;
+pub mod transport;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use client::HttpClient;
+pub use conn::{handle_connection, ConnOutcome, ConnReport, NetShared};
+pub use gateway::{Gateway, NetConfig};
+pub use http::{HttpLimits, HttpParser, HttpRequest, Method};
+pub use ratelimit::{Admit, RateLimiter, TenantConfig};
+pub use transport::{MemEvent, MemTransport, TcpTransport, Transport};
+
+/// Typed failure of one network request or connection. Every variant
+/// either maps to a status code the server writes back, or marks the
+/// client as gone (no response possible). There is no catch-all panic
+/// path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The request line exceeded [`HttpLimits::max_request_line`].
+    RequestLineTooLong {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// The header section exceeded [`HttpLimits::max_header_bytes`].
+    HeadersTooLarge {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// More header fields than [`HttpLimits::max_headers`].
+    TooManyHeaders {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// Declared `content-length` exceeded [`HttpLimits::max_body`].
+    BodyTooLarge {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// The request line was not `METHOD SP TARGET SP VERSION`.
+    MalformedRequestLine,
+    /// A header field had no colon or an invalid name.
+    MalformedHeader,
+    /// A method other than GET/POST.
+    UnsupportedMethod,
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion,
+    /// A `transfer-encoding` the server does not implement.
+    UnsupportedEncoding,
+    /// `content-length` was not a valid integer.
+    BadContentLength,
+    /// A required query parameter was missing or malformed.
+    BadQuery,
+    /// No route matched the request path.
+    NotFound,
+    /// Tenants are configured and the presented key matched none of them.
+    Unauthorized,
+    /// The tenant's token bucket is empty.
+    RateLimited,
+    /// The client stopped making progress past the idle budget
+    /// (slowloris defense).
+    IdleTimeout,
+    /// The per-request deadline budget ran out while reading the request.
+    RequestDeadline,
+    /// The gateway is draining and no longer takes new requests.
+    Draining,
+    /// Accept backlog at capacity: the connection was shed.
+    ShedOverCapacity,
+    /// The peer closed or reset the connection mid-request.
+    Disconnected,
+    /// Writing the response failed (peer gone mid-response).
+    WriteFailed,
+    /// Any other transport I/O error.
+    Io(std::io::ErrorKind),
+}
+
+impl NetError {
+    /// The status code written back for this error, or `None` when the
+    /// peer is gone and no response can be delivered.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            Self::RequestLineTooLong { .. } => Some(414),
+            Self::HeadersTooLarge { .. } | Self::TooManyHeaders { .. } => Some(431),
+            Self::BodyTooLarge { .. } => Some(413),
+            Self::MalformedRequestLine
+            | Self::MalformedHeader
+            | Self::BadContentLength
+            | Self::BadQuery => Some(400),
+            Self::UnsupportedMethod => Some(405),
+            Self::UnsupportedVersion => Some(505),
+            Self::UnsupportedEncoding => Some(501),
+            Self::NotFound => Some(404),
+            Self::Unauthorized => Some(401),
+            Self::RateLimited => Some(429),
+            Self::IdleTimeout | Self::RequestDeadline => Some(408),
+            Self::Draining | Self::ShedOverCapacity => Some(503),
+            Self::Disconnected | Self::WriteFailed | Self::Io(_) => None,
+        }
+    }
+
+    /// Stable short label for reports and deterministic chaos traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::RequestLineTooLong { .. } => "request-line-too-long",
+            Self::HeadersTooLarge { .. } => "headers-too-large",
+            Self::TooManyHeaders { .. } => "too-many-headers",
+            Self::BodyTooLarge { .. } => "body-too-large",
+            Self::MalformedRequestLine => "malformed-request-line",
+            Self::MalformedHeader => "malformed-header",
+            Self::UnsupportedMethod => "unsupported-method",
+            Self::UnsupportedVersion => "unsupported-version",
+            Self::UnsupportedEncoding => "unsupported-encoding",
+            Self::BadContentLength => "bad-content-length",
+            Self::BadQuery => "bad-query",
+            Self::NotFound => "not-found",
+            Self::Unauthorized => "unauthorized",
+            Self::RateLimited => "rate-limited",
+            Self::IdleTimeout => "idle-timeout",
+            Self::RequestDeadline => "request-deadline",
+            Self::Draining => "draining",
+            Self::ShedOverCapacity => "shed",
+            Self::Disconnected => "disconnected",
+            Self::WriteFailed => "write-failed",
+            Self::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RequestLineTooLong { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            Self::HeadersTooLarge { limit } => write!(f, "header section exceeds {limit} bytes"),
+            Self::TooManyHeaders { limit } => write!(f, "more than {limit} header fields"),
+            Self::BodyTooLarge { limit } => write!(f, "declared body exceeds {limit} bytes"),
+            Self::Io(kind) => write!(f, "transport error: {kind:?}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Shared, thread-safe counters for the network layer. The engine-level
+/// [`ServeStats`](crate::ServeStats) keep counting scoring outcomes; these
+/// count what happened at the wire in front of it.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    conns_accepted: AtomicU64,
+    conns_shed: AtomicU64,
+    requests: AtomicU64,
+    responded_2xx: AtomicU64,
+    responded_4xx: AtomicU64,
+    responded_5xx: AtomicU64,
+    rate_limited: AtomicU64,
+    unauthorized: AtomicU64,
+    timeouts: AtomicU64,
+    client_gone: AtomicU64,
+}
+
+macro_rules! net_bump {
+    ($($method:ident => $field:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Increments the `", stringify!($field), "` counter.")]
+            pub fn $method(&self) {
+                self.$field.fetch_add(1, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl NetStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes an accepted connection and returns its sequence number.
+    pub fn note_conn_accepted(&self) -> u64 {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Notes a request reaching the connection state machine and returns
+    /// its global network request sequence (the basis of its trace id).
+    pub fn note_request(&self) -> u64 {
+        self.requests.fetch_add(1, Ordering::Relaxed)
+    }
+
+    net_bump! {
+        note_conn_shed => conns_shed,
+        note_2xx => responded_2xx,
+        note_4xx => responded_4xx,
+        note_5xx => responded_5xx,
+        note_rate_limited => rate_limited,
+        note_unauthorized => unauthorized,
+        note_timeout => timeouts,
+        note_client_gone => client_gone,
+    }
+
+    /// Classifies a written status into the 2xx/4xx/5xx counters.
+    pub fn note_status(&self, status: u16) {
+        if status < 400 {
+            self.note_2xx();
+        } else if status < 500 {
+            self.note_4xx();
+        } else {
+            self.note_5xx();
+        }
+    }
+
+    /// Snapshots the counters into an immutable report.
+    pub fn report(&self) -> NetReport {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        NetReport {
+            conns_accepted: get(&self.conns_accepted),
+            conns_shed: get(&self.conns_shed),
+            requests: get(&self.requests),
+            responded_2xx: get(&self.responded_2xx),
+            responded_4xx: get(&self.responded_4xx),
+            responded_5xx: get(&self.responded_5xx),
+            rate_limited: get(&self.rate_limited),
+            unauthorized: get(&self.unauthorized),
+            timeouts: get(&self.timeouts),
+            client_gone: get(&self.client_gone),
+        }
+    }
+}
+
+/// One immutable snapshot of the network layer's counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetReport {
+    /// Connections accepted into the backlog.
+    pub conns_accepted: u64,
+    /// Connections shed with `503` because the backlog was full.
+    pub conns_shed: u64,
+    /// Requests that reached the connection state machine.
+    pub requests: u64,
+    /// Responses written with a 2xx status.
+    pub responded_2xx: u64,
+    /// Responses written with a 4xx status.
+    pub responded_4xx: u64,
+    /// Responses written with a 5xx status.
+    pub responded_5xx: u64,
+    /// Requests answered `429` (a subset of the 4xx count).
+    pub rate_limited: u64,
+    /// Requests answered `401` (a subset of the 4xx count).
+    pub unauthorized: u64,
+    /// Connections that hit the idle/deadline budget while reading
+    /// (answered `408` when the peer still listened).
+    pub timeouts: u64,
+    /// Connections whose peer vanished before a response could land.
+    pub client_gone: u64,
+}
+
+impl NetReport {
+    /// Responses actually delivered (any status class).
+    pub fn responded(&self) -> u64 {
+        self.responded_2xx + self.responded_4xx + self.responded_5xx
+    }
+
+    /// Delivered responses over requests the server owed a response to —
+    /// requests whose peer disappeared are the client's fault and leave
+    /// the denominator. 1.0 when no requests arrived.
+    pub fn availability(&self) -> f64 {
+        let owed = self.requests.saturating_sub(self.client_gone);
+        if owed == 0 {
+            1.0
+        } else {
+            self.responded() as f64 / owed as f64
+        }
+    }
+
+    /// Renders the human-readable block `pup serve` prints on drain.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== network report ==\n");
+        out.push_str(&format!(
+            "conns:        {} accepted | {} shed (backlog full)\n",
+            self.conns_accepted, self.conns_shed
+        ));
+        out.push_str(&format!(
+            "requests:     {} received | {} responded (2xx {}, 4xx {}, 5xx {})\n",
+            self.requests,
+            self.responded(),
+            self.responded_2xx,
+            self.responded_4xx,
+            self.responded_5xx
+        ));
+        out.push_str(&format!(
+            "refused:      {} unauthorized | {} rate-limited | {} timeouts\n",
+            self.unauthorized, self.rate_limited, self.timeouts
+        ));
+        out.push_str(&format!("clients gone: {}\n", self.client_gone));
+        out.push_str(&format!(
+            "availability: {:.4}% of owed responses\n",
+            self.availability() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_respondable_error_has_a_4xx_or_5xx_status() {
+        let cases = [
+            NetError::RequestLineTooLong { limit: 1 },
+            NetError::HeadersTooLarge { limit: 1 },
+            NetError::TooManyHeaders { limit: 1 },
+            NetError::BodyTooLarge { limit: 1 },
+            NetError::MalformedRequestLine,
+            NetError::MalformedHeader,
+            NetError::UnsupportedMethod,
+            NetError::UnsupportedVersion,
+            NetError::UnsupportedEncoding,
+            NetError::BadContentLength,
+            NetError::BadQuery,
+            NetError::NotFound,
+            NetError::Unauthorized,
+            NetError::RateLimited,
+            NetError::IdleTimeout,
+            NetError::RequestDeadline,
+            NetError::Draining,
+            NetError::ShedOverCapacity,
+        ];
+        for e in cases {
+            let status = e.status().expect("respondable");
+            assert!((400..=599).contains(&status), "{e}: {status}");
+            assert!(!e.label().is_empty());
+        }
+        assert_eq!(NetError::Disconnected.status(), None);
+        assert_eq!(NetError::WriteFailed.status(), None);
+        assert_eq!(NetError::Io(std::io::ErrorKind::Other).status(), None);
+    }
+
+    #[test]
+    fn availability_excludes_vanished_clients() {
+        let stats = NetStats::new();
+        for _ in 0..10 {
+            stats.note_request();
+        }
+        for _ in 0..7 {
+            stats.note_status(200);
+        }
+        stats.note_status(429);
+        // Two clients disconnected before their responses landed.
+        stats.note_client_gone();
+        stats.note_client_gone();
+        let r = stats.report();
+        assert_eq!(r.responded(), 8);
+        assert!((r.availability() - 1.0).abs() < 1e-12, "8 delivered / 8 owed");
+        assert!(r.render().contains("availability: 100.0000%"));
+    }
+}

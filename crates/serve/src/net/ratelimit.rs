@@ -1,0 +1,235 @@
+//! Per-tenant API keys and deterministic token-bucket rate limiting.
+//!
+//! The limiter sits *in front of* the admission queue: an over-limit
+//! tenant is answered `429` before its request can occupy a queue slot
+//! that a within-limit tenant paid for. Determinism is the design
+//! constraint, as everywhere in this crate: the bucket holds integer
+//! micro-tokens and refills from an explicit `now_ns` supplied by the
+//! caller — the gateway passes real elapsed time, the chaos tests pass
+//! virtual arrival timestamps — so a seeded open-loop schedule produces
+//! the exact same `429` sequence on every run.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Micro-tokens per whole token: bucket arithmetic stays integral.
+const MICRO: u64 = 1_000_000;
+
+/// One tenant's identity and rate contract.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Human-readable tenant name (appears in reports).
+    pub name: String,
+    /// The API key presented in the `x-api-key` header.
+    pub key: String,
+    /// Sustained request rate, tokens per second.
+    pub rate_per_sec: u64,
+    /// Bucket capacity: the largest burst admitted at once.
+    pub burst: u64,
+}
+
+impl TenantConfig {
+    /// Parses a comma-separated tenant list of `name:key:rate:burst`
+    /// entries, e.g. `"bench:bench-key:200:50,limited:lim-key:2:2"`.
+    pub fn parse_list(spec: &str) -> Result<Vec<TenantConfig>, String> {
+        let mut tenants = Vec::new();
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let [name, key, rate, burst] = parts.as_slice() else {
+                return Err(format!("tenant `{entry}`: expected name:key:rate:burst"));
+            };
+            if name.is_empty() || key.is_empty() {
+                return Err(format!("tenant `{entry}`: empty name or key"));
+            }
+            let rate_per_sec =
+                rate.parse::<u64>().map_err(|_| format!("tenant `{entry}`: bad rate `{rate}`"))?;
+            let burst = burst
+                .parse::<u64>()
+                .map_err(|_| format!("tenant `{entry}`: bad burst `{burst}`"))?;
+            if rate_per_sec == 0 || burst == 0 {
+                return Err(format!("tenant `{entry}`: rate and burst must be positive"));
+            }
+            tenants.push(TenantConfig {
+                name: name.to_string(),
+                key: key.to_string(),
+                rate_per_sec,
+                burst,
+            });
+        }
+        Ok(tenants)
+    }
+}
+
+/// Token-bucket state for one tenant, in micro-tokens.
+#[derive(Debug)]
+struct Bucket {
+    level_micro: u64,
+    last_ns: u64,
+}
+
+/// The admission decision for one request's key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Admitted on behalf of tenant `#idx` (index into the config list).
+    Ok(usize),
+    /// No tenant owns the presented key (or no key was presented while
+    /// tenants are configured).
+    UnknownKey,
+    /// The tenant's bucket is empty: rate-limited.
+    Limited(usize),
+}
+
+/// Deterministic multi-tenant rate limiter. With no tenants configured
+/// the service is open: every request is admitted anonymously.
+pub struct RateLimiter {
+    tenants: Vec<TenantConfig>,
+    buckets: Mutex<Vec<Bucket>>,
+}
+
+/// Poisoned-lock recovery: bucket levels carry no cross-field invariants;
+/// a limiter lock must never wedge the accept path.
+fn locked(m: &Mutex<Vec<Bucket>>) -> MutexGuard<'_, Vec<Bucket>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl RateLimiter {
+    /// A limiter over the given tenants; buckets start full (a tenant may
+    /// burst immediately).
+    pub fn new(tenants: Vec<TenantConfig>) -> Self {
+        let buckets = tenants
+            .iter()
+            .map(|t| Bucket { level_micro: t.burst.saturating_mul(MICRO), last_ns: 0 })
+            .collect();
+        Self { tenants, buckets: Mutex::new(buckets) }
+    }
+
+    /// Whether the service runs open (no tenants → no auth, no limits).
+    pub fn is_open(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The configured tenants.
+    pub fn tenants(&self) -> &[TenantConfig] {
+        &self.tenants
+    }
+
+    /// Decides one request presented with `key` at time `now_ns`. Refill
+    /// is computed from the gap since the tenant's previous request, so
+    /// the decision sequence is a pure function of (key, now_ns) pairs.
+    pub fn check(&self, key: Option<&str>, now_ns: u64) -> Admit {
+        if self.tenants.is_empty() {
+            return Admit::Ok(usize::MAX);
+        }
+        let Some(key) = key else { return Admit::UnknownKey };
+        let Some(idx) = self.tenants.iter().position(|t| t.key == key) else {
+            return Admit::UnknownKey;
+        };
+        let Some(tenant) = self.tenants.get(idx) else { return Admit::UnknownKey };
+        let mut buckets = locked(&self.buckets);
+        let Some(bucket) = buckets.get_mut(idx) else { return Admit::UnknownKey };
+        // Refill for the time elapsed since this tenant's last decision.
+        // rate tokens/s == rate micro-tokens per microsecond of gap;
+        // the divisor is the nanoseconds-per-microsecond constant.
+        let gap_ns = now_ns.saturating_sub(bucket.last_ns) as u128;
+        let refill = (gap_ns.saturating_mul(tenant.rate_per_sec as u128) / 1_000) as u64;
+        bucket.level_micro =
+            bucket.level_micro.saturating_add(refill).min(tenant.burst.saturating_mul(MICRO));
+        bucket.last_ns = bucket.last_ns.max(now_ns);
+        if bucket.level_micro >= MICRO {
+            bucket.level_micro -= MICRO;
+            Admit::Ok(idx)
+        } else {
+            Admit::Limited(idx)
+        }
+    }
+
+    /// The name of tenant `#idx`, or `"anonymous"` for the open service.
+    pub fn tenant_name(&self, idx: usize) -> &str {
+        self.tenants.get(idx).map(|t| t.name.as_str()).unwrap_or("anonymous")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_tenant(rate: u64, burst: u64) -> RateLimiter {
+        RateLimiter::new(vec![TenantConfig {
+            name: "t".into(),
+            key: "k".into(),
+            rate_per_sec: rate,
+            burst,
+        }])
+    }
+
+    #[test]
+    fn open_service_admits_everyone() {
+        let rl = RateLimiter::new(vec![]);
+        assert!(rl.is_open());
+        assert!(matches!(rl.check(None, 0), Admit::Ok(_)));
+        assert!(matches!(rl.check(Some("whatever"), 0), Admit::Ok(_)));
+    }
+
+    #[test]
+    fn unknown_or_missing_key_is_rejected_when_tenants_exist() {
+        let rl = one_tenant(10, 5);
+        assert_eq!(rl.check(None, 0), Admit::UnknownKey);
+        assert_eq!(rl.check(Some("wrong"), 0), Admit::UnknownKey);
+    }
+
+    #[test]
+    fn burst_then_limit_then_refill() {
+        let rl = one_tenant(1, 2); // 1 token/s, burst of 2
+        assert_eq!(rl.check(Some("k"), 0), Admit::Ok(0));
+        assert_eq!(rl.check(Some("k"), 0), Admit::Ok(0));
+        assert_eq!(rl.check(Some("k"), 0), Admit::Limited(0), "burst exhausted");
+        // Half a second later: half a token — still limited.
+        assert_eq!(rl.check(Some("k"), 500_000_000), Admit::Limited(0));
+        // A full second after start: one whole token has accumulated.
+        assert_eq!(rl.check(Some("k"), 1_500_000_000), Admit::Ok(0));
+        assert_eq!(rl.check(Some("k"), 1_500_000_000), Admit::Limited(0));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let rl = one_tenant(1000, 3);
+        // An hour of idle time must not bank more than `burst` tokens.
+        let hour_ns = 3_600_000_000_000u64;
+        for _ in 0..3 {
+            assert_eq!(rl.check(Some("k"), hour_ns), Admit::Ok(0));
+        }
+        assert_eq!(rl.check(Some("k"), hour_ns), Admit::Limited(0));
+    }
+
+    #[test]
+    fn decision_sequence_is_deterministic() {
+        let schedule: Vec<u64> = (0..40).map(|i| i * 37_000_000).collect();
+        let run = |schedule: &[u64]| -> Vec<bool> {
+            let rl = one_tenant(5, 3);
+            schedule.iter().map(|&t| matches!(rl.check(Some("k"), t), Admit::Ok(_))).collect()
+        };
+        assert_eq!(run(&schedule), run(&schedule), "same schedule, same 429s");
+    }
+
+    #[test]
+    fn tenants_do_not_share_buckets() {
+        let rl = RateLimiter::new(vec![
+            TenantConfig { name: "a".into(), key: "ka".into(), rate_per_sec: 1, burst: 1 },
+            TenantConfig { name: "b".into(), key: "kb".into(), rate_per_sec: 1, burst: 1 },
+        ]);
+        assert_eq!(rl.check(Some("ka"), 0), Admit::Ok(0));
+        assert_eq!(rl.check(Some("ka"), 0), Admit::Limited(0));
+        assert_eq!(rl.check(Some("kb"), 0), Admit::Ok(1), "tenant b unaffected");
+        assert_eq!(rl.tenant_name(1), "b");
+    }
+
+    #[test]
+    fn parse_list_round_trips_and_rejects_malformed() {
+        let ts = TenantConfig::parse_list("bench:bk:200:50,limited:lk:2:2").expect("valid");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.first().map(|t| t.rate_per_sec), Some(200));
+        assert!(TenantConfig::parse_list("no-colons").is_err());
+        assert!(TenantConfig::parse_list("a:b:zero:1").is_err());
+        assert!(TenantConfig::parse_list("a:b:0:1").is_err(), "zero rate");
+        assert!(TenantConfig::parse_list(":k:1:1").is_err(), "empty name");
+    }
+}

@@ -165,6 +165,29 @@ impl Server {
     /// handle to wait on, or a typed rejection (shed / invalid / shutdown)
     /// without ever queuing unboundedly.
     pub fn submit(&self, req: Request) -> Result<ResponseHandle, ServeError> {
+        self.submit_inner(req, None, None)
+    }
+
+    /// Submission on behalf of a network connection: the request's
+    /// stitched trace is parented under `parent` (the gateway's `accept`
+    /// span, keeping the caller's trace id so the network hop and the
+    /// engine stages land in one tree), and `deadline` carries whatever
+    /// budget the request already spent being read off the wire.
+    pub fn submit_traced(
+        &self,
+        req: Request,
+        parent: &pup_obs::trace::TraceContext,
+        deadline: Deadline,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.submit_inner(req, Some(parent), Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        req: Request,
+        parent: Option<&pup_obs::trace::TraceContext>,
+        deadline: Option<Deadline>,
+    ) -> Result<ResponseHandle, ServeError> {
         let trace = self.shared.stats.note_submitted();
         // Reject malformed user ids before they consume a queue slot.
         if self.shared.n_users != usize::MAX && req.user >= self.shared.n_users {
@@ -177,12 +200,17 @@ impl Server {
         let (reply, rx) = mpsc::channel();
         // The root span opens here on the submitting thread and rides the
         // queue inside the job; a shed job drops both guards, so even a
-        // rejected request leaves a (queue-only) trace.
-        let request_span = self.shared.root_ctx(trace).span("request");
+        // rejected request leaves a (queue-only) trace. A network caller
+        // supplies its own parent context — then the span nests under the
+        // connection's `accept` root and keeps the caller's trace id.
+        let (request_span, trace) = match parent {
+            Some(ctx) if ctx.is_enabled() => (ctx.span("request"), ctx.trace_id().unwrap_or(trace)),
+            _ => (self.shared.root_ctx(trace).span("request"), trace),
+        };
         let queue_span = request_span.ctx().span("queue");
         let job = Job {
             req,
-            deadline: Deadline::new(self.shared.cfg.deadline_ns),
+            deadline: deadline.unwrap_or_else(|| Deadline::new(self.shared.cfg.deadline_ns)),
             enqueued: Instant::now(),
             trace,
             request_span,

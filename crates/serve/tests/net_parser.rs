@@ -1,0 +1,152 @@
+//! Property tests for the HTTP parser: arbitrary bytes, torn delivery,
+//! oversized inputs, and pipelined garbage must always produce a typed
+//! [`NetError`] or a parsed request — never a panic, and never a buffer
+//! that outgrows the configured limits.
+
+use pup_serve::net::{HttpLimits, HttpParser, Method, NetError};
+
+fn small_limits() -> HttpLimits {
+    HttpLimits { max_request_line: 64, max_header_bytes: 128, max_headers: 4, max_body: 32 }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+    // Feed arbitrary byte soup in arbitrary chunk sizes. Whatever comes
+    // in, the parser must stay total (no panic) and bounded (the buffer
+    // never exceeds the configured ceiling, even while refusing input).
+    #[test]
+    fn arbitrary_bytes_never_panic_and_never_overgrow(
+        bytes in proptest::prop::collection::vec(0u8..=255, 0..512),
+        chunk in 1usize..64,
+    ) {
+        let limits = small_limits();
+        let ceiling = limits.max_buffered();
+        let mut parser = HttpParser::new(limits);
+        for piece in bytes.chunks(chunk) {
+            // Ok or Err are both legal; only a panic fails the property.
+            let _ = parser.feed(piece);
+            proptest::prop_assert!(
+                parser.buffered() <= ceiling,
+                "buffer {} exceeds ceiling {}",
+                parser.buffered(),
+                ceiling
+            );
+        }
+    }
+
+    // A valid request must parse identically no matter where the network
+    // tears it: split the byte stream at every possible boundary pair.
+    #[test]
+    fn torn_reads_reassemble_identically(
+        cut_a in 0usize..70,
+        cut_b in 0usize..70,
+        user in 0usize..10_000,
+    ) {
+        let raw = format!(
+            "GET /recommend?user={user}&k=5 HTTP/1.1\r\nhost: pup\r\nx-api-key: k1\r\n\r\n"
+        );
+        let bytes = raw.as_bytes();
+        let (lo, hi) = if cut_a <= cut_b { (cut_a, cut_b) } else { (cut_b, cut_a) };
+        let lo = lo.min(bytes.len());
+        let hi = hi.min(bytes.len());
+
+        let mut whole = HttpParser::new(HttpLimits::default());
+        let expect = whole.feed(bytes).expect("valid request").expect("complete");
+
+        let mut torn = HttpParser::new(HttpLimits::default());
+        let mut got = None;
+        for piece in [&bytes[..lo], &bytes[lo..hi], &bytes[hi..]] {
+            if let Some(req) = torn.feed(piece).expect("same bytes, same verdict") {
+                got = Some(req);
+            }
+        }
+        let got = got.expect("torn delivery still completes");
+        proptest::prop_assert_eq!(got.method, Method::Get);
+        proptest::prop_assert_eq!(got.path(), expect.path());
+        proptest::prop_assert_eq!(got.query_param("user"), expect.query_param("user"));
+        proptest::prop_assert_eq!(got.header("x-api-key"), expect.header("x-api-key"));
+    }
+
+    // Oversized header sections must fail with the dedicated typed error
+    // while the input is still streaming in — not after buffering it all.
+    #[test]
+    fn oversized_headers_hit_a_typed_limit(pad in 200usize..2_000) {
+        let limits = small_limits();
+        let ceiling = limits.max_buffered();
+        let mut parser = HttpParser::new(limits);
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(b"x-pad: ");
+        raw.extend(std::iter::repeat_n(b'a', pad));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let mut saw_err = None;
+        for piece in raw.chunks(16) {
+            match parser.feed(piece) {
+                Ok(_) => {}
+                Err(e) => {
+                    saw_err = Some(e);
+                    break;
+                }
+            }
+        }
+        proptest::prop_assert!(
+            matches!(
+                saw_err,
+                Some(NetError::HeadersTooLarge { .. })
+                    | Some(NetError::TooManyHeaders { .. })
+                    | Some(NetError::RequestLineTooLong { .. })
+            ),
+            "expected a size-limit error, got {saw_err:?}"
+        );
+        proptest::prop_assert!(parser.buffered() <= ceiling);
+    }
+
+    // Garbage pipelined behind a valid request: the first request parses,
+    // the garbage yields a typed error, and the error is sticky (the
+    // connection is poisoned, not resynchronized into confusion).
+    #[test]
+    fn pipelined_garbage_after_valid_request_is_typed_and_sticky(
+        junk in proptest::prop::collection::vec(0u8..=255, 8..64),
+    ) {
+        let mut parser = HttpParser::new(HttpLimits::default());
+        let mut bytes = b"GET /health HTTP/1.1\r\n\r\n".to_vec();
+        bytes.extend_from_slice(&junk);
+        bytes.extend_from_slice(b"\r\n\r\n"); // terminate whatever the junk began
+        // The junk cannot corrupt the first head: the valid request
+        // terminates before any junk byte, and `feed` returns the first
+        // complete request while the junk stays buffered.
+        let first = parser.feed(&bytes).expect("valid head parses").expect("head completes");
+        proptest::prop_assert_eq!(first.path(), "/health");
+        // Drain the rest: every subsequent poll must be a typed error or
+        // an incomplete wait — and once an error appears it repeats.
+        let mut first_err = None;
+        for _ in 0..4 {
+            match parser.next_request() {
+                Ok(Some(req)) => {
+                    // Random bytes can, rarely, spell a valid request —
+                    // then the parser is simply still healthy.
+                    let _ = req;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    match &first_err {
+                        None => first_err = Some(e),
+                        Some(prev) => proptest::prop_assert_eq!(prev, &e, "sticky error"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parser_streams_bodies_and_pipelined_requests() {
+    let mut parser = HttpParser::new(HttpLimits::default());
+    let bytes = b"POST /recommend?user=1 HTTP/1.1\r\ncontent-length: 4\r\n\r\nwxyzGET /health HTTP/1.1\r\n\r\n";
+    let first = parser.feed(bytes).expect("valid").expect("complete");
+    assert_eq!(first.method, Method::Post);
+    assert_eq!(first.body, b"wxyz");
+    let second = parser.next_request().expect("valid").expect("pipelined request ready");
+    assert_eq!(second.path(), "/health");
+    assert_eq!(parser.next_request().expect("no error"), None, "stream drained");
+}

@@ -74,6 +74,20 @@ if [[ $fast -eq 0 ]]; then
         recommend --items "$serve_smoke/data/items.csv" \
         --interactions "$serve_smoke/data/interactions.csv" \
         --checkpoint-dir "$serve_smoke/ckpts" --model bprmf --user 54 -k 5
+    # Network front-door gate: the deterministic net-chaos suite (torn
+    # reads, slowloris stalls, mid-response disconnects, malformed frames —
+    # all over the in-memory transport, so failures replay exactly), then a
+    # self-hosted open-loop run over real loopback TCP with slow clients,
+    # mid-exchange aborts, and an authenticated rate-limited tenant. The
+    # exit code enforces >= 99% availability of delivered requests.
+    step cargo test -q -p pup-serve --test net_chaos
+    step cargo run --release -q -p pup-recsys --bin pup -- \
+        net-bench --items "$serve_smoke/data/items.csv" \
+        --interactions "$serve_smoke/data/interactions.csv" \
+        --checkpoint-dir "$serve_smoke/ckpts" --model bprmf \
+        --requests 200 --clients 4 --slow-every 25 --abort-every 40 \
+        --api-keys "bench:bench-key:500:100" --api-key bench-key \
+        --min-availability 0.99
     # Swap-chaos gate: publish the trained checkpoint as generations of a
     # model registry, then hot-swap mid-load — clean, with the candidate
     # corrupted on disk, and with the process killed mid pointer-flip. All
